@@ -1,0 +1,62 @@
+//! Criterion microbenchmarks of the likelihood kernel — the workload whose
+//! cost structure the paper's nine predictors capture (and the hot path
+//! BEAGLE accelerates on GPUs in §II.A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phylo::likelihood::LikelihoodEngine;
+use phylo::models::aminoacid::AaModel;
+use phylo::models::codon::CodonModel;
+use phylo::models::nucleotide::NucModel;
+use phylo::models::SiteRates;
+use phylo::simulate::Simulator;
+use phylo::tree::Tree;
+use simkit::SimRng;
+
+fn bench_likelihood(c: &mut Criterion) {
+    let mut group = c.benchmark_group("likelihood");
+    group.sample_size(20);
+
+    // Nucleotide: 16 taxa × 500 sites, Γ4.
+    {
+        let mut rng = SimRng::new(1);
+        let tree = Tree::random_topology(16, &mut rng);
+        let model = NucModel::gtr([1.0, 2.0, 1.0, 1.0, 2.0, 1.0], [0.3, 0.2, 0.2, 0.3]);
+        let aln = Simulator::new(&model, SiteRates::uniform()).simulate(&tree, 500, &mut rng);
+        let engine = LikelihoodEngine::new(&aln, &model, SiteRates::gamma(4, 0.5));
+        let cells = engine.evaluate(&tree).work;
+        group.bench_with_input(
+            BenchmarkId::new("nucleotide_gtr_g4", format!("{cells}cells")),
+            &(),
+            |b, _| b.iter(|| std::hint::black_box(engine.log_likelihood(&tree))),
+        );
+    }
+
+    // Amino acid: 12 taxa × 200 sites.
+    {
+        let mut rng = SimRng::new(2);
+        let tree = Tree::random_topology(12, &mut rng);
+        let model = AaModel::empirical();
+        let aln = Simulator::new(&model, SiteRates::uniform()).simulate(&tree, 200, &mut rng);
+        let engine = LikelihoodEngine::new(&aln, &model, SiteRates::uniform());
+        group.bench_function("aminoacid_empirical", |b| {
+            b.iter(|| std::hint::black_box(engine.log_likelihood(&tree)))
+        });
+    }
+
+    // Codon: 8 taxa × 60 codons — the expensive family.
+    {
+        let mut rng = SimRng::new(3);
+        let tree = Tree::random_topology(8, &mut rng);
+        let model = CodonModel::goldman_yang(2.0, 0.3);
+        let aln = Simulator::new(&model, SiteRates::uniform()).simulate(&tree, 60, &mut rng);
+        let engine = LikelihoodEngine::new(&aln, &model, SiteRates::uniform());
+        group.bench_function("codon_gy94", |b| {
+            b.iter(|| std::hint::black_box(engine.log_likelihood(&tree)))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_likelihood);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmark of the discrete-event kernel: calendar throughput
+//! and a full grid day.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridsim::grid::{Grid, GridConfig};
+use gridsim::job::JobSpec;
+use gridsim::resource::{ResourceKind, ResourceSpec};
+use simkit::{Calendar, SimTime};
+
+fn bench_simkit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simkit");
+
+    group.bench_function("calendar_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut cal: Calendar<u64> = Calendar::new();
+            for i in 0..10_000u64 {
+                cal.schedule(SimTime::from_micros((i * 7919) % 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = cal.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    group.sample_size(10);
+    group.bench_function("grid_day_500_jobs", |b| {
+        b.iter(|| {
+            let config = GridConfig {
+                resources: vec![
+                    ResourceSpec::cluster("c", ResourceKind::PbsCluster, 64, 1.0),
+                    ResourceSpec::condor_pool("p", 100, 0.9, 8.0),
+                ],
+                seed: 3,
+                ..Default::default()
+            };
+            let mut grid = Grid::new(config);
+            grid.submit((0..500).map(|i| JobSpec::simple(i, 1800.0).with_estimate(1800.0)));
+            std::hint::black_box(grid.run_until_done(SimTime::from_days(2)).completed)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simkit);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E10 — §VI.E: continuous model improvement.
+//!
+//! "We would like to continuously update the model based on information
+//! collected from incoming jobs. To do this, we simply fork off a single
+//! job replicate on our reference computer … and rebuild the model …
+//! In this manner the model is continually improved."
+//!
+//! Starting from a deliberately small initial model, we stream submissions
+//! through the online updater and report the trailing prediction error as
+//! observations accumulate.
+
+use bench::{env_usize, header, write_json};
+use lattice::estimator::RuntimeEstimator;
+use lattice::online::OnlineEstimator;
+use lattice::training::{generate_training_jobs, run_training_job, Scale};
+
+fn main() {
+    let initial = env_usize("LATTICE_INITIAL_JOBS", 10);
+    let stream = env_usize("LATTICE_STREAM_JOBS", 80);
+    let trees = env_usize("LATTICE_TREES", 1000);
+    let seed = env_usize("LATTICE_SEED", 2011) as u64;
+
+    header(&format!(
+        "E10 — online model updating ({initial} seed jobs, {stream} streamed observations)"
+    ));
+
+    let seed_jobs = generate_training_jobs(initial, Scale::Full, seed ^ 0x10);
+    let est = RuntimeEstimator::train(&seed_jobs, trees, seed ^ 0x11);
+    let mut online = OnlineEstimator::new(est, trees, seed ^ 0x12);
+
+    println!(
+        "{:>6} {:>16} {:>18}",
+        "obs", "trailing med(20)", "variance explained"
+    );
+    #[derive(serde::Serialize)]
+    struct Point {
+        observations: usize,
+        trailing_median_ape: f64,
+        oob_r2: f64,
+    }
+    let mut curve = Vec::new();
+    for i in 0..stream {
+        let job = run_training_job(Scale::Full, seed ^ (0x9000 + i as u64));
+        online.observe(job.features, job.runtime_seconds);
+        if (i + 1) % 10 == 0 {
+            let err = online.trailing_error(20).unwrap();
+            let r2 = online.estimator().variance_explained();
+            println!("{:>6} {:>15.1}% {:>17.1}%", i + 1, err * 100.0, r2 * 100.0);
+            curve.push(Point {
+                observations: i + 1,
+                trailing_median_ape: err,
+                oob_r2: r2,
+            });
+        }
+    }
+    println!(
+        "\nfinal training-set size: {} jobs (started at {initial})",
+        online.estimator().dataset().len()
+    );
+    write_json("e10_online_update", &curve);
+}

@@ -1,0 +1,63 @@
+//! E11 — §VI.C: Breiman's robustness claims, verified on our corpus.
+//!
+//! "(a) [random forests] display exceptional prediction accuracy, (b) that
+//! this accuracy is attained for a wide range of settings of the single
+//! tuning parameter employed, and (c) that overfitting does not arise due
+//! to the independent generation of ensemble members."
+//!
+//! Two sweeps over the shared corpus: forest size (10 → the paper's 10⁴)
+//! and mtry (1 → 9). Expected shape: OOB error falls then plateaus with
+//! more trees (never rises — no overfitting) and is flat across a broad
+//! mtry band.
+
+use bench::{env_usize, header, load_or_generate_corpus, write_json};
+use forest::rf::{ForestConfig, RandomForest};
+use lattice::training::{to_dataset, Scale};
+
+fn main() {
+    let n = env_usize("LATTICE_JOBS", 150);
+    let seed = env_usize("LATTICE_SEED", 2011) as u64;
+
+    let corpus = load_or_generate_corpus(n, Scale::Full, seed);
+    let dataset = to_dataset(&corpus);
+
+    #[derive(serde::Serialize)]
+    struct Point {
+        sweep: &'static str,
+        value: usize,
+        oob_mse: f64,
+        oob_r2: f64,
+    }
+    let mut points = Vec::new();
+
+    header("E11a — forest-size sweep (claim c: no overfitting with more trees)");
+    println!("{:>8} {:>14} {:>10}", "trees", "OOB MSE", "OOB R²");
+    for trees in [10usize, 30, 100, 300, 1000, 3000, 10_000] {
+        let f = RandomForest::fit(
+            &dataset,
+            &ForestConfig { num_trees: trees, ..Default::default() },
+            seed ^ 0xA,
+        );
+        let mse = f.oob_mse(&dataset);
+        let r2 = f.oob_r2(&dataset);
+        println!("{trees:>8} {mse:>14.1} {r2:>10.3}");
+        points.push(Point { sweep: "num_trees", value: trees, oob_mse: mse, oob_r2: r2 });
+    }
+
+    header("E11b — mtry sweep (claim b: accuracy stable across the tuning parameter)");
+    println!("{:>8} {:>14} {:>10}", "mtry", "OOB MSE", "OOB R²");
+    for mtry in [1usize, 2, 3, 4, 5, 7, 9] {
+        let f = RandomForest::fit(
+            &dataset,
+            &ForestConfig { num_trees: 1000, mtry: Some(mtry), ..Default::default() },
+            seed ^ 0xB,
+        );
+        let mse = f.oob_mse(&dataset);
+        let r2 = f.oob_r2(&dataset);
+        let note = if mtry == 3 { "  <- p/3 (regression default; paper's setting)" } else { "" };
+        println!("{mtry:>8} {mse:>14.1} {r2:>10.3}{note}");
+        points.push(Point { sweep: "mtry", value: mtry, oob_mse: mse, oob_r2: r2 });
+    }
+
+    write_json("e11_forest_sweeps", &points);
+}

@@ -1,0 +1,76 @@
+//! E1 — Figure 2: importance of the nine phylogenetic analysis parameters
+//! in predicting GARLI runtime, measured as percent increase in MSE.
+//!
+//! Paper values for reference: rate heterogeneity model 89.7 %, data type
+//! 72.4 %, number of rate categories ≈ 0. We reproduce the *ordering and
+//! shape*, not the absolute numbers (our corpus is synthetic; see
+//! DESIGN.md).
+//!
+//! Knobs: `LATTICE_JOBS` (default 150), `LATTICE_TREES` (default 10000),
+//! `LATTICE_SEED`.
+
+use bench::{env_usize, header, load_or_generate_corpus, write_json};
+use lattice::estimator::RuntimeEstimator;
+use lattice::training::Scale;
+
+fn main() {
+    let n = env_usize("LATTICE_JOBS", 150);
+    let trees = env_usize("LATTICE_TREES", RuntimeEstimator::PAPER_NUM_TREES);
+    let seed = env_usize("LATTICE_SEED", 2011) as u64;
+
+    let corpus = load_or_generate_corpus(n, Scale::Full, seed);
+    header(&format!(
+        "E1 / Fig. 2 — variable importance ({} jobs, {} trees)",
+        corpus.len(),
+        trees
+    ));
+    let runtimes: Vec<f64> = corpus.iter().map(|j| j.runtime_seconds).collect();
+    let min = runtimes.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = runtimes.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "corpus runtimes: min {:.1}s  max {:.1}s  spread {:.0}x",
+        min,
+        max,
+        max / min.max(1e-9)
+    );
+
+    let est = RuntimeEstimator::train(&corpus, trees, seed ^ 77);
+    let report = est.importance();
+    println!("\n{}", report.to_table());
+
+    // Shape checks against the paper (printed, not asserted — the harness
+    // reports; EXPERIMENTS.md records the comparison).
+    let idx = |name: &str| report.names.iter().position(|n| n == name).unwrap();
+    let ratehet = report.scaled_inc_mse[idx("rate heterogeneity model")];
+    let datatype = report.scaled_inc_mse[idx("data type")];
+    let ncats = report.scaled_inc_mse[idx("number of rate categories")];
+    println!("paper Fig.2 anchors:  rate het 89.7  |  data type 72.4  |  rate cats ~0");
+    println!(
+        "measured:             rate het {ratehet:.1}  |  data type {datatype:.1}  |  rate cats {ncats:.1}"
+    );
+    let top = &report.names[report.ranking()[0]];
+    println!("top predictor: {top}");
+
+    #[derive(serde::Serialize)]
+    struct Out {
+        jobs: usize,
+        trees: usize,
+        names: Vec<String>,
+        scaled_inc_mse: Vec<f64>,
+        percent_inc_mse: Vec<f64>,
+        node_purity: Vec<f64>,
+        oob_r2: f64,
+    }
+    write_json(
+        "e1_fig2_importance",
+        &Out {
+            jobs: corpus.len(),
+            trees,
+            names: report.names.clone(),
+            scaled_inc_mse: report.scaled_inc_mse.clone(),
+            percent_inc_mse: report.percent_inc_mse.clone(),
+            node_purity: report.node_purity.clone(),
+            oob_r2: est.variance_explained(),
+        },
+    );
+}

@@ -1,0 +1,76 @@
+//! E2 — §VI.D: "The percentage of variance explained by these nine
+//! variables is approximately 93%, an excellent result", and the
+//! cross-validation claim that "predicted runtimes matched the actual
+//! runtimes closely enough to greatly improve scheduling effectiveness".
+//!
+//! Reports OOB variance explained (the randomForest statistic the paper
+//! quotes) plus k-fold cross-validated R², MSE, and median absolute
+//! percentage error with predicted-vs-actual extremes.
+
+use bench::{env_usize, fmt_secs, header, load_or_generate_corpus, write_json};
+use forest::metrics::cross_validate;
+use forest::rf::{ForestConfig, RandomForest};
+use lattice::estimator::RuntimeEstimator;
+use lattice::training::{to_dataset, Scale};
+
+fn main() {
+    let n = env_usize("LATTICE_JOBS", 150);
+    let trees = env_usize("LATTICE_TREES", RuntimeEstimator::PAPER_NUM_TREES);
+    let cv_trees = env_usize("LATTICE_CV_TREES", 1000);
+    let folds = env_usize("LATTICE_FOLDS", 5);
+    let seed = env_usize("LATTICE_SEED", 2011) as u64;
+
+    let corpus = load_or_generate_corpus(n, Scale::Full, seed);
+    let dataset = to_dataset(&corpus);
+
+    header("E2 — variance explained by the nine predictors");
+    let est = RuntimeEstimator::train(&corpus, trees, seed ^ 99);
+    let oob_r2 = est.variance_explained();
+    println!("paper:    ~93% (OOB, 1e4 trees, ~150 jobs)");
+    println!("measured: {:.1}% (OOB, {} trees, {} jobs)", oob_r2 * 100.0, trees, corpus.len());
+
+    header(&format!("{folds}-fold cross-validation ({cv_trees} trees per fold)"));
+    let cv = cross_validate(&dataset, folds, |train| {
+        RandomForest::fit(train, &ForestConfig { num_trees: cv_trees, ..Default::default() }, seed)
+    });
+    println!("CV R²          : {:.3}", cv.r2);
+    println!("CV MSE         : {:.1} s²", cv.mse);
+    println!("CV median |err|: {:.1}%", cv.median_ape * 100.0);
+
+    // Predicted vs actual for a sample of held-out rows.
+    header("predicted vs actual (cross-validated, 10 sample jobs)");
+    println!("{:<8} {:>12} {:>12} {:>9}", "job", "actual", "predicted", "ratio");
+    let step = (dataset.len() / 10).max(1);
+    for i in (0..dataset.len()).step_by(step) {
+        let actual = dataset.target(i);
+        let pred = cv.predictions[i];
+        println!(
+            "{:<8} {:>12} {:>12} {:>8.2}x",
+            i,
+            fmt_secs(actual),
+            fmt_secs(pred),
+            pred / actual
+        );
+    }
+
+    #[derive(serde::Serialize)]
+    struct Out {
+        jobs: usize,
+        trees: usize,
+        oob_r2: f64,
+        cv_r2: f64,
+        cv_mse: f64,
+        cv_median_ape: f64,
+    }
+    write_json(
+        "e2_variance_explained",
+        &Out {
+            jobs: corpus.len(),
+            trees,
+            oob_r2,
+            cv_r2: cv.r2,
+            cv_mse: cv.mse,
+            cv_median_ape: cv.median_ape,
+        },
+    );
+}

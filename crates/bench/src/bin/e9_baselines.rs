@@ -1,0 +1,128 @@
+//! E9 — §VI.B: the random forest against the alternatives.
+//!
+//! The paper contrasts its parameter-driven random forest with "machine
+//! learning techniques for runtime prediction that are based solely on
+//! historical workload traces" (Li et al. 2005; Glasner & Volkert 2008) and
+//! motivates the ensemble over single trees. We run every baseline through
+//! the same cross-validation protocol on the same corpus:
+//!
+//!   mean · OLS linear (one-hot) · k-NN traces (k = 1, 5) · single CART ·
+//!   bagging (no feature subsampling) · random forest
+//!
+//! Expected shape: forest ≥ bagging > single tree > k-NN > linear > mean.
+
+use bench::{env_usize, header, load_or_generate_corpus, write_json};
+use forest::baselines::{bagging, single_tree, KnnPredictor, LinearPredictor, MeanPredictor};
+use forest::metrics::{cross_validate, CvResult};
+use forest::rf::{ForestConfig, RandomForest};
+use forest::Predictor;
+use lattice::training::{to_dataset, Scale};
+
+struct Entry {
+    name: &'static str,
+    cv: CvResult,
+}
+
+fn main() {
+    let n = env_usize("LATTICE_JOBS", 150);
+    let folds = env_usize("LATTICE_FOLDS", 5);
+    let trees = env_usize("LATTICE_CV_TREES", 500);
+    let seed = env_usize("LATTICE_SEED", 2011) as u64;
+
+    let corpus = load_or_generate_corpus(n, Scale::Full, seed);
+    let dataset = to_dataset(&corpus);
+
+    header(&format!(
+        "E9 — predictor comparison ({}-fold CV on {} executed jobs)",
+        folds,
+        dataset.len()
+    ));
+
+    // Each baseline wrapped as a boxed predictor for the shared CV driver.
+    enum Model {
+        Mean(MeanPredictor),
+        Linear(LinearPredictor),
+        Knn(KnnPredictor),
+        Tree(forest::cart::RegressionTree),
+        Forest(RandomForest),
+    }
+    impl Predictor for Model {
+        fn predict(&self, row: &[f64]) -> f64 {
+            match self {
+                Model::Mean(m) => m.predict(row),
+                Model::Linear(m) => m.predict(row),
+                Model::Knn(m) => m.predict(row),
+                Model::Tree(m) => m.predict(row),
+                Model::Forest(m) => m.predict(row),
+            }
+        }
+    }
+
+    let mut entries: Vec<Entry> = Vec::new();
+    entries.push(Entry {
+        name: "mean",
+        cv: cross_validate(&dataset, folds, |d| Model::Mean(MeanPredictor::fit(d))),
+    });
+    entries.push(Entry {
+        name: "linear (OLS, one-hot)",
+        cv: cross_validate(&dataset, folds, |d| Model::Linear(LinearPredictor::fit(d))),
+    });
+    entries.push(Entry {
+        name: "k-NN traces (k=1)",
+        cv: cross_validate(&dataset, folds, |d| Model::Knn(KnnPredictor::fit(d, 1))),
+    });
+    entries.push(Entry {
+        name: "k-NN traces (k=5)",
+        cv: cross_validate(&dataset, folds, |d| Model::Knn(KnnPredictor::fit(d, 5))),
+    });
+    entries.push(Entry {
+        name: "single CART tree",
+        cv: cross_validate(&dataset, folds, |d| Model::Tree(single_tree(d, seed))),
+    });
+    entries.push(Entry {
+        name: "bagging (mtry = p)",
+        cv: cross_validate(&dataset, folds, |d| Model::Forest(bagging(d, trees, seed))),
+    });
+    entries.push(Entry {
+        name: "random forest (mtry = p/3)",
+        cv: cross_validate(&dataset, folds, |d| {
+            Model::Forest(RandomForest::fit(
+                d,
+                &ForestConfig { num_trees: trees, ..Default::default() },
+                seed,
+            ))
+        }),
+    });
+
+    println!(
+        "{:<28} {:>8} {:>14} {:>14}",
+        "predictor", "CV R²", "CV RMSE (s)", "median |err|"
+    );
+    for e in &entries {
+        println!(
+            "{:<28} {:>8.3} {:>14.1} {:>13.1}%",
+            e.name,
+            e.cv.r2,
+            e.cv.mse.sqrt(),
+            e.cv.median_ape * 100.0
+        );
+    }
+
+    #[derive(serde::Serialize)]
+    struct Row {
+        name: String,
+        r2: f64,
+        rmse: f64,
+        median_ape: f64,
+    }
+    let rows: Vec<Row> = entries
+        .iter()
+        .map(|e| Row {
+            name: e.name.to_string(),
+            r2: e.cv.r2,
+            rmse: e.cv.mse.sqrt(),
+            median_ape: e.cv.median_ape,
+        })
+        .collect();
+    write_json("e9_baselines", &rows);
+}

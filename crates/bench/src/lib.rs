@@ -1,0 +1,107 @@
+//! Shared infrastructure for the experiment harness.
+//!
+//! Every table and figure of the paper has a binary in `src/bin` (see
+//! DESIGN.md's per-experiment index); this library provides what they
+//! share: a cached training corpus (executing 150 GARLI jobs once instead
+//! of per-experiment), environment-variable knobs, and table/JSON output
+//! helpers. Results land in `bench_results/` at the workspace root.
+
+use lattice::training::{generate_training_jobs, Scale, TrainingJob};
+use std::path::PathBuf;
+
+/// Read a numeric knob from the environment.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Read a float knob from the environment.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The directory experiment outputs are written to.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    std::fs::create_dir_all(&dir).expect("create bench_results");
+    dir.canonicalize().expect("canonicalize bench_results")
+}
+
+/// Load the shared training corpus from cache, or execute it and cache.
+///
+/// The corpus is the stand-in for the paper's ~150 historical jobs; E1, E2,
+/// E9 and E11 all analyze the same corpus, exactly as the paper analyzes
+/// one training matrix.
+pub fn load_or_generate_corpus(n: usize, scale: Scale, seed: u64) -> Vec<TrainingJob> {
+    let tag = match scale {
+        Scale::Full => "full",
+        Scale::Compact => "compact",
+    };
+    let path = results_dir().join(format!("corpus_{tag}_{n}_{seed}.json"));
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Ok(jobs) = serde_json::from_str::<Vec<TrainingJob>>(&text) {
+            if jobs.len() == n {
+                eprintln!("[corpus] loaded {} cached jobs from {}", jobs.len(), path.display());
+                return jobs;
+            }
+        }
+    }
+    eprintln!("[corpus] executing {n} GARLI training jobs (scale: {tag}) …");
+    let start = std::time::Instant::now();
+    let jobs = generate_training_jobs(n, scale, seed);
+    eprintln!("[corpus] done in {:.1}s", start.elapsed().as_secs_f64());
+    if let Ok(text) = serde_json::to_string(&jobs) {
+        let _ = std::fs::write(&path, text);
+    }
+    jobs
+}
+
+/// Write a named experiment result as JSON into `bench_results/`.
+pub fn write_json(name: &str, value: &impl serde::Serialize) {
+    let path = results_dir().join(format!("{name}.json"));
+    let text = serde_json::to_string_pretty(value).expect("serialize result");
+    std::fs::write(&path, text).expect("write result");
+    eprintln!("[out] {}", path.display());
+}
+
+/// Print a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Format seconds as a compact human duration.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 120.0 {
+        format!("{s:.1}s")
+    } else if s < 7200.0 {
+        format!("{:.1}m", s / 60.0)
+    } else if s < 172_800.0 {
+        format!("{:.1}h", s / 3600.0)
+    } else {
+        format!("{:.1}d", s / 86_400.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_knobs_default() {
+        assert_eq!(env_usize("LATTICE_NO_SUCH_VAR", 7), 7);
+        assert_eq!(env_f64("LATTICE_NO_SUCH_VAR", 2.5), 2.5);
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert_eq!(fmt_secs(30.0), "30.0s");
+        assert_eq!(fmt_secs(600.0), "10.0m");
+        assert_eq!(fmt_secs(7200.0), "2.0h");
+        assert_eq!(fmt_secs(259_200.0), "3.0d");
+    }
+}

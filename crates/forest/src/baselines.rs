@@ -1,0 +1,316 @@
+//! Baseline predictors the paper's approach is measured against.
+//!
+//! §VI.B contrasts the parameter-driven random forest with "machine learning
+//! techniques for runtime prediction that are based solely on historical
+//! workload traces" (Li et al.; Glasner & Volkert). The k-NN predictor here
+//! is that family's representative: it matches a new job to similar past
+//! jobs in normalized feature space. The mean and linear predictors bound
+//! the problem from below, the single tree and bagging ensembles isolate
+//! the contribution of each random-forest ingredient.
+
+use crate::cart::{CartConfig, RegressionTree};
+use crate::dataset::{Dataset, FeatureKind};
+use crate::rf::{ForestConfig, RandomForest};
+use crate::Predictor;
+use simkit::SimRng;
+
+// ---------------------------------------------------------------------------
+// Mean
+// ---------------------------------------------------------------------------
+
+/// Predicts the training mean regardless of features.
+#[derive(Debug, Clone, Copy)]
+pub struct MeanPredictor {
+    mean: f64,
+}
+
+impl MeanPredictor {
+    /// Fit = remember the mean.
+    pub fn fit(data: &Dataset) -> MeanPredictor {
+        MeanPredictor { mean: data.target_mean() }
+    }
+}
+
+impl Predictor for MeanPredictor {
+    fn predict(&self, _row: &[f64]) -> f64 {
+        self.mean
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ordinary least squares (with one-hot categorical expansion)
+// ---------------------------------------------------------------------------
+
+/// Linear regression via the normal equations with a small ridge term for
+/// numerical safety. Categorical features are one-hot expanded.
+#[derive(Debug, Clone)]
+pub struct LinearPredictor {
+    kinds: Vec<FeatureKind>,
+    coef: Vec<f64>, // includes intercept at position 0
+}
+
+fn expand(kinds: &[FeatureKind], row: &[f64]) -> Vec<f64> {
+    let mut out = vec![1.0]; // intercept
+    for (v, kind) in row.iter().zip(kinds) {
+        match kind {
+            FeatureKind::Continuous => out.push(*v),
+            FeatureKind::Categorical { levels } => {
+                // Drop the last level (reference category).
+                for l in 0..levels.saturating_sub(1) {
+                    out.push(if *v as usize == l { 1.0 } else { 0.0 });
+                }
+            }
+        }
+    }
+    out
+}
+
+impl LinearPredictor {
+    /// Fit by solving `(XᵀX + λI) β = Xᵀy` with Gaussian elimination.
+    pub fn fit(data: &Dataset) -> LinearPredictor {
+        let kinds = data.kinds().to_vec();
+        let rows: Vec<Vec<f64>> = data.rows().iter().map(|r| expand(&kinds, r)).collect();
+        let d = rows[0].len();
+        let lambda = 1e-8;
+        // Normal equations.
+        let mut xtx = vec![vec![0.0f64; d]; d];
+        let mut xty = vec![0.0f64; d];
+        for (row, &y) in rows.iter().zip(data.targets()) {
+            for i in 0..d {
+                xty[i] += row[i] * y;
+                for j in 0..d {
+                    xtx[i][j] += row[i] * row[j];
+                }
+            }
+        }
+        for (i, r) in xtx.iter_mut().enumerate() {
+            r[i] += lambda;
+        }
+        let coef = solve(xtx, xty);
+        LinearPredictor { kinds, coef }
+    }
+}
+
+/// Gaussian elimination with partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        if diag.abs() < 1e-300 {
+            continue; // degenerate column; ridge term normally prevents this
+        }
+        for row in (col + 1)..n {
+            let factor = a[row][col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f64; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..n {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = if a[col][col].abs() < 1e-300 { 0.0 } else { acc / a[col][col] };
+    }
+    x
+}
+
+impl Predictor for LinearPredictor {
+    fn predict(&self, row: &[f64]) -> f64 {
+        expand(&self.kinds, row)
+            .iter()
+            .zip(&self.coef)
+            .map(|(x, c)| x * c)
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// k-nearest neighbours over historical traces
+// ---------------------------------------------------------------------------
+
+/// k-NN regression: the "historical workload trace" predictor. Features are
+/// min-max normalized; categorical mismatch contributes a unit distance.
+#[derive(Debug, Clone)]
+pub struct KnnPredictor {
+    k: usize,
+    kinds: Vec<FeatureKind>,
+    mins: Vec<f64>,
+    ranges: Vec<f64>,
+    rows: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+}
+
+impl KnnPredictor {
+    /// Fit = remember the (normalized) history.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or the dataset is empty.
+    pub fn fit(data: &Dataset, k: usize) -> KnnPredictor {
+        assert!(k > 0, "k must be positive");
+        assert!(!data.is_empty(), "empty history");
+        let p = data.num_features();
+        let mut mins = vec![f64::INFINITY; p];
+        let mut maxs = vec![f64::NEG_INFINITY; p];
+        for row in data.rows() {
+            for j in 0..p {
+                mins[j] = mins[j].min(row[j]);
+                maxs[j] = maxs[j].max(row[j]);
+            }
+        }
+        let ranges: Vec<f64> =
+            mins.iter().zip(&maxs).map(|(lo, hi)| (hi - lo).max(1e-12)).collect();
+        KnnPredictor {
+            k: k.min(data.len()),
+            kinds: data.kinds().to_vec(),
+            mins,
+            ranges,
+            rows: data.rows().to_vec(),
+            targets: data.targets().to_vec(),
+        }
+    }
+
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        let mut d = 0.0;
+        for j in 0..a.len() {
+            match self.kinds[j] {
+                FeatureKind::Continuous => {
+                    let x = (a[j] - b[j]) / self.ranges[j];
+                    d += x * x;
+                }
+                FeatureKind::Categorical { .. } => {
+                    if a[j] != b[j] {
+                        d += 1.0;
+                    }
+                }
+            }
+        }
+        let _ = &self.mins;
+        d
+    }
+}
+
+impl Predictor for KnnPredictor {
+    fn predict(&self, row: &[f64]) -> f64 {
+        let mut dists: Vec<(f64, f64)> = self
+            .rows
+            .iter()
+            .zip(&self.targets)
+            .map(|(r, &y)| (self.distance(row, r), y))
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        dists.iter().take(self.k).map(|(_, y)| y).sum::<f64>() / self.k as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single tree & bagging — forest ablations
+// ---------------------------------------------------------------------------
+
+/// One CART tree on the full data (no bagging, no feature subsampling).
+pub fn single_tree(data: &Dataset, seed: u64) -> RegressionTree {
+    let idx: Vec<usize> = (0..data.len()).collect();
+    let mut rng = SimRng::new(seed);
+    RegressionTree::fit(data, &idx, CartConfig::default(), &mut rng)
+}
+
+/// Bagged trees *without* per-node feature subsampling (mtry = p): isolates
+/// the variance-reduction half of the random-forest recipe (Breiman 1996).
+pub fn bagging(data: &Dataset, num_trees: usize, seed: u64) -> RandomForest {
+    let config = ForestConfig {
+        num_trees,
+        mtry: Some(data.num_features()),
+        ..Default::default()
+    };
+    RandomForest::fit(data, &config, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = SimRng::new(seed);
+        let mut d = Dataset::new(vec![
+            ("x0".into(), FeatureKind::Continuous),
+            ("x1".into(), FeatureKind::Continuous),
+            ("c".into(), FeatureKind::Categorical { levels: 3 }),
+        ]);
+        for _ in 0..n {
+            let x0 = rng.f64() * 10.0;
+            let x1 = rng.f64() * 10.0;
+            let c = rng.index(3);
+            let y = 2.0 * x0 - 1.0 * x1 + [0.0, 5.0, 9.0][c] + rng.normal(0.0, 0.05);
+            d.push(vec![x0, x1, c as f64], y);
+        }
+        d
+    }
+
+    #[test]
+    fn mean_predictor_is_flat() {
+        let d = linear_data(50, 41);
+        let m = MeanPredictor::fit(&d);
+        assert_eq!(m.predict(&[0.0, 0.0, 0.0]), m.predict(&[9.0, 9.0, 2.0]));
+    }
+
+    #[test]
+    fn linear_recovers_linear_signal() {
+        let d = linear_data(300, 42);
+        let m = LinearPredictor::fit(&d);
+        // Check on fresh points (noise-free formula).
+        let pred = m.predict(&[5.0, 2.0, 1.0]);
+        let truth = 2.0 * 5.0 - 2.0 + 5.0;
+        assert!((pred - truth).abs() < 0.1, "{pred} vs {truth}");
+    }
+
+    #[test]
+    fn knn_interpolates_locally() {
+        let d = linear_data(500, 43);
+        let m = KnnPredictor::fit(&d, 5);
+        let pred = m.predict(&[5.0, 5.0, 2.0]);
+        let truth = 2.0 * 5.0 - 5.0 + 9.0;
+        assert!((pred - truth).abs() < 2.0, "{pred} vs {truth}");
+    }
+
+    #[test]
+    fn knn_k_larger_than_history_is_clamped() {
+        let d = linear_data(10, 44);
+        let m = KnnPredictor::fit(&d, 100);
+        let p = m.predict(&[1.0, 1.0, 0.0]);
+        assert!((p - d.target_mean()).abs() < 1e-9, "k=n reduces to the mean");
+    }
+
+    #[test]
+    fn single_tree_fits_but_is_piecewise() {
+        let d = linear_data(300, 45);
+        let t = single_tree(&d, 46);
+        // Two nearby points can land in the same leaf: predictions equal.
+        let a = t.predict(&[5.0, 5.0, 1.0]);
+        let b = t.predict(&[5.001, 5.0, 1.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bagging_beats_single_tree_on_noise() {
+        let train = linear_data(200, 47);
+        let test = linear_data(100, 48);
+        let tree = single_tree(&train, 49);
+        let bag = bagging(&train, 100, 50);
+        let t_mse = crate::metrics::mse(&tree.predict_all(test.rows()), test.targets());
+        let b_mse = crate::metrics::mse(&bag.predict_all(test.rows()), test.targets());
+        assert!(b_mse < t_mse, "bagging {b_mse} should beat single tree {t_mse}");
+    }
+}

@@ -1,0 +1,467 @@
+//! CART regression trees with exact least-squares splits.
+//!
+//! Numeric features split on thresholds found by a sorted prefix-sum scan;
+//! categorical features order their levels by mean response and scan the
+//! same way — the classic trick that finds the optimal two-way level
+//! partition for L2 loss without enumerating 2^k subsets.
+
+use crate::dataset::{Dataset, FeatureKind};
+use crate::Predictor;
+use serde::{Deserialize, Serialize};
+use simkit::SimRng;
+
+/// Tree-growing hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CartConfig {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum observations a node needs before a split is attempted —
+    /// R `randomForest`'s regression `nodesize` (default 5). Children may
+    /// be smaller (down to `min_samples_leaf`).
+    pub min_samples_split: usize,
+    /// Minimum observations in any leaf (R allows 1).
+    pub min_samples_leaf: usize,
+    /// Features examined per node: `None` = all (plain CART / bagging),
+    /// `Some(m)` = a fresh random subset of `m` per node (random forest).
+    pub mtry: Option<usize>,
+}
+
+impl Default for CartConfig {
+    fn default() -> Self {
+        CartConfig { max_depth: 64, min_samples_split: 5, min_samples_leaf: 1, mtry: None }
+    }
+}
+
+/// How an internal node routes a row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SplitRule {
+    /// Left iff `row[feature] <= threshold`.
+    Numeric {
+        /// Column index.
+        feature: usize,
+        /// Split threshold (midpoint between adjacent observed values).
+        threshold: f64,
+    },
+    /// Left iff the level bit of `row[feature]` is set in `left_levels`.
+    Categorical {
+        /// Column index.
+        feature: usize,
+        /// Bitmask of level codes routed left.
+        left_levels: u64,
+    },
+}
+
+impl SplitRule {
+    /// Which feature the rule reads.
+    pub fn feature(&self) -> usize {
+        match self {
+            SplitRule::Numeric { feature, .. } | SplitRule::Categorical { feature, .. } => {
+                *feature
+            }
+        }
+    }
+
+    /// Route a row: true = left.
+    pub fn goes_left(&self, row: &[f64]) -> bool {
+        match self {
+            SplitRule::Numeric { feature, threshold } => row[*feature] <= *threshold,
+            SplitRule::Categorical { feature, left_levels } => {
+                let code = row[*feature] as u64;
+                code < 64 && (left_levels >> code) & 1 == 1
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf { value: f64 },
+    Internal { rule: SplitRule, left: usize, right: usize },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    /// Total SSE decrease attributed to each feature (node-purity
+    /// importance; summed over the forest by [`crate::importance`]).
+    purity_decrease: Vec<f64>,
+}
+
+struct Builder<'a> {
+    data: &'a Dataset,
+    config: CartConfig,
+    nodes: Vec<Node>,
+    purity: Vec<f64>,
+}
+
+/// Candidate split outcome.
+struct BestSplit {
+    rule: SplitRule,
+    gain: f64,
+    left: Vec<usize>,
+    right: Vec<usize>,
+}
+
+impl RegressionTree {
+    /// Fit a tree on the rows of `data` indexed by `indices` (with
+    /// repetitions allowed, as produced by bootstrap sampling).
+    ///
+    /// # Panics
+    /// Panics if `indices` is empty.
+    pub fn fit(data: &Dataset, indices: &[usize], config: CartConfig, rng: &mut SimRng) -> Self {
+        assert!(!indices.is_empty(), "cannot fit on zero rows");
+        let mut b = Builder {
+            data,
+            config,
+            nodes: Vec::new(),
+            purity: vec![0.0; data.num_features()],
+        };
+        b.grow(indices.to_vec(), 0, rng);
+        RegressionTree { nodes: b.nodes, purity_decrease: b.purity }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
+    }
+
+    /// Per-feature SSE decrease accumulated during growing.
+    pub fn purity_decrease(&self) -> &[f64] {
+        &self.purity_decrease
+    }
+}
+
+impl Predictor for RegressionTree {
+    fn predict(&self, row: &[f64]) -> f64 {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return *value,
+                Node::Internal { rule, left, right } => {
+                    i = if rule.goes_left(row) { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+fn mean_of(data: &Dataset, idx: &[usize]) -> f64 {
+    idx.iter().map(|&i| data.target(i)).sum::<f64>() / idx.len() as f64
+}
+
+fn sse_of(data: &Dataset, idx: &[usize]) -> f64 {
+    let (mut s, mut s2) = (0.0, 0.0);
+    for &i in idx {
+        let y = data.target(i);
+        s += y;
+        s2 += y * y;
+    }
+    s2 - s * s / idx.len() as f64
+}
+
+impl Builder<'_> {
+    /// Grow the subtree for `idx`, returning its node index.
+    fn grow(&mut self, idx: Vec<usize>, depth: usize, rng: &mut SimRng) -> usize {
+        let make_leaf = |b: &mut Builder, idx: &[usize]| {
+            let value = mean_of(b.data, idx);
+            b.nodes.push(Node::Leaf { value });
+            b.nodes.len() - 1
+        };
+        if depth >= self.config.max_depth
+            || idx.len() < self.config.min_samples_split
+            || idx.len() < 2 * self.config.min_samples_leaf
+        {
+            return make_leaf(self, &idx);
+        }
+        match self.best_split(&idx, rng) {
+            Some(best) if best.gain > 1e-12 => {
+                self.purity[best.rule.feature()] += best.gain;
+                // Reserve the slot, then grow children.
+                let slot = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
+                let left = self.grow(best.left, depth + 1, rng);
+                let right = self.grow(best.right, depth + 1, rng);
+                self.nodes[slot] = Node::Internal { rule: best.rule, left, right };
+                slot
+            }
+            _ => make_leaf(self, &idx),
+        }
+    }
+
+    /// Best split over the (possibly subsampled) feature set.
+    fn best_split(&self, idx: &[usize], rng: &mut SimRng) -> Option<BestSplit> {
+        let p = self.data.num_features();
+        let features: Vec<usize> = match self.config.mtry {
+            Some(m) if m < p => {
+                let mut all: Vec<usize> = (0..p).collect();
+                rng.shuffle(&mut all);
+                all.truncate(m.max(1));
+                all
+            }
+            _ => (0..p).collect(),
+        };
+        let parent_sse = sse_of(self.data, idx);
+        let mut best: Option<BestSplit> = None;
+        for &f in &features {
+            let candidate = match self.data.kinds()[f] {
+                FeatureKind::Continuous => self.best_numeric_split(idx, f, parent_sse),
+                FeatureKind::Categorical { .. } => {
+                    self.best_categorical_split(idx, f, parent_sse)
+                }
+            };
+            if let Some(c) = candidate {
+                if best.as_ref().is_none_or(|b| c.gain > b.gain) {
+                    best = Some(c);
+                }
+            }
+        }
+        best
+    }
+
+    fn best_numeric_split(&self, idx: &[usize], f: usize, parent_sse: f64) -> Option<BestSplit> {
+        let mut pairs: Vec<(f64, f64)> =
+            idx.iter().map(|&i| (self.data.row(i)[f], self.data.target(i))).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+        let n = pairs.len();
+        let total_s: f64 = pairs.iter().map(|p| p.1).sum();
+        let total_s2: f64 = pairs.iter().map(|p| p.1 * p.1).sum();
+        let (mut ls, mut ls2) = (0.0, 0.0);
+        let mut best_gain = 0.0;
+        let mut best_thresh = None;
+        for k in 0..n - 1 {
+            ls += pairs[k].1;
+            ls2 += pairs[k].1 * pairs[k].1;
+            if pairs[k].0 == pairs[k + 1].0 {
+                continue; // can't split between equal values
+            }
+            let nl = (k + 1) as f64;
+            let nr = (n - k - 1) as f64;
+            if (k + 1) < self.config.min_samples_leaf
+                || (n - k - 1) < self.config.min_samples_leaf
+            {
+                continue;
+            }
+            let sse = (ls2 - ls * ls / nl) + ((total_s2 - ls2) - (total_s - ls).powi(2) / nr);
+            let gain = parent_sse - sse;
+            if gain > best_gain {
+                best_gain = gain;
+                best_thresh = Some(0.5 * (pairs[k].0 + pairs[k + 1].0));
+            }
+        }
+        let threshold = best_thresh?;
+        let rule = SplitRule::Numeric { feature: f, threshold };
+        let (left, right) = partition(self.data, idx, &rule);
+        Some(BestSplit { rule, gain: best_gain, left, right })
+    }
+
+    fn best_categorical_split(
+        &self,
+        idx: &[usize],
+        f: usize,
+        parent_sse: f64,
+    ) -> Option<BestSplit> {
+        // Per-level aggregates.
+        let levels = match self.data.kinds()[f] {
+            FeatureKind::Categorical { levels } => levels,
+            FeatureKind::Continuous => unreachable!(),
+        };
+        let mut count = vec![0usize; levels];
+        let mut sum = vec![0.0f64; levels];
+        let mut sum2 = vec![0.0f64; levels];
+        for &i in idx {
+            let c = self.data.row(i)[f] as usize;
+            count[c] += 1;
+            sum[c] += self.data.target(i);
+            sum2[c] += self.data.target(i) * self.data.target(i);
+        }
+        // Order present levels by mean response; scan prefixes.
+        let mut present: Vec<usize> = (0..levels).filter(|&c| count[c] > 0).collect();
+        if present.len() < 2 {
+            return None;
+        }
+        present.sort_by(|&a, &b| {
+            (sum[a] / count[a] as f64)
+                .partial_cmp(&(sum[b] / count[b] as f64))
+                .expect("finite targets")
+        });
+        let total_n: usize = idx.len();
+        let total_s: f64 = sum.iter().sum();
+        let total_s2: f64 = sum2.iter().sum();
+        let (mut ln, mut ls, mut ls2) = (0usize, 0.0, 0.0);
+        let mut best_gain = 0.0;
+        let mut best_mask = None;
+        let mut mask: u64 = 0;
+        for (pos, &c) in present.iter().enumerate().take(present.len() - 1) {
+            ln += count[c];
+            ls += sum[c];
+            ls2 += sum2[c];
+            mask |= 1u64 << c;
+            let rn = total_n - ln;
+            if ln < self.config.min_samples_leaf || rn < self.config.min_samples_leaf {
+                continue;
+            }
+            let sse = (ls2 - ls * ls / ln as f64)
+                + ((total_s2 - ls2) - (total_s - ls).powi(2) / rn as f64);
+            let gain = parent_sse - sse;
+            if gain > best_gain {
+                best_gain = gain;
+                best_mask = Some(mask);
+            }
+            let _ = pos;
+        }
+        let left_levels = best_mask?;
+        let rule = SplitRule::Categorical { feature: f, left_levels };
+        let (left, right) = partition(self.data, idx, &rule);
+        Some(BestSplit { rule, gain: best_gain, left, right })
+    }
+}
+
+fn partition(data: &Dataset, idx: &[usize], rule: &SplitRule) -> (Vec<usize>, Vec<usize>) {
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for &i in idx {
+        if rule.goes_left(data.row(i)) {
+            left.push(i);
+        } else {
+            right.push(i);
+        }
+    }
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> Dataset {
+        // y = 0 for x < 5, y = 10 for x >= 5: one perfect numeric split.
+        let mut d = Dataset::new(vec![("x".into(), FeatureKind::Continuous)]);
+        for i in 0..100 {
+            let x = i as f64 / 10.0;
+            d.push(vec![x], if x < 5.0 { 0.0 } else { 10.0 });
+        }
+        d
+    }
+
+    #[test]
+    fn finds_step_function() {
+        let d = step_data();
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let mut rng = SimRng::new(1);
+        let t = RegressionTree::fit(&d, &idx, CartConfig::default(), &mut rng);
+        assert!((t.predict(&[2.0]) - 0.0).abs() < 1e-9);
+        assert!((t.predict(&[8.0]) - 10.0).abs() < 1e-9);
+        // Perfect split: the x feature owns all the purity gain.
+        assert!(t.purity_decrease()[0] > 0.0);
+    }
+
+    #[test]
+    fn respects_min_leaf() {
+        let d = step_data();
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let mut rng = SimRng::new(2);
+        let config = CartConfig { min_samples_leaf: 60, ..Default::default() };
+        let t = RegressionTree::fit(&d, &idx, config, &mut rng);
+        // Can't make any split with both sides >= 60 of 100.
+        assert_eq!(t.num_leaves(), 1);
+        assert!((t.predict(&[2.0]) - 5.0).abs() < 1e-9); // grand mean
+    }
+
+    #[test]
+    fn respects_min_split() {
+        let d = step_data();
+        let idx: Vec<usize> = (0..30).collect();
+        let mut rng = SimRng::new(9);
+        let config = CartConfig { min_samples_split: 31, ..Default::default() };
+        let t = RegressionTree::fit(&d, &idx, config, &mut rng);
+        assert_eq!(t.num_leaves(), 1, "node below nodesize must not split");
+    }
+
+    #[test]
+    fn max_depth_zero_is_stump() {
+        let d = step_data();
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let mut rng = SimRng::new(3);
+        let config = CartConfig { max_depth: 0, ..Default::default() };
+        let t = RegressionTree::fit(&d, &idx, config, &mut rng);
+        assert_eq!(t.num_nodes(), 1);
+    }
+
+    #[test]
+    fn categorical_split_groups_levels() {
+        // Levels {0, 2} -> y = 1; levels {1, 3} -> y = 9.
+        let mut d = Dataset::new(vec![(
+            "c".into(),
+            FeatureKind::Categorical { levels: 4 },
+        )]);
+        for i in 0..200 {
+            let c = (i % 4) as f64;
+            let y = if i % 4 == 0 || i % 4 == 2 { 1.0 } else { 9.0 };
+            d.push(vec![c], y);
+        }
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let mut rng = SimRng::new(4);
+        let t = RegressionTree::fit(&d, &idx, CartConfig::default(), &mut rng);
+        assert!((t.predict(&[0.0]) - 1.0).abs() < 1e-9);
+        assert!((t.predict(&[2.0]) - 1.0).abs() < 1e-9);
+        assert!((t.predict(&[1.0]) - 9.0).abs() < 1e-9);
+        assert!((t.predict(&[3.0]) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unseen_category_goes_right() {
+        let rule = SplitRule::Categorical { feature: 0, left_levels: 0b011 };
+        assert!(rule.goes_left(&[0.0]));
+        assert!(rule.goes_left(&[1.0]));
+        assert!(!rule.goes_left(&[5.0]));
+    }
+
+    #[test]
+    fn interaction_of_two_features() {
+        // y = 10·(x > 0.5) + 5·(c == 1): tree should get close.
+        let mut d = Dataset::new(vec![
+            ("x".into(), FeatureKind::Continuous),
+            ("c".into(), FeatureKind::Categorical { levels: 2 }),
+        ]);
+        let mut rng = SimRng::new(5);
+        for _ in 0..400 {
+            let x = rng.f64();
+            let c = rng.index(2) as f64;
+            let y = 10.0 * (x > 0.5) as u8 as f64 + 5.0 * c;
+            d.push(vec![x, c], y);
+        }
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let t = RegressionTree::fit(&d, &idx, CartConfig::default(), &mut rng);
+        assert!((t.predict(&[0.9, 1.0]) - 15.0).abs() < 1.0);
+        assert!((t.predict(&[0.1, 0.0]) - 0.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn mtry_one_still_learns() {
+        let d = step_data();
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let mut rng = SimRng::new(6);
+        let config = CartConfig { mtry: Some(1), ..Default::default() };
+        let t = RegressionTree::fit(&d, &idx, config, &mut rng);
+        assert!((t.predict(&[8.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_target_is_single_leaf() {
+        let mut d = Dataset::new(vec![("x".into(), FeatureKind::Continuous)]);
+        for i in 0..50 {
+            d.push(vec![i as f64], 7.0);
+        }
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let mut rng = SimRng::new(7);
+        let t = RegressionTree::fit(&d, &idx, CartConfig::default(), &mut rng);
+        assert_eq!(t.num_leaves(), 1);
+        assert_eq!(t.predict(&[999.0]), 7.0);
+    }
+}

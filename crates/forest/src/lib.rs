@@ -1,0 +1,68 @@
+//! `forest` — random-forest regression from scratch, plus the baselines the
+//! paper contrasts against.
+//!
+//! The Lattice Project predicts GARLI runtimes with an ensemble of CART
+//! regression trees (Breiman & Cutler's random forests): bootstrap-sampled
+//! training sets, random feature subsets at every split, prediction by
+//! ensemble averaging, out-of-bag (OOB) error estimation, and permutation
+//! variable importance measured as percent increase in mean squared error —
+//! the statistic plotted in the paper's Fig. 2.
+//!
+//! Everything is implemented here directly (the paper used R's
+//! `randomForest` package, which we substitute as documented in DESIGN.md):
+//!
+//! * [`dataset`] — mixed continuous/categorical feature tables.
+//! * [`cart`] — regression trees with exact L2 splits (categorical features
+//!   use the mean-response ordering trick, optimal for L2).
+//! * [`rf`] — the forest: bagging + feature subsampling + OOB machinery.
+//! * [`importance`] — permutation (%IncMSE) and node-purity importance.
+//! * [`metrics`] — MSE/MAE/R² and k-fold cross-validation.
+//! * [`baselines`] — mean, OLS linear regression, k-NN over historical
+//!   traces (the Li et al. style predictor the paper cites as prior art),
+//!   single tree, and bagging-without-subsampling.
+//!
+//! # Example
+//!
+//! ```
+//! use forest::dataset::{Dataset, FeatureKind};
+//! use forest::rf::{ForestConfig, RandomForest};
+//! use forest::Predictor;
+//!
+//! // y = 3·x0 + categorical offset
+//! let mut ds = Dataset::new(vec![
+//!     ("x".into(), FeatureKind::Continuous),
+//!     ("group".into(), FeatureKind::Categorical { levels: 2 }),
+//! ]);
+//! for i in 0..200 {
+//!     let x = i as f64 / 10.0;
+//!     let g = (i % 2) as f64;
+//!     ds.push(vec![x, g], 3.0 * x + 10.0 * g);
+//! }
+//! let config = ForestConfig { num_trees: 50, ..Default::default() };
+//! let forest = RandomForest::fit(&ds, &config, 42);
+//! let pred = forest.predict(&[5.0, 1.0]);
+//! assert!((pred - 25.0).abs() < 3.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod cart;
+pub mod dataset;
+pub mod importance;
+pub mod metrics;
+pub mod rf;
+
+pub use dataset::{Dataset, FeatureKind};
+pub use rf::{ForestConfig, RandomForest};
+
+/// Anything that maps a feature row to a predicted target.
+pub trait Predictor {
+    /// Predict the target for one feature row.
+    fn predict(&self, row: &[f64]) -> f64;
+
+    /// Predict a batch.
+    fn predict_all(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+}

@@ -1,0 +1,167 @@
+//! Regression metrics and k-fold cross-validation.
+
+use crate::dataset::Dataset;
+use crate::Predictor;
+
+/// Mean squared error.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn mse(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    assert!(!predictions.is_empty(), "empty input");
+    predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, y)| (p - y) * (p - y))
+        .sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(predictions: &[f64], targets: &[f64]) -> f64 {
+    mse(predictions, targets).sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    assert!(!predictions.is_empty(), "empty input");
+    predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, y)| (p - y).abs())
+        .sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// Coefficient of determination R² against the target mean.
+pub fn r2(predictions: &[f64], targets: &[f64]) -> f64 {
+    let mean = targets.iter().sum::<f64>() / targets.len() as f64;
+    let ss_tot: f64 = targets.iter().map(|y| (y - mean) * (y - mean)).sum();
+    let ss_res: f64 = predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, y)| (p - y) * (p - y))
+        .sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Median absolute percentage error — robust, scale-free; natural for
+/// runtimes that span orders of magnitude.
+pub fn median_ape(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    let mut apes: Vec<f64> = predictions
+        .iter()
+        .zip(targets)
+        .filter(|(_, y)| **y != 0.0)
+        .map(|(p, y)| ((p - y) / y).abs())
+        .collect();
+    assert!(!apes.is_empty(), "no nonzero targets");
+    apes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    apes[apes.len() / 2]
+}
+
+/// Result of a k-fold cross-validation run.
+#[derive(Debug, Clone)]
+pub struct CvResult {
+    /// Per-row held-out predictions, in dataset order.
+    pub predictions: Vec<f64>,
+    /// Cross-validated MSE.
+    pub mse: f64,
+    /// Cross-validated R².
+    pub r2: f64,
+    /// Cross-validated median absolute percentage error.
+    pub median_ape: f64,
+}
+
+/// k-fold cross-validation of any learner: `fit(train) -> predictor`.
+///
+/// # Panics
+/// Panics if `k` is invalid for the dataset size.
+pub fn cross_validate<P: Predictor>(
+    data: &Dataset,
+    k: usize,
+    mut fit: impl FnMut(&Dataset) -> P,
+) -> CvResult {
+    let folds = data.fold_indices(k);
+    let mut predictions = vec![0.0f64; data.len()];
+    for fold in &folds {
+        let train_idx: Vec<usize> =
+            (0..data.len()).filter(|i| !fold.contains(i)).collect();
+        let train = data.subset(&train_idx);
+        let model = fit(&train);
+        for &i in fold {
+            predictions[i] = model.predict(data.row(i));
+        }
+    }
+    CvResult {
+        mse: mse(&predictions, data.targets()),
+        r2: r2(&predictions, data.targets()),
+        median_ape: median_ape(&predictions, data.targets()),
+        predictions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::FeatureKind;
+
+    #[test]
+    fn mse_and_friends() {
+        let p = [1.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 5.0];
+        assert!((mse(&p, &y) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((rmse(&p, &y) - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((mae(&p, &y) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_perfect_and_mean() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(r2(&y, &y), 1.0);
+        let mean_pred = [2.5; 4];
+        assert!(r2(&mean_pred, &y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_ape_scale_free() {
+        let p = [110.0, 90.0, 1100.0];
+        let y = [100.0, 100.0, 1000.0];
+        assert!((median_ape(&p, &y) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_validation_on_linear_data() {
+        let mut d = Dataset::new(vec![("x".into(), FeatureKind::Continuous)]);
+        for i in 0..60 {
+            d.push(vec![i as f64], 2.0 * i as f64 + 1.0);
+        }
+        // A trivial "learner": predict with the training mean.
+        struct Mean(f64);
+        impl Predictor for Mean {
+            fn predict(&self, _row: &[f64]) -> f64 {
+                self.0
+            }
+        }
+        let cv = cross_validate(&d, 5, |train| Mean(train.target_mean()));
+        assert_eq!(cv.predictions.len(), 60);
+        // Mean prediction explains nothing.
+        assert!(cv.r2 < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatch_rejected() {
+        let _ = mse(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Search checkpointing — the feature added to GARLI for its BOINC build
+//! (paper §II.C), where volunteer machines disappear mid-job and work must
+//! resume elsewhere.
+//!
+//! A checkpoint is the full GA state: population (trees, parameters,
+//! scores), generation counters, and accumulated work. It serializes to JSON
+//! via serde; [`Search::resume`](crate::search::Search::resume) continues a
+//! search from one.
+
+use crate::individual::Individual;
+use serde::{Deserialize, Serialize};
+
+/// Serializable GA state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchCheckpoint {
+    /// Generation at which the checkpoint was cut.
+    pub generation: u64,
+    /// The full population, scored.
+    pub population: Vec<Individual>,
+    /// Generations since the last topological improvement.
+    pub stagnant_generations: u64,
+    /// Likelihood cells computed so far.
+    pub work_cells: u64,
+    /// Accepted best-improving mutations so far.
+    pub accepted_improvements: u64,
+    /// Per-operator mutation counts (NNI, SPR, branch, model).
+    pub mutation_counts: [u64; 4],
+}
+
+impl SearchCheckpoint {
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serialization cannot fail")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(json: &str) -> Result<SearchCheckpoint, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GarliConfig;
+    use crate::model::ModelParams;
+    use phylo::tree::Tree;
+
+    #[test]
+    fn json_roundtrip() {
+        let config = GarliConfig::quick_nucleotide();
+        let ind = Individual {
+            tree: Tree::caterpillar(5, 0.1),
+            params: ModelParams::from_config(&config),
+            log_likelihood: -321.5,
+        };
+        let cp = SearchCheckpoint {
+            generation: 120,
+            population: vec![ind.clone(), ind],
+            stagnant_generations: 17,
+            work_cells: 987654,
+            accepted_improvements: 9,
+            mutation_counts: [5, 1, 3, 0],
+        };
+        let back = SearchCheckpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(cp, back);
+    }
+
+    #[test]
+    fn corrupt_json_rejected() {
+        assert!(SearchCheckpoint::from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! One GA individual: a candidate solution in the joint space of tree
+//! topology, branch lengths, and model parameter values.
+
+use crate::model::ModelParams;
+use phylo::tree::Tree;
+use serde::{Deserialize, Serialize};
+
+/// A member of the GA population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Individual {
+    /// Candidate topology with branch lengths.
+    pub tree: Tree,
+    /// Candidate model parameter values.
+    pub params: ModelParams,
+    /// Cached log-likelihood (`-inf` until scored).
+    pub log_likelihood: f64,
+}
+
+impl Individual {
+    /// A yet-unscored individual.
+    pub fn new(tree: Tree, params: ModelParams) -> Individual {
+        Individual { tree, params, log_likelihood: f64::NEG_INFINITY }
+    }
+
+    /// True iff this individual has been scored.
+    pub fn is_scored(&self) -> bool {
+        self.log_likelihood > f64::NEG_INFINITY
+    }
+}
+
+/// Rank a population best-first (descending log-likelihood; NaN-free by
+/// construction since unscored individuals sit at `-inf`).
+pub fn sort_best_first(population: &mut [Individual]) {
+    population.sort_by(|a, b| {
+        b.log_likelihood
+            .partial_cmp(&a.log_likelihood)
+            .expect("log-likelihoods are never NaN")
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GarliConfig;
+    use crate::model::ModelParams;
+
+    fn dummy(lnl: f64) -> Individual {
+        let tree = Tree::caterpillar(4, 0.1);
+        let params = ModelParams::from_config(&GarliConfig::quick_nucleotide());
+        Individual { tree, params, log_likelihood: lnl }
+    }
+
+    #[test]
+    fn unscored_flag() {
+        let tree = Tree::caterpillar(4, 0.1);
+        let params = ModelParams::from_config(&GarliConfig::quick_nucleotide());
+        let ind = Individual::new(tree, params);
+        assert!(!ind.is_scored());
+    }
+
+    #[test]
+    fn sorting_puts_best_first() {
+        let mut pop = vec![dummy(-30.0), dummy(-10.0), dummy(-20.0)];
+        sort_best_first(&mut pop);
+        let lnls: Vec<f64> = pop.iter().map(|i| i.log_likelihood).collect();
+        assert_eq!(lnls, vec![-10.0, -20.0, -30.0]);
+    }
+
+    #[test]
+    fn unscored_sorts_last() {
+        let tree = Tree::caterpillar(4, 0.1);
+        let params = ModelParams::from_config(&GarliConfig::quick_nucleotide());
+        let mut pop = vec![Individual::new(tree, params), dummy(-5.0)];
+        sort_best_first(&mut pop);
+        assert_eq!(pop[0].log_likelihood, -5.0);
+    }
+}

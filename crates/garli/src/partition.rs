@@ -1,0 +1,311 @@
+//! Partitioned models — one of the AToL-driven GARLI extensions the paper
+//! names (§II.C: "The program is being adapted to accommodate novel
+//! analysis features of AToL projects by allowing more data types,
+//! partitioned models, efficient analysis of incomplete data sets…").
+//!
+//! A partitioned analysis scores one shared topology (with shared branch
+//! lengths) under *different* substitution models per data block — e.g. a
+//! mitochondrial nucleotide block under GTR+Γ alongside a nuclear
+//! amino-acid block. The joint log-likelihood is the sum over blocks, and
+//! the search moves the shared topology while each block keeps its own
+//! model.
+
+use crate::config::GarliConfig;
+use crate::individual::{sort_best_first, Individual};
+use crate::model::{build_model, build_rates, AnyModel, ModelParams};
+use crate::mutation::{mutate, MutationWeights};
+use crate::validate::{validate, ValidationError};
+use crate::work::WorkAccount;
+use phylo::alignment::Alignment;
+use phylo::likelihood::evaluate_patterns;
+use phylo::models::SiteRates;
+use phylo::patterns::PatternSet;
+use phylo::tree::Tree;
+use simkit::SimRng;
+
+/// One data block with its own model settings.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// The block's aligned characters.
+    pub alignment: Alignment,
+    /// Its model configuration (search bookkeeping fields are ignored; the
+    /// driving configuration comes from the partitioned search itself).
+    pub config: GarliConfig,
+}
+
+/// Errors specific to assembling a partitioned analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionError {
+    /// Need at least one block.
+    Empty,
+    /// A block failed GARLI validation.
+    InvalidBlock {
+        /// Block index.
+        index: usize,
+        /// The underlying error.
+        error: ValidationError,
+    },
+    /// Blocks disagree on the taxon set (names must match in order).
+    TaxonMismatch {
+        /// First offending block.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::Empty => write!(f, "no partitions"),
+            PartitionError::InvalidBlock { index, error } => {
+                write!(f, "partition {index}: {error}")
+            }
+            PartitionError::TaxonMismatch { index } => {
+                write!(f, "partition {index} has a different taxon set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+#[derive(Debug)]
+struct Block {
+    patterns: PatternSet,
+    model: AnyModel,
+    rates: SiteRates,
+}
+
+/// A ready-to-evaluate partitioned analysis over a shared topology.
+#[derive(Debug)]
+pub struct PartitionedEngine {
+    blocks: Vec<Block>,
+    num_taxa: usize,
+}
+
+impl PartitionedEngine {
+    /// Validate every block and bind the models.
+    pub fn new(partitions: &[Partition]) -> Result<PartitionedEngine, PartitionError> {
+        if partitions.is_empty() {
+            return Err(PartitionError::Empty);
+        }
+        let reference_taxa: Vec<String> = partitions[0]
+            .alignment
+            .taxon_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut blocks = Vec::with_capacity(partitions.len());
+        for (index, p) in partitions.iter().enumerate() {
+            validate(&p.config, &p.alignment)
+                .map_err(|error| PartitionError::InvalidBlock { index, error })?;
+            if p.alignment.taxon_names() != reference_taxa {
+                return Err(PartitionError::TaxonMismatch { index });
+            }
+            let params = ModelParams::from_config(&p.config);
+            blocks.push(Block {
+                patterns: PatternSet::compress(&p.alignment),
+                model: build_model(&p.config, &params, &p.alignment),
+                rates: build_rates(&p.config, &params),
+            });
+        }
+        Ok(PartitionedEngine { blocks, num_taxa: reference_taxa.len() })
+    }
+
+    /// Number of data blocks.
+    pub fn num_partitions(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of shared taxa.
+    pub fn num_taxa(&self) -> usize {
+        self.num_taxa
+    }
+
+    /// Joint log-likelihood of `tree` (sum over blocks) plus total work.
+    pub fn evaluate(&self, tree: &Tree) -> (f64, u64) {
+        let mut lnl = 0.0;
+        let mut work = 0;
+        for b in &self.blocks {
+            let ev = evaluate_patterns(&b.patterns, &b.model, &b.rates, tree);
+            lnl += ev.log_likelihood;
+            work += ev.work;
+        }
+        (lnl, work)
+    }
+
+    /// A compact GA search over the shared topology (branch lengths shared
+    /// across blocks; per-block models fixed at their configured values, as
+    /// in a GARLI partitioned run with linked branch lengths).
+    pub fn search(
+        &self,
+        driver: &GarliConfig,
+        starting_tree: Tree,
+        rng: &mut SimRng,
+    ) -> PartitionedResult {
+        assert_eq!(starting_tree.num_taxa(), self.num_taxa, "taxon mismatch");
+        let weights = MutationWeights { model: 0.0, ..MutationWeights::default() };
+        let params = ModelParams::from_config(driver);
+        let mut work = WorkAccount::new();
+        let mut population: Vec<Individual> = Vec::new();
+        for i in 0..driver.population_size {
+            let mut ind = Individual::new(starting_tree.clone(), params.clone());
+            for _ in 0..i.min(3) {
+                mutate(&mut ind, driver, &weights, rng);
+            }
+            let (lnl, w) = self.evaluate(&ind.tree);
+            ind.log_likelihood = lnl;
+            work.add(w);
+            population.push(ind);
+        }
+        sort_best_first(&mut population);
+
+        let mut stagnant = 0u64;
+        let mut generation = 0u64;
+        while stagnant < driver.genthresh_for_topo_term
+            && generation < driver.max_generations
+        {
+            generation += 1;
+            let prev_best = population[0].log_likelihood;
+            let rank_weights: Vec<f64> =
+                (0..population.len()).map(|r| (driver.population_size - r) as f64).collect();
+            let mut improved_topologically = false;
+            let mut offspring = Vec::with_capacity(driver.population_size - 1);
+            for _ in 0..driver.population_size - 1 {
+                let parent = rng.weighted_index(&rank_weights);
+                let mut child = population[parent].clone();
+                let kind = mutate(&mut child, driver, &weights, rng);
+                let (lnl, w) = self.evaluate(&child.tree);
+                child.log_likelihood = lnl;
+                work.add(w);
+                if kind.is_topological() && lnl > prev_best + 0.01 {
+                    improved_topologically = true;
+                }
+                offspring.push(child);
+            }
+            population.extend(offspring);
+            sort_best_first(&mut population);
+            population.truncate(driver.population_size);
+            if improved_topologically {
+                stagnant = 0;
+            } else {
+                stagnant += 1;
+            }
+        }
+        let best = population.into_iter().next().expect("non-empty population");
+        PartitionedResult {
+            best_tree: best.tree,
+            best_log_likelihood: best.log_likelihood,
+            generations: generation,
+            work,
+        }
+    }
+}
+
+/// Outcome of a partitioned search.
+#[derive(Debug, Clone)]
+pub struct PartitionedResult {
+    /// Best shared topology.
+    pub best_tree: Tree,
+    /// Joint log-likelihood.
+    pub best_log_likelihood: f64,
+    /// Generations executed.
+    pub generations: u64,
+    /// Total likelihood work across blocks.
+    pub work: WorkAccount,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo::alphabet::DataType;
+    use phylo::models::aminoacid::AaModel;
+    use phylo::models::nucleotide::NucModel;
+    use phylo::simulate::Simulator;
+
+    /// Two blocks simulated on the SAME tree: a nucleotide block and an
+    /// amino-acid block.
+    fn two_block_data(seed: u64) -> (Vec<Partition>, Tree) {
+        let mut rng = SimRng::new(seed);
+        let truth = Tree::random_topology(6, &mut rng);
+        let nuc = NucModel::jc69();
+        let aa = AaModel::poisson();
+        let aln_nuc =
+            Simulator::new(&nuc, SiteRates::uniform()).simulate(&truth, 400, &mut rng);
+        let aln_aa =
+            Simulator::new(&aa, SiteRates::uniform()).simulate(&truth, 150, &mut rng);
+        let mut c_nuc = GarliConfig::quick_nucleotide();
+        c_nuc.genthresh_for_topo_term = 6;
+        c_nuc.max_generations = 40;
+        let mut c_aa = c_nuc.clone();
+        c_aa.data_type = DataType::AminoAcid;
+        let partitions = vec![
+            Partition { alignment: aln_nuc, config: c_nuc },
+            Partition { alignment: aln_aa, config: c_aa },
+        ];
+        (partitions, truth)
+    }
+
+    #[test]
+    fn joint_likelihood_is_sum_of_blocks() {
+        let (parts, truth) = two_block_data(501);
+        let engine = PartitionedEngine::new(&parts).unwrap();
+        assert_eq!(engine.num_partitions(), 2);
+        let (joint, work) = engine.evaluate(&truth);
+        // Compare against per-block engines.
+        let single: f64 = parts
+            .iter()
+            .map(|p| {
+                let params = ModelParams::from_config(&p.config);
+                let model = build_model(&p.config, &params, &p.alignment);
+                let rates = build_rates(&p.config, &params);
+                let patterns = PatternSet::compress(&p.alignment);
+                evaluate_patterns(&patterns, &model, &rates, &truth).log_likelihood
+            })
+            .sum();
+        assert!((joint - single).abs() < 1e-9);
+        assert!(work > 0);
+    }
+
+    #[test]
+    fn partitioned_search_recovers_shared_topology() {
+        let (parts, truth) = two_block_data(502);
+        let engine = PartitionedEngine::new(&parts).unwrap();
+        let mut rng = SimRng::new(503);
+        let start = phylo::distance::nj_tree(&parts[0].alignment);
+        let driver = parts[0].config.clone();
+        let result = engine.search(&driver, start, &mut rng);
+        assert_eq!(
+            result.best_tree.robinson_foulds(&truth),
+            0,
+            "550 combined characters on 6 taxa is decisive"
+        );
+        assert!(result.work.cells() > 0);
+    }
+
+    #[test]
+    fn mismatched_taxa_rejected() {
+        let (mut parts, _) = two_block_data(504);
+        // Break block 1's taxon set by regenerating with a different size.
+        let mut rng = SimRng::new(505);
+        let other = Tree::random_topology(7, &mut rng);
+        let aa = AaModel::poisson();
+        parts[1].alignment =
+            Simulator::new(&aa, SiteRates::uniform()).simulate(&other, 50, &mut rng);
+        let err = PartitionedEngine::new(&parts).unwrap_err();
+        assert_eq!(err, PartitionError::TaxonMismatch { index: 1 });
+    }
+
+    #[test]
+    fn invalid_block_reported_with_index() {
+        let (mut parts, _) = two_block_data(506);
+        parts[1].config.num_rate_cats = 99;
+        parts[1].config.rate_het = crate::config::RateHetKind::Gamma;
+        let err = PartitionedEngine::new(&parts).unwrap_err();
+        assert!(matches!(err, PartitionError::InvalidBlock { index: 1, .. }));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(PartitionedEngine::new(&[]).unwrap_err(), PartitionError::Empty);
+    }
+}

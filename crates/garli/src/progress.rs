@@ -1,0 +1,71 @@
+//! Progress reporting — the hook behind the BOINC client progress bar.
+//!
+//! GARLI cannot know its exact remaining work (termination is adaptive), so
+//! the fraction-done estimate is the max of two ratios: generations against
+//! the hard cap, and stagnation against the termination threshold. This is
+//! monotone and reaches 1.0 exactly when the search stops.
+
+use serde::{Deserialize, Serialize};
+
+/// A progress snapshot delivered to the host environment (BOINC client,
+/// portal status page).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Progress {
+    /// Current generation.
+    pub generation: u64,
+    /// Hard generation cap.
+    pub max_generations: u64,
+    /// Generations since the last topological improvement.
+    pub stagnant_generations: u64,
+    /// Termination threshold on stagnation.
+    pub genthresh: u64,
+    /// Best log-likelihood so far.
+    pub best_log_likelihood: f64,
+    /// Likelihood cells computed so far.
+    pub work_cells: u64,
+}
+
+impl Progress {
+    /// Estimated fraction of the search completed, in `[0, 1]`.
+    pub fn fraction_done(&self) -> f64 {
+        let by_cap = self.generation as f64 / self.max_generations.max(1) as f64;
+        let by_stagnation = self.stagnant_generations as f64 / self.genthresh.max(1) as f64;
+        by_cap.max(by_stagnation).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(generation: u64, stagnant: u64) -> Progress {
+        Progress {
+            generation,
+            max_generations: 1000,
+            stagnant_generations: stagnant,
+            genthresh: 100,
+            best_log_likelihood: -123.0,
+            work_cells: 42,
+        }
+    }
+
+    #[test]
+    fn fraction_uses_max_of_ratios() {
+        assert!((p(100, 0).fraction_done() - 0.1).abs() < 1e-12);
+        assert!((p(100, 50).fraction_done() - 0.5).abs() < 1e-12);
+        assert!((p(990, 99).fraction_done() - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_clamped() {
+        assert_eq!(p(5000, 0).fraction_done(), 1.0);
+    }
+
+    #[test]
+    fn zero_thresholds_safe() {
+        let mut x = p(10, 10);
+        x.max_generations = 0;
+        x.genthresh = 0;
+        assert_eq!(x.fraction_done(), 1.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Deterministic work accounting.
+//!
+//! GARLI runtime on real hardware is noisy; the grid experiments need a
+//! reproducible cost measure. We count *likelihood cells* (the `Σ_j P_ij L_j`
+//! inner products the engine reports) and convert to seconds on the paper's
+//! "reference computer" — the machine arbitrarily assigned speed 1.0 in
+//! §V.A — with a fixed cells-per-second constant. A resource of speed `s`
+//! then runs the job in `reference_seconds / s`, exactly the paper's scaling
+//! rule.
+
+use serde::{Deserialize, Serialize};
+
+/// Throughput of the reference computer in likelihood cells per second.
+///
+/// The constant is arbitrary (it defines the unit of "speed 1.0"); 2×10⁸ is
+/// in the ballpark of one 2011-era core running a tuned likelihood kernel.
+pub const REFERENCE_CELLS_PER_SEC: f64 = 2.0e8;
+
+/// Accumulated computational work.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkAccount {
+    cells: u64,
+}
+
+impl WorkAccount {
+    /// Zero work.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// From a raw cell count.
+    pub fn from_cells(cells: u64) -> Self {
+        WorkAccount { cells }
+    }
+
+    /// Add cells.
+    pub fn add(&mut self, cells: u64) {
+        self.cells += cells;
+    }
+
+    /// Merge another account.
+    pub fn merge(&mut self, other: WorkAccount) {
+        self.cells += other.cells;
+    }
+
+    /// Raw likelihood-cell count.
+    pub fn cells(&self) -> u64 {
+        self.cells
+    }
+
+    /// Runtime on the reference computer (speed 1.0), in seconds.
+    pub fn reference_seconds(&self) -> f64 {
+        self.cells as f64 / REFERENCE_CELLS_PER_SEC
+    }
+
+    /// Runtime on a machine of the given speed factor, in seconds.
+    ///
+    /// # Panics
+    /// Panics on non-positive speed.
+    pub fn seconds_at_speed(&self, speed: f64) -> f64 {
+        assert!(speed > 0.0 && speed.is_finite(), "invalid speed {speed}");
+        self.reference_seconds() / speed
+    }
+}
+
+/// Memory footprint estimate for a GARLI job: conditional-likelihood arrays
+/// dominate (`internal nodes × categories × patterns × states × 8 bytes` per
+/// population individual), plus a fixed overhead. The grid's memory
+/// matchmaking (§V.A) filters resources against this.
+pub fn estimate_memory_bytes(
+    num_taxa: usize,
+    num_patterns: usize,
+    num_rate_categories: usize,
+    num_states: usize,
+    population_size: usize,
+) -> u64 {
+    let internal = num_taxa.saturating_sub(2) as u64;
+    let partials = internal
+        * num_rate_categories as u64
+        * num_patterns as u64
+        * num_states as u64
+        * 8;
+    let overhead = 64 * 1024 * 1024; // program + data structures
+    partials * population_size as u64 + overhead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_and_merge() {
+        let mut w = WorkAccount::new();
+        w.add(100);
+        w.add(50);
+        let mut v = WorkAccount::from_cells(850);
+        v.merge(w);
+        assert_eq!(v.cells(), 1000);
+    }
+
+    #[test]
+    fn reference_time_scaling() {
+        let w = WorkAccount::from_cells(REFERENCE_CELLS_PER_SEC as u64 * 10);
+        assert!((w.reference_seconds() - 10.0).abs() < 1e-9);
+        // Speed 2.0 halves the runtime; speed 0.5 doubles it (paper §V.A).
+        assert!((w.seconds_at_speed(2.0) - 5.0).abs() < 1e-9);
+        assert!((w.seconds_at_speed(0.5) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid speed")]
+    fn zero_speed_rejected() {
+        let _ = WorkAccount::from_cells(1).seconds_at_speed(0.0);
+    }
+
+    #[test]
+    fn memory_estimate_scales() {
+        let small = estimate_memory_bytes(100, 5000, 1, 4, 4);
+        let many_cats = estimate_memory_bytes(100, 5000, 4, 4, 4);
+        let codon = estimate_memory_bytes(100, 5000, 1, 61, 4);
+        assert!(many_cats > small);
+        assert!(codon > small * 2);
+        // Paper: jobs can need multiple GB — a big codon+Γ job should.
+        let big = estimate_memory_bytes(2000, 20_000, 5, 61, 4);
+        assert!(big > 2 * 1024 * 1024 * 1024);
+    }
+}

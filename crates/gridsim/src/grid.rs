@@ -1,0 +1,810 @@
+//! The grid world: meta-scheduler + LRMs + BOINC pool + MDS, wired into one
+//! discrete-event simulation.
+//!
+//! Flow of a job (paper §IV–§V): it arrives at the grid level, waits for a
+//! scheduling pass, is matched and ranked against the resources currently
+//! *reporting* to MDS, is translated by the resource's scheduler adapter,
+//! queues locally, executes (surviving or not surviving interruptions and
+//! deadlines), and finally reports completion back to the grid, which keeps
+//! full per-job accounting.
+
+use crate::adapter;
+use crate::boinc::{BoincConfig, BoincOutcome, BoincSim};
+use crate::job::{JobId, JobOutcome, JobRecord, JobSpec};
+use crate::lrm::{LrmOutcome, LrmSim};
+use crate::mds::Mds;
+use crate::resource::{ResourceId, ResourceKind, ResourceSpec};
+use crate::scheduler::{choose_resource, ResourceView, SchedulerPolicy};
+use crate::speed::{benchmark_machines, speed_from_benchmarks};
+use simkit::{Calendar, SimDuration, SimRng, SimTime, Simulation, World};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// Events circulating through the grid simulation.
+#[derive(Debug)]
+pub enum GridEvent {
+    /// A job arrives at the meta-scheduler.
+    Submit(Box<JobSpec>),
+    /// Periodic grid-level scheduling pass.
+    ScheduleTick,
+    /// Periodic MDS provider report for one resource.
+    ProviderReport {
+        /// Resource index.
+        resource: usize,
+    },
+    /// An LRM execution finished.
+    LrmJobDone {
+        /// Resource index.
+        resource: usize,
+        /// Slot index.
+        slot: usize,
+        /// Dispatch generation (stale-event guard).
+        generation: u64,
+    },
+    /// An LRM execution was interrupted.
+    LrmInterrupt {
+        /// Resource index.
+        resource: usize,
+        /// Slot index.
+        slot: usize,
+        /// Dispatch generation.
+        generation: u64,
+    },
+    /// A whole resource goes down.
+    OutageStart {
+        /// Resource index.
+        resource: usize,
+    },
+    /// A downed resource comes back.
+    OutageEnd {
+        /// Resource index.
+        resource: usize,
+    },
+    /// A volunteer host toggles availability.
+    BoincFlip {
+        /// Client index.
+        client: usize,
+    },
+    /// A volunteer host's scheduler RPC completes; hand it work.
+    BoincAssign {
+        /// Client index.
+        client: usize,
+    },
+    /// A volunteer host finished its task.
+    BoincClientDone {
+        /// Client index.
+        client: usize,
+        /// Assignment id (stale-event guard).
+        assignment: u64,
+    },
+    /// A workunit assignment's deadline passed.
+    BoincDeadline {
+        /// Assignment id.
+        assignment: u64,
+    },
+}
+
+/// Grid-wide configuration.
+#[derive(Debug, Clone)]
+pub struct GridConfig {
+    /// The service-grid resources (Condor/PBS/SGE). A `BoincPool` spec here
+    /// is ignored — configure the pool via `boinc` instead.
+    pub resources: Vec<ResourceSpec>,
+    /// The volunteer pool, if any.
+    pub boinc: Option<BoincConfig>,
+    /// Scheduling policy.
+    pub policy: SchedulerPolicy,
+    /// Interval between grid-level scheduling passes.
+    pub schedule_interval: SimDuration,
+    /// Interval between MDS provider reports.
+    pub mds_report_interval: SimDuration,
+    /// MDS entry lifetime.
+    pub mds_lifetime: SimDuration,
+    /// Per-dispatch staging overhead (input upload, binary staging) added
+    /// to every LRM execution.
+    pub dispatch_overhead: SimDuration,
+    /// Local evictions before a job bounces back to the grid level.
+    pub max_local_retries: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            resources: Vec::new(),
+            boinc: None,
+            policy: SchedulerPolicy::default(),
+            schedule_interval: SimDuration::from_secs(60),
+            mds_report_interval: SimDuration::from_secs(120),
+            mds_lifetime: SimDuration::from_mins(5),
+            dispatch_overhead: SimDuration::from_secs(30),
+            max_local_retries: 5,
+            seed: 0,
+        }
+    }
+}
+
+/// The simulation model.
+pub struct GridWorld {
+    config: GridConfig,
+    /// All resources (service-grid first, then the BOINC pool if present).
+    resources: Vec<ResourceSpec>,
+    lrms: Vec<Option<LrmSim>>,
+    boinc: Option<BoincSim>,
+    boinc_index: Option<usize>,
+    measured_speeds: Vec<f64>,
+    mds: Mds,
+    pending: VecDeque<JobId>,
+    records: HashMap<JobId, JobRecord>,
+    failed_on: HashMap<JobId, HashSet<usize>>,
+    completed: usize,
+    dispatches: u64,
+    submissions_rendered: u64,
+    rng: SimRng,
+}
+
+impl GridWorld {
+    /// True iff every submitted job has completed.
+    pub fn all_done(&self) -> bool {
+        self.completed == self.records.len()
+    }
+
+    /// Jobs completed so far.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Measured (calibrated) speed of each resource.
+    pub fn measured_speeds(&self) -> &[f64] {
+        &self.measured_speeds
+    }
+
+    fn provider_report(&mut self, resource: usize, now: SimTime) {
+        let state = if Some(resource) == self.boinc_index {
+            self.boinc.as_ref().map(|b| b.state())
+        } else {
+            self.lrms[resource]
+                .as_ref()
+                .filter(|l| l.online())
+                .map(|l| l.state())
+        };
+        if let Some(state) = state {
+            self.mds.report(ResourceId(resource), state, now);
+        }
+    }
+
+    fn schedule_pass(&mut self, now: SimTime, cal: &mut Calendar<GridEvent>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        // Snapshot views of everything MDS currently considers online.
+        let mut views = Vec::new();
+        for (i, spec) in self.resources.iter().enumerate() {
+            if let Some(state) = self.mds.get(ResourceId(i), now) {
+                views.push(ResourceView::new(
+                    ResourceId(i),
+                    spec,
+                    state,
+                    self.measured_speeds[i],
+                ));
+            }
+        }
+        let mut still_pending = VecDeque::new();
+        while let Some(job_id) = self.pending.pop_front() {
+            let spec = self.records[&job_id].spec.clone();
+            let excluded = self.failed_on.get(&job_id);
+            let eligible: Vec<ResourceView> = views
+                .iter()
+                .filter(|v| excluded.is_none_or(|ex| !ex.contains(&v.id.0)))
+                .cloned()
+                .collect();
+            match choose_resource(&spec, &eligible, &self.config.policy) {
+                Some(ResourceId(r)) => {
+                    self.dispatch(spec, r, now, cal);
+                    // Update the view's load so one pass doesn't dump every
+                    // job on the same resource.
+                    if let Some(v) = views.iter_mut().find(|v| v.id.0 == r) {
+                        if v.state.free_slots > 0 {
+                            v.state.free_slots -= 1;
+                        } else {
+                            v.state.queued_jobs += 1;
+                        }
+                    }
+                }
+                None => still_pending.push_back(job_id),
+            }
+        }
+        self.pending = still_pending;
+    }
+
+    fn dispatch(&mut self, job: JobSpec, resource: usize, now: SimTime, cal: &mut Calendar<GridEvent>) {
+        // Every dispatch passes through the scheduler adapter, as in the
+        // real system.
+        let _submission = adapter::translate(&job, &self.resources[resource]);
+        self.submissions_rendered += 1;
+        self.dispatches += 1;
+        let record = self.records.get_mut(&job.id).expect("record exists");
+        record.attempts += 1;
+        if Some(resource) == self.boinc_index {
+            self.boinc
+                .as_mut()
+                .expect("boinc pool present")
+                .enqueue(job, now, cal);
+        } else {
+            self.lrms[resource]
+                .as_mut()
+                .expect("lrm present")
+                .enqueue(
+                    job,
+                    self.config.dispatch_overhead.as_secs_f64(),
+                    now,
+                    resource,
+                    cal,
+                );
+        }
+    }
+
+    fn apply_lrm_outcome(&mut self, resource: usize, outcome: LrmOutcome, now: SimTime) {
+        match outcome {
+            LrmOutcome::None => {}
+            LrmOutcome::Completed { job, cpu_seconds, started, wasted_cpu_seconds, attempts } => {
+                let record = self.records.get_mut(&job).expect("record exists");
+                record.outcome = JobOutcome::Completed;
+                record.started = Some(started);
+                record.finished = Some(now);
+                record.completed_by = Some(self.resources[resource].name.clone());
+                record.useful_cpu_seconds += cpu_seconds;
+                record.wasted_cpu_seconds += wasted_cpu_seconds;
+                record.attempts += attempts.saturating_sub(1); // dispatch counted once
+                self.completed += 1;
+            }
+            LrmOutcome::BouncedToGrid { job, wasted_cpu_seconds } => {
+                let record = self.records.get_mut(&job).expect("record exists");
+                record.wasted_cpu_seconds += wasted_cpu_seconds;
+                record.reissues += 1;
+                self.failed_on.entry(job).or_default().insert(resource);
+                self.pending.push_back(job);
+            }
+        }
+    }
+
+    fn apply_boinc_outcome(&mut self, outcome: BoincOutcome, now: SimTime) {
+        if let BoincOutcome::Completed { job, useful_cpu_seconds, started, reissues } = outcome {
+            let boinc_name = self.boinc_index.map(|i| self.resources[i].name.clone());
+            let record = self.records.get_mut(&job).expect("record exists");
+            record.outcome = JobOutcome::Completed;
+            record.started = Some(started);
+            record.finished = Some(now);
+            record.completed_by = boinc_name;
+            record.useful_cpu_seconds += useful_cpu_seconds;
+            record.reissues += reissues;
+            self.completed += 1;
+        }
+    }
+}
+
+impl World for GridWorld {
+    type Event = GridEvent;
+
+    fn handle(&mut self, now: SimTime, event: GridEvent, cal: &mut Calendar<GridEvent>) {
+        match event {
+            GridEvent::Submit(job) => {
+                let id = job.id;
+                assert!(
+                    !self.records.contains_key(&id),
+                    "duplicate job id {id:?} submitted"
+                );
+                self.records.insert(id, JobRecord::new(*job, now));
+                self.pending.push_back(id);
+            }
+            GridEvent::ScheduleTick => {
+                self.schedule_pass(now, cal);
+                cal.schedule(now + self.config.schedule_interval, GridEvent::ScheduleTick);
+            }
+            GridEvent::ProviderReport { resource } => {
+                self.provider_report(resource, now);
+                cal.schedule(
+                    now + self.config.mds_report_interval,
+                    GridEvent::ProviderReport { resource },
+                );
+            }
+            GridEvent::LrmJobDone { resource, slot, generation } => {
+                let outcome = self.lrms[resource]
+                    .as_mut()
+                    .expect("lrm present")
+                    .on_job_done(slot, generation, now, resource, cal);
+                self.apply_lrm_outcome(resource, outcome, now);
+            }
+            GridEvent::LrmInterrupt { resource, slot, generation } => {
+                let outcome = self.lrms[resource]
+                    .as_mut()
+                    .expect("lrm present")
+                    .on_interrupt(slot, generation, now, resource, cal);
+                self.apply_lrm_outcome(resource, outcome, now);
+            }
+            GridEvent::OutageStart { resource } => {
+                let outcomes = self.lrms[resource]
+                    .as_mut()
+                    .expect("outages only on lrms")
+                    .go_offline(now, resource, cal);
+                for o in outcomes {
+                    self.apply_lrm_outcome(resource, o, now);
+                }
+                let (_, mttr) = self.resources[resource].outages.expect("outage config");
+                let repair = SimDuration::from_secs_f64(self.rng.exponential(mttr * 3600.0));
+                cal.schedule(now + repair, GridEvent::OutageEnd { resource });
+            }
+            GridEvent::OutageEnd { resource } => {
+                self.lrms[resource]
+                    .as_mut()
+                    .expect("outages only on lrms")
+                    .go_online(now, resource, cal);
+                let (mtbf, _) = self.resources[resource].outages.expect("outage config");
+                let up = SimDuration::from_secs_f64(self.rng.exponential(mtbf * 3600.0));
+                cal.schedule(now + up, GridEvent::OutageStart { resource });
+            }
+            GridEvent::BoincFlip { client } => {
+                if let Some(b) = self.boinc.as_mut() {
+                    b.on_flip(client, now, cal);
+                }
+            }
+            GridEvent::BoincAssign { client } => {
+                if let Some(b) = self.boinc.as_mut() {
+                    b.on_assign(client, now, cal);
+                }
+            }
+            GridEvent::BoincClientDone { client, assignment } => {
+                if let Some(b) = self.boinc.as_mut() {
+                    let outcome = b.on_client_done(client, assignment, now, cal);
+                    self.apply_boinc_outcome(outcome, now);
+                }
+            }
+            GridEvent::BoincDeadline { assignment } => {
+                if let Some(b) = self.boinc.as_mut() {
+                    b.on_deadline(assignment, now, cal);
+                }
+            }
+        }
+    }
+}
+
+/// Aggregate results of a grid run.
+#[derive(Debug, Clone)]
+pub struct GridReport {
+    /// Jobs submitted.
+    pub total_jobs: usize,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Jobs still pending/running at report time.
+    pub unfinished: usize,
+    /// First submit → last completion, if anything completed.
+    pub makespan_seconds: Option<f64>,
+    /// Mean turnaround of completed jobs, seconds.
+    pub mean_turnaround_seconds: f64,
+    /// CPU-seconds that produced accepted results.
+    pub useful_cpu_seconds: f64,
+    /// CPU-seconds burned with nothing to show (evictions, late results,
+    /// abandoned tasks).
+    pub wasted_cpu_seconds: f64,
+    /// Workunit reissues + grid-level bounces.
+    pub total_reissues: u32,
+    /// Execution attempts across all jobs.
+    pub total_attempts: u32,
+    /// Dispatches through scheduler adapters.
+    pub dispatches: u64,
+    /// Completions per resource name.
+    pub completed_by: BTreeMap<String, usize>,
+    /// Per-job records, sorted by job id.
+    pub records: Vec<JobRecord>,
+}
+
+/// The public driver around the simulation.
+pub struct Grid {
+    sim: Simulation<GridWorld>,
+    submissions_expected: usize,
+}
+
+impl Grid {
+    /// Build a grid, calibrate resource speeds, and start the periodic
+    /// machinery (scheduler ticks, provider reports, outages, volunteer
+    /// churn).
+    pub fn new(config: GridConfig) -> Grid {
+        let rng = SimRng::new(config.seed);
+        let mut resources: Vec<ResourceSpec> = config
+            .resources
+            .iter()
+            .filter(|r| r.kind != ResourceKind::BoincPool)
+            .cloned()
+            .collect();
+        let mut cal_seed = Calendar::new();
+
+        // Service-grid LRMs.
+        let mut lrms: Vec<Option<LrmSim>> = Vec::new();
+        let mut measured_speeds = Vec::new();
+        for (i, spec) in resources.iter().enumerate() {
+            // Calibration: benchmark a sample of the resource's machines
+            // (paper §V.A).
+            let sample = spec.slots.min(16).max(1);
+            let mut brng = rng.fork_idx("bench", i as u64);
+            let runs = benchmark_machines(&vec![spec.speed; sample], 0.03, &mut brng);
+            measured_speeds.push(speed_from_benchmarks(&runs));
+            lrms.push(Some(LrmSim::new(
+                spec.clone(),
+                config.max_local_retries,
+                rng.fork_idx("lrm", i as u64),
+            )));
+        }
+
+        // BOINC pool.
+        let mut boinc = None;
+        let mut boinc_index = None;
+        if let Some(bc) = config.boinc {
+            let idx = resources.len();
+            let pool = BoincSim::new(bc, rng.fork("boinc"), &mut cal_seed);
+            // The pool advertises itself as one big unstable resource.
+            let spec = ResourceSpec {
+                name: "boinc-pool".into(),
+                kind: ResourceKind::BoincPool,
+                slots: bc.num_clients,
+                speed: pool.median_speed(),
+                memory_per_slot: 2 * 1024 * 1024 * 1024,
+                platforms: crate::platform::Platform::ALL_COMMON.to_vec(),
+                mpi_capable: false,
+                software: vec![],
+                stable: false,
+                mean_hours_between_interruptions: Some(bc.mean_on_hours),
+                outages: None,
+            };
+            measured_speeds.push(pool.median_speed());
+            resources.push(spec);
+            lrms.push(None);
+            boinc_index = Some(idx);
+            boinc = Some(pool);
+        }
+
+        let world = GridWorld {
+            mds: Mds::new(config.mds_lifetime),
+            resources,
+            lrms,
+            boinc,
+            boinc_index,
+            measured_speeds,
+            pending: VecDeque::new(),
+            records: HashMap::new(),
+            failed_on: HashMap::new(),
+            completed: 0,
+            dispatches: 0,
+            submissions_rendered: 0,
+            rng: rng.fork("world"),
+            config,
+        };
+
+        let mut sim = Simulation::new(world);
+        // Transfer the BOINC bootstrap events.
+        while let Some((t, ev)) = cal_seed.pop() {
+            sim.calendar_mut().schedule(t, ev);
+        }
+        // Kick off periodic machinery.
+        sim.calendar_mut().schedule(SimTime::ZERO, GridEvent::ScheduleTick);
+        for i in 0..sim.world().resources.len() {
+            sim.calendar_mut().schedule(SimTime::ZERO, GridEvent::ProviderReport { resource: i });
+        }
+        // Outage processes.
+        let mut outage_events = Vec::new();
+        {
+            let world = sim.world();
+            let mut orng = SimRng::new(world.config.seed ^ 0xDEAD);
+            for (i, spec) in world.resources.iter().enumerate() {
+                if let Some((mtbf, _)) = spec.outages {
+                    let wait = SimDuration::from_secs_f64(orng.exponential(mtbf * 3600.0));
+                    outage_events.push((SimTime::ZERO + wait, GridEvent::OutageStart { resource: i }));
+                }
+            }
+        }
+        for (t, ev) in outage_events {
+            sim.calendar_mut().schedule(t, ev);
+        }
+        Grid { sim, submissions_expected: 0 }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The world (for inspection).
+    pub fn world(&self) -> &GridWorld {
+        self.sim.world()
+    }
+
+    /// Submit jobs at the current simulation time.
+    pub fn submit(&mut self, jobs: impl IntoIterator<Item = JobSpec>) {
+        let now = self.sim.now();
+        for job in jobs {
+            self.submissions_expected += 1;
+            self.sim
+                .calendar_mut()
+                .schedule(now, GridEvent::Submit(Box::new(job)));
+        }
+    }
+
+    /// Submit one job at a future time.
+    pub fn submit_at(&mut self, job: JobSpec, at: SimTime) {
+        self.submissions_expected += 1;
+        self.sim.calendar_mut().schedule(at, GridEvent::Submit(Box::new(job)));
+    }
+
+    /// Run until every submitted job completes or the clock passes
+    /// `deadline`. Returns the final report.
+    pub fn run_until_done(&mut self, deadline: SimTime) -> GridReport {
+        loop {
+            let next = self.sim.calendar_mut().peek_time();
+            match next {
+                Some(t) if t <= deadline => {
+                    self.sim.step();
+                }
+                _ => break,
+            }
+            // Done only once every expected submission has been delivered
+            // AND completed (records fill in as Submit events arrive).
+            let world = self.sim.world();
+            if world.records.len() == self.submissions_expected && world.all_done() {
+                break;
+            }
+        }
+        self.report()
+    }
+
+    /// Build the aggregate report at the current instant.
+    pub fn report(&self) -> GridReport {
+        let world = self.sim.world();
+        let mut records: Vec<JobRecord> = world.records.values().cloned().collect();
+        records.sort_by_key(|r| r.spec.id);
+        let completed: Vec<&JobRecord> = records
+            .iter()
+            .filter(|r| r.outcome == JobOutcome::Completed)
+            .collect();
+        let first_submit = records.iter().map(|r| r.submitted).min();
+        let last_finish = completed.iter().filter_map(|r| r.finished).max();
+        let makespan_seconds = match (first_submit, last_finish) {
+            (Some(s), Some(f)) => Some(f.saturating_since(s).as_secs_f64()),
+            _ => None,
+        };
+        let mean_turnaround_seconds = if completed.is_empty() {
+            0.0
+        } else {
+            completed
+                .iter()
+                .filter_map(|r| r.turnaround())
+                .map(|d| d.as_secs_f64())
+                .sum::<f64>()
+                / completed.len() as f64
+        };
+        let boinc_waste = world.boinc.as_ref().map_or(0.0, |b| b.wasted_cpu_seconds);
+        let boinc_reissues = world.boinc.as_ref().map_or(0, |b| b.total_reissues());
+        let mut completed_by = BTreeMap::new();
+        for r in &completed {
+            if let Some(name) = &r.completed_by {
+                *completed_by.entry(name.clone()).or_insert(0) += 1;
+            }
+        }
+        GridReport {
+            total_jobs: records.len(),
+            completed: completed.len(),
+            unfinished: records.len() - completed.len(),
+            makespan_seconds,
+            mean_turnaround_seconds,
+            useful_cpu_seconds: records.iter().map(|r| r.useful_cpu_seconds).sum(),
+            wasted_cpu_seconds: records.iter().map(|r| r.wasted_cpu_seconds).sum::<f64>()
+                + boinc_waste,
+            total_reissues: records.iter().map(|r| r.reissues).sum::<u32>()
+                + boinc_reissues,
+            total_attempts: records.iter().map(|r| r.attempts).sum(),
+            dispatches: world.dispatches,
+            completed_by,
+            records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_cluster_config(slots: usize, speed: f64) -> GridConfig {
+        GridConfig {
+            resources: vec![ResourceSpec::cluster("cluster", ResourceKind::PbsCluster, slots, speed)],
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_job_completes_on_cluster() {
+        let mut grid = Grid::new(one_cluster_config(4, 1.0));
+        grid.submit([JobSpec::simple(1, 3600.0)]);
+        let report = grid.run_until_done(SimTime::from_hours(24));
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.unfinished, 0);
+        let r = &report.records[0];
+        assert_eq!(r.completed_by.as_deref(), Some("cluster"));
+        // Runtime ≈ work/speed + dispatch overhead, plus up to one schedule
+        // tick of wait.
+        assert!(r.useful_cpu_seconds >= 3600.0);
+        assert!(r.useful_cpu_seconds < 3700.0);
+        assert_eq!(report.total_reissues, 0);
+    }
+
+    #[test]
+    fn speed_scales_runtime() {
+        let mut grid = Grid::new(one_cluster_config(1, 2.0));
+        grid.submit([JobSpec::simple(1, 7200.0)]);
+        let report = grid.run_until_done(SimTime::from_hours(24));
+        let r = &report.records[0];
+        // 7200 ref-seconds at speed 2.0 ≈ 3600s wall.
+        assert!((r.useful_cpu_seconds - 3630.0).abs() < 100.0, "{}", r.useful_cpu_seconds);
+    }
+
+    #[test]
+    fn many_jobs_fill_all_slots() {
+        let mut grid = Grid::new(one_cluster_config(8, 1.0));
+        grid.submit((0..32).map(|i| JobSpec::simple(i, 1800.0)));
+        let report = grid.run_until_done(SimTime::from_hours(24));
+        assert_eq!(report.completed, 32);
+        // 32 × 30 min on 8 slots ≈ 2 h + overheads; definitely under 3 h.
+        assert!(report.makespan_seconds.unwrap() < 3.0 * 3600.0);
+        assert!(report.makespan_seconds.unwrap() > 2.0 * 3600.0 - 600.0);
+    }
+
+    #[test]
+    fn jobs_spread_across_resources() {
+        let config = GridConfig {
+            resources: vec![
+                ResourceSpec::cluster("a", ResourceKind::PbsCluster, 4, 1.0),
+                ResourceSpec::cluster("b", ResourceKind::SgeCluster, 4, 1.0),
+            ],
+            seed: 8,
+            ..Default::default()
+        };
+        let mut grid = Grid::new(config);
+        grid.submit((0..16).map(|i| JobSpec::simple(i, 600.0)));
+        let report = grid.run_until_done(SimTime::from_hours(12));
+        assert_eq!(report.completed, 16);
+        assert!(report.completed_by.contains_key("a"));
+        assert!(report.completed_by.contains_key("b"));
+    }
+
+    #[test]
+    fn unfinished_jobs_reported_at_deadline() {
+        let mut grid = Grid::new(one_cluster_config(1, 1.0));
+        grid.submit([JobSpec::simple(1, 100.0 * 3600.0)]);
+        let report = grid.run_until_done(SimTime::from_hours(1));
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.unfinished, 1);
+    }
+
+    #[test]
+    fn boinc_only_grid_completes_jobs() {
+        let config = GridConfig {
+            resources: vec![],
+            boinc: Some(BoincConfig {
+                num_clients: 50,
+                abandon_probability: 0.0,
+                mean_on_hours: 1e5,
+                mean_off_hours: 1e-5,
+                ..Default::default()
+            }),
+            seed: 9,
+            ..Default::default()
+        };
+        let mut grid = Grid::new(config);
+        grid.submit((0..20).map(|i| JobSpec::simple(i, 1800.0).with_estimate(1800.0)));
+        let report = grid.run_until_done(SimTime::from_days(3));
+        assert_eq!(report.completed, 20, "{report:?}");
+        assert!(report.completed_by.contains_key("boinc-pool"));
+    }
+
+    #[test]
+    fn mpi_jobs_avoid_boinc() {
+        let config = GridConfig {
+            resources: vec![ResourceSpec::cluster("c", ResourceKind::PbsCluster, 2, 1.0)],
+            boinc: Some(BoincConfig { num_clients: 100, ..Default::default() }),
+            seed: 10,
+            ..Default::default()
+        };
+        let mut grid = Grid::new(config);
+        let mut job = JobSpec::simple(1, 600.0);
+        job.needs_mpi = true;
+        grid.submit([job]);
+        let report = grid.run_until_done(SimTime::from_days(1));
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.records[0].completed_by.as_deref(), Some("c"));
+    }
+
+    #[test]
+    fn memory_hungry_jobs_go_to_big_memory_cluster() {
+        let config = GridConfig {
+            resources: vec![
+                ResourceSpec::cluster("small", ResourceKind::PbsCluster, 8, 2.0),
+                ResourceSpec::cluster("bigmem", ResourceKind::PbsCluster, 2, 1.0)
+                    .with_memory(64 << 30),
+            ],
+            seed: 11,
+            ..Default::default()
+        };
+        let mut grid = Grid::new(config);
+        let mut job = JobSpec::simple(1, 600.0);
+        job.min_memory_bytes = 32 << 30;
+        grid.submit([job]);
+        let report = grid.run_until_done(SimTime::from_days(1));
+        assert_eq!(report.records[0].completed_by.as_deref(), Some("bigmem"));
+    }
+
+    #[test]
+    fn long_jobs_with_estimates_avoid_unstable_resources() {
+        // One fast Condor pool (attractive to the ranker) + one small
+        // cluster. A 50-hour job must go to the cluster when estimates are
+        // on.
+        let config = GridConfig {
+            resources: vec![
+                ResourceSpec::condor_pool("condor", 50, 2.0, 4.0),
+                ResourceSpec::cluster("cluster", ResourceKind::PbsCluster, 2, 1.0),
+            ],
+            seed: 12,
+            ..Default::default()
+        };
+        let mut grid = Grid::new(config);
+        let long = 50.0 * 3600.0;
+        grid.submit([JobSpec::simple(1, long).with_estimate(long)]);
+        let report = grid.run_until_done(SimTime::from_days(10));
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.records[0].completed_by.as_deref(), Some("cluster"));
+        assert_eq!(report.records[0].wasted_cpu_seconds, 0.0);
+    }
+
+    #[test]
+    fn without_estimates_long_jobs_waste_cpu_on_condor() {
+        let config = GridConfig {
+            resources: vec![
+                ResourceSpec::condor_pool("condor", 50, 2.0, 4.0),
+                ResourceSpec::cluster("cluster", ResourceKind::PbsCluster, 2, 1.0),
+            ],
+            policy: SchedulerPolicy { use_runtime_estimates: false, ..Default::default() },
+            seed: 13,
+            ..Default::default()
+        };
+        let mut grid = Grid::new(config);
+        let long = 50.0 * 3600.0;
+        // No estimate: the naive scheduler sends it to the big fast pool.
+        grid.submit([JobSpec::simple(1, long)]);
+        let report = grid.run_until_done(SimTime::from_days(30));
+        // It eventually completes (bounced to the cluster) but wastes CPU.
+        assert!(report.wasted_cpu_seconds > 0.0, "{report:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut grid = Grid::new(one_cluster_config(4, 1.3));
+            grid.submit((0..10).map(|i| JobSpec::simple(i, 900.0 + i as f64 * 100.0)));
+            let r = grid.run_until_done(SimTime::from_days(1));
+            (r.makespan_seconds, r.useful_cpu_seconds)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn calibrated_speeds_close_to_truth() {
+        let grid = Grid::new(one_cluster_config(16, 2.5));
+        let measured = grid.world().measured_speeds()[0];
+        assert!((measured - 2.5).abs() < 0.2, "measured {measured}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate job id")]
+    fn duplicate_ids_rejected() {
+        let mut grid = Grid::new(one_cluster_config(1, 1.0));
+        grid.submit([JobSpec::simple(1, 10.0), JobSpec::simple(1, 10.0)]);
+        let _ = grid.run_until_done(SimTime::from_hours(1));
+    }
+}

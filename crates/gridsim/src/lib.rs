@@ -1,0 +1,45 @@
+//! `gridsim` — a discrete-event simulation of The Lattice Project's resource
+//! layer: service-grid local resource managers (Condor pools, PBS and SGE
+//! clusters) and a BOINC volunteer desktop grid, federated behind an
+//! MDS-style monitoring service and a grid-level meta-scheduler.
+//!
+//! The paper's production system ran on >5000 real cores at four
+//! institutions plus 23 192 volunteer PCs; this crate reproduces the
+//! *scheduling-relevant behaviour* of that stack in simulation (the
+//! substitution is documented in DESIGN.md):
+//!
+//! * [`job`] — generic grid-level job descriptions (the role RSL/JSDL play
+//!   in Globus) with platform, memory, MPI and software requirements;
+//! * [`adapter`] — scheduler adapters translating the generic description
+//!   into resource-specific submissions (Condor submit file, PBS script,
+//!   BOINC workunit), as §IV describes;
+//! * [`lrm`] — slot-based local resource managers: stable batch queues
+//!   (PBS/SGE) and preemptable cycle-scavenged pools (Condor);
+//! * [`boinc`] — a volunteer pool with client churn, work requests,
+//!   workunit deadlines, timeout-driven reissue, and redundant validation;
+//! * [`mds`] — the Monitoring and Discovery Service: periodic provider
+//!   reports with short-lived entries and offline detection (§V);
+//! * [`speed`] — reference-computer speed calibration (§V.A);
+//! * [`scheduler`] — the grid-level algorithm: matchmaking filters, then
+//!   ranking by load, speed, and stability (§V.A);
+//! * [`grid`] — the event-driven world tying everything together, with
+//!   per-job accounting (wait, runtime, wasted CPU, reissues).
+
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod boinc;
+pub mod grid;
+pub mod job;
+pub mod lrm;
+pub mod mds;
+pub mod platform;
+pub mod resource;
+pub mod scheduler;
+pub mod speed;
+
+pub use grid::{Grid, GridConfig, GridReport};
+pub use job::{JobId, JobOutcome, JobSpec};
+pub use platform::{Arch, Os, Platform};
+pub use resource::{ResourceId, ResourceKind, ResourceSpec};
+pub use scheduler::SchedulerPolicy;

@@ -1,0 +1,140 @@
+//! The Monitoring and Discovery Service.
+//!
+//! Scheduler providers "collect information about the current state of a
+//! resource — e.g., number of free CPU cores, total RAM, total disk space"
+//! and publish it into an MDS database where entries are "valid for a short
+//! lifetime, typically on the order of minutes" (paper §V). The scheduler
+//! treats resources whose entries have expired as offline: "if we cease to
+//! receive MDS information from a certain resource, we mark the resource as
+//! offline and make sure no new jobs are scheduled there" (§V.A).
+
+use crate::resource::ResourceId;
+use serde::{Deserialize, Serialize};
+use simkit::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// One provider report: the dynamic slice of resource state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceState {
+    /// Slots not currently bound to a job or owner.
+    pub free_slots: usize,
+    /// Total slots.
+    pub total_slots: usize,
+    /// Jobs waiting in the local queue.
+    pub queued_jobs: usize,
+}
+
+impl ResourceState {
+    /// Load proxy: queued plus busy work per slot.
+    pub fn load(&self) -> f64 {
+        let busy = self.total_slots - self.free_slots;
+        (busy + self.queued_jobs) as f64 / self.total_slots.max(1) as f64
+    }
+}
+
+/// The central aggregated MDS database.
+#[derive(Debug, Clone)]
+pub struct Mds {
+    lifetime: SimDuration,
+    entries: HashMap<ResourceId, (ResourceState, SimTime)>,
+}
+
+impl Mds {
+    /// A database whose entries expire after `lifetime`.
+    pub fn new(lifetime: SimDuration) -> Mds {
+        Mds { lifetime, entries: HashMap::new() }
+    }
+
+    /// The paper's "order of minutes" default: 5 minutes.
+    pub fn with_default_lifetime() -> Mds {
+        Mds::new(SimDuration::from_mins(5))
+    }
+
+    /// Ingest a provider report.
+    pub fn report(&mut self, resource: ResourceId, state: ResourceState, now: SimTime) {
+        self.entries.insert(resource, (state, now));
+    }
+
+    /// The state of `resource` if its entry is still live at `now`.
+    pub fn get(&self, resource: ResourceId, now: SimTime) -> Option<ResourceState> {
+        self.entries.get(&resource).and_then(|&(state, at)| {
+            (now.saturating_since(at) <= self.lifetime).then_some(state)
+        })
+    }
+
+    /// True iff the resource's entry is missing or expired (the scheduler's
+    /// offline test).
+    pub fn is_offline(&self, resource: ResourceId, now: SimTime) -> bool {
+        self.get(resource, now).is_none()
+    }
+
+    /// All resources with live entries at `now`.
+    pub fn online(&self, now: SimTime) -> Vec<ResourceId> {
+        let mut ids: Vec<ResourceId> = self
+            .entries
+            .iter()
+            .filter(|(_, &(_, at))| now.saturating_since(at) <= self.lifetime)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_entries_visible() {
+        let mut mds = Mds::new(SimDuration::from_mins(5));
+        let s = ResourceState { free_slots: 3, total_slots: 8, queued_jobs: 2 };
+        mds.report(ResourceId(0), s, SimTime::from_secs(100));
+        assert_eq!(mds.get(ResourceId(0), SimTime::from_secs(200)), Some(s));
+        assert!(!mds.is_offline(ResourceId(0), SimTime::from_secs(200)));
+    }
+
+    #[test]
+    fn stale_entries_mark_resource_offline() {
+        let mut mds = Mds::new(SimDuration::from_mins(5));
+        let s = ResourceState { free_slots: 3, total_slots: 8, queued_jobs: 0 };
+        mds.report(ResourceId(0), s, SimTime::ZERO);
+        let later = SimTime::ZERO + SimDuration::from_mins(6);
+        assert!(mds.is_offline(ResourceId(0), later));
+        assert_eq!(mds.get(ResourceId(0), later), None);
+        assert!(mds.online(later).is_empty());
+    }
+
+    #[test]
+    fn reports_refresh_lifetime() {
+        let mut mds = Mds::new(SimDuration::from_mins(5));
+        let s = ResourceState { free_slots: 1, total_slots: 2, queued_jobs: 0 };
+        mds.report(ResourceId(1), s, SimTime::ZERO);
+        mds.report(ResourceId(1), s, SimTime::from_secs(280));
+        assert!(!mds.is_offline(ResourceId(1), SimTime::from_secs(500)));
+    }
+
+    #[test]
+    fn unknown_resource_is_offline() {
+        let mds = Mds::with_default_lifetime();
+        assert!(mds.is_offline(ResourceId(9), SimTime::ZERO));
+    }
+
+    #[test]
+    fn load_metric() {
+        let s = ResourceState { free_slots: 2, total_slots: 10, queued_jobs: 4 };
+        // busy 8 + queued 4 over 10 slots
+        assert!((s.load() - 1.2).abs() < 1e-12);
+        let idle = ResourceState { free_slots: 10, total_slots: 10, queued_jobs: 0 };
+        assert_eq!(idle.load(), 0.0);
+    }
+
+    #[test]
+    fn online_sorted() {
+        let mut mds = Mds::with_default_lifetime();
+        let s = ResourceState { free_slots: 1, total_slots: 1, queued_jobs: 0 };
+        mds.report(ResourceId(2), s, SimTime::ZERO);
+        mds.report(ResourceId(0), s, SimTime::ZERO);
+        assert_eq!(mds.online(SimTime::ZERO), vec![ResourceId(0), ResourceId(2)]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Compute platforms: CPU architecture × operating system.
+//!
+//! "The system keeps track of which CPU architecture and operating system
+//! combinations each application is compiled for (e.g., Intel/Mac OS X), and
+//! compares this list against the platforms each resource is advertising"
+//! (paper §V.A). The Lattice Project supported Linux, Windows and Mac OS
+//! (§IV).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// CPU architecture families of the 2011-era grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Arch {
+    /// 32-bit x86.
+    I686,
+    /// 64-bit x86.
+    X86_64,
+    /// PowerPC (older Macs in the Condor pools).
+    Ppc,
+}
+
+/// Operating systems supported by The Lattice Project.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Os {
+    /// Linux.
+    Linux,
+    /// Microsoft Windows.
+    Windows,
+    /// Apple Mac OS X.
+    MacOs,
+}
+
+/// An (architecture, OS) pair — the unit of binary compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Platform {
+    /// CPU architecture.
+    pub arch: Arch,
+    /// Operating system.
+    pub os: Os,
+}
+
+impl Platform {
+    /// Shorthand constructor.
+    pub const fn new(arch: Arch, os: Os) -> Platform {
+        Platform { arch, os }
+    }
+
+    /// The common 64-bit Linux platform.
+    pub const LINUX_X64: Platform = Platform::new(Arch::X86_64, Os::Linux);
+    /// 32-bit Linux.
+    pub const LINUX_X86: Platform = Platform::new(Arch::I686, Os::Linux);
+    /// 64-bit Windows.
+    pub const WINDOWS_X64: Platform = Platform::new(Arch::X86_64, Os::Windows);
+    /// Intel Mac OS X.
+    pub const MAC_X64: Platform = Platform::new(Arch::X86_64, Os::MacOs);
+    /// PowerPC Mac OS X.
+    pub const MAC_PPC: Platform = Platform::new(Arch::Ppc, Os::MacOs);
+
+    /// The full platform set a portable application ships binaries for.
+    pub const ALL_COMMON: [Platform; 4] = [
+        Platform::LINUX_X64,
+        Platform::LINUX_X86,
+        Platform::WINDOWS_X64,
+        Platform::MAC_X64,
+    ];
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let arch = match self.arch {
+            Arch::I686 => "i686",
+            Arch::X86_64 => "x86_64",
+            Arch::Ppc => "ppc",
+        };
+        let os = match self.os {
+            Os::Linux => "linux",
+            Os::Windows => "windows",
+            Os::MacOs => "macos",
+        };
+        write!(f, "{arch}-{os}")
+    }
+}
+
+/// True iff an application with binaries for `app_platforms` can run on a
+/// resource advertising `resource_platforms` (any overlap suffices — the
+/// grid stages the right binary).
+pub fn compatible(app_platforms: &[Platform], resource_platforms: &[Platform]) -> bool {
+    app_platforms.iter().any(|p| resource_platforms.contains(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Platform::LINUX_X64.to_string(), "x86_64-linux");
+        assert_eq!(Platform::MAC_PPC.to_string(), "ppc-macos");
+    }
+
+    #[test]
+    fn compatibility_requires_overlap() {
+        let app = [Platform::LINUX_X64, Platform::WINDOWS_X64];
+        assert!(compatible(&app, &[Platform::LINUX_X64]));
+        assert!(compatible(&app, &[Platform::MAC_X64, Platform::WINDOWS_X64]));
+        assert!(!compatible(&app, &[Platform::MAC_PPC]));
+        assert!(!compatible(&app, &[]));
+        assert!(!compatible(&[], &[Platform::LINUX_X64]));
+    }
+}

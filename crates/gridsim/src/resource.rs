@@ -1,0 +1,163 @@
+//! Local resource descriptions.
+//!
+//! "We define a local resource as an established computing resource
+//! administered in one domain and capable of functioning independently from
+//! the grid system" (paper §IV). The Lattice Project federated four Condor
+//! pools, four clusters, and an international BOINC pool; [`ResourceSpec`]
+//! describes any of them for the simulator.
+
+use crate::platform::Platform;
+use serde::{Deserialize, Serialize};
+
+/// Index of a resource within a grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ResourceId(pub usize);
+
+/// The LRM flavor a resource runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// Cycle-scavenged institutional desktops (preemptable, unstable).
+    CondorPool,
+    /// Dedicated cluster under PBS (stable batch queue).
+    PbsCluster,
+    /// Dedicated cluster under Sun Grid Engine (stable batch queue).
+    SgeCluster,
+    /// The BOINC volunteer pool (handled by [`crate::boinc`]).
+    BoincPool,
+}
+
+impl ResourceKind {
+    /// Scheduler-adapter name (paper §IV: one adapter per resource type).
+    pub fn adapter_name(self) -> &'static str {
+        match self {
+            ResourceKind::CondorPool => "condor",
+            ResourceKind::PbsCluster => "pbs",
+            ResourceKind::SgeCluster => "sge",
+            ResourceKind::BoincPool => "boinc",
+        }
+    }
+}
+
+/// Static description of one local resource.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceSpec {
+    /// Human-readable name (e.g. `"umd-pbs-cluster"`).
+    pub name: String,
+    /// LRM flavor.
+    pub kind: ResourceKind,
+    /// Number of execution slots (cores the grid user may occupy).
+    pub slots: usize,
+    /// True speed factor relative to the reference computer (the grid
+    /// *measures* this via calibration; see [`crate::speed`]).
+    pub speed: f64,
+    /// Memory per slot in bytes.
+    pub memory_per_slot: u64,
+    /// Platforms the resource's nodes run.
+    pub platforms: Vec<Platform>,
+    /// Whether tightly-coupled MPI jobs can run here.
+    pub mpi_capable: bool,
+    /// Advertised software (e.g. `"java"`).
+    pub software: Vec<String>,
+    /// Whether the resource is *stable* (accepts long jobs) in the paper's
+    /// §V.A sense. Condor pools and BOINC are unstable.
+    pub stable: bool,
+    /// Mean hours between interruptions per busy slot on unstable
+    /// resources (`None` on stable ones).
+    pub mean_hours_between_interruptions: Option<f64>,
+    /// Mean seconds of provider staleness tolerated before jobs fail;
+    /// modeled as random whole-resource outages when `Some((mtbf_h, mttr_h))`.
+    pub outages: Option<(f64, f64)>,
+}
+
+impl ResourceSpec {
+    /// A stable dedicated Linux cluster.
+    pub fn cluster(name: &str, kind: ResourceKind, slots: usize, speed: f64) -> ResourceSpec {
+        assert!(matches!(kind, ResourceKind::PbsCluster | ResourceKind::SgeCluster));
+        ResourceSpec {
+            name: name.into(),
+            kind,
+            slots,
+            speed,
+            memory_per_slot: 4 * 1024 * 1024 * 1024,
+            platforms: vec![Platform::LINUX_X64],
+            mpi_capable: true,
+            software: vec!["java".into(), "mpi".into()],
+            stable: true,
+            mean_hours_between_interruptions: None,
+            outages: None,
+        }
+    }
+
+    /// An unstable cycle-scavenged Condor pool of institutional desktops.
+    pub fn condor_pool(
+        name: &str,
+        slots: usize,
+        speed: f64,
+        mean_hours_between_interruptions: f64,
+    ) -> ResourceSpec {
+        ResourceSpec {
+            name: name.into(),
+            kind: ResourceKind::CondorPool,
+            slots,
+            speed,
+            memory_per_slot: 2 * 1024 * 1024 * 1024,
+            platforms: vec![Platform::LINUX_X64, Platform::WINDOWS_X64, Platform::MAC_X64],
+            mpi_capable: false,
+            software: vec![],
+            stable: false,
+            mean_hours_between_interruptions: Some(mean_hours_between_interruptions),
+            outages: None,
+        }
+    }
+
+    /// Builder-style memory override.
+    pub fn with_memory(mut self, bytes_per_slot: u64) -> ResourceSpec {
+        self.memory_per_slot = bytes_per_slot;
+        self
+    }
+
+    /// Builder-style whole-resource outage process (mean time between
+    /// failures / mean time to repair, in hours).
+    pub fn with_outages(mut self, mtbf_hours: f64, mttr_hours: f64) -> ResourceSpec {
+        self.outages = Some((mtbf_hours, mttr_hours));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_defaults() {
+        let r = ResourceSpec::cluster("c1", ResourceKind::PbsCluster, 64, 1.5);
+        assert!(r.stable);
+        assert!(r.mpi_capable);
+        assert_eq!(r.slots, 64);
+        assert_eq!(r.kind.adapter_name(), "pbs");
+    }
+
+    #[test]
+    fn condor_defaults() {
+        let r = ResourceSpec::condor_pool("pool", 100, 0.8, 6.0);
+        assert!(!r.stable);
+        assert!(!r.mpi_capable);
+        assert_eq!(r.mean_hours_between_interruptions, Some(6.0));
+        assert_eq!(r.kind.adapter_name(), "condor");
+    }
+
+    #[test]
+    #[should_panic]
+    fn cluster_kind_checked() {
+        let _ = ResourceSpec::cluster("x", ResourceKind::CondorPool, 8, 1.0);
+    }
+
+    #[test]
+    fn builders() {
+        let r = ResourceSpec::cluster("c", ResourceKind::SgeCluster, 8, 1.0)
+            .with_memory(16 << 30)
+            .with_outages(200.0, 4.0);
+        assert_eq!(r.memory_per_slot, 16 << 30);
+        assert_eq!(r.outages, Some((200.0, 4.0)));
+    }
+}

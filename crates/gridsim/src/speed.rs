@@ -1,0 +1,85 @@
+//! Resource speed calibration against the reference computer.
+//!
+//! "The basic method is to run a short GARLI job on each unique individual
+//! machine that is part of a resource, and average the runtimes we collect.
+//! We compare this averaged runtime to the runtime from a 'reference
+//! computer', which is arbitrarily assigned a speed of 1.0. If the job runs
+//! in half the time on the resource we are benchmarking, that resource is
+//! assigned a speed of 2.0 — in twice the time, a speed of 0.5 — and so
+//! forth" (paper §V.A).
+
+use simkit::SimRng;
+
+/// Runtime of the benchmark job on the reference computer, in seconds.
+pub const BENCHMARK_REFERENCE_SECONDS: f64 = 300.0;
+
+/// One machine's measured benchmark runtime (seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkRun {
+    /// Measured wall time of the reference job on this machine.
+    pub seconds: f64,
+}
+
+/// Average the per-machine runtimes and derive the resource speed factor.
+///
+/// # Panics
+/// Panics on an empty or non-positive sample.
+pub fn speed_from_benchmarks(runs: &[BenchmarkRun]) -> f64 {
+    assert!(!runs.is_empty(), "no benchmark runs");
+    assert!(runs.iter().all(|r| r.seconds > 0.0), "non-positive runtime");
+    let mean = runs.iter().map(|r| r.seconds).sum::<f64>() / runs.len() as f64;
+    BENCHMARK_REFERENCE_SECONDS / mean
+}
+
+/// Simulate benchmarking a resource whose machines have the given true
+/// speeds: each machine runs the reference job with a little measurement
+/// noise (system jitter), and the runtimes are averaged.
+pub fn benchmark_machines(true_speeds: &[f64], noise_sd: f64, rng: &mut SimRng) -> Vec<BenchmarkRun> {
+    true_speeds
+        .iter()
+        .map(|&s| {
+            assert!(s > 0.0, "invalid machine speed {s}");
+            let jitter = rng.normal(1.0, noise_sd).clamp(0.8, 1.25);
+            BenchmarkRun { seconds: BENCHMARK_REFERENCE_SECONDS / s * jitter }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples() {
+        // Half the time → speed 2.0; twice the time → speed 0.5.
+        let half = [BenchmarkRun { seconds: BENCHMARK_REFERENCE_SECONDS / 2.0 }];
+        assert!((speed_from_benchmarks(&half) - 2.0).abs() < 1e-12);
+        let double = [BenchmarkRun { seconds: BENCHMARK_REFERENCE_SECONDS * 2.0 }];
+        assert!((speed_from_benchmarks(&double) - 0.5).abs() < 1e-12);
+        let same = [BenchmarkRun { seconds: BENCHMARK_REFERENCE_SECONDS }];
+        assert!((speed_from_benchmarks(&same) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_pool_averages() {
+        // Machines at speeds 1.0 and 3.0: runtimes 300 and 100, mean 200,
+        // speed = 1.5 (runtime-average convention, as in the paper).
+        let runs = [BenchmarkRun { seconds: 300.0 }, BenchmarkRun { seconds: 100.0 }];
+        assert!((speed_from_benchmarks(&runs) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_calibration_close_to_truth() {
+        let mut rng = SimRng::new(131);
+        let speeds = vec![1.7; 40];
+        let runs = benchmark_machines(&speeds, 0.05, &mut rng);
+        let est = speed_from_benchmarks(&runs);
+        assert!((est - 1.7).abs() < 0.1, "estimated {est}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no benchmark runs")]
+    fn empty_rejected() {
+        let _ = speed_from_benchmarks(&[]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Replicate bundling for very short jobs (paper §VI.A, benefit 3).
+//!
+//! "If we find that someone has submitted jobs that are very short, e.g. a
+//! few minutes, we can ratchet up the number of search replicates each
+//! individual GARLI job will perform. Otherwise, for very short running
+//! jobs, the overhead of submitting each one independently substantially
+//! and negatively impacts performance gains from parallelization."
+
+use serde::{Deserialize, Serialize};
+
+/// Bundling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BundlingPolicy {
+    /// Per-job fixed overhead (staging, scheduling), seconds.
+    pub overhead_seconds: f64,
+    /// Largest acceptable overhead fraction of a job's total wall time.
+    pub max_overhead_fraction: f64,
+    /// Upper bound on replicates per bundle (keeps failure blast radius
+    /// small).
+    pub max_bundle: usize,
+}
+
+impl Default for BundlingPolicy {
+    fn default() -> Self {
+        BundlingPolicy {
+            overhead_seconds: 30.0,
+            max_overhead_fraction: 0.05,
+            max_bundle: 64,
+        }
+    }
+}
+
+impl BundlingPolicy {
+    /// Number of replicates to pack into one grid job, given the estimated
+    /// per-replicate runtime.
+    ///
+    /// The smallest `k` with `overhead / (overhead + k·estimate) ≤ f`,
+    /// clamped to `[1, max_bundle]`.
+    ///
+    /// # Panics
+    /// Panics on a non-positive estimate.
+    pub fn bundle_size(&self, estimated_seconds_per_replicate: f64) -> usize {
+        assert!(
+            estimated_seconds_per_replicate > 0.0,
+            "invalid estimate {estimated_seconds_per_replicate}"
+        );
+        let o = self.overhead_seconds;
+        let f = self.max_overhead_fraction;
+        // overhead/(overhead + k e) <= f  ⇔  k >= o (1 - f) / (f e)
+        let k = (o * (1.0 - f) / (f * estimated_seconds_per_replicate)).ceil() as usize;
+        k.clamp(1, self.max_bundle)
+    }
+
+    /// Split `total_replicates` into bundles of [`Self::bundle_size`]
+    /// (the last may be smaller). Returns bundle sizes.
+    pub fn bundles(&self, total_replicates: usize, estimated_seconds: f64) -> Vec<usize> {
+        let k = self.bundle_size(estimated_seconds);
+        let mut out = Vec::new();
+        let mut left = total_replicates;
+        while left > 0 {
+            let take = k.min(left);
+            out.push(take);
+            left -= take;
+        }
+        out
+    }
+
+    /// Overhead fraction of a bundle of `k` replicates.
+    pub fn overhead_fraction(&self, k: usize, estimated_seconds: f64) -> f64 {
+        self.overhead_seconds / (self.overhead_seconds + k as f64 * estimated_seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_jobs_stay_unbundled() {
+        let p = BundlingPolicy::default();
+        // 10-hour job: overhead is negligible already.
+        assert_eq!(p.bundle_size(36_000.0), 1);
+    }
+
+    #[test]
+    fn short_jobs_bundle_up() {
+        let p = BundlingPolicy::default();
+        // 60-second replicates with 30 s overhead and 5 % tolerance:
+        // need k >= 30·0.95/(0.05·60) = 9.5 → 10.
+        assert_eq!(p.bundle_size(60.0), 10);
+        // The resulting overhead fraction meets the target.
+        assert!(p.overhead_fraction(10, 60.0) <= 0.05 + 1e-12);
+        // And one fewer would not.
+        assert!(p.overhead_fraction(9, 60.0) > 0.05);
+    }
+
+    #[test]
+    fn cap_respected_for_tiny_jobs() {
+        let p = BundlingPolicy::default();
+        assert_eq!(p.bundle_size(0.5), 64);
+    }
+
+    #[test]
+    fn bundles_partition_total() {
+        let p = BundlingPolicy::default();
+        let sizes = p.bundles(100, 60.0); // k = 10
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+        assert_eq!(sizes.len(), 10);
+        let ragged = p.bundles(95, 60.0);
+        assert_eq!(ragged.iter().sum::<usize>(), 95);
+        assert_eq!(*ragged.last().unwrap(), 5);
+    }
+
+    #[test]
+    fn bundling_reduces_total_overhead() {
+        let p = BundlingPolicy::default();
+        let n = 1000;
+        let est = 120.0;
+        let unbundled_overhead = n as f64 * p.overhead_seconds;
+        let bundles = p.bundles(n, est);
+        let bundled_overhead = bundles.len() as f64 * p.overhead_seconds;
+        assert!(
+            bundled_overhead < unbundled_overhead / 3.0,
+            "bundling should slash overhead: {bundled_overhead} vs {unbundled_overhead}"
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Completion-time estimates for researchers (paper §VI.A, benefit 4).
+//!
+//! "Runtime estimates help us provide researchers with an idea of how long
+//! it will take for their jobs to complete, which is of great use in
+//! project planning and time management." The bound here is the classic
+//! list-scheduling estimate: work spread over the effective slots, plus
+//! the longest single job (nothing finishes before its own runtime), plus
+//! dispatch overhead.
+
+use serde::{Deserialize, Serialize};
+
+/// A capacity summary of the (currently online) grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacitySnapshot {
+    /// Execution slots the submission can use.
+    pub slots: usize,
+    /// Mean calibrated speed of those slots.
+    pub mean_speed: f64,
+    /// Per-job dispatch overhead, seconds.
+    pub overhead_seconds: f64,
+}
+
+/// Estimated time to completion for a batch of `replicates` jobs each
+/// predicted to take `estimated_seconds` on the reference computer.
+///
+/// # Panics
+/// Panics on zero slots or non-positive speed.
+pub fn estimate_completion_seconds(
+    replicates: usize,
+    estimated_seconds: f64,
+    capacity: CapacitySnapshot,
+) -> f64 {
+    assert!(capacity.slots > 0, "no capacity");
+    assert!(capacity.mean_speed > 0.0, "invalid speed");
+    if replicates == 0 {
+        return 0.0;
+    }
+    let per_job = estimated_seconds / capacity.mean_speed + capacity.overhead_seconds;
+    let waves = (replicates as f64 / capacity.slots as f64).ceil();
+    waves * per_job
+}
+
+/// Render an ETA as the friendly string a portal status page would show.
+pub fn human_eta(seconds: f64) -> String {
+    if seconds < 90.0 {
+        "about a minute".to_string()
+    } else if seconds < 5400.0 {
+        format!("about {} minutes", (seconds / 60.0).round() as u64)
+    } else if seconds < 129_600.0 {
+        format!("about {} hours", (seconds / 3600.0).round() as u64)
+    } else {
+        format!("about {} days", (seconds / 86_400.0).round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAP: CapacitySnapshot =
+        CapacitySnapshot { slots: 100, mean_speed: 1.0, overhead_seconds: 30.0 };
+
+    #[test]
+    fn single_wave() {
+        // 100 slots, 100 jobs of 1h: one wave ≈ 1h + overhead.
+        let eta = estimate_completion_seconds(100, 3600.0, CAP);
+        assert!((eta - 3630.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn multiple_waves() {
+        let eta = estimate_completion_seconds(250, 3600.0, CAP);
+        assert!((eta - 3.0 * 3630.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn speed_scales_eta() {
+        let fast = CapacitySnapshot { mean_speed: 2.0, ..CAP };
+        let eta = estimate_completion_seconds(100, 3600.0, fast);
+        assert!((eta - (1800.0 + 30.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_replicates() {
+        assert_eq!(estimate_completion_seconds(0, 3600.0, CAP), 0.0);
+    }
+
+    #[test]
+    fn human_strings() {
+        assert_eq!(human_eta(45.0), "about a minute");
+        assert_eq!(human_eta(1800.0), "about 30 minutes");
+        assert_eq!(human_eta(7200.0), "about 2 hours");
+        assert_eq!(human_eta(200_000.0), "about 2 days");
+    }
+}

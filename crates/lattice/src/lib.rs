@@ -1,0 +1,38 @@
+//! `lattice` — The Lattice Project's core contribution, integrated: a-priori
+//! GARLI runtime estimation with random forests, wired into grid-level
+//! scheduling, BOINC deadline setting, replicate bundling, and user ETAs
+//! (paper §V–§VI).
+//!
+//! The crate sits on top of every substrate in the workspace:
+//!
+//! * [`predictors`] — the nine job predictors of Fig. 2, extracted from a
+//!   GARLI configuration + its validation report into a feature row;
+//! * [`training`] — the workload generator: diverse synthetic submissions
+//!   are *actually executed* by the `garli` engine and their deterministic
+//!   runtimes recorded (substituting for the ~150 historical user jobs the
+//!   paper trained on — see DESIGN.md);
+//! * [`estimator`] — the random-forest runtime model: train, predict,
+//!   OOB variance explained, permutation importance (Fig. 2);
+//! * [`online`] — continuous model rebuilding from the reference-computer
+//!   replicate forked off each incoming submission (§VI.E);
+//! * [`bundling`] — packing search replicates into bigger jobs when
+//!   estimates are short (§VI.A, benefit 3);
+//! * [`eta`] — completion-time estimates for researchers (§VI.A, benefit 4);
+//! * [`pipeline`] — submission → validation → estimation → grid →
+//!   post-processing, end to end;
+//! * [`system`] — the facade the examples and experiment harness drive.
+
+#![warn(missing_docs)]
+
+pub mod bundling;
+pub mod estimator;
+pub mod eta;
+pub mod online;
+pub mod pipeline;
+pub mod predictors;
+pub mod system;
+pub mod training;
+
+pub use estimator::RuntimeEstimator;
+pub use predictors::{predictor_schema, JobFeatures};
+pub use system::LatticeSystem;

@@ -1,0 +1,199 @@
+//! The Lattice Project facade: a trained system ready to take submissions.
+
+use crate::estimator::RuntimeEstimator;
+use crate::online::OnlineEstimator;
+use crate::pipeline::{run_campaign, CampaignOptions, CampaignResult};
+use crate::training::{generate_training_jobs, Scale};
+use garli::config::GarliConfig;
+use gridsim::boinc::BoincConfig;
+use gridsim::grid::GridConfig;
+use gridsim::resource::{ResourceKind, ResourceSpec};
+use phylo::alignment::Alignment;
+use portal::notify::Outbox;
+use portal::submission::Submission;
+use portal::users::User;
+
+/// A ready-to-serve Lattice instance: trained runtime model + grid layout
+/// + notification outbox.
+pub struct LatticeSystem {
+    estimator: OnlineEstimator,
+    grid: GridConfig,
+    outbox: Outbox,
+    next_submission: u64,
+}
+
+/// The production-like resource layout: four institutions (clusters +
+/// Condor pools, per paper §IV: "four Condor pools, four computing
+/// clusters") plus the BOINC volunteer pool.
+pub fn standard_grid(seed: u64) -> GridConfig {
+    GridConfig {
+        resources: vec![
+            ResourceSpec::cluster("umd-pbs", ResourceKind::PbsCluster, 128, 1.2),
+            ResourceSpec::cluster("umd-sge", ResourceKind::SgeCluster, 64, 1.0),
+            ResourceSpec::cluster("bowie-pbs", ResourceKind::PbsCluster, 32, 0.8),
+            ResourceSpec::cluster("smithsonian-sge", ResourceKind::SgeCluster, 48, 1.5)
+                .with_memory(16 << 30),
+            ResourceSpec::condor_pool("umd-condor", 120, 0.9, 8.0),
+            ResourceSpec::condor_pool("coppin-condor", 40, 0.7, 6.0),
+            ResourceSpec::condor_pool("bowie-condor", 60, 0.8, 10.0),
+            ResourceSpec::condor_pool("smithsonian-condor", 50, 1.1, 12.0),
+        ],
+        boinc: Some(BoincConfig::default()),
+        seed,
+        ..Default::default()
+    }
+}
+
+impl LatticeSystem {
+    /// Bootstrap a system: generate-and-execute a training workload, fit
+    /// the forest, and adopt the given grid layout.
+    pub fn bootstrap(
+        training_jobs: usize,
+        scale: Scale,
+        num_trees: usize,
+        grid: GridConfig,
+        seed: u64,
+    ) -> LatticeSystem {
+        let jobs = generate_training_jobs(training_jobs, scale, seed);
+        let estimator = RuntimeEstimator::train(&jobs, num_trees, seed ^ 0xE57);
+        LatticeSystem {
+            estimator: OnlineEstimator::new(estimator, num_trees, seed ^ 0x0A11),
+            grid,
+            outbox: Outbox::new(),
+            next_submission: 1,
+        }
+    }
+
+    /// The current runtime model.
+    pub fn estimator(&self) -> &RuntimeEstimator {
+        self.estimator.estimator()
+    }
+
+    /// The online wrapper (observations & prediction log).
+    pub fn online(&self) -> &OnlineEstimator {
+        &self.estimator
+    }
+
+    /// The grid layout.
+    pub fn grid_config(&self) -> &GridConfig {
+        &self.grid
+    }
+
+    /// Outgoing notifications so far.
+    pub fn outbox(&self) -> &Outbox {
+        &self.outbox
+    }
+
+    /// Accept and run a submission end to end. Afterwards, the paper's
+    /// §VI.E loop: the first probe replicate's measured runtime is fed back
+    /// into the model ("we simply fork off a single job replicate on our
+    /// reference computer … and rebuild the model").
+    pub fn submit(
+        &mut self,
+        user: User,
+        config: GarliConfig,
+        alignment: Alignment,
+        mut options: CampaignOptions,
+    ) -> Result<CampaignResult, portal::submission::StateError> {
+        let id = self.next_submission;
+        self.next_submission += 1;
+        options.grid = self.grid.clone();
+        options.seed ^= id;
+        let mut submission = Submission::new(id, user, config, alignment);
+        let result = run_campaign(
+            &mut submission,
+            Some(self.estimator.estimator()),
+            &options,
+            &mut self.outbox,
+        )?;
+        // Online update from the reference-computer replicate.
+        self.estimator.observe(result.features, result.probe_mean_seconds);
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo::models::nucleotide::NucModel;
+    use phylo::models::SiteRates;
+    use phylo::simulate::Simulator;
+    use phylo::tree::Tree;
+    use simkit::SimRng;
+
+    fn small_system() -> LatticeSystem {
+        let grid = GridConfig {
+            resources: vec![ResourceSpec::cluster(
+                "c",
+                ResourceKind::PbsCluster,
+                16,
+                1.0,
+            )],
+            seed: 21,
+            ..Default::default()
+        };
+        LatticeSystem::bootstrap(20, Scale::Compact, 50, grid, 22)
+    }
+
+    fn quick_submission_parts() -> (GarliConfig, Alignment) {
+        let mut rng = SimRng::new(223);
+        let tree = Tree::random_topology(6, &mut rng);
+        let model = NucModel::jc69();
+        let aln = Simulator::new(&model, SiteRates::uniform()).simulate(&tree, 150, &mut rng);
+        let mut config = GarliConfig::quick_nucleotide();
+        config.genthresh_for_topo_term = 4;
+        config.max_generations = 20;
+        config.search_replicates = 3;
+        (config, aln)
+    }
+
+    #[test]
+    fn system_processes_submissions_and_learns() {
+        let mut sys = small_system();
+        let before = sys.estimator().dataset().len();
+        let (config, aln) = quick_submission_parts();
+        let result = sys
+            .submit(
+                User::guest("u@x.org").unwrap(),
+                config,
+                aln,
+                CampaignOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(result.report.completed, 3);
+        assert_eq!(sys.estimator().dataset().len(), before + 1, "online observation added");
+        assert!(!sys.outbox().emails().is_empty());
+    }
+
+    #[test]
+    fn standard_grid_shape() {
+        let g = standard_grid(1);
+        assert_eq!(g.resources.len(), 8);
+        let clusters = g
+            .resources
+            .iter()
+            .filter(|r| matches!(r.kind, ResourceKind::PbsCluster | ResourceKind::SgeCluster))
+            .count();
+        let condors = g
+            .resources
+            .iter()
+            .filter(|r| r.kind == ResourceKind::CondorPool)
+            .count();
+        assert_eq!(clusters, 4, "four clusters, as in the paper");
+        assert_eq!(condors, 4, "four Condor pools, as in the paper");
+        assert!(g.boinc.is_some(), "plus the BOINC pool");
+    }
+
+    #[test]
+    fn submission_ids_increment() {
+        let mut sys = small_system();
+        let (config, aln) = quick_submission_parts();
+        let _ = sys
+            .submit(User::guest("a@x.org").unwrap(), config.clone(), aln.clone(), CampaignOptions::default())
+            .unwrap();
+        let _ = sys
+            .submit(User::guest("b@x.org").unwrap(), config, aln, CampaignOptions::default())
+            .unwrap();
+        assert_eq!(sys.online().observations(), 2);
+    }
+}

@@ -1,0 +1,301 @@
+//! Multiple sequence alignments.
+
+use crate::alphabet::{DataType, State};
+use crate::sequence::Sequence;
+use serde::{Deserialize, Serialize};
+
+/// An aligned set of sequences: equal length, one data type, unique names.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alignment {
+    data_type: DataType,
+    sequences: Vec<Sequence>,
+    num_sites: usize,
+}
+
+/// Errors from alignment construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlignmentError {
+    /// Alignments need at least two sequences.
+    TooFewSequences {
+        /// Sequences supplied.
+        found: usize,
+    },
+    /// A sequence whose length differs from the first.
+    RaggedLength {
+        /// Offending taxon name.
+        name: String,
+        /// Length of the first sequence.
+        expected: usize,
+        /// Length found.
+        found: usize,
+    },
+    /// A sequence whose data type differs from the first.
+    MixedDataTypes {
+        /// Offending taxon name.
+        name: String,
+    },
+    /// Two sequences share a taxon name.
+    DuplicateName {
+        /// The repeated name.
+        name: String,
+    },
+    /// Zero-length alignment.
+    Empty,
+}
+
+impl std::fmt::Display for AlignmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlignmentError::TooFewSequences { found } => {
+                write!(f, "alignment needs at least 2 sequences, found {found}")
+            }
+            AlignmentError::RaggedLength { name, expected, found } => {
+                write!(f, "sequence {name:?} has length {found}, expected {expected}")
+            }
+            AlignmentError::MixedDataTypes { name } => {
+                write!(f, "sequence {name:?} has a different data type")
+            }
+            AlignmentError::DuplicateName { name } => {
+                write!(f, "duplicate taxon name {name:?}")
+            }
+            AlignmentError::Empty => write!(f, "alignment has zero sites"),
+        }
+    }
+}
+
+impl std::error::Error for AlignmentError {}
+
+impl Alignment {
+    /// Validate and assemble an alignment.
+    pub fn new(sequences: Vec<Sequence>) -> Result<Alignment, AlignmentError> {
+        if sequences.len() < 2 {
+            return Err(AlignmentError::TooFewSequences { found: sequences.len() });
+        }
+        let data_type = sequences[0].data_type();
+        let num_sites = sequences[0].len();
+        if num_sites == 0 {
+            return Err(AlignmentError::Empty);
+        }
+        let mut names = std::collections::HashSet::new();
+        for s in &sequences {
+            if s.data_type() != data_type {
+                return Err(AlignmentError::MixedDataTypes { name: s.name().to_string() });
+            }
+            if s.len() != num_sites {
+                return Err(AlignmentError::RaggedLength {
+                    name: s.name().to_string(),
+                    expected: num_sites,
+                    found: s.len(),
+                });
+            }
+            if !names.insert(s.name().to_string()) {
+                return Err(AlignmentError::DuplicateName { name: s.name().to_string() });
+            }
+        }
+        Ok(Alignment { data_type, sequences, num_sites })
+    }
+
+    /// Parse a simple FASTA string into an alignment.
+    pub fn from_fasta(data_type: DataType, fasta: &str) -> Result<Alignment, Box<dyn std::error::Error>> {
+        let mut seqs = Vec::new();
+        let mut name: Option<String> = None;
+        let mut body = String::new();
+        let flush = |name: &mut Option<String>, body: &mut String, seqs: &mut Vec<Sequence>| -> Result<(), Box<dyn std::error::Error>> {
+            if let Some(n) = name.take() {
+                seqs.push(Sequence::from_text(n, data_type, body)?);
+                body.clear();
+            }
+            Ok(())
+        };
+        for line in fasta.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('>') {
+                flush(&mut name, &mut body, &mut seqs)?;
+                name = Some(header.split_whitespace().next().unwrap_or("").to_string());
+            } else {
+                body.push_str(line);
+            }
+        }
+        flush(&mut name, &mut body, &mut seqs)?;
+        Ok(Alignment::new(seqs)?)
+    }
+
+    /// Serialize to FASTA.
+    pub fn to_fasta(&self) -> String {
+        let mut out = String::new();
+        for s in &self.sequences {
+            out.push('>');
+            out.push_str(s.name());
+            out.push('\n');
+            out.push_str(&s.to_text());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The alphabet shared by all sequences.
+    pub fn data_type(&self) -> DataType {
+        self.data_type
+    }
+
+    /// Number of taxa.
+    pub fn num_taxa(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Number of aligned characters (codon columns count once).
+    pub fn num_sites(&self) -> usize {
+        self.num_sites
+    }
+
+    /// The sequences in order.
+    pub fn sequences(&self) -> &[Sequence] {
+        &self.sequences
+    }
+
+    /// Taxon names in sequence order.
+    pub fn taxon_names(&self) -> Vec<&str> {
+        self.sequences.iter().map(|s| s.name()).collect()
+    }
+
+    /// Index of the taxon called `name`.
+    pub fn taxon_index(&self, name: &str) -> Option<usize> {
+        self.sequences.iter().position(|s| s.name() == name)
+    }
+
+    /// The state of taxon `taxon` at site `site`.
+    pub fn state(&self, taxon: usize, site: usize) -> State {
+        self.sequences[taxon].states()[site]
+    }
+
+    /// One aligned column.
+    pub fn column(&self, site: usize) -> Vec<State> {
+        self.sequences.iter().map(|s| s.states()[site]).collect()
+    }
+
+    /// Overall fraction of missing characters.
+    pub fn missing_fraction(&self) -> f64 {
+        let total: f64 = self.sequences.iter().map(|s| s.missing_fraction()).sum();
+        total / self.sequences.len() as f64
+    }
+
+    /// Replace the site set with the given column indices (with repetition
+    /// allowed) — the primitive behind bootstrap resampling.
+    pub fn select_sites(&self, sites: &[usize]) -> Alignment {
+        assert!(!sites.is_empty(), "cannot select zero sites");
+        let sequences = self
+            .sequences
+            .iter()
+            .map(|s| {
+                let states = sites.iter().map(|&i| s.states()[i]).collect();
+                Sequence::from_states(s.name().to_string(), self.data_type, states)
+            })
+            .collect();
+        Alignment { data_type: self.data_type, sequences, num_sites: sites.len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aln() -> Alignment {
+        Alignment::new(vec![
+            Sequence::from_text("a", DataType::Nucleotide, "ACGT").unwrap(),
+            Sequence::from_text("b", DataType::Nucleotide, "ACGA").unwrap(),
+            Sequence::from_text("c", DataType::Nucleotide, "AC-T").unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let a = aln();
+        assert_eq!(a.num_taxa(), 3);
+        assert_eq!(a.num_sites(), 4);
+        assert_eq!(a.taxon_names(), vec!["a", "b", "c"]);
+        assert_eq!(a.taxon_index("b"), Some(1));
+        assert_eq!(a.taxon_index("zz"), None);
+        assert_eq!(a.column(0).len(), 3);
+    }
+
+    #[test]
+    fn ragged_rejected() {
+        let err = Alignment::new(vec![
+            Sequence::from_text("a", DataType::Nucleotide, "ACGT").unwrap(),
+            Sequence::from_text("b", DataType::Nucleotide, "ACG").unwrap(),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, AlignmentError::RaggedLength { .. }));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Alignment::new(vec![
+            Sequence::from_text("a", DataType::Nucleotide, "AC").unwrap(),
+            Sequence::from_text("a", DataType::Nucleotide, "AC").unwrap(),
+        ])
+        .unwrap_err();
+        assert_eq!(err, AlignmentError::DuplicateName { name: "a".into() });
+    }
+
+    #[test]
+    fn mixed_types_rejected() {
+        let err = Alignment::new(vec![
+            Sequence::from_text("a", DataType::Nucleotide, "AC").unwrap(),
+            Sequence::from_text("b", DataType::AminoAcid, "AR").unwrap(),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, AlignmentError::MixedDataTypes { .. }));
+    }
+
+    #[test]
+    fn too_few_rejected() {
+        let err = Alignment::new(vec![
+            Sequence::from_text("a", DataType::Nucleotide, "AC").unwrap(),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, AlignmentError::TooFewSequences { found: 1 }));
+    }
+
+    #[test]
+    fn fasta_roundtrip() {
+        let a = aln();
+        let txt = a.to_fasta();
+        let b = Alignment::from_fasta(DataType::Nucleotide, &txt).unwrap();
+        assert_eq!(a.num_taxa(), b.num_taxa());
+        assert_eq!(a.num_sites(), b.num_sites());
+        assert_eq!(a.taxon_names(), b.taxon_names());
+    }
+
+    #[test]
+    fn fasta_multiline_bodies() {
+        let a = Alignment::from_fasta(
+            DataType::Nucleotide,
+            ">x extra words\nAC\nGT\n>y\nACGA\n",
+        )
+        .unwrap();
+        assert_eq!(a.num_sites(), 4);
+        assert_eq!(a.taxon_names(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn select_sites_resamples() {
+        let a = aln();
+        let b = a.select_sites(&[0, 0, 3]);
+        assert_eq!(b.num_sites(), 3);
+        assert_eq!(b.state(0, 0), a.state(0, 0));
+        assert_eq!(b.state(0, 1), a.state(0, 0));
+        assert_eq!(b.state(0, 2), a.state(0, 3));
+    }
+
+    #[test]
+    fn missing_fraction_avg() {
+        let a = aln();
+        // one gap over 12 cells
+        assert!((a.missing_fraction() - 1.0 / 12.0).abs() < 1e-9);
+    }
+}

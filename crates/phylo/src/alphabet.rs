@@ -1,0 +1,392 @@
+//! Character alphabets: nucleotide, amino acid, and codon.
+//!
+//! Every observed character is stored as a [`State`] — a bitmask over the
+//! alphabet's states. A resolved character has exactly one bit set; IUPAC
+//! nucleotide ambiguity codes set several bits; gaps and missing data set all
+//! of them. A `u64` mask comfortably covers the largest alphabet (61 sense
+//! codons of the universal genetic code).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three character types GARLI analyses (paper §VI.B: data type is the
+/// second most important runtime predictor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 4-state DNA.
+    Nucleotide,
+    /// 20-state protein.
+    AminoAcid,
+    /// 61-state sense codons (universal code; stops excluded).
+    Codon,
+}
+
+impl DataType {
+    /// Number of character states.
+    pub const fn num_states(self) -> usize {
+        match self {
+            DataType::Nucleotide => 4,
+            DataType::AminoAcid => 20,
+            DataType::Codon => 61,
+        }
+    }
+
+    /// Short lowercase name as used in GARLI configuration files.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DataType::Nucleotide => "nucleotide",
+            DataType::AminoAcid => "aminoacid",
+            DataType::Codon => "codon",
+        }
+    }
+
+    /// All data types, in ascending state-count order.
+    pub const ALL: [DataType; 3] = [DataType::Nucleotide, DataType::AminoAcid, DataType::Codon];
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One observed character: a bitmask over alphabet states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct State(pub u64);
+
+impl State {
+    /// A fully resolved state.
+    pub fn known(index: usize) -> State {
+        debug_assert!(index < 64);
+        State(1u64 << index)
+    }
+
+    /// Gap / missing data: every state allowed.
+    pub fn missing(data_type: DataType) -> State {
+        let n = data_type.num_states();
+        if n == 64 {
+            State(u64::MAX)
+        } else {
+            State((1u64 << n) - 1)
+        }
+    }
+
+    /// True iff exactly one state bit is set.
+    pub fn is_resolved(self) -> bool {
+        self.0.count_ones() == 1
+    }
+
+    /// True iff this is a full-ambiguity (gap/missing) mask for `data_type`.
+    pub fn is_missing(self, data_type: DataType) -> bool {
+        self == State::missing(data_type)
+    }
+
+    /// The resolved state index, if resolved.
+    pub fn index(self) -> Option<usize> {
+        self.is_resolved().then(|| self.0.trailing_zeros() as usize)
+    }
+
+    /// True iff state `i` is allowed by this mask.
+    pub fn allows(self, i: usize) -> bool {
+        self.0 & (1u64 << i) != 0
+    }
+
+    /// Number of allowed states.
+    pub fn cardinality(self) -> u32 {
+        self.0.count_ones()
+    }
+}
+
+/// The 20 amino acids in the conventional alphabetical one-letter order.
+pub const AMINO_ACIDS: [char; 20] = [
+    'A', 'R', 'N', 'D', 'C', 'Q', 'E', 'G', 'H', 'I', 'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W',
+    'Y', 'V',
+];
+
+/// The 4 nucleotides in alphabetical order (A, C, G, T).
+pub const NUCLEOTIDES: [char; 4] = ['A', 'C', 'G', 'T'];
+
+/// Encode one character for the given data type (codons are encoded from
+/// triplets; see [`encode_codon`]).
+///
+/// Nucleotides understand the IUPAC ambiguity codes; amino acids understand
+/// `X` and `-`/`?` as missing and `B`/`Z` as two-state ambiguities.
+/// Returns `None` for characters outside the alphabet.
+pub fn encode_char(data_type: DataType, c: char) -> Option<State> {
+    let c = c.to_ascii_uppercase();
+    match data_type {
+        DataType::Nucleotide => encode_nucleotide(c),
+        DataType::AminoAcid => encode_amino_acid(c),
+        DataType::Codon => None, // codons are encoded from triplets
+    }
+}
+
+fn nuc_mask(chars: &[char]) -> u64 {
+    chars
+        .iter()
+        .map(|c| 1u64 << NUCLEOTIDES.iter().position(|n| n == c).unwrap())
+        .fold(0, |a, b| a | b)
+}
+
+fn encode_nucleotide(c: char) -> Option<State> {
+    let mask = match c {
+        'A' => nuc_mask(&['A']),
+        'C' => nuc_mask(&['C']),
+        'G' => nuc_mask(&['G']),
+        'T' | 'U' => nuc_mask(&['T']),
+        'R' => nuc_mask(&['A', 'G']),
+        'Y' => nuc_mask(&['C', 'T']),
+        'S' => nuc_mask(&['C', 'G']),
+        'W' => nuc_mask(&['A', 'T']),
+        'K' => nuc_mask(&['G', 'T']),
+        'M' => nuc_mask(&['A', 'C']),
+        'B' => nuc_mask(&['C', 'G', 'T']),
+        'D' => nuc_mask(&['A', 'G', 'T']),
+        'H' => nuc_mask(&['A', 'C', 'T']),
+        'V' => nuc_mask(&['A', 'C', 'G']),
+        'N' | '-' | '?' => return Some(State::missing(DataType::Nucleotide)),
+        _ => return None,
+    };
+    Some(State(mask))
+}
+
+fn aa_bit(c: char) -> u64 {
+    1u64 << AMINO_ACIDS.iter().position(|a| *a == c).unwrap()
+}
+
+fn encode_amino_acid(c: char) -> Option<State> {
+    if let Some(i) = AMINO_ACIDS.iter().position(|a| *a == c) {
+        return Some(State::known(i));
+    }
+    match c {
+        'B' => Some(State(aa_bit('N') | aa_bit('D'))),
+        'Z' => Some(State(aa_bit('Q') | aa_bit('E'))),
+        'X' | '-' | '?' => Some(State::missing(DataType::AminoAcid)),
+        _ => None,
+    }
+}
+
+/// Decode a resolved state back to its character (nucleotide/amino acid) for
+/// display. Unresolved masks render as `?`.
+pub fn decode_char(data_type: DataType, state: State) -> char {
+    match (data_type, state.index()) {
+        (DataType::Nucleotide, Some(i)) => NUCLEOTIDES[i],
+        (DataType::AminoAcid, Some(i)) => AMINO_ACIDS[i],
+        _ => '?',
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codons
+// ---------------------------------------------------------------------------
+
+/// The universal genetic code's stop codons as (nuc, nuc, nuc) index triplets
+/// over A=0, C=1, G=2, T=3: TAA, TAG, TGA.
+const STOP_TRIPLETS: [(usize, usize, usize); 3] = [(3, 0, 0), (3, 0, 2), (3, 2, 0)];
+
+/// Map from codon state index (0..61) to its nucleotide triplet.
+pub fn codon_triplet(index: usize) -> (usize, usize, usize) {
+    debug_assert!(index < 61);
+    let mut k = 0;
+    for a in 0..4 {
+        for b in 0..4 {
+            for c in 0..4 {
+                if STOP_TRIPLETS.contains(&(a, b, c)) {
+                    continue;
+                }
+                if k == index {
+                    return (a, b, c);
+                }
+                k += 1;
+            }
+        }
+    }
+    unreachable!("codon index out of range")
+}
+
+/// Map a nucleotide triplet to its codon state index, or `None` for stops.
+pub fn triplet_index(a: usize, b: usize, c: usize) -> Option<usize> {
+    if STOP_TRIPLETS.contains(&(a, b, c)) {
+        return None;
+    }
+    let mut k = 0;
+    for x in 0..4 {
+        for y in 0..4 {
+            for z in 0..4 {
+                if STOP_TRIPLETS.contains(&(x, y, z)) {
+                    continue;
+                }
+                if (x, y, z) == (a, b, c) {
+                    return Some(k);
+                }
+                k += 1;
+            }
+        }
+    }
+    None
+}
+
+/// Amino acid index (into [`AMINO_ACIDS`]) encoded by codon state `index`,
+/// under the universal code. Used to classify synonymous vs nonsynonymous
+/// substitutions in the Goldman–Yang codon model.
+pub fn codon_amino_acid(index: usize) -> usize {
+    // Universal genetic code, laid out over the 4x4x4 cube (A,C,G,T order).
+    // Entry = one-letter amino acid; stops are never queried.
+    const CODE: [[&str; 4]; 4] = [
+        // first base A
+        ["KNKN", "TTTT", "RSRS", "IIMI"], // second base A,C,G,T ; third A,C,G,T
+        // first base C
+        ["QHQH", "PPPP", "RRRR", "LLLL"],
+        // first base G
+        ["EDED", "AAAA", "GGGG", "VVVV"],
+        // first base T
+        ["*Y*Y", "SSSS", "*CWC", "LFLF"],
+    ];
+    let (a, b, c) = codon_triplet(index);
+    let aa = CODE[a][b].as_bytes()[c] as char;
+    debug_assert_ne!(aa, '*', "stop codon in sense-codon table");
+    AMINO_ACIDS
+        .iter()
+        .position(|x| *x == aa)
+        .expect("unknown amino acid letter in genetic code table")
+}
+
+/// Encode a nucleotide triplet of characters as a codon [`State`].
+///
+/// Any ambiguity or gap in the triplet yields full missing; a stop codon
+/// yields `None` (invalid data).
+pub fn encode_codon(c1: char, c2: char, c3: char) -> Option<State> {
+    let states = [encode_nucleotide(c1.to_ascii_uppercase())?,
+        encode_nucleotide(c2.to_ascii_uppercase())?,
+        encode_nucleotide(c3.to_ascii_uppercase())?];
+    match (states[0].index(), states[1].index(), states[2].index()) {
+        (Some(a), Some(b), Some(c)) => triplet_index(a, b, c).map(State::known),
+        _ => Some(State::missing(DataType::Codon)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_counts() {
+        assert_eq!(DataType::Nucleotide.num_states(), 4);
+        assert_eq!(DataType::AminoAcid.num_states(), 20);
+        assert_eq!(DataType::Codon.num_states(), 61);
+    }
+
+    #[test]
+    fn nucleotide_roundtrip() {
+        for (i, c) in NUCLEOTIDES.iter().enumerate() {
+            let s = encode_char(DataType::Nucleotide, *c).unwrap();
+            assert_eq!(s.index(), Some(i));
+            assert_eq!(decode_char(DataType::Nucleotide, s), *c);
+        }
+    }
+
+    #[test]
+    fn iupac_ambiguity() {
+        let r = encode_char(DataType::Nucleotide, 'R').unwrap();
+        assert!(!r.is_resolved());
+        assert!(r.allows(0) && r.allows(2)); // A and G
+        assert!(!r.allows(1) && !r.allows(3));
+        assert_eq!(r.cardinality(), 2);
+        let n = encode_char(DataType::Nucleotide, 'N').unwrap();
+        assert!(n.is_missing(DataType::Nucleotide));
+        assert_eq!(n.cardinality(), 4);
+    }
+
+    #[test]
+    fn uracil_maps_to_t() {
+        assert_eq!(
+            encode_char(DataType::Nucleotide, 'U'),
+            encode_char(DataType::Nucleotide, 'T')
+        );
+    }
+
+    #[test]
+    fn lowercase_accepted() {
+        assert_eq!(
+            encode_char(DataType::Nucleotide, 'a'),
+            encode_char(DataType::Nucleotide, 'A')
+        );
+    }
+
+    #[test]
+    fn invalid_char_rejected() {
+        assert_eq!(encode_char(DataType::Nucleotide, 'J'), None);
+        assert_eq!(encode_char(DataType::AminoAcid, 'O'), None);
+    }
+
+    #[test]
+    fn amino_acid_roundtrip() {
+        for (i, c) in AMINO_ACIDS.iter().enumerate() {
+            let s = encode_char(DataType::AminoAcid, *c).unwrap();
+            assert_eq!(s.index(), Some(i));
+            assert_eq!(decode_char(DataType::AminoAcid, s), *c);
+        }
+    }
+
+    #[test]
+    fn amino_acid_two_state_ambiguities() {
+        let b = encode_char(DataType::AminoAcid, 'B').unwrap();
+        assert_eq!(b.cardinality(), 2);
+        assert!(b.allows(2) && b.allows(3)); // N, D
+        let z = encode_char(DataType::AminoAcid, 'Z').unwrap();
+        assert!(z.allows(5) && z.allows(6)); // Q, E
+    }
+
+    #[test]
+    fn codon_indices_bijective() {
+        let mut seen = [false; 61];
+        for a in 0..4 {
+            for b in 0..4 {
+                for c in 0..4 {
+                    match triplet_index(a, b, c) {
+                        Some(i) => {
+                            assert!(!seen[i], "duplicate codon index {i}");
+                            seen[i] = true;
+                            assert_eq!(codon_triplet(i), (a, b, c));
+                        }
+                        None => assert!(STOP_TRIPLETS.contains(&(a, b, c))),
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all 61 sense codons covered");
+    }
+
+    #[test]
+    fn genetic_code_spot_checks() {
+        // ATG -> M (methionine)
+        let atg = triplet_index(0, 3, 2).unwrap();
+        assert_eq!(AMINO_ACIDS[codon_amino_acid(atg)], 'M');
+        // TGG -> W (tryptophan)
+        let tgg = triplet_index(3, 2, 2).unwrap();
+        assert_eq!(AMINO_ACIDS[codon_amino_acid(tgg)], 'W');
+        // GCT -> A (alanine)
+        let gct = triplet_index(2, 1, 3).unwrap();
+        assert_eq!(AMINO_ACIDS[codon_amino_acid(gct)], 'A');
+        // AAA -> K (lysine)
+        let aaa = triplet_index(0, 0, 0).unwrap();
+        assert_eq!(AMINO_ACIDS[codon_amino_acid(aaa)], 'K');
+    }
+
+    #[test]
+    fn encode_codon_handles_stops_and_gaps() {
+        assert_eq!(encode_codon('T', 'A', 'A'), None); // stop: invalid
+        let gap = encode_codon('A', '-', 'G').unwrap();
+        assert!(gap.is_missing(DataType::Codon));
+        let atg = encode_codon('a', 't', 'g').unwrap();
+        assert!(atg.is_resolved());
+    }
+
+    #[test]
+    fn all_codons_map_to_valid_amino_acids() {
+        for i in 0..61 {
+            let aa = codon_amino_acid(i);
+            assert!(aa < 20);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Greedy (majority-rule–extended) consensus trees.
+//!
+//! Bootstrap analyses summarize hundreds of replicate topologies into one
+//! tree whose edges carry support values — the figure a systematist
+//! actually publishes. The greedy consensus ranks all observed splits by
+//! frequency and accepts them in order whenever compatible with what has
+//! been accepted so far, then refines any remaining multifurcations
+//! arbitrarily (with zero-length edges) to satisfy this crate's binary
+//! tree invariant.
+
+use crate::tree::{Split, Tree};
+use std::collections::HashMap;
+
+/// A consensus topology plus the support of each accepted split.
+#[derive(Debug, Clone)]
+pub struct ConsensusTree {
+    /// The (binary, arbitrarily refined) consensus topology. Edges created
+    /// only to binarize an unresolved node have branch length 0; edges
+    /// backed by an accepted split carry its support as branch length.
+    pub tree: Tree,
+    /// Accepted splits with their frequencies, in acceptance order.
+    pub supports: Vec<(Split, f64)>,
+}
+
+fn words(num_taxa: usize) -> usize {
+    num_taxa.div_ceil(64)
+}
+
+fn is_subset(a: &Split, b: &Split) -> bool {
+    a.iter().zip(b).all(|(x, y)| x & !y == 0)
+}
+
+fn intersects(a: &Split, b: &Split) -> bool {
+    a.iter().zip(b).any(|(x, y)| x & y != 0)
+}
+
+/// Two normalized splits (sides not containing taxon 0) are compatible iff
+/// they are disjoint or nested.
+pub fn compatible(a: &Split, b: &Split) -> bool {
+    !intersects(a, b) || is_subset(a, b) || is_subset(b, a)
+}
+
+fn popcount(s: &Split) -> usize {
+    s.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Build the greedy consensus of `trees`.
+///
+/// # Panics
+/// Panics if `trees` is empty or the trees disagree on taxon count.
+pub fn greedy_consensus(trees: &[Tree]) -> ConsensusTree {
+    assert!(!trees.is_empty(), "no trees to summarize");
+    let n = trees[0].num_taxa();
+    assert!(n >= 3, "consensus needs at least 3 taxa");
+    assert!(trees.iter().all(|t| t.num_taxa() == n), "taxon sets differ");
+
+    // Count split frequencies.
+    let mut counts: HashMap<Split, usize> = HashMap::new();
+    for t in trees {
+        assert_eq!(t.num_taxa(), n);
+        for s in t.splits() {
+            *counts.entry(s).or_default() += 1;
+        }
+    }
+    // Rank: frequency desc, then smaller side first, then lexicographic
+    // bits (full determinism).
+    let mut ranked: Vec<(Split, usize)> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then(popcount(&a.0).cmp(&popcount(&b.0)))
+            .then(a.0.cmp(&b.0))
+    });
+
+    // Greedy compatibility filter.
+    let mut accepted: Vec<(Split, f64)> = Vec::new();
+    for (split, count) in ranked {
+        if accepted.len() == n.saturating_sub(3) {
+            break; // binary tree is fully resolved
+        }
+        if accepted.iter().all(|(s, _)| compatible(s, &split)) {
+            accepted.push((split, count as f64 / trees.len() as f64));
+        }
+    }
+
+    let tree = build_from_laminar(n, &accepted);
+    ConsensusTree { tree, supports: accepted }
+}
+
+/// Construct a binary tree (rooted at taxon 0) from a laminar family of
+/// normalized splits, refining multifurcations arbitrarily.
+fn build_from_laminar(n: usize, accepted: &[(Split, f64)]) -> Tree {
+    let w = words(n);
+    // Clusters: accepted splits + singletons {1..n-1} + the top cluster
+    // {1..n-1} (the subtree hanging off the root leaf).
+    #[derive(Clone)]
+    struct Cluster {
+        bits: Split,
+        size: usize,
+        support: f64,
+        /// Leaf taxon if singleton.
+        taxon: Option<usize>,
+    }
+    let mut clusters: Vec<Cluster> = Vec::new();
+    let mut top = vec![0u64; w];
+    for t in 1..n {
+        top[t / 64] |= 1 << (t % 64);
+        let mut bits = vec![0u64; w];
+        bits[t / 64] |= 1 << (t % 64);
+        clusters.push(Cluster { bits, size: 1, support: 1.0, taxon: Some(t) });
+    }
+    for (s, sup) in accepted {
+        clusters.push(Cluster { bits: s.clone(), size: popcount(s), support: *sup, taxon: None });
+    }
+    clusters.push(Cluster { bits: top.clone(), size: n - 1, support: 1.0, taxon: None });
+
+    // Parent of each cluster = smallest strictly-containing cluster.
+    let order: Vec<usize> = {
+        let mut idx: Vec<usize> = (0..clusters.len()).collect();
+        idx.sort_by_key(|&i| clusters[i].size);
+        idx
+    };
+    let top_index = *order.last().expect("top cluster present");
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); clusters.len()];
+    for (pos, &i) in order.iter().enumerate() {
+        if i == top_index {
+            continue;
+        }
+        // Smallest strictly larger cluster containing i.
+        let parent = order[pos + 1..]
+            .iter()
+            .copied()
+            .find(|&j| {
+                clusters[j].size > clusters[i].size && is_subset(&clusters[i].bits, &clusters[j].bits)
+            })
+            .expect("top cluster contains everything");
+        children[parent].push(i);
+    }
+
+    // Emit edges, binarizing nodes with >2 children via zero-length joins.
+    // Vertex ids: 0..n = taxa; internal ids allocated after.
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    let mut next_vertex = n;
+    // vertex id of each cluster's node.
+    let mut vertex: Vec<Option<usize>> = vec![None; clusters.len()];
+    // Process small to large so children exist before parents.
+    for &i in &order {
+        let c = &clusters[i];
+        if let Some(t) = c.taxon {
+            vertex[i] = Some(t);
+            continue;
+        }
+        // Gather child vertices.
+        let mut kids: Vec<(usize, f64)> = children[i]
+            .iter()
+            .map(|&k| {
+                (
+                    vertex[k].expect("children processed first"),
+                    clusters[k].support,
+                )
+            })
+            .collect();
+        // Binarize: join pairs with zero-length internal edges until two
+        // remain.
+        while kids.len() > 2 {
+            let (va, sa) = kids.pop().expect("len > 2");
+            let (vb, sb) = kids.pop().expect("len > 2");
+            let joint = next_vertex;
+            next_vertex += 1;
+            edges.push((va, joint, sa));
+            edges.push((vb, joint, sb));
+            kids.push((joint, 0.0)); // refinement edge: zero support/length
+        }
+        let node = next_vertex;
+        next_vertex += 1;
+        for (v, s) in kids {
+            edges.push((v, node, s));
+        }
+        vertex[i] = Some(node);
+    }
+    // Root leaf 0 attaches to the top cluster's node.
+    let top_vertex = vertex[top_index].expect("top processed");
+    edges.push((0, top_vertex, 1.0));
+    Tree::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimRng;
+
+    #[test]
+    fn consensus_of_identical_trees_is_that_tree() {
+        let mut rng = SimRng::new(601);
+        let t = Tree::random_topology(9, &mut rng);
+        let c = greedy_consensus(&[t.clone(), t.clone(), t.clone()]);
+        assert!(c.tree.same_topology(&t));
+        assert_eq!(c.supports.len(), 6); // n - 3
+        assert!(c.supports.iter().all(|(_, s)| (s - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn majority_split_wins() {
+        // Three trees: two share a topology, one differs. The consensus
+        // must equal the majority topology.
+        let mut rng = SimRng::new(602);
+        let a = Tree::random_topology(8, &mut rng);
+        let mut b = a.clone();
+        let edges = b.internal_edge_nodes();
+        b.nni(edges[0], 0);
+        let c = greedy_consensus(&[a.clone(), a.clone(), b]);
+        assert!(c.tree.same_topology(&a));
+    }
+
+    #[test]
+    fn consensus_is_valid_and_binary_for_random_forests_of_trees() {
+        let mut rng = SimRng::new(603);
+        for n in [4usize, 6, 10, 17] {
+            let trees: Vec<Tree> =
+                (0..7).map(|_| Tree::random_topology(n, &mut rng)).collect();
+            let c = greedy_consensus(&trees);
+            c.tree.check_invariants();
+            assert_eq!(c.tree.num_taxa(), n);
+            assert_eq!(c.tree.splits().len(), n - 3, "binary after refinement");
+        }
+    }
+
+    #[test]
+    fn accepted_splits_appear_in_consensus() {
+        let mut rng = SimRng::new(604);
+        let trees: Vec<Tree> = (0..9).map(|_| Tree::random_topology(10, &mut rng)).collect();
+        let c = greedy_consensus(&trees);
+        let splits = c.tree.splits();
+        for (s, _) in &c.supports {
+            assert!(splits.contains(s), "accepted split missing from the tree");
+        }
+    }
+
+    #[test]
+    fn supports_are_descending_frequencies() {
+        let mut rng = SimRng::new(605);
+        let trees: Vec<Tree> = (0..15).map(|_| Tree::random_topology(8, &mut rng)).collect();
+        let c = greedy_consensus(&trees);
+        for w in c.supports.windows(2) {
+            assert!(w[0].1 >= w[1].1 - 1e-12);
+        }
+        assert!(c.supports.iter().all(|(_, s)| *s > 0.0 && *s <= 1.0));
+    }
+
+    #[test]
+    fn compatibility_rules() {
+        let a: Split = vec![0b0110]; // {1,2}
+        let b: Split = vec![0b1000]; // {3}
+        let c: Split = vec![0b1110]; // {1,2,3}
+        let d: Split = vec![0b1100]; // {2,3}
+        assert!(compatible(&a, &b)); // disjoint
+        assert!(compatible(&a, &c)); // nested
+        assert!(!compatible(&a, &d)); // crossing
+    }
+
+    #[test]
+    #[should_panic(expected = "no trees")]
+    fn empty_input_rejected() {
+        let _ = greedy_consensus(&[]);
+    }
+}

@@ -1,0 +1,54 @@
+//! `phylo` — the phylogenetics substrate for the lattice-grid workspace.
+//!
+//! GARLI-style maximum-likelihood search needs a full numerical stack:
+//! character alphabets (nucleotide, amino acid, codon), aligned sequence
+//! data with site-pattern compression, unrooted binary tree topologies with
+//! NNI/SPR edit operations, time-reversible substitution models (GTR family,
+//! amino-acid, Goldman–Yang codon) with Γ-distributed among-site rate
+//! heterogeneity and invariant sites, and Felsenstein-pruning likelihood
+//! evaluation with numerical scaling.
+//!
+//! This crate provides all of it from scratch, plus the supporting cast:
+//! Newick I/O, distance methods (neighbor joining for starting trees),
+//! sequence simulation along a tree (used to fabricate realistic workloads),
+//! and bootstrap resampling.
+//!
+//! # Quick taste
+//!
+//! ```
+//! use phylo::simulate::Simulator;
+//! use phylo::tree::Tree;
+//! use phylo::models::nucleotide::NucModel;
+//! use phylo::models::SiteRates;
+//! use phylo::likelihood::LikelihoodEngine;
+//!
+//! // Simulate a 6-taxon nucleotide alignment and score the true tree.
+//! let mut rng = simkit::SimRng::new(7);
+//! let tree = Tree::random_topology(6, &mut rng);
+//! let model = NucModel::jc69();
+//! let aln = Simulator::new(&model, SiteRates::uniform())
+//!     .simulate(&tree, 200, &mut rng);
+//! let engine = LikelihoodEngine::new(&aln, &model, SiteRates::uniform());
+//! let lnl = engine.log_likelihood(&tree);
+//! assert!(lnl < 0.0 && lnl.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod alignment;
+pub mod alphabet;
+pub mod bootstrap;
+pub mod distance;
+pub mod likelihood;
+pub mod linalg;
+pub mod models;
+pub mod consensus;
+pub mod newick;
+pub mod patterns;
+pub mod sequence;
+pub mod simulate;
+pub mod tree;
+
+pub use alignment::Alignment;
+pub use alphabet::DataType;
+pub use tree::Tree;

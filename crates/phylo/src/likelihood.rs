@@ -1,0 +1,503 @@
+//! Felsenstein-pruning likelihood evaluation.
+//!
+//! The engine computes the log-likelihood of an alignment on a tree under a
+//! [`SubstModel`] and a [`SiteRates`] mixture, with per-pattern numerical
+//! scaling so thousand-taxon trees do not underflow.
+//!
+//! ## Work accounting
+//!
+//! Every evaluation also counts the *likelihood cells* it touched (the inner
+//! products `Σ_j P_ij · L_j`). This deterministic work measure is what the
+//! grid simulator uses as ground-truth job cost: it scales exactly like GARLI
+//! wall time — linear in site patterns, taxa, and rate categories, quadratic
+//! in state count (4 / 20 / 61 for the three data types) — which is what
+//! makes the paper's nine job parameters *predictive* of runtime in the
+//! first place.
+
+use crate::alignment::Alignment;
+use crate::alphabet::State;
+use crate::linalg::Matrix;
+use crate::models::{SiteRates, SubstModel};
+use crate::patterns::PatternSet;
+use crate::tree::Tree;
+
+/// A likelihood evaluator bound to one alignment, model, and rate mixture.
+pub struct LikelihoodEngine<'a, M: SubstModel> {
+    patterns: PatternSet,
+    model: &'a M,
+    rates: SiteRates,
+}
+
+/// Result of one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Log-likelihood (`-inf` if the data has probability zero).
+    pub log_likelihood: f64,
+    /// Likelihood cells computed (deterministic work measure).
+    pub work: u64,
+}
+
+impl<'a, M: SubstModel> LikelihoodEngine<'a, M> {
+    /// Bind an engine to `alignment` (compressed to patterns internally).
+    ///
+    /// # Panics
+    /// Panics if the alignment's data type differs from the model's.
+    pub fn new(alignment: &Alignment, model: &'a M, rates: SiteRates) -> Self {
+        assert_eq!(
+            alignment.data_type(),
+            model.data_type(),
+            "alignment/model data type mismatch"
+        );
+        let patterns = PatternSet::compress(alignment);
+        LikelihoodEngine { patterns, model, rates }
+    }
+
+    /// Build from an existing pattern set (bootstrap replicates reuse the
+    /// compressed patterns with new weights).
+    pub fn from_patterns(patterns: PatternSet, model: &'a M, rates: SiteRates) -> Self {
+        LikelihoodEngine { patterns, model, rates }
+    }
+
+    /// The compressed pattern set.
+    pub fn patterns(&self) -> &PatternSet {
+        &self.patterns
+    }
+
+    /// The rate mixture.
+    pub fn rates(&self) -> &SiteRates {
+        &self.rates
+    }
+
+    /// Log-likelihood of `tree`.
+    pub fn log_likelihood(&self, tree: &Tree) -> f64 {
+        self.evaluate(tree).log_likelihood
+    }
+
+    /// Log-likelihood plus work counter.
+    ///
+    /// # Panics
+    /// Panics if the tree's taxon count does not match the alignment.
+    pub fn evaluate(&self, tree: &Tree) -> Evaluation {
+        evaluate_patterns(&self.patterns, self.model, &self.rates, tree)
+    }
+}
+
+/// Log-likelihood of `tree` for a pattern set under `model` and `rates` —
+/// the free-function form used by search loops that mutate model parameters
+/// between evaluations.
+///
+/// # Panics
+/// Panics if the tree's taxon count does not match the pattern set.
+pub fn evaluate_patterns<M: SubstModel>(
+    patterns: &PatternSet,
+    model: &M,
+    rates: &SiteRates,
+    tree: &Tree,
+) -> Evaluation {
+    Evaluator { patterns, model, rates, num_states: model.num_states() }.run(tree)
+}
+
+struct Evaluator<'a, M: SubstModel> {
+    patterns: &'a PatternSet,
+    model: &'a M,
+    rates: &'a SiteRates,
+    num_states: usize,
+}
+
+impl<M: SubstModel> Evaluator<'_, M> {
+    fn run(&self, tree: &Tree) -> Evaluation {
+        assert_eq!(
+            tree.num_taxa(),
+            self.patterns.num_taxa(),
+            "tree/alignment taxon count mismatch"
+        );
+        let ns = self.num_states;
+        let ncat = self.rates.num_categories();
+        let npat = self.patterns.num_patterns();
+        let cats = self.rates.categories();
+        let mut work: u64 = 0;
+
+        // partials[node] = Some(flat [cat][pattern][state]) for internal nodes.
+        let mut partials: Vec<Option<Vec<f64>>> = vec![None; tree.num_nodes()];
+        let mut logscale = vec![0.0f64; npat];
+
+        let order = tree.postorder();
+        for &node in &order {
+            if node == tree.root() || tree.is_leaf(node) {
+                continue;
+            }
+            let children = &tree.node(node).children;
+            let mut acc = vec![1.0f64; ncat * npat * ns];
+            for &child in children {
+                let bl = tree.branch_length(child);
+                // One transition matrix per rate category.
+                let pmats: Vec<Matrix> = cats
+                    .iter()
+                    .map(|&(r, _)| self.model.transition_matrix(bl * r))
+                    .collect();
+                match tree.node(child).taxon {
+                    Some(taxon) => {
+                        work += self.combine_leaf_child(
+                            &mut acc, &pmats, taxon, ns, ncat, npat,
+                        );
+                    }
+                    None => {
+                        let cp = partials[child]
+                            .as_ref()
+                            .expect("postorder guarantees child computed first");
+                        work += combine_internal_child(&mut acc, &pmats, cp, ns, ncat, npat);
+                    }
+                }
+            }
+            // Per-pattern rescale across categories and states.
+            for p in 0..npat {
+                let mut maxv = 0.0f64;
+                for k in 0..ncat {
+                    let base = (k * npat + p) * ns;
+                    for s in 0..ns {
+                        maxv = maxv.max(acc[base + s]);
+                    }
+                }
+                if maxv > 0.0 && maxv < 1e-30 {
+                    let inv = 1.0 / maxv;
+                    for k in 0..ncat {
+                        let base = (k * npat + p) * ns;
+                        for s in 0..ns {
+                            acc[base + s] *= inv;
+                        }
+                    }
+                    logscale[p] += maxv.ln();
+                }
+            }
+            partials[node] = Some(acc);
+        }
+
+        // Root: a leaf (taxon 0) with a single child.
+        let root = tree.root();
+        let root_taxon = tree.node(root).taxon.expect("root is a leaf");
+        let child = tree.node(root).children[0];
+        let bl = tree.branch_length(child);
+        let pmats: Vec<Matrix> =
+            cats.iter().map(|&(r, _)| self.model.transition_matrix(bl * r)).collect();
+        let freqs = self.model.frequencies();
+
+        let mut lnl = 0.0f64;
+        for p in 0..npat {
+            let root_state = self.patterns.state(p, root_taxon);
+            let mut site_like = 0.0f64;
+            for (k, &(_, wk)) in cats.iter().enumerate() {
+                let pm = &pmats[k];
+                let mut cat_like = 0.0f64;
+                for i in 0..ns {
+                    if !root_state.allows(i) {
+                        continue;
+                    }
+                    // Σ_j P_ij · child_j
+                    let inner = match tree.node(child).taxon {
+                        Some(taxon) => {
+                            let cs = self.patterns.state(p, taxon);
+                            let mut acc = 0.0;
+                            for j in 0..ns {
+                                if cs.allows(j) {
+                                    acc += pm[(i, j)];
+                                }
+                            }
+                            work += ns as u64;
+                            acc
+                        }
+                        None => {
+                            let cp = partials[child].as_ref().unwrap();
+                            let base = (k * npat + p) * ns;
+                            let mut acc = 0.0;
+                            for j in 0..ns {
+                                acc += pm[(i, j)] * cp[base + j];
+                            }
+                            work += ns as u64;
+                            acc
+                        }
+                    };
+                    cat_like += freqs[i] * inner;
+                }
+                site_like += wk * cat_like;
+            }
+            if site_like <= 0.0 {
+                return Evaluation { log_likelihood: f64::NEG_INFINITY, work };
+            }
+            lnl += self.patterns.weights()[p] * (site_like.ln() + logscale[p]);
+        }
+        Evaluation { log_likelihood: lnl, work }
+    }
+
+    /// Multiply `acc` by the contribution of a leaf child (tip states let us
+    /// skip the disallowed columns of P). Returns cells computed.
+    fn combine_leaf_child(
+        &self,
+        acc: &mut [f64],
+        pmats: &[Matrix],
+        taxon: usize,
+        ns: usize,
+        ncat: usize,
+        npat: usize,
+    ) -> u64 {
+        let mut work = 0u64;
+        for k in 0..ncat {
+            let pm = &pmats[k];
+            for p in 0..npat {
+                let tip: State = self.patterns.state(p, taxon);
+                let base = (k * npat + p) * ns;
+                if let Some(j) = tip.index() {
+                    // Resolved tip: inner product collapses to one column.
+                    for i in 0..ns {
+                        acc[base + i] *= pm[(i, j)];
+                    }
+                    work += ns as u64;
+                } else {
+                    for i in 0..ns {
+                        let mut s = 0.0;
+                        for j in 0..ns {
+                            if tip.allows(j) {
+                                s += pm[(i, j)];
+                            }
+                        }
+                        acc[base + i] *= s;
+                    }
+                    work += (ns * ns) as u64;
+                }
+            }
+        }
+        work
+    }
+}
+
+/// Multiply `acc` by the contribution of an internal child with partials
+/// `cp`. Returns cells computed.
+fn combine_internal_child(
+    acc: &mut [f64],
+    pmats: &[Matrix],
+    cp: &[f64],
+    ns: usize,
+    ncat: usize,
+    npat: usize,
+) -> u64 {
+    for k in 0..ncat {
+        let pm = &pmats[k];
+        for p in 0..npat {
+            let base = (k * npat + p) * ns;
+            for i in 0..ns {
+                let mut s = 0.0;
+                for j in 0..ns {
+                    s += pm[(i, j)] * cp[base + j];
+                }
+                acc[base + i] *= s;
+            }
+        }
+    }
+    (ncat * npat * ns * ns) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::DataType;
+    use crate::models::aminoacid::AaModel;
+    use crate::models::codon::CodonModel;
+    use crate::models::nucleotide::NucModel;
+    use crate::sequence::Sequence;
+
+    fn two_taxon_tree(t1: f64, t2: f64) -> Tree {
+        let mut tree = Tree::caterpillar(2, 0.0);
+        let leaf1 = tree.leaf_node(1);
+        tree.set_branch_length(leaf1, t1 + t2);
+        tree
+    }
+
+    fn nuc_aln(rows: &[(&str, &str)]) -> Alignment {
+        Alignment::new(
+            rows.iter()
+                .map(|(n, s)| Sequence::from_text(*n, DataType::Nucleotide, s).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    /// Two-taxon JC69 likelihood has a closed form:
+    /// match sites:    L = 0.25 · (0.25 + 0.75 e^{-4t/3})
+    /// mismatch sites: L = 0.25 · (0.25 − 0.25 e^{-4t/3})
+    #[test]
+    fn two_taxon_jc_closed_form() {
+        let t = 0.35;
+        let tree = two_taxon_tree(t, 0.0);
+        let aln = nuc_aln(&[("a", "AAC"), ("b", "AGC")]); // 2 matches, 1 mismatch
+        let model = NucModel::jc69();
+        let engine = LikelihoodEngine::new(&aln, &model, SiteRates::uniform());
+        let lnl = engine.log_likelihood(&tree);
+        let e = (-4.0 * t / 3.0f64).exp();
+        let match_l = 0.25 * (0.25 + 0.75 * e);
+        let mismatch_l = 0.25 * (0.25 - 0.25 * e);
+        let expected = 2.0 * match_l.ln() + mismatch_l.ln();
+        assert!((lnl - expected).abs() < 1e-10, "{lnl} vs {expected}");
+    }
+
+    /// The pulley principle: only the path length between the two taxa
+    /// matters, not how it is split.
+    #[test]
+    fn two_taxon_path_length_invariance() {
+        let aln = nuc_aln(&[("a", "ACGTAC"), ("b", "ACGTAA")]);
+        let model = NucModel::hky85(2.0, [0.3, 0.2, 0.2, 0.3]);
+        let e1 = LikelihoodEngine::new(&aln, &model, SiteRates::uniform());
+        let l1 = e1.log_likelihood(&two_taxon_tree(0.3, 0.0));
+        let l2 = e1.log_likelihood(&two_taxon_tree(0.1, 0.2));
+        assert!((l1 - l2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn all_missing_column_contributes_zero() {
+        let model = NucModel::jc69();
+        let with_gap = nuc_aln(&[("a", "AC-"), ("b", "AG-")]);
+        let without = nuc_aln(&[("a", "AC"), ("b", "AG")]);
+        let tree = two_taxon_tree(0.2, 0.0);
+        let lg = LikelihoodEngine::new(&with_gap, &model, SiteRates::uniform())
+            .log_likelihood(&tree);
+        let lw = LikelihoodEngine::new(&without, &model, SiteRates::uniform())
+            .log_likelihood(&tree);
+        assert!((lg - lw).abs() < 1e-10, "all-gap column must have L = 1");
+    }
+
+    #[test]
+    fn gamma_one_category_equals_uniform() {
+        let mut rng = simkit::SimRng::new(12);
+        let tree = Tree::random_topology(6, &mut rng);
+        let model = NucModel::jc69();
+        let aln = crate::simulate::Simulator::new(&model, SiteRates::uniform())
+            .simulate(&tree, 100, &mut rng);
+        let lu = LikelihoodEngine::new(&aln, &model, SiteRates::uniform())
+            .log_likelihood(&tree);
+        let lg = LikelihoodEngine::new(&aln, &model, SiteRates::gamma(1, 0.5))
+            .log_likelihood(&tree);
+        assert!((lu - lg).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rate_heterogeneity_changes_likelihood() {
+        let aln = nuc_aln(&[("a", "ACGTACGTAC"), ("b", "ACGAACGAAC")]);
+        let model = NucModel::jc69();
+        let tree = two_taxon_tree(0.3, 0.0);
+        let lu = LikelihoodEngine::new(&aln, &model, SiteRates::uniform())
+            .log_likelihood(&tree);
+        let lg = LikelihoodEngine::new(&aln, &model, SiteRates::gamma(4, 0.3))
+            .log_likelihood(&tree);
+        assert!((lu - lg).abs() > 1e-6, "Γ(α=0.3) should move the likelihood");
+    }
+
+    #[test]
+    fn work_scales_with_rate_categories() {
+        let mut rng = simkit::SimRng::new(13);
+        let tree = Tree::random_topology(8, &mut rng);
+        let model = NucModel::jc69();
+        let aln = crate::simulate::Simulator::new(&model, SiteRates::uniform())
+            .simulate(&tree, 300, &mut rng);
+        let e1 = LikelihoodEngine::new(&aln, &model, SiteRates::uniform()).evaluate(&tree);
+        let e4 =
+            LikelihoodEngine::new(&aln, &model, SiteRates::gamma(4, 0.5)).evaluate(&tree);
+        let ratio = e4.work as f64 / e1.work as f64;
+        assert!((ratio - 4.0).abs() < 0.2, "work ratio {ratio}, expected ≈ 4");
+    }
+
+    #[test]
+    fn work_scales_quadratically_with_states() {
+        // Same taxa/sites; amino acid (20 states) vs nucleotide (4 states):
+        // internal-edge work ratio approaches (20/4)² = 25 (leaf edges are
+        // linear in states, so the overall ratio sits between 5 and 25).
+        let mut rng = simkit::SimRng::new(14);
+        let tree = Tree::random_topology(10, &mut rng);
+        let nuc = NucModel::jc69();
+        let aa = AaModel::poisson();
+        let aln_n = crate::simulate::Simulator::new(&nuc, SiteRates::uniform())
+            .simulate(&tree, 100, &mut rng);
+        let aln_a = crate::simulate::Simulator::new(&aa, SiteRates::uniform())
+            .simulate(&tree, 100, &mut rng);
+        let wn = LikelihoodEngine::new(&aln_n, &nuc, SiteRates::uniform())
+            .evaluate(&tree)
+            .work;
+        let wa = LikelihoodEngine::new(&aln_a, &aa, SiteRates::uniform())
+            .evaluate(&tree)
+            .work;
+        // Pattern counts differ between the two simulated alignments; compare
+        // per-pattern work.
+        let pn = PatternSet::compress(&aln_n).num_patterns() as f64;
+        let pa = PatternSet::compress(&aln_a).num_patterns() as f64;
+        let ratio = (wa as f64 / pa) / (wn as f64 / pn);
+        assert!(ratio > 5.0, "20-state work should dwarf 4-state: ratio {ratio}");
+    }
+
+    /// Invariant-sites mixture has a closed form on two taxa: the rate-0
+    /// category contributes π_i only to match sites (P(0) = I), the other
+    /// category is plain JC at the scaled rate.
+    #[test]
+    fn invariant_sites_closed_form() {
+        let pinv = 0.3;
+        let t = 0.4;
+        let tree = two_taxon_tree(t, 0.0);
+        let aln = nuc_aln(&[("a", "AG"), ("b", "AC")]); // one match, one mismatch
+        let model = NucModel::jc69();
+        let engine = LikelihoodEngine::new(&aln, &model, SiteRates::invariant(pinv));
+        let lnl = engine.log_likelihood(&tree);
+        let e = (-4.0 * (t / (1.0 - pinv)) / 3.0f64).exp();
+        let match_l = pinv * 0.25 + (1.0 - pinv) * 0.25 * (0.25 + 0.75 * e);
+        let mismatch_l = (1.0 - pinv) * 0.25 * (0.25 - 0.25 * e);
+        let expected = match_l.ln() + mismatch_l.ln();
+        assert!((lnl - expected).abs() < 1e-10, "{lnl} vs {expected}");
+    }
+
+    #[test]
+    fn work_counter_is_deterministic_across_calls() {
+        let mut rng = simkit::SimRng::new(16);
+        let tree = Tree::random_topology(9, &mut rng);
+        let model = NucModel::jc69();
+        let aln = crate::simulate::Simulator::new(&model, SiteRates::uniform())
+            .simulate(&tree, 120, &mut rng);
+        let engine = LikelihoodEngine::new(&aln, &model, SiteRates::gamma(4, 0.7));
+        let a = engine.evaluate(&tree);
+        let b = engine.evaluate(&tree);
+        assert_eq!(a.work, b.work);
+        assert_eq!(a.log_likelihood, b.log_likelihood);
+    }
+
+    #[test]
+    fn codon_engine_runs() {
+        let aln = Alignment::new(vec![
+            Sequence::from_text("a", DataType::Codon, "ATGGCTAAAGCT").unwrap(),
+            Sequence::from_text("b", DataType::Codon, "ATGGCGAAAGCT").unwrap(),
+        ])
+        .unwrap();
+        let model = CodonModel::goldman_yang(2.0, 0.5);
+        let engine = LikelihoodEngine::new(&aln, &model, SiteRates::uniform());
+        let lnl = engine.log_likelihood(&two_taxon_tree(0.1, 0.0));
+        assert!(lnl.is_finite() && lnl < 0.0);
+    }
+
+    #[test]
+    fn deep_tree_does_not_underflow() {
+        // Long caterpillar with sizeable branch lengths: raw likelihoods
+        // underflow f64 without scaling.
+        let mut rng = simkit::SimRng::new(15);
+        let tree = Tree::caterpillar(60, 0.4);
+        let model = NucModel::jc69();
+        let aln = crate::simulate::Simulator::new(&model, SiteRates::uniform())
+            .simulate(&tree, 50, &mut rng);
+        let lnl = LikelihoodEngine::new(&aln, &model, SiteRates::uniform())
+            .log_likelihood(&tree);
+        assert!(lnl.is_finite(), "scaling must prevent underflow, got {lnl}");
+        assert!(lnl < -100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "taxon count mismatch")]
+    fn mismatched_tree_rejected() {
+        let aln = nuc_aln(&[("a", "AC"), ("b", "AC")]);
+        let model = NucModel::jc69();
+        let engine = LikelihoodEngine::new(&aln, &model, SiteRates::uniform());
+        let tree = Tree::caterpillar(3, 0.1);
+        let _ = engine.log_likelihood(&tree);
+    }
+}

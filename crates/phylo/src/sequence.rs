@@ -1,0 +1,225 @@
+//! A named, encoded molecular sequence.
+
+use crate::alphabet::{decode_char, encode_char, encode_codon, DataType, State};
+use serde::{Deserialize, Serialize};
+
+/// A single aligned sequence: a taxon name plus encoded character states.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sequence {
+    name: String,
+    data_type: DataType,
+    states: Vec<State>,
+}
+
+/// Errors from sequence construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SequenceError {
+    /// A character outside the alphabet, with its position.
+    InvalidCharacter {
+        /// Zero-based character position.
+        position: usize,
+        /// The offending character.
+        character: char,
+    },
+    /// Codon sequences must have length divisible by three.
+    LengthNotMultipleOfThree {
+        /// Length found.
+        length: usize,
+    },
+    /// A stop codon inside the reading frame.
+    StopCodon {
+        /// Zero-based codon position.
+        codon_position: usize,
+    },
+}
+
+impl std::fmt::Display for SequenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SequenceError::InvalidCharacter { position, character } => {
+                write!(f, "invalid character {character:?} at position {position}")
+            }
+            SequenceError::LengthNotMultipleOfThree { length } => {
+                write!(f, "codon data length {length} is not a multiple of 3")
+            }
+            SequenceError::StopCodon { codon_position } => {
+                write!(f, "stop codon at codon position {codon_position}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SequenceError {}
+
+impl Sequence {
+    /// Build a sequence from raw characters, encoding per `data_type`.
+    ///
+    /// For [`DataType::Codon`] the text is read as nucleotide triplets; the
+    /// length must be a multiple of three and in-frame stop codons are
+    /// rejected.
+    pub fn from_text(
+        name: impl Into<String>,
+        data_type: DataType,
+        text: &str,
+    ) -> Result<Sequence, SequenceError> {
+        let chars: Vec<char> = text.chars().filter(|c| !c.is_whitespace()).collect();
+        let states = match data_type {
+            DataType::Codon => {
+                if chars.len() % 3 != 0 {
+                    return Err(SequenceError::LengthNotMultipleOfThree { length: chars.len() });
+                }
+                let mut out = Vec::with_capacity(chars.len() / 3);
+                for (k, triple) in chars.chunks_exact(3).enumerate() {
+                    // Validate each base individually for a precise error.
+                    for (off, &c) in triple.iter().enumerate() {
+                        if encode_char(DataType::Nucleotide, c).is_none() {
+                            return Err(SequenceError::InvalidCharacter {
+                                position: k * 3 + off,
+                                character: c,
+                            });
+                        }
+                    }
+                    match encode_codon(triple[0], triple[1], triple[2]) {
+                        Some(s) => out.push(s),
+                        None => return Err(SequenceError::StopCodon { codon_position: k }),
+                    }
+                }
+                out
+            }
+            _ => {
+                let mut out = Vec::with_capacity(chars.len());
+                for (i, &c) in chars.iter().enumerate() {
+                    match encode_char(data_type, c) {
+                        Some(s) => out.push(s),
+                        None => {
+                            return Err(SequenceError::InvalidCharacter {
+                                position: i,
+                                character: c,
+                            })
+                        }
+                    }
+                }
+                out
+            }
+        };
+        Ok(Sequence { name: name.into(), data_type, states })
+    }
+
+    /// Build a sequence directly from encoded states.
+    pub fn from_states(name: impl Into<String>, data_type: DataType, states: Vec<State>) -> Self {
+        Sequence { name: name.into(), data_type, states }
+    }
+
+    /// The taxon name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The alphabet of this sequence.
+    pub fn data_type(&self) -> DataType {
+        self.data_type
+    }
+
+    /// Number of characters (codons count as one character).
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True iff the sequence has no characters.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Encoded states.
+    pub fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    /// Fraction of characters that are fully missing/gap.
+    pub fn missing_fraction(&self) -> f64 {
+        if self.states.is_empty() {
+            return 0.0;
+        }
+        let missing = self.states.iter().filter(|s| s.is_missing(self.data_type)).count();
+        missing as f64 / self.states.len() as f64
+    }
+
+    /// Render back to text (resolved nucleotide/amino-acid states only;
+    /// anything ambiguous renders as `?`, codons as triplets).
+    pub fn to_text(&self) -> String {
+        match self.data_type {
+            DataType::Codon => self
+                .states
+                .iter()
+                .map(|s| match s.index() {
+                    Some(i) => {
+                        let (a, b, c) = crate::alphabet::codon_triplet(i);
+                        let n = crate::alphabet::NUCLEOTIDES;
+                        format!("{}{}{}", n[a], n[b], n[c])
+                    }
+                    None => "???".to_string(),
+                })
+                .collect(),
+            dt => self.states.iter().map(|s| decode_char(dt, *s)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nucleotide_text_roundtrip() {
+        let s = Sequence::from_text("tax1", DataType::Nucleotide, "ACGT ACGT").unwrap();
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.to_text(), "ACGTACGT");
+        assert_eq!(s.name(), "tax1");
+    }
+
+    #[test]
+    fn invalid_character_reports_position() {
+        let err = Sequence::from_text("t", DataType::Nucleotide, "ACJT").unwrap_err();
+        assert_eq!(err, SequenceError::InvalidCharacter { position: 2, character: 'J' });
+    }
+
+    #[test]
+    fn codon_roundtrip() {
+        let s = Sequence::from_text("t", DataType::Codon, "ATGGCTAAA").unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.to_text(), "ATGGCTAAA");
+    }
+
+    #[test]
+    fn codon_length_check() {
+        let err = Sequence::from_text("t", DataType::Codon, "ATGA").unwrap_err();
+        assert_eq!(err, SequenceError::LengthNotMultipleOfThree { length: 4 });
+    }
+
+    #[test]
+    fn codon_stop_rejected() {
+        let err = Sequence::from_text("t", DataType::Codon, "ATGTAA").unwrap_err();
+        assert_eq!(err, SequenceError::StopCodon { codon_position: 1 });
+    }
+
+    #[test]
+    fn codon_with_gap_is_missing() {
+        let s = Sequence::from_text("t", DataType::Codon, "ATG--- ").unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.states()[1].is_missing(DataType::Codon));
+        assert!((s.missing_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_fraction_counts_gaps() {
+        let s = Sequence::from_text("t", DataType::Nucleotide, "AC--").unwrap();
+        assert!((s.missing_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amino_acid_sequence() {
+        let s = Sequence::from_text("t", DataType::AminoAcid, "ARNDC").unwrap();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.to_text(), "ARNDC");
+    }
+}

@@ -1,0 +1,462 @@
+//! Application argument specifications.
+//!
+//! The Lattice portal generates its web forms from "an XML description of
+//! grid application arguments and options" (paper §III). This module
+//! implements that format: a small XML subset parsed into a typed
+//! [`AppSpec`] (the form model the generated interface presents). The
+//! GARLI spec shipped by [`garli_app_spec`] describes the job-creation form
+//! of Fig. 1.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parameter's type and constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamType {
+    /// Free text.
+    Text,
+    /// Integer within an inclusive range.
+    Int {
+        /// Minimum accepted value.
+        min: i64,
+        /// Maximum accepted value.
+        max: i64,
+    },
+    /// Float within an inclusive range.
+    Float {
+        /// Minimum accepted value.
+        min: f64,
+        /// Maximum accepted value.
+        max: f64,
+    },
+    /// One of a fixed set of options.
+    Choice {
+        /// The allowed options.
+        options: Vec<String>,
+    },
+    /// Boolean flag.
+    Bool,
+    /// An uploaded file (value = file name).
+    File,
+}
+
+/// One form parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Machine name (form field key).
+    pub name: String,
+    /// Human label.
+    pub label: String,
+    /// Type and constraints.
+    pub ty: ParamType,
+    /// Whether a value must be supplied.
+    pub required: bool,
+    /// Default value (rendered into the form).
+    pub default: Option<String>,
+}
+
+/// A parsed application specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSpec {
+    /// Application name (e.g. `"garli"`).
+    pub name: String,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+}
+
+impl AppSpec {
+    /// Look up a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&Param> {
+        self.params.iter().find(|p| p.name == name)
+    }
+}
+
+/// Parse errors with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError {
+    /// Byte offset of the problem.
+    pub position: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A minimal XML subset parser: elements, attributes (double-quoted), text
+/// content, self-closing tags, and comments. No namespaces, no entities
+/// beyond `&amp; &lt; &gt; &quot;`.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+#[derive(Debug)]
+struct Element {
+    name: String,
+    attrs: HashMap<String, String>,
+    children: Vec<Element>,
+    text: String,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { bytes: input.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> SpecError {
+        SpecError { position: self.pos, message: message.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_comments_and_ws(&mut self) -> Result<(), SpecError> {
+        loop {
+            self.skip_ws();
+            if self.bytes[self.pos..].starts_with(b"<!--") {
+                match self.find("-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => return Err(self.error("unterminated comment")),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn find(&self, needle: &str) -> Option<usize> {
+        self.bytes[self.pos..]
+            .windows(needle.len())
+            .position(|w| w == needle.as_bytes())
+            .map(|i| self.pos + i)
+    }
+
+    fn parse_name(&mut self) -> Result<String, SpecError> {
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && (self.bytes[self.pos].is_ascii_alphanumeric()
+                || matches!(self.bytes[self.pos], b'_' | b'-' | b'.'))
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn parse_element(&mut self) -> Result<Element, SpecError> {
+        self.skip_comments_and_ws()?;
+        if self.bytes.get(self.pos) != Some(&b'<') {
+            return Err(self.error("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut attrs = HashMap::new();
+        loop {
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.bytes.get(self.pos) != Some(&b'>') {
+                        return Err(self.error("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    return Ok(Element { name, attrs, children: Vec::new(), text: String::new() });
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.parse_name()?;
+                    self.skip_ws();
+                    if self.bytes.get(self.pos) != Some(&b'=') {
+                        return Err(self.error("expected '=' in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    if self.bytes.get(self.pos) != Some(&b'"') {
+                        return Err(self.error("expected '\"'"));
+                    }
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'"' {
+                        self.pos += 1;
+                    }
+                    if self.pos >= self.bytes.len() {
+                        return Err(self.error("unterminated attribute value"));
+                    }
+                    let value = unescape(&String::from_utf8_lossy(
+                        &self.bytes[start..self.pos],
+                    ));
+                    self.pos += 1;
+                    attrs.insert(key, value);
+                }
+                None => return Err(self.error("unexpected end of input in tag")),
+            }
+        }
+        // Content: text and child elements until </name>.
+        let mut children = Vec::new();
+        let mut text = String::new();
+        loop {
+            if self.bytes[self.pos..].starts_with(b"<!--") {
+                self.skip_comments_and_ws()?;
+                continue;
+            }
+            if self.bytes[self.pos..].starts_with(b"</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(self.error(format!("mismatched </{close}>; expected </{name}>")));
+                }
+                self.skip_ws();
+                if self.bytes.get(self.pos) != Some(&b'>') {
+                    return Err(self.error("expected '>'"));
+                }
+                self.pos += 1;
+                return Ok(Element { name, attrs, children, text: text.trim().to_string() });
+            }
+            match self.bytes.get(self.pos) {
+                Some(b'<') => children.push(self.parse_element()?),
+                Some(_) => {
+                    let start = self.pos;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'<' {
+                        self.pos += 1;
+                    }
+                    text.push_str(&unescape(&String::from_utf8_lossy(
+                        &self.bytes[start..self.pos],
+                    )));
+                }
+                None => return Err(self.error("unexpected end of input in content")),
+            }
+        }
+    }
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&amp;", "&")
+}
+
+/// Parse an application spec document.
+pub fn parse_app_spec(xml: &str) -> Result<AppSpec, SpecError> {
+    let mut p = Parser::new(xml.trim());
+    let root = p.parse_element()?;
+    p.skip_ws();
+    if root.name != "application" {
+        return Err(SpecError { position: 0, message: "root must be <application>".into() });
+    }
+    let name = root
+        .attrs
+        .get("name")
+        .cloned()
+        .ok_or(SpecError { position: 0, message: "<application> needs a name".into() })?;
+    let mut params = Vec::new();
+    for child in &root.children {
+        if child.name != "param" {
+            return Err(SpecError {
+                position: 0,
+                message: format!("unexpected element <{}>", child.name),
+            });
+        }
+        params.push(parse_param(child)?);
+    }
+    Ok(AppSpec { name, params })
+}
+
+fn attr_parse<T: std::str::FromStr>(e: &Element, key: &str, default: T) -> Result<T, SpecError> {
+    match e.attrs.get(key) {
+        Some(v) => v.parse().map_err(|_| SpecError {
+            position: 0,
+            message: format!("attribute {key}={v:?} is not valid"),
+        }),
+        None => Ok(default),
+    }
+}
+
+fn parse_param(e: &Element) -> Result<Param, SpecError> {
+    let name = e
+        .attrs
+        .get("name")
+        .cloned()
+        .ok_or(SpecError { position: 0, message: "<param> needs a name".into() })?;
+    let label = e.attrs.get("label").cloned().unwrap_or_else(|| name.clone());
+    let required = attr_parse(e, "required", false)?;
+    let default = e.attrs.get("default").cloned();
+    let ty = match e.attrs.get("type").map(|s| s.as_str()) {
+        Some("int") => ParamType::Int {
+            min: attr_parse(e, "min", i64::MIN)?,
+            max: attr_parse(e, "max", i64::MAX)?,
+        },
+        Some("float") => ParamType::Float {
+            min: attr_parse(e, "min", f64::NEG_INFINITY)?,
+            max: attr_parse(e, "max", f64::INFINITY)?,
+        },
+        Some("choice") => {
+            let options: Vec<String> = e
+                .children
+                .iter()
+                .filter(|c| c.name == "choice")
+                .map(|c| c.text.clone())
+                .collect();
+            if options.is_empty() {
+                return Err(SpecError {
+                    position: 0,
+                    message: format!("choice param {name:?} has no <choice> options"),
+                });
+            }
+            ParamType::Choice { options }
+        }
+        Some("bool") => ParamType::Bool,
+        Some("file") => ParamType::File,
+        Some("text") | None => ParamType::Text,
+        Some(other) => {
+            return Err(SpecError {
+                position: 0,
+                message: format!("unknown param type {other:?}"),
+            })
+        }
+    };
+    Ok(Param { name, label, ty, required, default })
+}
+
+/// The GARLI application spec behind the Fig. 1 job-creation form.
+pub fn garli_app_spec() -> AppSpec {
+    parse_app_spec(GARLI_SPEC_XML).expect("built-in spec is valid")
+}
+
+/// The raw XML of the GARLI spec (also exercised by tests as a realistic
+/// parser input).
+pub const GARLI_SPEC_XML: &str = r#"
+<application name="garli">
+  <!-- data upload -->
+  <param name="sequence_file" label="Sequence data (FASTA)" type="file" required="true"/>
+  <param name="starting_tree_file" label="Starting tree (Newick)" type="file"/>
+  <param name="datatype" label="Data type" type="choice" required="true" default="nucleotide">
+    <choice>nucleotide</choice>
+    <choice>aminoacid</choice>
+    <choice>codon</choice>
+  </param>
+  <param name="ratematrix" label="Rate matrix" type="choice" default="6rate">
+    <choice>1rate</choice>
+    <choice>2rate</choice>
+    <choice>hky</choice>
+    <choice>6rate</choice>
+  </param>
+  <param name="statefrequencies" label="State frequencies" type="choice" default="empirical">
+    <choice>equal</choice>
+    <choice>empirical</choice>
+    <choice>estimate</choice>
+  </param>
+  <param name="ratehetmodel" label="Rate heterogeneity model" type="choice" default="gamma">
+    <choice>none</choice>
+    <choice>gamma</choice>
+    <choice>invgamma</choice>
+  </param>
+  <param name="numratecats" label="Number of rate categories" type="int" min="1" max="16" default="4"/>
+  <param name="invariantsites" label="Invariant sites" type="bool" default="false"/>
+  <param name="searchreps" label="Search replicates" type="int" min="1" max="2000" default="1"/>
+  <param name="bootstrapreps" label="Bootstrap replicates" type="int" min="0" max="2000" default="0"/>
+  <param name="genthreshfortopoterm" label="Generations without improvement before termination" type="int" min="1" max="100000" default="100"/>
+  <param name="attachmentspertaxon" label="Attachment points per taxon" type="int" min="1" max="1000" default="50"/>
+  <param name="email" label="Notification email" type="text" required="true"/>
+</application>
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn garli_spec_parses() {
+        let spec = garli_app_spec();
+        assert_eq!(spec.name, "garli");
+        assert_eq!(spec.params.len(), 13);
+        let dt = spec.param("datatype").unwrap();
+        assert!(dt.required);
+        assert_eq!(dt.default.as_deref(), Some("nucleotide"));
+        match &dt.ty {
+            ParamType::Choice { options } => {
+                assert_eq!(options, &["nucleotide", "aminoacid", "codon"]);
+            }
+            other => panic!("wrong type {other:?}"),
+        }
+        let reps = spec.param("searchreps").unwrap();
+        assert_eq!(reps.ty, ParamType::Int { min: 1, max: 2000 });
+    }
+
+    #[test]
+    fn self_closing_and_attributes() {
+        let spec = parse_app_spec(
+            r#"<application name="x"><param name="a" type="int" min="0" max="9"/></application>"#,
+        )
+        .unwrap();
+        assert_eq!(spec.params[0].ty, ParamType::Int { min: 0, max: 9 });
+        assert!(!spec.params[0].required);
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let spec = parse_app_spec(
+            "<application name=\"x\"><!-- hi --><param name=\"a\"/><!-- bye --></application>",
+        )
+        .unwrap();
+        assert_eq!(spec.params.len(), 1);
+        assert_eq!(spec.params[0].ty, ParamType::Text);
+    }
+
+    #[test]
+    fn entity_unescaping() {
+        let spec = parse_app_spec(
+            r#"<application name="x"><param name="a" label="a &amp; b"/></application>"#,
+        )
+        .unwrap();
+        assert_eq!(spec.params[0].label, "a & b");
+    }
+
+    #[test]
+    fn mismatched_close_rejected() {
+        let err = parse_app_spec("<application name=\"x\"><param name=\"a\"></wrong></application>");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn unterminated_rejected() {
+        assert!(parse_app_spec("<application name=\"x\">").is_err());
+        assert!(parse_app_spec("<application name=\"x\"><param name=\"a\" label=\"oops></application>").is_err());
+    }
+
+    #[test]
+    fn missing_choice_options_rejected() {
+        let err =
+            parse_app_spec(r#"<application name="x"><param name="a" type="choice"/></application>"#)
+                .unwrap_err();
+        assert!(err.message.contains("no <choice> options"));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let err = parse_app_spec(
+            r#"<application name="x"><param name="a" type="blob"/></application>"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("unknown param type"));
+    }
+
+    #[test]
+    fn root_must_be_application() {
+        assert!(parse_app_spec("<app name=\"x\"></app>").is_err());
+    }
+}

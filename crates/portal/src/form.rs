@@ -1,0 +1,254 @@
+//! Form validation: user-supplied values against an [`AppSpec`].
+//!
+//! The Drupal layer gave the paper's portal "built-in … form validation";
+//! here it is explicit and testable.
+
+use crate::appspec::{AppSpec, ParamType};
+use std::collections::HashMap;
+
+/// A filled-in form: field name → raw string value.
+pub type FormValues = HashMap<String, String>;
+
+/// One validation problem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldError {
+    /// A required field was left empty.
+    Missing {
+        /// Field name.
+        field: String,
+    },
+    /// A field that is not part of the form.
+    Unknown {
+        /// Field name.
+        field: String,
+    },
+    /// Value failed to parse or violated a constraint.
+    Invalid {
+        /// Field name.
+        field: String,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for FieldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldError::Missing { field } => write!(f, "{field}: required"),
+            FieldError::Unknown { field } => write!(f, "{field}: not a form field"),
+            FieldError::Invalid { field, message } => write!(f, "{field}: {message}"),
+        }
+    }
+}
+
+/// A validated form: every field resolved to its effective value (supplied
+/// or default).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidatedForm {
+    values: HashMap<String, String>,
+}
+
+impl ValidatedForm {
+    /// The effective string value of a field (`None` if absent & optional).
+    pub fn get(&self, field: &str) -> Option<&str> {
+        self.values.get(field).map(|s| s.as_str())
+    }
+
+    /// Parse a field as an integer.
+    ///
+    /// # Panics
+    /// Panics if the field is absent or non-integer — validation guarantees
+    /// both for int-typed fields that were supplied or defaulted.
+    pub fn int(&self, field: &str) -> i64 {
+        self.values[field].parse().expect("validated int")
+    }
+
+    /// Parse a field as a bool.
+    pub fn bool(&self, field: &str) -> bool {
+        self.values[field].parse().expect("validated bool")
+    }
+
+    /// The effective string value.
+    ///
+    /// # Panics
+    /// Panics if absent.
+    pub fn str(&self, field: &str) -> &str {
+        &self.values[field]
+    }
+}
+
+/// Validate raw values against the spec. All problems are reported at once
+/// (web-form style), not just the first.
+pub fn validate_form(spec: &AppSpec, values: &FormValues) -> Result<ValidatedForm, Vec<FieldError>> {
+    let mut errors = Vec::new();
+    let mut resolved = HashMap::new();
+
+    for key in values.keys() {
+        if spec.param(key).is_none() {
+            errors.push(FieldError::Unknown { field: key.clone() });
+        }
+    }
+
+    for param in &spec.params {
+        let supplied = values.get(&param.name).map(|s| s.trim()).filter(|s| !s.is_empty());
+        let effective = supplied.map(str::to_string).or_else(|| param.default.clone());
+        let Some(value) = effective else {
+            if param.required {
+                errors.push(FieldError::Missing { field: param.name.clone() });
+            }
+            continue;
+        };
+        match &param.ty {
+            ParamType::Text | ParamType::File => {}
+            ParamType::Bool => {
+                if value.parse::<bool>().is_err() {
+                    errors.push(FieldError::Invalid {
+                        field: param.name.clone(),
+                        message: format!("{value:?} is not true/false"),
+                    });
+                    continue;
+                }
+            }
+            ParamType::Int { min, max } => match value.parse::<i64>() {
+                Ok(v) if (*min..=*max).contains(&v) => {}
+                Ok(v) => {
+                    errors.push(FieldError::Invalid {
+                        field: param.name.clone(),
+                        message: format!("{v} outside [{min}, {max}]"),
+                    });
+                    continue;
+                }
+                Err(_) => {
+                    errors.push(FieldError::Invalid {
+                        field: param.name.clone(),
+                        message: format!("{value:?} is not an integer"),
+                    });
+                    continue;
+                }
+            },
+            ParamType::Float { min, max } => match value.parse::<f64>() {
+                Ok(v) if v >= *min && v <= *max => {}
+                Ok(v) => {
+                    errors.push(FieldError::Invalid {
+                        field: param.name.clone(),
+                        message: format!("{v} outside [{min}, {max}]"),
+                    });
+                    continue;
+                }
+                Err(_) => {
+                    errors.push(FieldError::Invalid {
+                        field: param.name.clone(),
+                        message: format!("{value:?} is not a number"),
+                    });
+                    continue;
+                }
+            },
+            ParamType::Choice { options } => {
+                if !options.contains(&value) {
+                    errors.push(FieldError::Invalid {
+                        field: param.name.clone(),
+                        message: format!("{value:?} not one of {options:?}"),
+                    });
+                    continue;
+                }
+            }
+        }
+        resolved.insert(param.name.clone(), value);
+    }
+
+    if errors.is_empty() {
+        Ok(ValidatedForm { values: resolved })
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::appspec::garli_app_spec;
+
+    fn base_values() -> FormValues {
+        let mut v = FormValues::new();
+        v.insert("sequence_file".into(), "data.fasta".into());
+        v.insert("email".into(), "user@example.org".into());
+        v
+    }
+
+    #[test]
+    fn minimal_valid_form_uses_defaults() {
+        let spec = garli_app_spec();
+        let form = validate_form(&spec, &base_values()).unwrap();
+        assert_eq!(form.str("datatype"), "nucleotide");
+        assert_eq!(form.int("numratecats"), 4);
+        assert_eq!(form.int("searchreps"), 1);
+        assert!(!form.bool("invariantsites"));
+        assert_eq!(form.get("starting_tree_file"), None);
+    }
+
+    #[test]
+    fn missing_required_reported() {
+        let spec = garli_app_spec();
+        let errs = validate_form(&spec, &FormValues::new()).unwrap_err();
+        assert!(errs.contains(&FieldError::Missing { field: "sequence_file".into() }));
+        assert!(errs.contains(&FieldError::Missing { field: "email".into() }));
+    }
+
+    #[test]
+    fn replicate_cap_via_range() {
+        let spec = garli_app_spec();
+        let mut v = base_values();
+        v.insert("searchreps".into(), "2001".into());
+        let errs = validate_form(&spec, &v).unwrap_err();
+        assert!(matches!(&errs[0], FieldError::Invalid { field, .. } if field == "searchreps"));
+        v.insert("searchreps".into(), "2000".into());
+        assert!(validate_form(&spec, &v).is_ok());
+    }
+
+    #[test]
+    fn bad_choice_rejected() {
+        let spec = garli_app_spec();
+        let mut v = base_values();
+        v.insert("datatype".into(), "dna".into());
+        let errs = validate_form(&spec, &v).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].to_string().contains("datatype"));
+    }
+
+    #[test]
+    fn unknown_field_rejected() {
+        let spec = garli_app_spec();
+        let mut v = base_values();
+        v.insert("favourite_colour".into(), "teal".into());
+        let errs = validate_form(&spec, &v).unwrap_err();
+        assert!(errs.contains(&FieldError::Unknown { field: "favourite_colour".into() }));
+    }
+
+    #[test]
+    fn multiple_errors_reported_together() {
+        let spec = garli_app_spec();
+        let mut v = base_values();
+        v.insert("numratecats".into(), "99".into());
+        v.insert("ratehetmodel".into(), "bogus".into());
+        let errs = validate_form(&spec, &v).unwrap_err();
+        assert_eq!(errs.len(), 2);
+    }
+
+    #[test]
+    fn whitespace_only_counts_as_missing() {
+        let spec = garli_app_spec();
+        let mut v = base_values();
+        v.insert("email".into(), "   ".into());
+        let errs = validate_form(&spec, &v).unwrap_err();
+        assert!(errs.contains(&FieldError::Missing { field: "email".into() }));
+    }
+
+    #[test]
+    fn non_integer_rejected() {
+        let spec = garli_app_spec();
+        let mut v = base_values();
+        v.insert("searchreps".into(), "many".into());
+        let errs = validate_form(&spec, &v).unwrap_err();
+        assert!(errs[0].to_string().contains("not an integer"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Mapping a validated GARLI form onto a typed [`GarliConfig`].
+
+use crate::form::ValidatedForm;
+use garli::config::{GarliConfig, RateHetKind, StartingTree, StateFrequencies};
+use phylo::alphabet::DataType;
+use phylo::models::nucleotide::RateMatrix;
+
+/// Errors when a form that passed field validation still cannot become a
+/// job (cross-field problems).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobSpecError {
+    /// Both search and bootstrap replicates were requested as zero.
+    NoReplicates,
+}
+
+impl std::fmt::Display for JobSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobSpecError::NoReplicates => write!(f, "submission contains no replicates"),
+        }
+    }
+}
+
+impl std::error::Error for JobSpecError {}
+
+/// Build a [`GarliConfig`] from a validated GARLI form, optionally with the
+/// uploaded starting tree's Newick contents.
+pub fn config_from_form(
+    form: &ValidatedForm,
+    starting_tree_newick: Option<String>,
+) -> Result<GarliConfig, JobSpecError> {
+    let data_type = match form.str("datatype") {
+        "nucleotide" => DataType::Nucleotide,
+        "aminoacid" => DataType::AminoAcid,
+        "codon" => DataType::Codon,
+        other => unreachable!("form validation admits only known datatypes, got {other}"),
+    };
+    let rate_matrix = match form.str("ratematrix") {
+        "1rate" => RateMatrix::Jc,
+        "2rate" => RateMatrix::K80,
+        "hky" => RateMatrix::Hky85,
+        "6rate" => RateMatrix::Gtr,
+        other => unreachable!("unknown ratematrix {other}"),
+    };
+    let state_frequencies = match form.str("statefrequencies") {
+        "equal" => StateFrequencies::Equal,
+        "empirical" => StateFrequencies::Empirical,
+        "estimate" => StateFrequencies::Estimate,
+        other => unreachable!("unknown statefrequencies {other}"),
+    };
+    let rate_het = match form.str("ratehetmodel") {
+        "none" => RateHetKind::None,
+        "gamma" => RateHetKind::Gamma,
+        "invgamma" => RateHetKind::GammaInv,
+        other => unreachable!("unknown ratehetmodel {other}"),
+    };
+    // The category count is recorded as configured even when the rate-het
+    // model ignores it (GARLI semantics; see garli::validate).
+    let num_rate_cats = if rate_het == RateHetKind::None {
+        form.int("numratecats") as usize
+    } else {
+        form.int("numratecats").max(2) as usize
+    };
+    let search_replicates = form.int("searchreps") as usize;
+    let bootstrap_replicates = form.int("bootstrapreps") as usize;
+    if search_replicates == 0 && bootstrap_replicates == 0 {
+        return Err(JobSpecError::NoReplicates);
+    }
+    let starting_tree = match starting_tree_newick {
+        Some(nwk) => StartingTree::Newick(nwk),
+        None => StartingTree::NeighborJoining,
+    };
+    Ok(GarliConfig {
+        data_type,
+        rate_matrix,
+        state_frequencies,
+        rate_het,
+        num_rate_cats,
+        invariant_sites: form.bool("invariantsites"),
+        genthresh_for_topo_term: form.int("genthreshfortopoterm") as u64,
+        search_replicates,
+        bootstrap_replicates,
+        attachments_per_taxon: form.int("attachmentspertaxon") as usize,
+        starting_tree,
+        ..GarliConfig::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::appspec::garli_app_spec;
+    use crate::form::{validate_form, FormValues};
+
+    fn form_with(extra: &[(&str, &str)]) -> ValidatedForm {
+        let mut v = FormValues::new();
+        v.insert("sequence_file".into(), "data.fasta".into());
+        v.insert("email".into(), "u@x.org".into());
+        for (k, val) in extra {
+            v.insert(k.to_string(), val.to_string());
+        }
+        validate_form(&garli_app_spec(), &v).unwrap()
+    }
+
+    #[test]
+    fn defaults_map_to_default_style_config() {
+        let c = config_from_form(&form_with(&[]), None).unwrap();
+        assert_eq!(c.data_type, DataType::Nucleotide);
+        assert_eq!(c.rate_matrix, RateMatrix::Gtr);
+        assert_eq!(c.rate_het, RateHetKind::Gamma);
+        assert_eq!(c.num_rate_cats, 4);
+        assert_eq!(c.total_replicates(), 1);
+        assert_eq!(c.starting_tree, StartingTree::NeighborJoining);
+    }
+
+    #[test]
+    fn ratehet_none_keeps_configured_categories_but_ignores_them() {
+        let c = config_from_form(
+            &form_with(&[("ratehetmodel", "none"), ("numratecats", "4")]),
+            None,
+        )
+        .unwrap();
+        assert_eq!(c.num_rate_cats, 4, "configured value recorded");
+        assert_eq!(c.effective_rate_categories(), 1, "but ignored at runtime");
+    }
+
+    #[test]
+    fn bootstrap_form() {
+        let c = config_from_form(&form_with(&[("bootstrapreps", "500")]), None).unwrap();
+        assert!(c.is_bootstrap());
+        assert_eq!(c.total_replicates(), 500);
+    }
+
+    #[test]
+    fn zero_replicates_unreachable_through_the_form() {
+        // The form spec enforces searchreps >= 1, so the NoReplicates error
+        // can only arise from hand-built forms; the spec-level guard is the
+        // real protection.
+        let spec = garli_app_spec();
+        let mut v = FormValues::new();
+        v.insert("sequence_file".into(), "d.fasta".into());
+        v.insert("email".into(), "u@x.org".into());
+        v.insert("searchreps".into(), "0".into());
+        assert!(validate_form(&spec, &v).is_err());
+    }
+
+    #[test]
+    fn codon_config() {
+        let c = config_from_form(&form_with(&[("datatype", "codon")]), None).unwrap();
+        assert_eq!(c.data_type, DataType::Codon);
+    }
+
+    #[test]
+    fn uploaded_tree_becomes_newick_start() {
+        let c = config_from_form(&form_with(&[]), Some("(a,b,c);".into())).unwrap();
+        assert_eq!(c.starting_tree, StartingTree::Newick("(a,b,c);".into()));
+    }
+}

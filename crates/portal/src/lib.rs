@@ -1,0 +1,39 @@
+//! `portal` — the science-portal workflow of The Lattice Project's GARLI
+//! web interface (paper §III).
+//!
+//! The production portal is a Drupal module; what is testable and
+//! behaviourally load-bearing is reproduced here as a library:
+//!
+//! * [`appspec`] — the XML description of a grid application's arguments
+//!   and options, parsed into a typed form model (the input to the portal's
+//!   interface generator);
+//! * [`form`] — validation of user-supplied values against that model;
+//! * [`users`] — guest-vs-registered identity, exactly as the paper
+//!   describes ("guest mode, in which they provide their email address for
+//!   identification, or as a registered user");
+//! * [`jobspec`] — mapping validated form values onto a typed
+//!   [`garli::GarliConfig`];
+//! * [`submission`] — the submission state machine (created → validated →
+//!   scheduled → running → post-processing → complete), with the 2000
+//!   replicate cap;
+//! * [`batch`] — splitting a big submission into per-resource batches;
+//! * [`postprocess`] — assembling the result archive (best tree, bootstrap
+//!   support, per-replicate logs) the user downloads as one zip;
+//! * [`notify`] — the email status events ("the user is notified via email
+//!   about important status updates").
+
+#![warn(missing_docs)]
+
+pub mod appspec;
+pub mod batch;
+pub mod form;
+pub mod jobspec;
+pub mod notify;
+pub mod postprocess;
+pub mod render;
+pub mod submission;
+pub mod users;
+
+pub use appspec::AppSpec;
+pub use submission::{Submission, SubmissionStatus};
+pub use users::User;

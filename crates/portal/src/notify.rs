@@ -1,0 +1,115 @@
+//! Email status notifications.
+//!
+//! "The user is notified via email about important status updates (such as
+//! job completion or job failure)" (paper §III.A). The outbox is an
+//! in-memory queue a mail transport would drain; the tests treat it as the
+//! observable record of what the user was told.
+
+use serde::{Deserialize, Serialize};
+
+/// The notification-worthy moments of a submission's life.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Submission accepted after validation.
+    Accepted,
+    /// All replicates scheduled to resources.
+    Scheduled,
+    /// Fraction-done progress milestone (percent).
+    Progress(u8),
+    /// Everything finished; results ready for download.
+    Complete,
+    /// Validation or execution failure.
+    Failed,
+}
+
+/// One outgoing email.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Email {
+    /// Recipient address.
+    pub to: String,
+    /// Subject line.
+    pub subject: String,
+    /// Body text.
+    pub body: String,
+    /// The event that triggered it.
+    pub kind: EventKind,
+}
+
+/// The queued outbox.
+#[derive(Debug, Default, Clone)]
+pub struct Outbox {
+    emails: Vec<Email>,
+}
+
+impl Outbox {
+    /// Empty outbox.
+    pub fn new() -> Outbox {
+        Outbox::default()
+    }
+
+    /// Queue a notification about `submission_id` to `to`.
+    pub fn notify(&mut self, to: &str, submission_id: u64, kind: EventKind) {
+        let (subject, body) = match &kind {
+            EventKind::Accepted => (
+                format!("[Lattice] Submission {submission_id} accepted"),
+                "Your GARLI submission passed validation and has been queued.".to_string(),
+            ),
+            EventKind::Scheduled => (
+                format!("[Lattice] Submission {submission_id} scheduled"),
+                "All replicates have been dispatched to grid resources.".to_string(),
+            ),
+            EventKind::Progress(pct) => (
+                format!("[Lattice] Submission {submission_id}: {pct}% complete"),
+                format!("{pct}% of your replicates have finished."),
+            ),
+            EventKind::Complete => (
+                format!("[Lattice] Submission {submission_id} complete"),
+                "All replicates finished; your results archive is ready for download."
+                    .to_string(),
+            ),
+            EventKind::Failed => (
+                format!("[Lattice] Submission {submission_id} FAILED"),
+                "Your submission could not be completed; see the portal for details."
+                    .to_string(),
+            ),
+        };
+        self.emails.push(Email { to: to.to_string(), subject, body, kind });
+    }
+
+    /// Everything queued so far, oldest first.
+    pub fn emails(&self) -> &[Email] {
+        &self.emails
+    }
+
+    /// Drain the queue (what a mail transport would do).
+    pub fn drain(&mut self) -> Vec<Email> {
+        std::mem::take(&mut self.emails)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_notifications() {
+        let mut out = Outbox::new();
+        out.notify("u@x.org", 42, EventKind::Accepted);
+        out.notify("u@x.org", 42, EventKind::Progress(50));
+        out.notify("u@x.org", 42, EventKind::Complete);
+        assert_eq!(out.emails().len(), 3);
+        assert!(out.emails()[0].subject.contains("accepted"));
+        assert!(out.emails()[1].subject.contains("50%"));
+        assert_eq!(out.emails()[2].kind, EventKind::Complete);
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut out = Outbox::new();
+        out.notify("a@b.org", 1, EventKind::Failed);
+        let drained = out.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(out.emails().is_empty());
+        assert!(drained[0].subject.contains("FAILED"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Form-interface generation.
+//!
+//! "We developed software that takes an XML description of grid application
+//! arguments and options and automatically generates a Drupal web interface
+//! for that application" (paper §III, Fig. 1). This module is that
+//! generator with Drupal swapped for plain HTML: an [`AppSpec`] renders to
+//! a complete form document, deterministically, with labels, defaults,
+//! constraints and required-field markers.
+
+use crate::appspec::{AppSpec, Param, ParamType};
+use std::fmt::Write as _;
+
+/// Escape text for HTML attribute/content positions.
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn render_param(p: &Param, out: &mut String) {
+    let required = if p.required { " required" } else { "" };
+    let star = if p.required { " *" } else { "" };
+    writeln!(out, "  <div class=\"form-item\">").unwrap();
+    writeln!(
+        out,
+        "    <label for=\"{}\">{}{}</label>",
+        escape(&p.name),
+        escape(&p.label),
+        star
+    )
+    .unwrap();
+    match &p.ty {
+        ParamType::Text => {
+            let value = p.default.as_deref().unwrap_or("");
+            writeln!(
+                out,
+                "    <input type=\"text\" id=\"{0}\" name=\"{0}\" value=\"{1}\"{2}/>",
+                escape(&p.name),
+                escape(value),
+                required
+            )
+            .unwrap();
+        }
+        ParamType::File => {
+            writeln!(
+                out,
+                "    <input type=\"file\" id=\"{0}\" name=\"{0}\"{1}/>",
+                escape(&p.name),
+                required
+            )
+            .unwrap();
+        }
+        ParamType::Int { min, max } => {
+            let value = p.default.as_deref().unwrap_or("");
+            write!(
+                out,
+                "    <input type=\"number\" id=\"{0}\" name=\"{0}\" value=\"{1}\" step=\"1\"",
+                escape(&p.name),
+                escape(value)
+            )
+            .unwrap();
+            if *min != i64::MIN {
+                write!(out, " min=\"{min}\"").unwrap();
+            }
+            if *max != i64::MAX {
+                write!(out, " max=\"{max}\"").unwrap();
+            }
+            writeln!(out, "{required}/>").unwrap();
+        }
+        ParamType::Float { min, max } => {
+            let value = p.default.as_deref().unwrap_or("");
+            write!(
+                out,
+                "    <input type=\"number\" id=\"{0}\" name=\"{0}\" value=\"{1}\" step=\"any\"",
+                escape(&p.name),
+                escape(value)
+            )
+            .unwrap();
+            if min.is_finite() {
+                write!(out, " min=\"{min}\"").unwrap();
+            }
+            if max.is_finite() {
+                write!(out, " max=\"{max}\"").unwrap();
+            }
+            writeln!(out, "{required}/>").unwrap();
+        }
+        ParamType::Bool => {
+            let checked = if p.default.as_deref() == Some("true") { " checked" } else { "" };
+            writeln!(
+                out,
+                "    <input type=\"checkbox\" id=\"{0}\" name=\"{0}\" value=\"true\"{1}/>",
+                escape(&p.name),
+                checked
+            )
+            .unwrap();
+        }
+        ParamType::Choice { options } => {
+            writeln!(out, "    <select id=\"{0}\" name=\"{0}\"{1}>", escape(&p.name), required)
+                .unwrap();
+            for option in options {
+                let selected =
+                    if p.default.as_deref() == Some(option.as_str()) { " selected" } else { "" };
+                writeln!(
+                    out,
+                    "      <option value=\"{0}\"{1}>{0}</option>",
+                    escape(option),
+                    selected
+                )
+                .unwrap();
+            }
+            writeln!(out, "    </select>").unwrap();
+        }
+    }
+    writeln!(out, "  </div>").unwrap();
+}
+
+/// Render the complete job-creation form for an application.
+pub fn render_form(spec: &AppSpec) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "<form id=\"{0}-create-job\" method=\"post\" action=\"/grid/{0}/submit\" \
+         enctype=\"multipart/form-data\">",
+        escape(&spec.name)
+    )
+    .unwrap();
+    writeln!(out, "  <h2>Create a {} job</h2>", escape(&spec.name)).unwrap();
+    for p in &spec.params {
+        render_param(p, &mut out);
+    }
+    writeln!(out, "  <button type=\"submit\">Submit to the grid</button>").unwrap();
+    writeln!(out, "</form>").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::appspec::garli_app_spec;
+
+    #[test]
+    fn garli_form_renders_every_field() {
+        let spec = garli_app_spec();
+        let html = render_form(&spec);
+        for p in &spec.params {
+            assert!(html.contains(&format!("name=\"{}\"", p.name)), "missing {}", p.name);
+        }
+        assert!(html.contains("<form id=\"garli-create-job\""));
+        assert!(html.contains("</form>"));
+    }
+
+    #[test]
+    fn choices_render_with_default_selected() {
+        let html = render_form(&garli_app_spec());
+        assert!(html.contains("<option value=\"nucleotide\" selected>nucleotide</option>"));
+        assert!(html.contains("<option value=\"codon\">codon</option>"));
+    }
+
+    #[test]
+    fn int_constraints_render() {
+        let html = render_form(&garli_app_spec());
+        // searchreps: min 1, max 2000 — the portal's replicate cap in the UI.
+        assert!(html.contains("name=\"searchreps\" value=\"1\" step=\"1\" min=\"1\" max=\"2000\""));
+    }
+
+    #[test]
+    fn required_fields_marked() {
+        let html = render_form(&garli_app_spec());
+        assert!(html.contains("<label for=\"sequence_file\">Sequence data (FASTA) *</label>"));
+        assert!(html.contains("type=\"file\" id=\"sequence_file\" name=\"sequence_file\" required"));
+    }
+
+    #[test]
+    fn html_is_escaped() {
+        let spec = crate::appspec::parse_app_spec(
+            r#"<application name="x"><param name="a" label="a &lt; b"/></application>"#,
+        )
+        .unwrap();
+        let html = render_form(&spec);
+        assert!(html.contains("a &lt; b"));
+        assert!(!html.contains("a < b</label>"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = render_form(&garli_app_spec());
+        let b = render_form(&garli_app_spec());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,129 @@
+//! Portal identity: guest and registered users.
+//!
+//! "An investigator may use the GARLI web interface in a guest mode, in
+//! which they provide their email address for identification, or as a
+//! registered user which allows for more sophisticated job tracking
+//! features" (paper §III.A).
+
+use serde::{Deserialize, Serialize};
+
+/// A portal identity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum User {
+    /// Guest identified only by email.
+    Guest {
+        /// Notification address.
+        email: String,
+    },
+    /// Registered account.
+    Registered {
+        /// Account name.
+        username: String,
+        /// Notification address.
+        email: String,
+    },
+}
+
+/// Identity errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UserError {
+    /// Email fails the basic shape check.
+    InvalidEmail {
+        /// The offending address.
+        email: String,
+    },
+    /// Username empty or malformed.
+    InvalidUsername {
+        /// The offending name.
+        username: String,
+    },
+}
+
+impl std::fmt::Display for UserError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UserError::InvalidEmail { email } => write!(f, "invalid email {email:?}"),
+            UserError::InvalidUsername { username } => write!(f, "invalid username {username:?}"),
+        }
+    }
+}
+
+impl std::error::Error for UserError {}
+
+/// Basic email shape check: `local@domain.tld` with no whitespace.
+pub fn email_is_valid(email: &str) -> bool {
+    let Some((local, domain)) = email.split_once('@') else { return false };
+    !local.is_empty()
+        && !domain.is_empty()
+        && domain.contains('.')
+        && !domain.starts_with('.')
+        && !domain.ends_with('.')
+        && !email.chars().any(char::is_whitespace)
+        && email.matches('@').count() == 1
+}
+
+impl User {
+    /// Create a guest.
+    pub fn guest(email: &str) -> Result<User, UserError> {
+        if !email_is_valid(email) {
+            return Err(UserError::InvalidEmail { email: email.to_string() });
+        }
+        Ok(User::Guest { email: email.to_string() })
+    }
+
+    /// Create a registered user.
+    pub fn registered(username: &str, email: &str) -> Result<User, UserError> {
+        if username.is_empty() || !username.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            return Err(UserError::InvalidUsername { username: username.to_string() });
+        }
+        if !email_is_valid(email) {
+            return Err(UserError::InvalidEmail { email: email.to_string() });
+        }
+        Ok(User::Registered { username: username.to_string(), email: email.to_string() })
+    }
+
+    /// The notification address.
+    pub fn email(&self) -> &str {
+        match self {
+            User::Guest { email } | User::Registered { email, .. } => email,
+        }
+    }
+
+    /// Registered users get the richer job-tracking features.
+    pub fn can_track_history(&self) -> bool {
+        matches!(self, User::Registered { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guest_requires_valid_email() {
+        assert!(User::guest("a@b.org").is_ok());
+        assert!(User::guest("not-an-email").is_err());
+        assert!(User::guest("two@@b.org").is_err());
+        assert!(User::guest("a@b").is_err());
+        assert!(User::guest("a b@c.org").is_err());
+        assert!(User::guest("a@.org").is_err());
+    }
+
+    #[test]
+    fn registered_requires_valid_username() {
+        assert!(User::registered("alice_1", "a@b.org").is_ok());
+        assert!(User::registered("", "a@b.org").is_err());
+        assert!(User::registered("bad name", "a@b.org").is_err());
+    }
+
+    #[test]
+    fn tracking_privileges() {
+        let g = User::guest("g@x.org").unwrap();
+        let r = User::registered("bob", "b@x.org").unwrap();
+        assert!(!g.can_track_history());
+        assert!(r.can_track_history());
+        assert_eq!(g.email(), "g@x.org");
+        assert_eq!(r.email(), "b@x.org");
+    }
+}

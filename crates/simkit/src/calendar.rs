@@ -1,0 +1,197 @@
+//! The pending-event queue.
+//!
+//! A binary heap keyed by `(SimTime, sequence)` where `sequence` is a
+//! monotonically increasing counter. The counter makes the pop order of
+//! simultaneous events equal to their scheduling order (FIFO), which is what
+//! keeps two runs of the same model bit-identical.
+//!
+//! Cancellation is supported by token: [`Calendar::schedule_cancellable`]
+//! returns an [`EventHandle`]; cancelled entries are dropped lazily at pop
+//! time, so cancel is O(1).
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Token identifying a cancellable scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Priority queue of future events, earliest first, FIFO among ties.
+pub struct Calendar<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    cancelled: HashSet<u64>,
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    /// An empty calendar.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), next_seq: 0, cancelled: HashSet::new() }
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time: at, seq, event });
+    }
+
+    /// Schedule `event` at `at` and return a handle that can cancel it later.
+    pub fn schedule_cancellable(&mut self, at: SimTime, event: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time: at, seq, event });
+        EventHandle(seq)
+    }
+
+    /// Cancel a previously scheduled event. Idempotent; cancelling an already
+    /// delivered event has no effect (the handle is simply stale).
+    pub fn cancel(&mut self, handle: EventHandle) {
+        self.cancelled.insert(handle.0);
+    }
+
+    /// Remove and return the earliest pending event, skipping cancelled ones.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// Time of the earliest pending (non-cancelled) event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drain cancelled entries off the top so peek reflects reality.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Approximate number of live entries (cancelled-but-unreaped entries and
+    /// stale cancellations can make this an estimate; exactness returns once
+    /// the queue head is reaped).
+    pub fn len(&self) -> usize {
+        self.heap.len().saturating_sub(self.cancelled.len())
+    }
+
+    /// True iff no live events remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+}
+
+impl<E> std::fmt::Debug for Calendar<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Calendar")
+            .field("pending", &self.heap.len())
+            .field("cancelled", &self.cancelled.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut cal = Calendar::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            cal.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(cal.pop(), Some((t, i)));
+        }
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn earliest_first() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_secs(3), "c");
+        cal.schedule(SimTime::from_secs(1), "a");
+        cal.schedule(SimTime::from_secs(2), "b");
+        assert_eq!(cal.pop().unwrap().1, "a");
+        assert_eq!(cal.pop().unwrap().1, "b");
+        assert_eq!(cal.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_secs(1), "keep1");
+        let h = cal.schedule_cancellable(SimTime::from_secs(2), "drop");
+        cal.schedule(SimTime::from_secs(3), "keep2");
+        cal.cancel(h);
+        assert_eq!(cal.len(), 2);
+        assert_eq!(cal.pop().unwrap().1, "keep1");
+        assert_eq!(cal.pop().unwrap().1, "keep2");
+        assert_eq!(cal.pop(), None);
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_stale_safe() {
+        let mut cal = Calendar::new();
+        let h = cal.schedule_cancellable(SimTime::from_secs(1), 1);
+        assert_eq!(cal.pop(), Some((SimTime::from_secs(1), 1)));
+        cal.cancel(h); // stale: already delivered
+        cal.schedule(SimTime::from_secs(2), 2);
+        // The stale cancellation must not swallow an unrelated event.
+        assert_eq!(cal.pop(), Some((SimTime::from_secs(2), 2)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut cal = Calendar::new();
+        let h = cal.schedule_cancellable(SimTime::from_secs(1), 1);
+        cal.schedule(SimTime::from_secs(5), 2);
+        cal.cancel(h);
+        assert_eq!(cal.peek_time(), Some(SimTime::from_secs(5)));
+        assert!(!cal.is_empty());
+    }
+}

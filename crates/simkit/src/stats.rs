@@ -1,0 +1,358 @@
+//! Statistics collectors for simulation output.
+//!
+//! * [`Counter`] — monotone event counts.
+//! * [`Tally`] — streaming mean/variance/min/max (Welford), O(1) memory.
+//! * [`TimeWeighted`] — time-average of a piecewise-constant signal (queue
+//!   lengths, busy processors).
+//! * [`Sample`] — stores observations for exact quantiles and summaries.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A monotone event counter.
+#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
+pub struct Counter {
+    count: u64,
+}
+
+impl Counter {
+    /// Zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn incr(&mut self) {
+        self.count += 1;
+    }
+
+    /// Add `n`.
+    pub fn add(&mut self, n: u64) {
+        self.count += n;
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Streaming mean/variance/extremes via Welford's algorithm.
+#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
+pub struct Tally {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Tally {
+    /// Empty tally.
+    pub fn new() -> Self {
+        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 if fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+
+    /// Merge another tally into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Tally) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n;
+        self.m2 += other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
+        self.mean = mean;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Time-average of a piecewise-constant signal.
+///
+/// Call [`TimeWeighted::set`] whenever the signal changes; the collector
+/// integrates `value × elapsed-time` between updates.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    value: f64,
+    last_update: SimTime,
+    start: SimTime,
+    integral: f64,
+    max: f64,
+}
+
+impl TimeWeighted {
+    /// Start tracking at `start` with the given initial value.
+    pub fn new(start: SimTime, initial: f64) -> Self {
+        Self { value: initial, last_update: start, start, integral: 0.0, max: initial }
+    }
+
+    /// Record a change of the signal to `value` at time `now`.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        self.advance(now);
+        self.value = value;
+        self.max = self.max.max(value);
+    }
+
+    /// Add `delta` to the signal at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// Current instantaneous value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Highest value observed.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Time-averaged value over `[start, now]`.
+    pub fn time_average(&self, now: SimTime) -> f64 {
+        let total = now.saturating_since(self.start).as_secs_f64();
+        if total <= 0.0 {
+            return self.value;
+        }
+        let pending = now.saturating_since(self.last_update).as_secs_f64() * self.value;
+        (self.integral + pending) / total
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_update).as_secs_f64();
+        self.integral += dt * self.value;
+        self.last_update = now.max(self.last_update);
+    }
+}
+
+/// Stores all observations for exact quantiles.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Sample {
+    values: Vec<f64>,
+}
+
+impl Sample {
+    /// Empty sample.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an observation.
+    pub fn record(&mut self, x: f64) {
+        self.values.push(x);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True iff no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All observations in recording order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Exact q-quantile by linear interpolation (`q` clamped to `[0, 1]`).
+    /// Returns `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+
+    /// Median.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Summarize into a [`Tally`].
+    pub fn tally(&self) -> Tally {
+        let mut t = Tally::new();
+        for &v in &self.values {
+            t.record(v);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn tally_mean_var() {
+        let mut t = Tally::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            t.record(x);
+        }
+        assert!((t.mean() - 5.0).abs() < 1e-12);
+        // population var is 4.0; sample var = 32/7
+        assert!((t.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(t.min(), Some(2.0));
+        assert_eq!(t.max(), Some(9.0));
+        assert_eq!(t.count(), 8);
+        assert!((t.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tally_empty_is_safe() {
+        let t = Tally::new();
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.variance(), 0.0);
+        assert_eq!(t.min(), None);
+        assert_eq!(t.max(), None);
+    }
+
+    #[test]
+    fn tally_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Tally::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = Tally::new();
+        let mut b = Tally::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let t0 = SimTime::ZERO;
+        let mut tw = TimeWeighted::new(t0, 0.0);
+        tw.set(t0 + SimDuration::from_secs(10), 5.0); // 0 for 10s
+        tw.set(t0 + SimDuration::from_secs(20), 1.0); // 5 for 10s
+        let now = t0 + SimDuration::from_secs(30); // 1 for 10s
+        let avg = tw.time_average(now);
+        assert!((avg - (0.0 * 10.0 + 5.0 * 10.0 + 1.0 * 10.0) / 30.0).abs() < 1e-9);
+        assert_eq!(tw.max(), 5.0);
+        assert_eq!(tw.value(), 1.0);
+    }
+
+    #[test]
+    fn time_weighted_add() {
+        let t0 = SimTime::ZERO;
+        let mut tw = TimeWeighted::new(t0, 2.0);
+        tw.add(t0 + SimDuration::from_secs(5), 3.0);
+        assert_eq!(tw.value(), 5.0);
+    }
+
+    #[test]
+    fn sample_quantiles() {
+        let mut s = Sample::new();
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            s.record(x);
+        }
+        assert_eq!(s.median(), Some(3.0));
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(5.0));
+        assert_eq!(s.quantile(0.25), Some(2.0));
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_empty() {
+        let s = Sample::new();
+        assert!(s.is_empty());
+        assert_eq!(s.median(), None);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Integer simulation time.
+//!
+//! Simulation time is kept in whole microseconds (`u64`), which gives exact
+//! ordering and reproducible arithmetic — a simulated grid campaign spans
+//! months (~10¹³ µs), far below the 2⁶⁴ ceiling. Floating-point seconds are
+//! accepted at the API boundary for convenience and rounded to the nearest
+//! microsecond.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// An absolute instant on the simulation clock, in microseconds since t = 0.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A non-negative span of simulation time, in microseconds.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of the simulation clock.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant (useful as an "infinite" deadline).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Instant at `secs` whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * MICROS_PER_SEC)
+    }
+
+    /// Instant at `hours` whole hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimTime(hours * 3600 * MICROS_PER_SEC)
+    }
+
+    /// Instant at `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Instant at `days` whole days.
+    pub const fn from_days(days: u64) -> Self {
+        SimTime(days * 86_400 * MICROS_PER_SEC)
+    }
+
+    /// Instant at fractional seconds, rounded to the nearest microsecond.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite input.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid time: {secs}");
+        SimTime((secs * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Microseconds since t = 0.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since t = 0 as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Hours since t = 0 as a float.
+    pub fn as_hours_f64(self) -> f64 {
+        self.as_secs_f64() / 3600.0
+    }
+
+    /// Span from an earlier instant, saturating at zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked subtraction of a duration.
+    pub fn checked_sub(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_sub(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The greatest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Span of `secs` whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * MICROS_PER_SEC)
+    }
+
+    /// Span of `mins` whole minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60 * MICROS_PER_SEC)
+    }
+
+    /// Span of `hours` whole hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3600 * MICROS_PER_SEC)
+    }
+
+    /// Span of `days` whole days.
+    pub const fn from_days(days: u64) -> Self {
+        SimDuration(days * 86_400 * MICROS_PER_SEC)
+    }
+
+    /// Span of `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Span of fractional seconds, rounded to the nearest microsecond.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite input.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid duration: {secs}");
+        SimDuration((secs * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Span of fractional hours, rounded to the nearest microsecond.
+    pub fn from_hours_f64(hours: f64) -> Self {
+        Self::from_secs_f64(hours * 3600.0)
+    }
+
+    /// Microseconds in the span.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds in the span as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Hours in the span as a float.
+    pub fn as_hours_f64(self) -> f64 {
+        self.as_secs_f64() / 3600.0
+    }
+
+    /// Scale by a non-negative factor, rounding to the nearest microsecond.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite factors.
+    pub fn scale(self, factor: f64) -> SimDuration {
+        assert!(factor.is_finite() && factor >= 0.0, "invalid scale: {factor}");
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// True iff the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Span between two instants.
+    ///
+    /// # Panics
+    /// Panics if `rhs` is later than `self`; use [`SimTime::saturating_since`]
+    /// when that can legitimately happen.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow (rhs later than self)"),
+        )
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimDuration subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.as_secs_f64();
+        if s >= 86_400.0 {
+            write!(f, "{:.2}d", s / 86_400.0)
+        } else if s >= 3600.0 {
+            write!(f, "{:.2}h", s / 3600.0)
+        } else if s >= 60.0 {
+            write!(f, "{:.2}m", s / 60.0)
+        } else {
+            write!(f, "{s:.3}s")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_secs() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.as_micros(), 1_500_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10) + SimDuration::from_secs(5);
+        assert_eq!(t, SimTime::from_secs(15));
+        assert_eq!(t - SimTime::from_secs(10), SimDuration::from_secs(5));
+        assert_eq!(SimDuration::from_secs(10) / 4, SimDuration::from_micros(2_500_000));
+        assert_eq!(SimDuration::from_secs(3) * 2, SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let early = SimTime::from_secs(1);
+        let late = SimTime::from_secs(2);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_since(early), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = SimTime::from_secs(1) - SimTime::from_secs(2);
+    }
+
+    #[test]
+    fn scale_rounds() {
+        let d = SimDuration::from_secs(10).scale(0.25);
+        assert_eq!(d, SimDuration::from_secs_f64(2.5));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(SimDuration::from_secs(30).to_string(), "30.000s");
+        assert_eq!(SimDuration::from_mins(30).to_string(), "30.00m");
+        assert_eq!(SimDuration::from_hours(5).to_string(), "5.00h");
+        assert_eq!(SimDuration::from_days(3).to_string(), "3.00d");
+    }
+
+    #[test]
+    fn hours_helpers() {
+        assert_eq!(SimTime::from_hours(2).as_hours_f64(), 2.0);
+        assert_eq!(SimDuration::from_hours_f64(1.5).as_secs_f64(), 5400.0);
+    }
+}

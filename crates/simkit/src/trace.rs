@@ -1,0 +1,185 @@
+//! A bounded in-memory trace of simulation happenings.
+//!
+//! Long grid simulations emit millions of events; the trace keeps only the
+//! most recent `capacity` records in a ring buffer so debugging output stays
+//! bounded. Severity filtering is applied at record time.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Trace severities, in ascending order of importance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Level {
+    /// Fine-grained internals (per-event).
+    Debug,
+    /// Normal milestones (job started/finished).
+    Info,
+    /// Unexpected but recoverable situations (reissue, preemption).
+    Warn,
+    /// Failures (job lost, resource offline).
+    Error,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Level::Debug => "DEBUG",
+            Level::Info => "INFO",
+            Level::Warn => "WARN",
+            Level::Error => "ERROR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Record {
+    /// Simulation time of the happening.
+    pub time: SimTime,
+    /// Severity.
+    pub level: Level,
+    /// Component that emitted the record (e.g. `"scheduler"`).
+    pub component: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {} {}] {}", self.time, self.level, self.component, self.message)
+    }
+}
+
+/// Ring-buffered trace with severity filtering.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    records: VecDeque<Record>,
+    capacity: usize,
+    min_level: Level,
+    dropped: u64,
+    emitted: u64,
+}
+
+impl Trace {
+    /// Trace keeping at most `capacity` records at or above `min_level`.
+    pub fn new(capacity: usize, min_level: Level) -> Self {
+        Self { records: VecDeque::new(), capacity, min_level, dropped: 0, emitted: 0 }
+    }
+
+    /// A trace that records nothing (capacity 0, Error-only).
+    pub fn disabled() -> Self {
+        Self::new(0, Level::Error)
+    }
+
+    /// Record a happening (dropped silently if below the level floor).
+    pub fn emit(&mut self, time: SimTime, level: Level, component: &str, message: impl Into<String>) {
+        if level < self.min_level {
+            return;
+        }
+        self.emitted += 1;
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(Record {
+            time,
+            level,
+            component: component.to_string(),
+            message: message.into(),
+        });
+    }
+
+    /// Retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &Record> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True iff nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records that passed the filter but were evicted (or never stored).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total records that passed the level filter.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Retained records from `component`, oldest first.
+    pub fn by_component<'a>(&'a self, component: &'a str) -> impl Iterator<Item = &'a Record> {
+        self.records.iter().filter(move |r| r.component == component)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_floor_filters() {
+        let mut t = Trace::new(10, Level::Warn);
+        t.emit(SimTime::ZERO, Level::Debug, "x", "nope");
+        t.emit(SimTime::ZERO, Level::Info, "x", "nope");
+        t.emit(SimTime::ZERO, Level::Warn, "x", "yes");
+        t.emit(SimTime::ZERO, Level::Error, "x", "yes");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.emitted(), 2);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::new(3, Level::Debug);
+        for i in 0..5 {
+            t.emit(SimTime::from_secs(i), Level::Info, "c", format!("m{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let msgs: Vec<_> = t.records().map(|r| r.message.clone()).collect();
+        assert_eq!(msgs, vec!["m2", "m3", "m4"]);
+    }
+
+    #[test]
+    fn disabled_trace_stores_nothing() {
+        let mut t = Trace::disabled();
+        t.emit(SimTime::ZERO, Level::Error, "c", "boom");
+        assert!(t.is_empty());
+        assert_eq!(t.emitted(), 1);
+    }
+
+    #[test]
+    fn component_filter() {
+        let mut t = Trace::new(10, Level::Debug);
+        t.emit(SimTime::ZERO, Level::Info, "a", "1");
+        t.emit(SimTime::ZERO, Level::Info, "b", "2");
+        t.emit(SimTime::ZERO, Level::Info, "a", "3");
+        assert_eq!(t.by_component("a").count(), 2);
+        assert_eq!(t.by_component("b").count(), 1);
+    }
+
+    #[test]
+    fn record_display_format() {
+        let r = Record {
+            time: SimTime::from_secs(1),
+            level: Level::Warn,
+            component: "sched".into(),
+            message: "reissue".into(),
+        };
+        assert_eq!(r.to_string(), "[1.000s WARN sched] reissue");
+    }
+}

@@ -1,0 +1,73 @@
+//! The runtime oracle: train the paper's random-forest model and interview
+//! it — variable importance (Fig. 2 in miniature) and what-if predictions
+//! across the web form's knobs.
+//!
+//! Run with: `cargo run --release --example runtime_oracle`
+
+use garli::config::{RateHetKind, StateFrequencies};
+use lattice::estimator::RuntimeEstimator;
+use lattice::predictors::JobFeatures;
+use lattice::training::{generate_training_jobs, Scale};
+use phylo::alphabet::DataType;
+use phylo::models::nucleotide::RateMatrix;
+
+fn main() {
+    println!("executing a 60-job training workload (this is the expensive part) …");
+    let corpus = generate_training_jobs(60, Scale::Compact, 123);
+    let spread = {
+        let r: Vec<f64> = corpus.iter().map(|j| j.runtime_seconds).collect();
+        let max = r.iter().cloned().fold(0.0f64, f64::max);
+        let min = r.iter().cloned().fold(f64::INFINITY, f64::min);
+        max / min
+    };
+    println!("corpus runtime spread: {spread:.0}×");
+
+    let est = RuntimeEstimator::train(&corpus, 2000, 124);
+    println!(
+        "variance explained (OOB): {:.1}%  (paper: ~93% on portal-scale jobs)",
+        est.variance_explained() * 100.0
+    );
+
+    println!("\nvariable importance (%IncMSE — the Fig. 2 statistic):");
+    print!("{}", est.importance().to_table());
+
+    // What-if analysis across one axis at a time.
+    let base = JobFeatures {
+        num_taxa: 8,
+        num_patterns: 120,
+        data_type: DataType::Nucleotide,
+        rate_het: RateHetKind::None,
+        num_rate_cats: 1,
+        rate_matrix: RateMatrix::Gtr,
+        state_frequencies: StateFrequencies::Empirical,
+        invariant_sites: false,
+        genthresh: 8,
+    };
+    println!("\nwhat-if predictions (base: 8 taxa × 120 patterns, nucleotide, no Γ):");
+    let show = |label: &str, f: &JobFeatures| {
+        println!("  {:<42} {:>9.3}s", label, est.predict_seconds(f));
+    };
+    show("base job", &base);
+    show(
+        "… with Γ4 rate heterogeneity",
+        &JobFeatures { rate_het: RateHetKind::Gamma, num_rate_cats: 4, ..base },
+    );
+    show(
+        "… with Γ8 + invariant sites",
+        &JobFeatures {
+            rate_het: RateHetKind::GammaInv,
+            num_rate_cats: 8,
+            invariant_sites: true,
+            ..base
+        },
+    );
+    show("… as amino-acid data", &JobFeatures { data_type: DataType::AminoAcid, ..base });
+    show("… as codon data", &JobFeatures { data_type: DataType::Codon, ..base });
+    show("… with twice the patterns", &JobFeatures { num_patterns: 240, ..base });
+    show("… with patient termination (genthresh 11)", &JobFeatures { genthresh: 11, ..base });
+
+    println!(
+        "\n(the scheduler multiplies these by calibrated resource speeds to pick \
+         stable-vs-unstable placements; see the e4 experiment)"
+    );
+}

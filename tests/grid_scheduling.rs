@@ -1,0 +1,157 @@
+//! Cross-crate integration: the estimator's effect on grid scheduling —
+//! the paper's core claim, at test scale.
+
+use gridsim::grid::{Grid, GridConfig};
+use gridsim::job::JobSpec;
+use gridsim::resource::{ResourceKind, ResourceSpec};
+use gridsim::scheduler::SchedulerPolicy;
+use simkit::{SimRng, SimTime};
+
+/// Big fast unstable pool + small stable cluster, mixed short/long jobs.
+fn config(policy: SchedulerPolicy, seed: u64) -> GridConfig {
+    GridConfig {
+        resources: vec![
+            ResourceSpec::condor_pool("condor", 60, 1.5, 4.0),
+            ResourceSpec::cluster("cluster", ResourceKind::PbsCluster, 8, 1.0),
+        ],
+        policy,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn mixed_workload(with_estimates: bool, seed: u64) -> Vec<JobSpec> {
+    let mut rng = SimRng::new(seed);
+    let mut jobs = Vec::new();
+    for i in 0..60u64 {
+        let secs = rng.lognormal(7.8, 0.6); // short: tens of minutes
+        let mut j = JobSpec::simple(i, secs);
+        if with_estimates {
+            j = j.with_estimate(secs * rng.lognormal(0.0, 0.2));
+        }
+        jobs.push(j);
+    }
+    for i in 60..68u64 {
+        let secs = rng.range_f64(30.0, 60.0) * 3600.0; // long: 30–60 h
+        let mut j = JobSpec::simple(i, secs);
+        if with_estimates {
+            j = j.with_estimate(secs * rng.lognormal(0.0, 0.2));
+        }
+        jobs.push(j);
+    }
+    jobs
+}
+
+#[test]
+fn estimates_route_long_jobs_to_the_cluster() {
+    let mut grid = Grid::new(config(SchedulerPolicy::default(), 41));
+    grid.submit(mixed_workload(true, 42));
+    let report = grid.run_until_done(SimTime::from_days(40));
+    assert_eq!(report.completed, 68, "everything finishes");
+    for r in &report.records {
+        if r.spec.id.0 >= 60 {
+            assert_eq!(
+                r.completed_by.as_deref(),
+                Some("cluster"),
+                "long job {:?} must avoid the unstable pool",
+                r.spec.id
+            );
+        }
+    }
+    // With correct routing, long jobs are never evicted: no waste on them.
+    let long_waste: f64 = report
+        .records
+        .iter()
+        .filter(|r| r.spec.id.0 >= 60)
+        .map(|r| r.wasted_cpu_seconds)
+        .sum();
+    assert_eq!(long_waste, 0.0);
+}
+
+#[test]
+fn without_estimates_long_jobs_burn_condor_cpu() {
+    let policy = SchedulerPolicy { use_runtime_estimates: false, ..Default::default() };
+    let mut grid = Grid::new(config(policy, 51));
+    grid.submit(mixed_workload(false, 52));
+    let report = grid.run_until_done(SimTime::from_days(40));
+    // The estimator-less system wastes CPU on evicted long jobs.
+    assert!(
+        report.wasted_cpu_seconds > 10.0 * 3600.0,
+        "expected serious waste, got {:.1}h",
+        report.wasted_cpu_seconds / 3600.0
+    );
+}
+
+#[test]
+fn estimator_on_vs_off_waste_gap() {
+    let run = |policy: SchedulerPolicy, with_est: bool| {
+        let mut grid = Grid::new(config(policy, 61));
+        grid.submit(mixed_workload(with_est, 62));
+        grid.run_until_done(SimTime::from_days(40))
+    };
+    let with = run(SchedulerPolicy::default(), true);
+    let without = run(
+        SchedulerPolicy { use_runtime_estimates: false, ..Default::default() },
+        false,
+    );
+    assert!(
+        without.wasted_cpu_seconds > with.wasted_cpu_seconds * 5.0,
+        "estimates should slash waste: {:.1}h vs {:.1}h",
+        with.wasted_cpu_seconds / 3600.0,
+        without.wasted_cpu_seconds / 3600.0
+    );
+}
+
+#[test]
+fn short_jobs_still_use_the_big_pool() {
+    // The point of the 10h threshold: short work SHOULD go to the pool.
+    let mut grid = Grid::new(config(SchedulerPolicy::default(), 71));
+    grid.submit(mixed_workload(true, 72));
+    let report = grid.run_until_done(SimTime::from_days(40));
+    let on_pool = report
+        .records
+        .iter()
+        .filter(|r| r.completed_by.as_deref() == Some("condor"))
+        .count();
+    assert!(on_pool > 30, "most short jobs belong on the pool, got {on_pool}");
+}
+
+#[test]
+fn mpi_gangs_run_on_the_big_cluster() {
+    // A 16-wide MPI job cannot fit the 8-slot cluster; it must go to the
+    // 32-slot one, occupy 16 cores simultaneously, and bill 16x CPU.
+    let cfg = GridConfig {
+        resources: vec![
+            ResourceSpec::cluster("small", ResourceKind::PbsCluster, 8, 2.0),
+            ResourceSpec::cluster("big", ResourceKind::PbsCluster, 32, 1.0),
+        ],
+        seed: 81,
+        ..Default::default()
+    };
+    let mut grid = Grid::new(cfg);
+    grid.submit([JobSpec::simple(1, 3600.0).mpi(16).with_estimate(3600.0)]);
+    let report = grid.run_until_done(SimTime::from_days(2));
+    assert_eq!(report.completed, 1);
+    let r = &report.records[0];
+    assert_eq!(r.completed_by.as_deref(), Some("big"));
+    // ~1h of wall on 16 slots ≈ 16 CPU-hours (plus staged overhead).
+    assert!(
+        r.useful_cpu_seconds > 15.9 * 3600.0 && r.useful_cpu_seconds < 16.5 * 3600.0,
+        "CPU billing must cover the gang: {}h",
+        r.useful_cpu_seconds / 3600.0
+    );
+}
+
+#[test]
+fn oversized_mpi_jobs_stay_pending() {
+    let cfg = GridConfig {
+        resources: vec![ResourceSpec::cluster("c", ResourceKind::PbsCluster, 8, 1.0)],
+        seed: 82,
+        ..Default::default()
+    };
+    let mut grid = Grid::new(cfg);
+    grid.submit([JobSpec::simple(1, 600.0).mpi(64)]);
+    let report = grid.run_until_done(SimTime::from_hours(6));
+    assert_eq!(report.completed, 0, "no resource can host a 64-wide gang");
+    assert_eq!(report.unfinished, 1);
+}

@@ -1,0 +1,93 @@
+//! Cross-crate integration: whole-resource outages, MDS staleness, and the
+//! paper's offline rule — "if we cease to receive MDS information from a
+//! certain resource, we mark the resource as offline and make sure no new
+//! jobs are scheduled there" (§V.A).
+
+use gridsim::grid::{Grid, GridConfig};
+use gridsim::job::{JobOutcome, JobSpec};
+use gridsim::resource::{ResourceKind, ResourceSpec};
+use simkit::SimTime;
+
+#[test]
+fn jobs_survive_resource_outages() {
+    // A single cluster that crashes roughly every 6 hours and takes ~1h to
+    // repair. Checkpointable jobs must still complete (progress preserved);
+    // the report shows the resource-level churn in attempts.
+    let config = GridConfig {
+        resources: vec![ResourceSpec::cluster("flaky", ResourceKind::PbsCluster, 4, 1.0)
+            .with_outages(6.0, 1.0)],
+        max_local_retries: 100,
+        seed: 401,
+        ..Default::default()
+    };
+    let mut grid = Grid::new(config);
+    grid.submit((0..8).map(|i| {
+        let mut j = JobSpec::simple(i, 10.0 * 3600.0); // 10h each
+        j.checkpointable = true;
+        j
+    }));
+    let report = grid.run_until_done(SimTime::from_days(20));
+    assert_eq!(report.completed, 8, "checkpointing must carry jobs across outages");
+    // Outages evicted running jobs at least once somewhere.
+    assert!(
+        report.records.iter().any(|r| r.attempts > 1),
+        "a 6h-MTBF resource must have interrupted some 10h job"
+    );
+}
+
+#[test]
+fn outage_silences_mds_and_diverts_new_jobs() {
+    // Two clusters; one suffers a long outage early. Jobs submitted during
+    // the outage must flow to the healthy one (the flaky one's MDS entry
+    // expires). We force the outage to be long by making repairs slow.
+    let config = GridConfig {
+        resources: vec![
+            ResourceSpec::cluster("flaky", ResourceKind::PbsCluster, 32, 5.0)
+                .with_outages(0.05, 48.0), // fails almost immediately, long repair
+            ResourceSpec::cluster("steady", ResourceKind::PbsCluster, 4, 0.5),
+        ],
+        max_local_retries: 1, // first eviction bounces straight back to the grid
+        seed: 402,
+        ..Default::default()
+    };
+    let mut grid = Grid::new(config);
+    // Give the outage time to fire, then submit.
+    grid.submit_at(JobSpec::simple(0, 600.0), SimTime::from_hours(2));
+    for i in 1..10 {
+        grid.submit_at(JobSpec::simple(i, 600.0), SimTime::from_hours(2));
+    }
+    let report = grid.run_until_done(SimTime::from_hours(40));
+    assert_eq!(report.completed, 10, "{report:?}");
+    for r in &report.records {
+        assert_eq!(r.outcome, JobOutcome::Completed);
+        assert_eq!(
+            r.completed_by.as_deref(),
+            Some("steady"),
+            "jobs submitted during the outage must avoid the silent resource"
+        );
+    }
+}
+
+#[test]
+fn non_checkpointable_jobs_lose_progress_on_outage() {
+    let config = GridConfig {
+        resources: vec![ResourceSpec::cluster("flaky", ResourceKind::PbsCluster, 2, 1.0)
+            .with_outages(3.0, 0.5)],
+        max_local_retries: 200,
+        seed: 403,
+        ..Default::default()
+    };
+    let mut grid = Grid::new(config);
+    grid.submit([JobSpec::simple(0, 6.0 * 3600.0)]); // 6h, no checkpointing
+    let report = grid.run_until_done(SimTime::from_days(30));
+    if report.completed == 1 {
+        // When it does get through, the lost attempts show up as waste.
+        let r = &report.records[0];
+        assert!(
+            r.wasted_cpu_seconds > 0.0,
+            "a 3h-MTBF machine cannot run a 6h job without losing work"
+        );
+    } else {
+        assert_eq!(report.unfinished, 1);
+    }
+}

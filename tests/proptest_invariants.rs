@@ -1,0 +1,207 @@
+//! Property-based tests over the workspace's core invariants.
+
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Trees
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random topologies always satisfy the structural invariants, have the
+    /// canonical node count, and n−3 non-trivial splits.
+    #[test]
+    fn random_trees_are_well_formed(n in 4usize..40, seed in 0u64..10_000) {
+        let mut rng = simkit::SimRng::new(seed);
+        let t = phylo::tree::Tree::random_topology(n, &mut rng);
+        t.check_invariants();
+        prop_assert_eq!(t.num_nodes(), 2 * n - 2);
+        prop_assert_eq!(t.splits().len(), n - 3);
+    }
+
+    /// Newick serialization round-trips both topology and total length.
+    #[test]
+    fn newick_roundtrip(n in 4usize..25, seed in 0u64..10_000) {
+        let mut rng = simkit::SimRng::new(seed);
+        let t = phylo::tree::Tree::random_topology(n, &mut rng);
+        let names: Vec<String> = (0..n).map(|i| format!("t{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let nwk = phylo::newick::to_newick(&t, &refs);
+        let back = phylo::newick::parse_newick(&nwk, &refs).unwrap();
+        prop_assert!(t.same_topology(&back));
+        prop_assert!((t.tree_length() - back.tree_length()).abs() < 1e-9);
+    }
+
+    /// NNI moves preserve invariants and change RF distance by exactly 2.
+    #[test]
+    fn nni_changes_exactly_one_split(n in 5usize..25, seed in 0u64..10_000) {
+        let mut rng = simkit::SimRng::new(seed);
+        let t = phylo::tree::Tree::random_topology(n, &mut rng);
+        let edges = t.internal_edge_nodes();
+        prop_assume!(!edges.is_empty());
+        let mut u = t.clone();
+        let v = edges[rng.index(edges.len())];
+        u.nni(v, rng.index(2));
+        u.check_invariants();
+        prop_assert_eq!(t.robinson_foulds(&u), 2);
+    }
+
+    /// SPR preserves the taxon set and invariants, whatever the move.
+    #[test]
+    fn spr_preserves_taxa(n in 5usize..20, seed in 0u64..10_000) {
+        let mut rng = simkit::SimRng::new(seed);
+        let mut t = phylo::tree::Tree::random_topology(n, &mut rng);
+        let nodes = t.edge_nodes();
+        let prune = nodes[rng.index(nodes.len())];
+        let graft = nodes[rng.index(nodes.len())];
+        let _ = t.spr(prune, graft);
+        t.check_invariants();
+        prop_assert_eq!(t.subtree_taxa(t.root()), (0..n).collect::<Vec<_>>());
+    }
+
+    /// RF distance is a pseudo-metric: symmetric, zero on self.
+    #[test]
+    fn rf_symmetric(n in 4usize..15, s1 in 0u64..3000, s2 in 0u64..3000) {
+        let mut r1 = simkit::SimRng::new(s1);
+        let mut r2 = simkit::SimRng::new(s2);
+        let a = phylo::tree::Tree::random_topology(n, &mut r1);
+        let b = phylo::tree::Tree::random_topology(n, &mut r2);
+        prop_assert_eq!(a.robinson_foulds(&b), b.robinson_foulds(&a));
+        prop_assert_eq!(a.robinson_foulds(&a), 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Models and rates
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Discrete-Γ site rates always have mean 1 and increasing categories.
+    #[test]
+    fn gamma_rates_mean_one(ncat in 2usize..12, alpha in 0.05f64..20.0) {
+        let sr = phylo::models::SiteRates::gamma(ncat, alpha);
+        prop_assert!((sr.mean_rate() - 1.0).abs() < 1e-6);
+        let rates: Vec<f64> = sr.categories().iter().map(|c| c.0).collect();
+        for w in rates.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    /// Transition matrices are stochastic for arbitrary GTR parameters.
+    #[test]
+    fn gtr_rows_stochastic(
+        r in prop::array::uniform6(0.1f64..5.0),
+        t in 0.0f64..5.0,
+    ) {
+        let m = phylo::models::nucleotide::NucModel::gtr(r, [0.25; 4]);
+        use phylo::models::SubstModel;
+        let p = m.transition_matrix(t);
+        for i in 0..4 {
+            let row: f64 = (0..4).map(|j| p[(i, j)]).sum();
+            prop_assert!((row - 1.0).abs() < 1e-8);
+            for j in 0..4 {
+                prop_assert!((0.0..=1.0).contains(&p[(i, j)]));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Portal batching & bundling
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Batches exactly partition the replicate range.
+    #[test]
+    fn batches_partition(total in 1usize..5000, size in 1usize..300) {
+        let batches = portal::batch::split_into_batches(total, size);
+        let sum: usize = batches.iter().map(|b| b.len()).sum();
+        prop_assert_eq!(sum, total);
+        for w in batches.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+        prop_assert!(batches.iter().all(|b| b.len() <= size && !b.is_empty()));
+    }
+
+    /// Capacity-weighted batching is exact and respects zero weights.
+    #[test]
+    fn capacity_batches_exact(total in 1usize..2000, w1 in 0.0f64..10.0, w2 in 0.1f64..10.0) {
+        let parts = portal::batch::split_by_capacity(total, &[w1, w2]);
+        let sum: usize = parts.iter().map(|(_, b)| b.len()).sum();
+        prop_assert_eq!(sum, total);
+    }
+
+    /// Bundle sizes always satisfy the overhead target or hit the cap.
+    #[test]
+    fn bundling_meets_overhead_target(est in 0.5f64..50_000.0) {
+        let policy = lattice::bundling::BundlingPolicy::default();
+        let k = policy.bundle_size(est);
+        prop_assert!(k >= 1 && k <= policy.max_bundle);
+        if k < policy.max_bundle {
+            prop_assert!(
+                policy.overhead_fraction(k, est) <= policy.max_overhead_fraction + 1e-9
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulation kernel
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The calendar delivers any schedule in nondecreasing time order.
+    #[test]
+    fn calendar_orders_events(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut cal = simkit::Calendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(simkit::SimTime::from_micros(t), i);
+        }
+        let mut last = simkit::SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = cal.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Welford tallies match naive statistics.
+    #[test]
+    fn tally_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut t = simkit::stats::Tally::new();
+        for &x in &xs {
+            t.record(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((t.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((t.variance() - var).abs() < 1e-5 * var.abs().max(1.0));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Speed calibration
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Noise-free calibration inverts exactly, for any machine speed.
+    #[test]
+    fn calibration_inverts_speed(speed in 0.05f64..20.0) {
+        let mut rng = simkit::SimRng::new(1);
+        let runs = gridsim::speed::benchmark_machines(&[speed; 4], 0.0, &mut rng);
+        let measured = gridsim::speed::speed_from_benchmarks(&runs);
+        prop_assert!((measured - speed).abs() < 1e-9 * speed);
+    }
+}
