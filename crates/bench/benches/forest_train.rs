@@ -60,7 +60,10 @@ fn bench_forest(c: &mut Criterion) {
             b.iter(|| {
                 std::hint::black_box(RandomForest::fit(
                     &data,
-                    &ForestConfig { num_trees: t, ..Default::default() },
+                    &ForestConfig {
+                        num_trees: t,
+                        ..Default::default()
+                    },
                     42,
                 ))
             })
@@ -69,7 +72,10 @@ fn bench_forest(c: &mut Criterion) {
 
     let forest = RandomForest::fit(
         &data,
-        &ForestConfig { num_trees: 10_000, ..Default::default() },
+        &ForestConfig {
+            num_trees: 10_000,
+            ..Default::default()
+        },
         42,
     );
     let row = data.row(0).to_vec();

@@ -35,13 +35,21 @@ fn main() {
     for trees in [10usize, 30, 100, 300, 1000, 3000, 10_000] {
         let f = RandomForest::fit(
             &dataset,
-            &ForestConfig { num_trees: trees, ..Default::default() },
+            &ForestConfig {
+                num_trees: trees,
+                ..Default::default()
+            },
             seed ^ 0xA,
         );
         let mse = f.oob_mse(&dataset);
         let r2 = f.oob_r2(&dataset);
         println!("{trees:>8} {mse:>14.1} {r2:>10.3}");
-        points.push(Point { sweep: "num_trees", value: trees, oob_mse: mse, oob_r2: r2 });
+        points.push(Point {
+            sweep: "num_trees",
+            value: trees,
+            oob_mse: mse,
+            oob_r2: r2,
+        });
     }
 
     header("E11b — mtry sweep (claim b: accuracy stable across the tuning parameter)");
@@ -49,14 +57,27 @@ fn main() {
     for mtry in [1usize, 2, 3, 4, 5, 7, 9] {
         let f = RandomForest::fit(
             &dataset,
-            &ForestConfig { num_trees: 1000, mtry: Some(mtry), ..Default::default() },
+            &ForestConfig {
+                num_trees: 1000,
+                mtry: Some(mtry),
+                ..Default::default()
+            },
             seed ^ 0xB,
         );
         let mse = f.oob_mse(&dataset);
         let r2 = f.oob_r2(&dataset);
-        let note = if mtry == 3 { "  <- p/3 (regression default; paper's setting)" } else { "" };
+        let note = if mtry == 3 {
+            "  <- p/3 (regression default; paper's setting)"
+        } else {
+            ""
+        };
         println!("{mtry:>8} {mse:>14.1} {r2:>10.3}{note}");
-        points.push(Point { sweep: "mtry", value: mtry, oob_mse: mse, oob_r2: r2 });
+        points.push(Point {
+            sweep: "mtry",
+            value: mtry,
+            oob_mse: mse,
+            oob_r2: r2,
+        });
     }
 
     write_json("e11_forest_sweeps", &points);

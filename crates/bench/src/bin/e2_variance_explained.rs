@@ -27,11 +27,25 @@ fn main() {
     let est = RuntimeEstimator::train(&corpus, trees, seed ^ 99);
     let oob_r2 = est.variance_explained();
     println!("paper:    ~93% (OOB, 1e4 trees, ~150 jobs)");
-    println!("measured: {:.1}% (OOB, {} trees, {} jobs)", oob_r2 * 100.0, trees, corpus.len());
+    println!(
+        "measured: {:.1}% (OOB, {} trees, {} jobs)",
+        oob_r2 * 100.0,
+        trees,
+        corpus.len()
+    );
 
-    header(&format!("{folds}-fold cross-validation ({cv_trees} trees per fold)"));
+    header(&format!(
+        "{folds}-fold cross-validation ({cv_trees} trees per fold)"
+    ));
     let cv = cross_validate(&dataset, folds, |train| {
-        RandomForest::fit(train, &ForestConfig { num_trees: cv_trees, ..Default::default() }, seed)
+        RandomForest::fit(
+            train,
+            &ForestConfig {
+                num_trees: cv_trees,
+                ..Default::default()
+            },
+            seed,
+        )
     });
     println!("CV R²          : {:.3}", cv.r2);
     println!("CV MSE         : {:.1} s²", cv.mse);
@@ -39,7 +53,10 @@ fn main() {
 
     // Predicted vs actual for a sample of held-out rows.
     header("predicted vs actual (cross-validated, 10 sample jobs)");
-    println!("{:<8} {:>12} {:>12} {:>9}", "job", "actual", "predicted", "ratio");
+    println!(
+        "{:<8} {:>12} {:>12} {:>9}",
+        "job", "actual", "predicted", "ratio"
+    );
     let step = (dataset.len() / 10).max(1);
     for i in (0..dataset.len()).step_by(step) {
         let actual = dataset.target(i);

@@ -48,16 +48,27 @@ fn main() {
     emit("half-time cluster (exact)", 2.0, &[2.0; 16], 0.0, &mut rng);
     emit("reference twin (exact)", 1.0, &[1.0; 16], 0.0, &mut rng);
     emit("double-time pool (exact)", 0.5, &[0.5; 16], 0.0, &mut rng);
-    emit("half-time cluster (3% noise)", 2.0, &[2.0; 16], 0.03, &mut rng);
+    emit(
+        "half-time cluster (3% noise)",
+        2.0,
+        &[2.0; 16],
+        0.03,
+        &mut rng,
+    );
     emit("reference twin (3% noise)", 1.0, &[1.0; 16], 0.03, &mut rng);
-    emit("double-time pool (3% noise)", 0.5, &[0.5; 16], 0.03, &mut rng);
+    emit(
+        "double-time pool (3% noise)",
+        0.5,
+        &[0.5; 16],
+        0.03,
+        &mut rng,
+    );
 
     // Heterogeneous desktop pool: machines log-normal around 0.9. The
     // calibrated value is the runtime-average convention of the paper.
     let speeds: Vec<f64> = (0..40).map(|_| rng.lognormal(-0.1, 0.3)).collect();
     let harmonicish = {
-        let mean_runtime: f64 =
-            speeds.iter().map(|s| 1.0 / s).sum::<f64>() / speeds.len() as f64;
+        let mean_runtime: f64 = speeds.iter().map(|s| 1.0 / s).sum::<f64>() / speeds.len() as f64;
         1.0 / mean_runtime
     };
     emit(

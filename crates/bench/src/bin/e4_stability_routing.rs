@@ -98,8 +98,7 @@ fn run(
         .records
         .iter()
         .filter(|r| {
-            r.spec.id.0 >= n_short as u64
-                && r.outcome == gridsim::job::JobOutcome::Completed
+            r.spec.id.0 >= n_short as u64 && r.outcome == gridsim::job::JobOutcome::Completed
         })
         .count();
     Row {
@@ -121,7 +120,9 @@ fn main() {
     let seed = env_usize("LATTICE_SEED", 2011) as u64;
 
     header("E4 — stability routing (big unstable Condor pool + small stable cluster)");
-    println!("workload: {n_short} short jobs + {n_long} long (1–4 day) jobs; estimate noise σ = {noise}");
+    println!(
+        "workload: {n_short} short jobs + {n_long} long (1–4 day) jobs; estimate noise σ = {noise}"
+    );
     println!(
         "\n{:<34} {:>9} {:>10} {:>12} {:>12} {:>11}",
         "policy", "completed", "long done", "wasted CPU", "useful CPU", "makespan"
@@ -133,12 +134,18 @@ fn main() {
         ("estimates ON, speed scaling ON", base, true),
         (
             "estimates ON, speed scaling OFF",
-            SchedulerPolicy { use_speed_scaling: false, ..base },
+            SchedulerPolicy {
+                use_speed_scaling: false,
+                ..base
+            },
             true,
         ),
         (
             "estimates OFF (pre-ML system)",
-            SchedulerPolicy { use_runtime_estimates: false, ..base },
+            SchedulerPolicy {
+                use_runtime_estimates: false,
+                ..base
+            },
             false,
         ),
     ] {
@@ -166,7 +173,15 @@ fn main() {
             unstable_cutoff: SimDuration::from_hours(hours),
             ..base
         };
-        let row = run(&format!("n = {hours}h"), policy, true, n_short, n_long, noise, seed ^ hours);
+        let row = run(
+            &format!("n = {hours}h"),
+            policy,
+            true,
+            n_short,
+            n_long,
+            noise,
+            seed ^ hours,
+        );
         println!(
             "{:<14} {:>5}/{:<3} {:>11.0}h {:>11}",
             row.policy,

@@ -95,10 +95,19 @@ fn main() {
 
     let mut rows = Vec::new();
     let fixed = [
-        ("fixed 1d (too tight)", DeadlinePolicy::Fixed(SimDuration::from_days(1))),
+        (
+            "fixed 1d (too tight)",
+            DeadlinePolicy::Fixed(SimDuration::from_days(1)),
+        ),
         ("fixed 3d", DeadlinePolicy::Fixed(SimDuration::from_days(3))),
-        ("fixed 7d (manual default)", DeadlinePolicy::Fixed(SimDuration::from_days(7))),
-        ("fixed 21d (too loose)", DeadlinePolicy::Fixed(SimDuration::from_days(21))),
+        (
+            "fixed 7d (manual default)",
+            DeadlinePolicy::Fixed(SimDuration::from_days(7)),
+        ),
+        (
+            "fixed 21d (too loose)",
+            DeadlinePolicy::Fixed(SimDuration::from_days(21)),
+        ),
     ];
     for (label, policy) in fixed {
         let row = run(label, policy, n, noise, seed);
@@ -114,7 +123,13 @@ fn main() {
             min: SimDuration::from_hours(6),
             fallback: SimDuration::from_days(7),
         };
-        let row = run(&format!("estimate × {slack} (RF-driven)"), policy, n, noise, seed);
+        let row = run(
+            &format!("estimate × {slack} (RF-driven)"),
+            policy,
+            n,
+            noise,
+            seed,
+        );
         print_row(&row);
         rows.push(row);
     }

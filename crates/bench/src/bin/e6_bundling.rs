@@ -36,15 +36,19 @@ fn run(bundle: usize, n_replicates: usize, rep_secs: f64, seed: u64) -> Row {
     let mut left = n_replicates;
     while left > 0 {
         let k = bundle.min(left);
-        let true_secs: f64 =
-            (0..k).map(|_| rep_secs * rng.lognormal(0.0, 0.2)).sum();
+        let true_secs: f64 = (0..k).map(|_| rep_secs * rng.lognormal(0.0, 0.2)).sum();
         jobs.push(JobSpec::simple(id, true_secs).with_estimate(rep_secs * k as f64));
         id += 1;
         left -= k;
     }
     let grid_jobs = jobs.len();
     let config = GridConfig {
-        resources: vec![ResourceSpec::cluster("cluster", ResourceKind::PbsCluster, 64, 1.0)],
+        resources: vec![ResourceSpec::cluster(
+            "cluster",
+            ResourceKind::PbsCluster,
+            64,
+            1.0,
+        )],
         dispatch_overhead: simkit::SimDuration::from_secs_f64(overhead),
         seed,
         ..Default::default()
@@ -83,7 +87,11 @@ fn main() {
     let mut rows = Vec::new();
     for bundle in [1usize, 2, 4, auto, 16, 64] {
         let row = run(bundle, n, rep_secs, seed ^ bundle as u64);
-        let label = if bundle == auto { format!("{bundle} (auto)") } else { bundle.to_string() };
+        let label = if bundle == auto {
+            format!("{bundle} (auto)")
+        } else {
+            bundle.to_string()
+        };
         println!(
             "{:<14} {:>10} {:>11} {:>11.1}h {:>9.1}%",
             label,

@@ -30,7 +30,9 @@ fn main() {
     let training = env_usize("LATTICE_TRAINING_JOBS", 60);
     let seed = env_usize("LATTICE_SEED", 2011) as u64;
 
-    header(&format!("E8 — {replicates}-replicate bootstrap submission through the portal"));
+    header(&format!(
+        "E8 — {replicates}-replicate bootstrap submission through the portal"
+    ));
 
     // Train the runtime model (cached corpus).
     let corpus = bench::load_or_generate_corpus(training, Scale::Full, seed);
@@ -48,8 +50,12 @@ fn main() {
     config.max_generations = 200;
     config.bootstrap_replicates = replicates;
 
-    let mut submission =
-        Submission::new(1, User::guest("researcher@example.edu").unwrap(), config, aln);
+    let mut submission = Submission::new(
+        1,
+        User::guest("researcher@example.edu").unwrap(),
+        config,
+        aln,
+    );
     let mut outbox = Outbox::new();
 
     // Our miniature engine executes a replicate in ~0.1–5 reference-seconds
@@ -69,9 +75,13 @@ fn main() {
     let start = std::time::Instant::now();
     let result = run_campaign(&mut submission, Some(&estimator), &options, &mut outbox)
         .expect("campaign runs");
-    eprintln!("[e8] pipeline wall time: {:.1}s", start.elapsed().as_secs_f64());
+    eprintln!(
+        "[e8] pipeline wall time: {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
 
-    println!("validation: {} taxa, {} sites, {} patterns, {:.0} MiB/job",
+    println!(
+        "validation: {} taxa, {} sites, {} patterns, {:.0} MiB/job",
         submission.validation().unwrap().num_taxa,
         submission.validation().unwrap().num_sites,
         submission.validation().unwrap().num_patterns,
@@ -86,7 +96,10 @@ fn main() {
         "bundling: {} replicates/job → {} grid jobs",
         result.bundle_size, result.grid_jobs
     );
-    println!("user ETA shown at submit time: {}", fmt_secs(result.eta_seconds));
+    println!(
+        "user ETA shown at submit time: {}",
+        fmt_secs(result.eta_seconds)
+    );
     let makespan = result.report.makespan_seconds.unwrap_or(f64::NAN);
     let mut turnarounds: Vec<f64> = result
         .report

@@ -88,7 +88,10 @@ fn main() {
         cv: cross_validate(&dataset, folds, |d| {
             Model::Forest(RandomForest::fit(
                 d,
-                &ForestConfig { num_trees: trees, ..Default::default() },
+                &ForestConfig {
+                    num_trees: trees,
+                    ..Default::default()
+                },
                 seed,
             ))
         }),

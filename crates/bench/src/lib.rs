@@ -46,7 +46,11 @@ pub fn load_or_generate_corpus(n: usize, scale: Scale, seed: u64) -> Vec<Trainin
     if let Ok(text) = std::fs::read_to_string(&path) {
         if let Ok(jobs) = serde_json::from_str::<Vec<TrainingJob>>(&text) {
             if jobs.len() == n {
-                eprintln!("[corpus] loaded {} cached jobs from {}", jobs.len(), path.display());
+                eprintln!(
+                    "[corpus] loaded {} cached jobs from {}",
+                    jobs.len(),
+                    path.display()
+                );
                 return jobs;
             }
         }

@@ -27,7 +27,9 @@ pub struct MeanPredictor {
 impl MeanPredictor {
     /// Fit = remember the mean.
     pub fn fit(data: &Dataset) -> MeanPredictor {
-        MeanPredictor { mean: data.target_mean() }
+        MeanPredictor {
+            mean: data.target_mean(),
+        }
     }
 }
 
@@ -110,6 +112,7 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
             if factor == 0.0 {
                 continue;
             }
+            #[allow(clippy::needless_range_loop)] // reads row `col`, writes row `row`
             for k in col..n {
                 a[row][k] -= factor * a[col][k];
             }
@@ -123,7 +126,11 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
         for k in (col + 1)..n {
             acc -= a[col][k] * x[k];
         }
-        x[col] = if a[col][col].abs() < 1e-300 { 0.0 } else { acc / a[col][col] };
+        x[col] = if a[col][col].abs() < 1e-300 {
+            0.0
+        } else {
+            acc / a[col][col]
+        };
     }
     x
 }
@@ -171,8 +178,11 @@ impl KnnPredictor {
                 maxs[j] = maxs[j].max(row[j]);
             }
         }
-        let ranges: Vec<f64> =
-            mins.iter().zip(&maxs).map(|(lo, hi)| (hi - lo).max(1e-12)).collect();
+        let ranges: Vec<f64> = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(lo, hi)| (hi - lo).max(1e-12))
+            .collect();
         KnnPredictor {
             k: k.min(data.len()),
             kinds: data.kinds().to_vec(),
@@ -290,7 +300,10 @@ mod tests {
         let d = linear_data(10, 44);
         let m = KnnPredictor::fit(&d, 100);
         let p = m.predict(&[1.0, 1.0, 0.0]);
-        assert!((p - d.target_mean()).abs() < 1e-9, "k=n reduces to the mean");
+        assert!(
+            (p - d.target_mean()).abs() < 1e-9,
+            "k=n reduces to the mean"
+        );
     }
 
     #[test]
@@ -311,6 +324,9 @@ mod tests {
         let bag = bagging(&train, 100, 50);
         let t_mse = crate::metrics::mse(&tree.predict_all(test.rows()), test.targets());
         let b_mse = crate::metrics::mse(&bag.predict_all(test.rows()), test.targets());
-        assert!(b_mse < t_mse, "bagging {b_mse} should beat single tree {t_mse}");
+        assert!(
+            b_mse < t_mse,
+            "bagging {b_mse} should beat single tree {t_mse}"
+        );
     }
 }

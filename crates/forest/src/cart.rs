@@ -28,7 +28,12 @@ pub struct CartConfig {
 
 impl Default for CartConfig {
     fn default() -> Self {
-        CartConfig { max_depth: 64, min_samples_split: 5, min_samples_leaf: 1, mtry: None }
+        CartConfig {
+            max_depth: 64,
+            min_samples_split: 5,
+            min_samples_leaf: 1,
+            mtry: None,
+        }
     }
 }
 
@@ -55,9 +60,7 @@ impl SplitRule {
     /// Which feature the rule reads.
     pub fn feature(&self) -> usize {
         match self {
-            SplitRule::Numeric { feature, .. } | SplitRule::Categorical { feature, .. } => {
-                *feature
-            }
+            SplitRule::Numeric { feature, .. } | SplitRule::Categorical { feature, .. } => *feature,
         }
     }
 
@@ -65,7 +68,10 @@ impl SplitRule {
     pub fn goes_left(&self, row: &[f64]) -> bool {
         match self {
             SplitRule::Numeric { feature, threshold } => row[*feature] <= *threshold,
-            SplitRule::Categorical { feature, left_levels } => {
+            SplitRule::Categorical {
+                feature,
+                left_levels,
+            } => {
                 let code = row[*feature] as u64;
                 code < 64 && (left_levels >> code) & 1 == 1
             }
@@ -75,8 +81,14 @@ impl SplitRule {
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum Node {
-    Leaf { value: f64 },
-    Internal { rule: SplitRule, left: usize, right: usize },
+    Leaf {
+        value: f64,
+    },
+    Internal {
+        rule: SplitRule,
+        left: usize,
+        right: usize,
+    },
 }
 
 /// A fitted regression tree.
@@ -118,7 +130,10 @@ impl RegressionTree {
             purity: vec![0.0; data.num_features()],
         };
         b.grow(indices.to_vec(), 0, rng);
-        RegressionTree { nodes: b.nodes, purity_decrease: b.purity }
+        RegressionTree {
+            nodes: b.nodes,
+            purity_decrease: b.purity,
+        }
     }
 
     /// Number of nodes.
@@ -128,7 +143,10 @@ impl RegressionTree {
 
     /// Number of leaves.
     pub fn num_leaves(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
     }
 
     /// Per-feature SSE decrease accumulated during growing.
@@ -187,7 +205,11 @@ impl Builder<'_> {
                 self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
                 let left = self.grow(best.left, depth + 1, rng);
                 let right = self.grow(best.right, depth + 1, rng);
-                self.nodes[slot] = Node::Internal { rule: best.rule, left, right };
+                self.nodes[slot] = Node::Internal {
+                    rule: best.rule,
+                    left,
+                    right,
+                };
                 slot
             }
             _ => make_leaf(self, &idx),
@@ -211,9 +233,7 @@ impl Builder<'_> {
         for &f in &features {
             let candidate = match self.data.kinds()[f] {
                 FeatureKind::Continuous => self.best_numeric_split(idx, f, parent_sse),
-                FeatureKind::Categorical { .. } => {
-                    self.best_categorical_split(idx, f, parent_sse)
-                }
+                FeatureKind::Categorical { .. } => self.best_categorical_split(idx, f, parent_sse),
             };
             if let Some(c) = candidate {
                 if best.as_ref().is_none_or(|b| c.gain > b.gain) {
@@ -225,8 +245,10 @@ impl Builder<'_> {
     }
 
     fn best_numeric_split(&self, idx: &[usize], f: usize, parent_sse: f64) -> Option<BestSplit> {
-        let mut pairs: Vec<(f64, f64)> =
-            idx.iter().map(|&i| (self.data.row(i)[f], self.data.target(i))).collect();
+        let mut pairs: Vec<(f64, f64)> = idx
+            .iter()
+            .map(|&i| (self.data.row(i)[f], self.data.target(i)))
+            .collect();
         pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
         let n = pairs.len();
         let total_s: f64 = pairs.iter().map(|p| p.1).sum();
@@ -242,8 +264,7 @@ impl Builder<'_> {
             }
             let nl = (k + 1) as f64;
             let nr = (n - k - 1) as f64;
-            if (k + 1) < self.config.min_samples_leaf
-                || (n - k - 1) < self.config.min_samples_leaf
+            if (k + 1) < self.config.min_samples_leaf || (n - k - 1) < self.config.min_samples_leaf
             {
                 continue;
             }
@@ -255,9 +276,17 @@ impl Builder<'_> {
             }
         }
         let threshold = best_thresh?;
-        let rule = SplitRule::Numeric { feature: f, threshold };
+        let rule = SplitRule::Numeric {
+            feature: f,
+            threshold,
+        };
         let (left, right) = partition(self.data, idx, &rule);
-        Some(BestSplit { rule, gain: best_gain, left, right })
+        Some(BestSplit {
+            rule,
+            gain: best_gain,
+            left,
+            right,
+        })
     }
 
     fn best_categorical_split(
@@ -316,9 +345,17 @@ impl Builder<'_> {
             let _ = pos;
         }
         let left_levels = best_mask?;
-        let rule = SplitRule::Categorical { feature: f, left_levels };
+        let rule = SplitRule::Categorical {
+            feature: f,
+            left_levels,
+        };
         let (left, right) = partition(self.data, idx, &rule);
-        Some(BestSplit { rule, gain: best_gain, left, right })
+        Some(BestSplit {
+            rule,
+            gain: best_gain,
+            left,
+            right,
+        })
     }
 }
 
@@ -366,7 +403,10 @@ mod tests {
         let d = step_data();
         let idx: Vec<usize> = (0..d.len()).collect();
         let mut rng = SimRng::new(2);
-        let config = CartConfig { min_samples_leaf: 60, ..Default::default() };
+        let config = CartConfig {
+            min_samples_leaf: 60,
+            ..Default::default()
+        };
         let t = RegressionTree::fit(&d, &idx, config, &mut rng);
         // Can't make any split with both sides >= 60 of 100.
         assert_eq!(t.num_leaves(), 1);
@@ -378,7 +418,10 @@ mod tests {
         let d = step_data();
         let idx: Vec<usize> = (0..30).collect();
         let mut rng = SimRng::new(9);
-        let config = CartConfig { min_samples_split: 31, ..Default::default() };
+        let config = CartConfig {
+            min_samples_split: 31,
+            ..Default::default()
+        };
         let t = RegressionTree::fit(&d, &idx, config, &mut rng);
         assert_eq!(t.num_leaves(), 1, "node below nodesize must not split");
     }
@@ -388,7 +431,10 @@ mod tests {
         let d = step_data();
         let idx: Vec<usize> = (0..d.len()).collect();
         let mut rng = SimRng::new(3);
-        let config = CartConfig { max_depth: 0, ..Default::default() };
+        let config = CartConfig {
+            max_depth: 0,
+            ..Default::default()
+        };
         let t = RegressionTree::fit(&d, &idx, config, &mut rng);
         assert_eq!(t.num_nodes(), 1);
     }
@@ -396,10 +442,7 @@ mod tests {
     #[test]
     fn categorical_split_groups_levels() {
         // Levels {0, 2} -> y = 1; levels {1, 3} -> y = 9.
-        let mut d = Dataset::new(vec![(
-            "c".into(),
-            FeatureKind::Categorical { levels: 4 },
-        )]);
+        let mut d = Dataset::new(vec![("c".into(), FeatureKind::Categorical { levels: 4 })]);
         for i in 0..200 {
             let c = (i % 4) as f64;
             let y = if i % 4 == 0 || i % 4 == 2 { 1.0 } else { 9.0 };
@@ -416,7 +459,10 @@ mod tests {
 
     #[test]
     fn unseen_category_goes_right() {
-        let rule = SplitRule::Categorical { feature: 0, left_levels: 0b011 };
+        let rule = SplitRule::Categorical {
+            feature: 0,
+            left_levels: 0b011,
+        };
         assert!(rule.goes_left(&[0.0]));
         assert!(rule.goes_left(&[1.0]));
         assert!(!rule.goes_left(&[5.0]));
@@ -447,7 +493,10 @@ mod tests {
         let d = step_data();
         let idx: Vec<usize> = (0..d.len()).collect();
         let mut rng = SimRng::new(6);
-        let config = CartConfig { mtry: Some(1), ..Default::default() };
+        let config = CartConfig {
+            mtry: Some(1),
+            ..Default::default()
+        };
         let t = RegressionTree::fit(&d, &idx, config, &mut rng);
         assert!((t.predict(&[8.0]) - 10.0).abs() < 1e-9);
     }

@@ -33,7 +33,12 @@ impl Dataset {
     /// Empty table with the given schema.
     pub fn new(schema: Vec<(String, FeatureKind)>) -> Dataset {
         let (names, kinds) = schema.into_iter().unzip();
-        Dataset { names, kinds, rows: Vec::new(), targets: Vec::new() }
+        Dataset {
+            names,
+            kinds,
+            rows: Vec::new(),
+            targets: Vec::new(),
+        }
     }
 
     /// Append one observation.

@@ -55,10 +55,7 @@ impl ImportanceReport {
         for &i in &self.ranking() {
             out.push_str(&format!(
                 "{:<28} {:>16.1} {:>12.1} {:>14.1}\n",
-                self.names[i],
-                self.scaled_inc_mse[i],
-                self.percent_inc_mse[i],
-                self.node_purity[i]
+                self.names[i], self.scaled_inc_mse[i], self.percent_inc_mse[i], self.node_purity[i]
             ));
         }
         out
@@ -122,7 +119,11 @@ pub fn importance(forest: &RandomForest, data: &Dataset, seed: u64) -> Importanc
         }
         let _ = t;
     }
-    let baseline = if trees_used > 0 { baseline_total / trees_used as f64 } else { f64::NAN };
+    let baseline = if trees_used > 0 {
+        baseline_total / trees_used as f64
+    } else {
+        f64::NAN
+    };
     let mut percent_inc_mse = Vec::with_capacity(p);
     let mut scaled_inc_mse = Vec::with_capacity(p);
     for d in &deltas {
@@ -172,10 +173,20 @@ mod tests {
     #[test]
     fn permutation_importance_orders_features() {
         let d = graded_data(300, 21);
-        let f = RandomForest::fit(&d, &ForestConfig { num_trees: 200, ..Default::default() }, 22);
+        let f = RandomForest::fit(
+            &d,
+            &ForestConfig {
+                num_trees: 200,
+                ..Default::default()
+            },
+            22,
+        );
         let rep = importance(&f, &d, 23);
         assert_eq!(rep.ranking()[0], 0, "%IncMSE: {:?}", rep.percent_inc_mse);
-        assert!(rep.percent_inc_mse[0] > 50.0, "strong feature should dominate");
+        assert!(
+            rep.percent_inc_mse[0] > 50.0,
+            "strong feature should dominate"
+        );
         // The weak and pure-noise features are both near zero; their mutual
         // order is within noise, but both must sit far below the signal.
         for j in [1, 2] {
@@ -190,7 +201,14 @@ mod tests {
     #[test]
     fn scaled_importance_tracks_raw_signal() {
         let d = graded_data(300, 36);
-        let f = RandomForest::fit(&d, &ForestConfig { num_trees: 300, ..Default::default() }, 37);
+        let f = RandomForest::fit(
+            &d,
+            &ForestConfig {
+                num_trees: 300,
+                ..Default::default()
+            },
+            37,
+        );
         let rep = importance(&f, &d, 38);
         // The strong feature's scaled score (mean/SE over 300 trees) must be
         // a large positive z-like value; the noise feature's must be small.
@@ -202,7 +220,14 @@ mod tests {
     #[test]
     fn node_purity_agrees_on_the_strong_feature() {
         let d = graded_data(300, 24);
-        let f = RandomForest::fit(&d, &ForestConfig { num_trees: 100, ..Default::default() }, 25);
+        let f = RandomForest::fit(
+            &d,
+            &ForestConfig {
+                num_trees: 100,
+                ..Default::default()
+            },
+            25,
+        );
         let rep = importance(&f, &d, 26);
         assert!(rep.node_purity[0] > rep.node_purity[1]);
         assert!(rep.node_purity[1] > rep.node_purity[2]);
@@ -220,7 +245,14 @@ mod tests {
             let y = [0.0, 5.0, 20.0][c] + rng.normal(0.0, 0.2);
             d.push(vec![c as f64, rng.f64()], y);
         }
-        let f = RandomForest::fit(&d, &ForestConfig { num_trees: 150, ..Default::default() }, 28);
+        let f = RandomForest::fit(
+            &d,
+            &ForestConfig {
+                num_trees: 150,
+                ..Default::default()
+            },
+            28,
+        );
         let rep = importance(&f, &d, 29);
         assert!(rep.percent_inc_mse[0] > rep.percent_inc_mse[1] * 5.0);
     }
@@ -228,7 +260,14 @@ mod tests {
     #[test]
     fn importance_deterministic() {
         let d = graded_data(150, 30);
-        let f = RandomForest::fit(&d, &ForestConfig { num_trees: 50, ..Default::default() }, 31);
+        let f = RandomForest::fit(
+            &d,
+            &ForestConfig {
+                num_trees: 50,
+                ..Default::default()
+            },
+            31,
+        );
         let a = importance(&f, &d, 32);
         let b = importance(&f, &d, 32);
         assert_eq!(a.percent_inc_mse, b.percent_inc_mse);
@@ -237,11 +276,21 @@ mod tests {
     #[test]
     fn table_renders_ranked() {
         let d = graded_data(150, 33);
-        let f = RandomForest::fit(&d, &ForestConfig { num_trees: 50, ..Default::default() }, 34);
+        let f = RandomForest::fit(
+            &d,
+            &ForestConfig {
+                num_trees: 50,
+                ..Default::default()
+            },
+            34,
+        );
         let rep = importance(&f, &d, 35);
         let table = rep.to_table();
         let strong_pos = table.find("strong").unwrap();
         let noise_pos = table.find("noise").unwrap();
-        assert!(strong_pos < noise_pos, "table must list strongest first:\n{table}");
+        assert!(
+            strong_pos < noise_pos,
+            "table must list strongest first:\n{table}"
+        );
     }
 }

@@ -95,8 +95,7 @@ pub fn cross_validate<P: Predictor>(
     let folds = data.fold_indices(k);
     let mut predictions = vec![0.0f64; data.len()];
     for fold in &folds {
-        let train_idx: Vec<usize> =
-            (0..data.len()).filter(|i| !fold.contains(i)).collect();
+        let train_idx: Vec<usize> = (0..data.len()).filter(|i| !fold.contains(i)).collect();
         let train = data.subset(&train_idx);
         let model = fit(&train);
         for &i in fold {

@@ -93,7 +93,12 @@ impl RandomForest {
             })
             .collect();
         let (trees, in_bag) = results.into_iter().unzip();
-        RandomForest { trees, in_bag, config: *config, num_features: p }
+        RandomForest {
+            trees,
+            in_bag,
+            config: *config,
+            num_features: p,
+        }
     }
 
     /// The constituent trees.
@@ -210,9 +215,16 @@ mod tests {
         let mse = crate::metrics::mse(&preds, test.targets());
         let var = {
             let m = test.target_mean();
-            test.targets().iter().map(|y| (y - m) * (y - m)).sum::<f64>() / test.len() as f64
+            test.targets()
+                .iter()
+                .map(|y| (y - m) * (y - m))
+                .sum::<f64>()
+                / test.len() as f64
         };
-        assert!(mse < var * 0.35, "forest MSE {mse} should be far below variance {var}");
+        assert!(
+            mse < var * 0.35,
+            "forest MSE {mse} should be far below variance {var}"
+        );
     }
 
     #[test]
@@ -227,16 +239,40 @@ mod tests {
     #[test]
     fn oob_coverage_complete_with_enough_trees() {
         let train = friedman(100, 6);
-        let f = RandomForest::fit(&train, &ForestConfig { num_trees: 100, ..Default::default() }, 7);
+        let f = RandomForest::fit(
+            &train,
+            &ForestConfig {
+                num_trees: 100,
+                ..Default::default()
+            },
+            7,
+        );
         let preds = f.oob_predictions(&train);
-        assert!(preds.iter().all(|p| p.is_some()), "every row should be OOB somewhere");
+        assert!(
+            preds.iter().all(|p| p.is_some()),
+            "every row should be OOB somewhere"
+        );
     }
 
     #[test]
     fn deterministic_given_seed() {
         let train = friedman(150, 8);
-        let a = RandomForest::fit(&train, &ForestConfig { num_trees: 30, ..Default::default() }, 9);
-        let b = RandomForest::fit(&train, &ForestConfig { num_trees: 30, ..Default::default() }, 9);
+        let a = RandomForest::fit(
+            &train,
+            &ForestConfig {
+                num_trees: 30,
+                ..Default::default()
+            },
+            9,
+        );
+        let b = RandomForest::fit(
+            &train,
+            &ForestConfig {
+                num_trees: 30,
+                ..Default::default()
+            },
+            9,
+        );
         let row = train.row(0);
         assert_eq!(a.predict(row), b.predict(row));
         assert_eq!(a.oob_mse(&train), b.oob_mse(&train));
@@ -245,8 +281,22 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let train = friedman(150, 10);
-        let a = RandomForest::fit(&train, &ForestConfig { num_trees: 30, ..Default::default() }, 11);
-        let b = RandomForest::fit(&train, &ForestConfig { num_trees: 30, ..Default::default() }, 12);
+        let a = RandomForest::fit(
+            &train,
+            &ForestConfig {
+                num_trees: 30,
+                ..Default::default()
+            },
+            11,
+        );
+        let b = RandomForest::fit(
+            &train,
+            &ForestConfig {
+                num_trees: 30,
+                ..Default::default()
+            },
+            12,
+        );
         assert_ne!(a.predict(train.row(0)), b.predict(train.row(0)));
     }
 
@@ -257,12 +307,18 @@ mod tests {
         let train = friedman(300, 13);
         let small = RandomForest::fit(
             &train,
-            &ForestConfig { num_trees: 20, ..Default::default() },
+            &ForestConfig {
+                num_trees: 20,
+                ..Default::default()
+            },
             14,
         );
         let large = RandomForest::fit(
             &train,
-            &ForestConfig { num_trees: 400, ..Default::default() },
+            &ForestConfig {
+                num_trees: 400,
+                ..Default::default()
+            },
             14,
         );
         assert!(large.oob_mse(&train) <= small.oob_mse(&train) * 1.05);
@@ -273,7 +329,10 @@ mod tests {
         let c = ForestConfig::default();
         assert_eq!(c.effective_mtry(9), 3); // paper: nine predictors -> 3
         assert_eq!(c.effective_mtry(2), 1);
-        let explicit = ForestConfig { mtry: Some(100), ..Default::default() };
+        let explicit = ForestConfig {
+            mtry: Some(100),
+            ..Default::default()
+        };
         assert_eq!(explicit.effective_mtry(9), 9); // clamped to p
     }
 
@@ -282,7 +341,14 @@ mod tests {
     #[test]
     fn serialized_forest_predicts_identically() {
         let train = friedman(100, 17);
-        let f = RandomForest::fit(&train, &ForestConfig { num_trees: 25, ..Default::default() }, 18);
+        let f = RandomForest::fit(
+            &train,
+            &ForestConfig {
+                num_trees: 25,
+                ..Default::default()
+            },
+            18,
+        );
         let json = serde_json::to_string(&f).unwrap();
         let back: RandomForest = serde_json::from_str(&json).unwrap();
         for i in 0..10 {
@@ -294,7 +360,14 @@ mod tests {
     #[test]
     fn in_bag_counts_sum_to_n() {
         let train = friedman(80, 15);
-        let f = RandomForest::fit(&train, &ForestConfig { num_trees: 10, ..Default::default() }, 16);
+        let f = RandomForest::fit(
+            &train,
+            &ForestConfig {
+                num_trees: 10,
+                ..Default::default()
+            },
+            16,
+        );
         for bag in f.in_bag() {
             let total: u32 = bag.iter().map(|&c| c as u32).sum();
             assert_eq!(total as usize, train.len());

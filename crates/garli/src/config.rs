@@ -34,8 +34,11 @@ impl StateFrequencies {
     }
 
     /// All values.
-    pub const ALL: [StateFrequencies; 3] =
-        [StateFrequencies::Equal, StateFrequencies::Empirical, StateFrequencies::Estimate];
+    pub const ALL: [StateFrequencies; 3] = [
+        StateFrequencies::Equal,
+        StateFrequencies::Empirical,
+        StateFrequencies::Estimate,
+    ];
 }
 
 /// Rate-heterogeneity family (GARLI `ratehetmodel`), with the category count

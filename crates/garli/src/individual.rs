@@ -19,7 +19,11 @@ pub struct Individual {
 impl Individual {
     /// A yet-unscored individual.
     pub fn new(tree: Tree, params: ModelParams) -> Individual {
-        Individual { tree, params, log_likelihood: f64::NEG_INFINITY }
+        Individual {
+            tree,
+            params,
+            log_likelihood: f64::NEG_INFINITY,
+        }
     }
 
     /// True iff this individual has been scored.
@@ -47,7 +51,11 @@ mod tests {
     fn dummy(lnl: f64) -> Individual {
         let tree = Tree::caterpillar(4, 0.1);
         let params = ModelParams::from_config(&GarliConfig::quick_nucleotide());
-        Individual { tree, params, log_likelihood: lnl }
+        Individual {
+            tree,
+            params,
+            log_likelihood: lnl,
+        }
     }
 
     #[test]

@@ -52,8 +52,8 @@ pub mod checkpoint;
 pub mod config;
 pub mod individual;
 pub mod model;
-pub mod partition;
 pub mod mutation;
+pub mod partition;
 pub mod progress;
 pub mod replicate;
 pub mod search;

@@ -41,7 +41,11 @@ impl ModelParams {
             kappa: config.kappa,
             omega: config.omega,
             alpha: config.alpha,
-            pinv: if config.invariant_sites { config.pinv } else { 0.0 },
+            pinv: if config.invariant_sites {
+                config.pinv
+            } else {
+                0.0
+            },
             gtr_rates: [1.0, config.kappa, 1.0, 1.0, config.kappa, 1.0],
             free_frequencies: Vec::new(),
         }
@@ -110,11 +114,7 @@ pub fn empirical_frequencies(alignment: &Alignment) -> Vec<f64> {
 ///
 /// # Panics
 /// Panics if `params.free_frequencies` is non-empty but the wrong length.
-pub fn build_model(
-    config: &GarliConfig,
-    params: &ModelParams,
-    alignment: &Alignment,
-) -> AnyModel {
+pub fn build_model(config: &GarliConfig, params: &ModelParams, alignment: &Alignment) -> AnyModel {
     let ns = config.data_type.num_states();
     let freqs: Vec<f64> = if !params.free_frequencies.is_empty() {
         assert_eq!(params.free_frequencies.len(), ns, "frequency vector length");
@@ -147,9 +147,7 @@ pub fn build_model(
             };
             AnyModel::Aa(m)
         }
-        DataType::Codon => {
-            AnyModel::Codon(CodonModel::goldman_yang(params.kappa, params.omega))
-        }
+        DataType::Codon => AnyModel::Codon(CodonModel::goldman_yang(params.kappa, params.omega)),
     }
 }
 

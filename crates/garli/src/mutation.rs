@@ -48,7 +48,12 @@ pub struct MutationWeights {
 
 impl Default for MutationWeights {
     fn default() -> Self {
-        MutationWeights { nni: 0.45, spr: 0.05, branch: 0.40, model: 0.10 }
+        MutationWeights {
+            nni: 0.45,
+            spr: 0.05,
+            branch: 0.40,
+            model: 0.10,
+        }
     }
 }
 
@@ -202,10 +207,7 @@ mod tests {
     use phylo::tree::Tree;
 
     fn individual(n: usize, config: &GarliConfig) -> Individual {
-        let mut i = Individual::new(
-            Tree::caterpillar(n, 0.1),
-            ModelParams::from_config(config),
-        );
+        let mut i = Individual::new(Tree::caterpillar(n, 0.1), ModelParams::from_config(config));
         i.log_likelihood = -100.0;
         i
     }
@@ -226,7 +228,12 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for _ in 0..300 {
             let mut ind = individual(10, &config);
-            seen.insert(mutate(&mut ind, &config, &MutationWeights::default(), &mut rng));
+            seen.insert(mutate(
+                &mut ind,
+                &config,
+                &MutationWeights::default(),
+                &mut rng,
+            ));
             ind.tree.check_invariants();
         }
         assert!(seen.contains(&MutationKind::Nni));
@@ -266,7 +273,17 @@ mod tests {
         let mut rng = SimRng::new(65);
         let mut ind = individual(6, &config);
         for _ in 0..500 {
-            mutate(&mut ind, &config, &MutationWeights { model: 1.0, nni: 0.0, spr: 0.0, branch: 0.0 }, &mut rng);
+            mutate(
+                &mut ind,
+                &config,
+                &MutationWeights {
+                    model: 1.0,
+                    nni: 0.0,
+                    spr: 0.0,
+                    branch: 0.0,
+                },
+                &mut rng,
+            );
         }
         let p = &ind.params;
         assert!(p.alpha >= 0.02 && p.alpha <= 50.0);
@@ -283,7 +300,12 @@ mod tests {
         let config = GarliConfig::quick_nucleotide();
         let mut rng = SimRng::new(66);
         let mut ind = individual(6, &config);
-        let weights = MutationWeights { branch: 1.0, nni: 0.0, spr: 0.0, model: 0.0 };
+        let weights = MutationWeights {
+            branch: 1.0,
+            nni: 0.0,
+            spr: 0.0,
+            model: 0.0,
+        };
         for _ in 0..500 {
             mutate(&mut ind, &config, &weights, &mut rng);
         }

@@ -108,7 +108,10 @@ impl PartitionedEngine {
                 rates: build_rates(&p.config, &params),
             });
         }
-        Ok(PartitionedEngine { blocks, num_taxa: reference_taxa.len() })
+        Ok(PartitionedEngine {
+            blocks,
+            num_taxa: reference_taxa.len(),
+        })
     }
 
     /// Number of data blocks.
@@ -143,7 +146,10 @@ impl PartitionedEngine {
         rng: &mut SimRng,
     ) -> PartitionedResult {
         assert_eq!(starting_tree.num_taxa(), self.num_taxa, "taxon mismatch");
-        let weights = MutationWeights { model: 0.0, ..MutationWeights::default() };
+        let weights = MutationWeights {
+            model: 0.0,
+            ..MutationWeights::default()
+        };
         let params = ModelParams::from_config(driver);
         let mut work = WorkAccount::new();
         let mut population: Vec<Individual> = Vec::new();
@@ -161,13 +167,12 @@ impl PartitionedEngine {
 
         let mut stagnant = 0u64;
         let mut generation = 0u64;
-        while stagnant < driver.genthresh_for_topo_term
-            && generation < driver.max_generations
-        {
+        while stagnant < driver.genthresh_for_topo_term && generation < driver.max_generations {
             generation += 1;
             let prev_best = population[0].log_likelihood;
-            let rank_weights: Vec<f64> =
-                (0..population.len()).map(|r| (driver.population_size - r) as f64).collect();
+            let rank_weights: Vec<f64> = (0..population.len())
+                .map(|r| (driver.population_size - r) as f64)
+                .collect();
             let mut improved_topologically = false;
             let mut offspring = Vec::with_capacity(driver.population_size - 1);
             for _ in 0..driver.population_size - 1 {
@@ -229,18 +234,22 @@ mod tests {
         let truth = Tree::random_topology(6, &mut rng);
         let nuc = NucModel::jc69();
         let aa = AaModel::poisson();
-        let aln_nuc =
-            Simulator::new(&nuc, SiteRates::uniform()).simulate(&truth, 400, &mut rng);
-        let aln_aa =
-            Simulator::new(&aa, SiteRates::uniform()).simulate(&truth, 150, &mut rng);
+        let aln_nuc = Simulator::new(&nuc, SiteRates::uniform()).simulate(&truth, 400, &mut rng);
+        let aln_aa = Simulator::new(&aa, SiteRates::uniform()).simulate(&truth, 150, &mut rng);
         let mut c_nuc = GarliConfig::quick_nucleotide();
         c_nuc.genthresh_for_topo_term = 6;
         c_nuc.max_generations = 40;
         let mut c_aa = c_nuc.clone();
         c_aa.data_type = DataType::AminoAcid;
         let partitions = vec![
-            Partition { alignment: aln_nuc, config: c_nuc },
-            Partition { alignment: aln_aa, config: c_aa },
+            Partition {
+                alignment: aln_nuc,
+                config: c_nuc,
+            },
+            Partition {
+                alignment: aln_aa,
+                config: c_aa,
+            },
         ];
         (partitions, truth)
     }
@@ -306,6 +315,9 @@ mod tests {
 
     #[test]
     fn empty_rejected() {
-        assert_eq!(PartitionedEngine::new(&[]).unwrap_err(), PartitionError::Empty);
+        assert_eq!(
+            PartitionedEngine::new(&[]).unwrap_err(),
+            PartitionError::Empty
+        );
     }
 }

@@ -148,7 +148,9 @@ mod tests {
         // Bootstrap replicates score resampled data; likelihoods differ from
         // the original-data search with the same streams.
         let plain = run_replicate(&quick(1, false), &a, &root, 0).unwrap();
-        assert!(rs.iter().any(|r| r.best_log_likelihood != plain.best_log_likelihood));
+        assert!(rs
+            .iter()
+            .any(|r| r.best_log_likelihood != plain.best_log_likelihood));
     }
 
     #[test]

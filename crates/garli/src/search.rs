@@ -187,8 +187,7 @@ impl Search {
         match &self.config.starting_tree {
             StartingTree::Newick(nwk) => {
                 let names = self.alignment.taxon_names();
-                phylo::newick::parse_newick(nwk, &names)
-                    .expect("validated at construction")
+                phylo::newick::parse_newick(nwk, &names).expect("validated at construction")
             }
             StartingTree::NeighborJoining => phylo::distance::nj_tree(&self.alignment),
             StartingTree::Random => {
@@ -212,7 +211,11 @@ impl Search {
     fn fresh_cache(&self, params: ModelParams) -> ModelCache {
         let model = build_model(&self.config, &params, &self.alignment);
         let rates = build_rates(&self.config, &params);
-        ModelCache { params, model, rates }
+        ModelCache {
+            params,
+            model,
+            rates,
+        }
     }
 
     /// Score an individual, rebuilding the model only if its parameters
@@ -252,11 +255,11 @@ impl Search {
 
             let prev_best = state.population[0].log_likelihood;
             // Rank-weighted parent selection: rank r gets weight popsize - r.
-            let rank_weights: Vec<f64> =
-                (0..state.population.len()).map(|r| (popsize - r) as f64).collect();
+            let rank_weights: Vec<f64> = (0..state.population.len())
+                .map(|r| (popsize - r) as f64)
+                .collect();
 
-            let mut offspring: Vec<(Individual, MutationKind)> =
-                Vec::with_capacity(popsize - 1);
+            let mut offspring: Vec<(Individual, MutationKind)> = Vec::with_capacity(popsize - 1);
             for _ in 0..popsize - 1 {
                 let parent = rng.weighted_index(&rank_weights);
                 let mut child = state.population[parent].clone();
@@ -287,7 +290,9 @@ impl Search {
             }
 
             // Elitist truncation: best `popsize` of parents ∪ offspring.
-            state.population.extend(offspring.into_iter().map(|(c, _)| c));
+            state
+                .population
+                .extend(offspring.into_iter().map(|(c, _)| c));
             sort_best_first(&mut state.population);
             state.population.truncate(popsize);
 
@@ -301,7 +306,9 @@ impl Search {
                 work_cells: work.cells(),
             });
             if self.config.checkpoint_interval > 0
-                && state.generation % self.config.checkpoint_interval == 0
+                && state
+                    .generation
+                    .is_multiple_of(self.config.checkpoint_interval)
             {
                 on_checkpoint(&state);
             }
@@ -360,8 +367,7 @@ mod tests {
         let mut r2 = SimRng::new(85);
         let random_tree = Tree::random_topology(8, &mut r2);
         let model = NucModel::jc69();
-        let engine =
-            phylo::likelihood::LikelihoodEngine::new(&aln, &model, SiteRates::uniform());
+        let engine = phylo::likelihood::LikelihoodEngine::new(&aln, &model, SiteRates::uniform());
         let random_lnl = engine.log_likelihood(&random_tree);
         let result = search.run(&mut rng);
         assert!(
@@ -421,7 +427,11 @@ mod tests {
             config.genthresh_for_topo_term = thresh;
             config.max_generations = 100_000;
             let mut rng = SimRng::new(93);
-            Search::new(config, &aln).unwrap().run(&mut rng).work.cells()
+            Search::new(config, &aln)
+                .unwrap()
+                .run(&mut rng)
+                .work
+                .cells()
         };
         let short = run(5);
         let long = run(80);
@@ -460,11 +470,15 @@ mod tests {
         // Capture an early checkpoint, then resume from it.
         let mut first_cp: Option<SearchCheckpoint> = None;
         let mut rng2 = SimRng::new(97);
-        let _ = search.run_with(&mut rng2, |_| {}, |cp| {
-            if first_cp.is_none() {
-                first_cp = Some(cp.clone());
-            }
-        });
+        let _ = search.run_with(
+            &mut rng2,
+            |_| {},
+            |cp| {
+                if first_cp.is_none() {
+                    first_cp = Some(cp.clone());
+                }
+            },
+        );
         let cp = first_cp.expect("checkpoint emitted");
         assert_eq!(cp.generation, 5);
         let mut rng3 = SimRng::new(98);

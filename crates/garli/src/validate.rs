@@ -76,16 +76,25 @@ impl std::fmt::Display for ValidationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ValidationError::DataTypeMismatch { configured, found } => {
-                write!(f, "configured data type {configured} but alignment is {found}")
+                write!(
+                    f,
+                    "configured data type {configured} but alignment is {found}"
+                )
             }
             ValidationError::TooFewTaxa { found } => {
                 write!(f, "need at least 4 taxa for a tree search, found {found}")
             }
             ValidationError::InvalidRateCategories { ncat, rate_het } => {
-                write!(f, "numratecats = {ncat} invalid for ratehetmodel = {rate_het}")
+                write!(
+                    f,
+                    "numratecats = {ncat} invalid for ratehetmodel = {rate_het}"
+                )
             }
             ValidationError::InvalidReplicates { requested } => {
-                write!(f, "replicates must be in 1..={MAX_REPLICATES}, requested {requested}")
+                write!(
+                    f,
+                    "replicates must be in 1..={MAX_REPLICATES}, requested {requested}"
+                )
             }
             ValidationError::InvalidAlpha { alpha } => {
                 write!(f, "gamma shape alpha = {alpha} out of range (0.02..50)")
@@ -96,7 +105,10 @@ impl std::fmt::Display for ValidationError {
             ValidationError::InvalidPopulationSize { size } => {
                 write!(f, "population size {size} must be >= 2")
             }
-            ValidationError::InvalidTermination { genthresh, max_generations } => {
+            ValidationError::InvalidTermination {
+                genthresh,
+                max_generations,
+            } => {
                 write!(
                     f,
                     "genthreshfortopoterm {genthresh} must be positive and <= stopgen {max_generations}"
@@ -142,7 +154,9 @@ pub fn validate(
         });
     }
     if alignment.num_taxa() < 4 {
-        return Err(ValidationError::TooFewTaxa { found: alignment.num_taxa() });
+        return Err(ValidationError::TooFewTaxa {
+            found: alignment.num_taxa(),
+        });
     }
     match config.rate_het {
         // As in GARLI, `numratecats` is simply ignored when ratehetmodel is
@@ -171,13 +185,17 @@ pub fn validate(
         return Err(ValidationError::InvalidReplicates { requested: reps });
     }
     if !(0.02..=50.0).contains(&config.alpha) {
-        return Err(ValidationError::InvalidAlpha { alpha: config.alpha });
+        return Err(ValidationError::InvalidAlpha {
+            alpha: config.alpha,
+        });
     }
     if config.invariant_sites && !(0.0..=0.95).contains(&config.pinv) {
         return Err(ValidationError::InvalidPinv { pinv: config.pinv });
     }
     if config.population_size < 2 {
-        return Err(ValidationError::InvalidPopulationSize { size: config.population_size });
+        return Err(ValidationError::InvalidPopulationSize {
+            size: config.population_size,
+        });
     }
     if config.genthresh_for_topo_term == 0
         || config.genthresh_for_topo_term > config.max_generations
@@ -189,8 +207,9 @@ pub fn validate(
     }
     if let StartingTree::Newick(nwk) = &config.starting_tree {
         let names = alignment.taxon_names();
-        phylo::newick::parse_newick(nwk, &names)
-            .map_err(|e| ValidationError::BadStartingTree { message: e.to_string() })?;
+        phylo::newick::parse_newick(nwk, &names).map_err(|e| ValidationError::BadStartingTree {
+            message: e.to_string(),
+        })?;
     }
 
     let patterns = PatternSet::compress(alignment);
@@ -321,8 +340,7 @@ mod tests {
     #[test]
     fn good_newick_accepted() {
         let mut config = GarliConfig::quick_nucleotide();
-        config.starting_tree =
-            StartingTree::Newick("(t0:1,(t1:1,t2:1):1,t3:1);".into());
+        config.starting_tree = StartingTree::Newick("(t0:1,(t1:1,t2:1):1,t3:1);".into());
         assert!(validate(&config, &aln(4, 100)).is_ok());
     }
 
@@ -341,7 +359,10 @@ mod tests {
     fn sparse_data_warns() {
         let config = GarliConfig::quick_nucleotide();
         let r = validate(&config, &aln(20, 10)).unwrap();
-        assert!(r.warnings.iter().any(|w| w.contains("fewer sites than taxa")));
+        assert!(r
+            .warnings
+            .iter()
+            .any(|w| w.contains("fewer sites than taxa")));
     }
 
     #[test]

@@ -75,11 +75,8 @@ pub fn estimate_memory_bytes(
     population_size: usize,
 ) -> u64 {
     let internal = num_taxa.saturating_sub(2) as u64;
-    let partials = internal
-        * num_rate_categories as u64
-        * num_patterns as u64
-        * num_states as u64
-        * 8;
+    let partials =
+        internal * num_rate_categories as u64 * num_patterns as u64 * num_states as u64 * 8;
     let overhead = 64 * 1024 * 1024; // program + data structures
     partials * population_size as u64 + overhead
 }

@@ -46,12 +46,21 @@ fn condor_submit(job: &JobSpec) -> Submission {
     let reqs: Vec<String> = job
         .platforms
         .iter()
-        .map(|p| format!("(Arch == \"{}\" && OpSys == \"{}\")", arch_str(p), os_str(p)))
+        .map(|p| {
+            format!(
+                "(Arch == \"{}\" && OpSys == \"{}\")",
+                arch_str(p),
+                os_str(p)
+            )
+        })
         .collect();
     writeln!(b, "requirements = {}", reqs.join(" || ")).unwrap();
     writeln!(b, "should_transfer_files = YES").unwrap();
     writeln!(b, "queue").unwrap();
-    Submission { adapter: "condor", body: b }
+    Submission {
+        adapter: "condor",
+        body: b,
+    }
 }
 
 fn pbs_script(job: &JobSpec, resource: &ResourceSpec) -> Submission {
@@ -63,10 +72,19 @@ fn pbs_script(job: &JobSpec, resource: &ResourceSpec) -> Submission {
     if let Some(est) = job.estimated_reference_seconds {
         // Request walltime with 2x headroom over the scaled estimate.
         let wall = (est / resource.speed * 2.0).ceil() as u64;
-        writeln!(b, "#PBS -l walltime={}:{:02}:00", wall / 3600, (wall % 3600) / 60).unwrap();
+        writeln!(
+            b,
+            "#PBS -l walltime={}:{:02}:00",
+            wall / 3600,
+            (wall % 3600) / 60
+        )
+        .unwrap();
     }
     writeln!(b, "./garli --job {}", job.id.0).unwrap();
-    Submission { adapter: "pbs", body: b }
+    Submission {
+        adapter: "pbs",
+        body: b,
+    }
 }
 
 fn sge_script(job: &JobSpec, _resource: &ResourceSpec) -> Submission {
@@ -76,7 +94,10 @@ fn sge_script(job: &JobSpec, _resource: &ResourceSpec) -> Submission {
     writeln!(b, "#$ -l mem_free={}M", job.min_memory_bytes / (1 << 20)).unwrap();
     writeln!(b, "#$ -cwd").unwrap();
     writeln!(b, "./garli --job {}", job.id.0).unwrap();
-    Submission { adapter: "sge", body: b }
+    Submission {
+        adapter: "sge",
+        body: b,
+    }
 }
 
 fn boinc_workunit(job: &JobSpec) -> Submission {
@@ -88,9 +109,17 @@ fn boinc_workunit(job: &JobSpec) -> Submission {
     if let Some(est) = job.estimated_reference_seconds {
         writeln!(b, "  <rsc_fpops_est>{:.0}</rsc_fpops_est>", est * 2.0e8).unwrap();
     }
-    writeln!(b, "  <rsc_memory_bound>{}</rsc_memory_bound>", job.min_memory_bytes).unwrap();
+    writeln!(
+        b,
+        "  <rsc_memory_bound>{}</rsc_memory_bound>",
+        job.min_memory_bytes
+    )
+    .unwrap();
     writeln!(b, "</workunit>").unwrap();
-    Submission { adapter: "boinc", body: b }
+    Submission {
+        adapter: "boinc",
+        body: b,
+    }
 }
 
 fn arch_str(p: &crate::platform::Platform) -> &'static str {

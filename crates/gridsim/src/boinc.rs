@@ -42,19 +42,21 @@ impl DeadlinePolicy {
     pub fn deadline_for(&self, job: &JobSpec) -> SimDuration {
         match *self {
             DeadlinePolicy::Fixed(d) => d,
-            DeadlinePolicy::EstimateScaled { slack, min, fallback } => {
-                match job.estimated_reference_seconds {
-                    Some(est) => {
-                        let d = SimDuration::from_secs_f64(est * slack);
-                        if d < min {
-                            min
-                        } else {
-                            d
-                        }
+            DeadlinePolicy::EstimateScaled {
+                slack,
+                min,
+                fallback,
+            } => match job.estimated_reference_seconds {
+                Some(est) => {
+                    let d = SimDuration::from_secs_f64(est * slack);
+                    if d < min {
+                        min
+                    } else {
+                        d
                     }
-                    None => fallback,
                 }
-            }
+                None => fallback,
+            },
         }
     }
 }
@@ -155,6 +157,9 @@ pub enum BoincOutcome {
         started: SimTime,
         /// Reissues this workunit needed.
         reissues: u32,
+        /// True iff the accepted result was corrupt — possible only without
+        /// redundancy (quorum = 1); validation catches it otherwise.
+        corrupt: bool,
     },
 }
 
@@ -171,6 +176,13 @@ pub struct BoincSim {
     pub wasted_cpu_seconds: f64,
     /// Useful CPU-seconds banked per completed workunit.
     useful_by_wu: HashMap<JobId, f64>,
+    /// Probability that a returned result is garbage (a scripted fault;
+    /// 0.0 in normal operation).
+    corruption_rate: f64,
+    /// Corrupt results caught by redundant validation (quorum ≥ 2).
+    corrupt_caught: u32,
+    /// Corrupt results silently accepted (quorum = 1).
+    corrupt_accepted: u32,
     rng: SimRng,
 }
 
@@ -182,13 +194,21 @@ impl BoincSim {
         for i in 0..config.num_clients {
             let speed = rng.lognormal(config.speed_mu_sigma.0, config.speed_mu_sigma.1);
             // Stationary start: available with probability on/(on+off).
-            let p_on =
-                config.mean_on_hours / (config.mean_on_hours + config.mean_off_hours);
+            let p_on = config.mean_on_hours / (config.mean_on_hours + config.mean_off_hours);
             let available = rng.chance(p_on);
-            let flip_mean = if available { config.mean_on_hours } else { config.mean_off_hours };
+            let flip_mean = if available {
+                config.mean_on_hours
+            } else {
+                config.mean_off_hours
+            };
             let wait = SimDuration::from_secs_f64(rng.exponential(flip_mean * 3600.0));
             cal.schedule(SimTime::ZERO + wait, GridEvent::BoincFlip { client: i });
-            clients.push(Client { speed, available, task: None, fetching: false });
+            clients.push(Client {
+                speed,
+                available,
+                task: None,
+                fetching: false,
+            });
         }
         BoincSim {
             config,
@@ -199,8 +219,27 @@ impl BoincSim {
             next_assignment: 0,
             wasted_cpu_seconds: 0.0,
             useful_by_wu: HashMap::new(),
+            corruption_rate: 0.0,
+            corrupt_caught: 0,
+            corrupt_accepted: 0,
             rng,
         }
+    }
+
+    /// Set the probability that a returned result is garbage (fault
+    /// injection; clamped to `[0, 1]`, `0.0` disables).
+    pub fn set_corruption_rate(&mut self, rate: f64) {
+        self.corruption_rate = rate.clamp(0.0, 1.0);
+    }
+
+    /// Corrupt results caught by redundant validation so far.
+    pub fn corrupt_caught(&self) -> u32 {
+        self.corrupt_caught
+    }
+
+    /// Corrupt results silently accepted (quorum = 1) so far.
+    pub fn corrupt_accepted(&self) -> u32 {
+        self.corrupt_accepted
     }
 
     /// The pool configuration.
@@ -238,6 +277,19 @@ impl BoincSim {
     /// Total reissues across all workunits so far.
     pub fn total_reissues(&self) -> u32 {
         self.workunits.values().map(|w| w.reissues).sum()
+    }
+
+    /// Reissues attributable to workunits that have *not* completed yet.
+    /// Completed workunits' reissues are already folded into their grid-level
+    /// job records, so a report summing per-record reissues must add only
+    /// this remainder (not [`BoincSim::total_reissues`]) to avoid counting
+    /// them twice.
+    pub fn pending_reissues(&self) -> u32 {
+        self.workunits
+            .values()
+            .filter(|w| !w.completed)
+            .map(|w| w.reissues)
+            .sum()
     }
 
     /// Accept a job from the grid: create the workunit and queue `quorum`
@@ -287,8 +339,13 @@ impl BoincSim {
         if !self.clients[client].available || self.clients[client].task.is_some() {
             return; // went away or got work meanwhile
         }
-        let Some(wu_id) = self.queue.pop_front() else { return };
-        let wu = self.workunits.get_mut(&wu_id).expect("queued workunit exists");
+        let Some(wu_id) = self.queue.pop_front() else {
+            return;
+        };
+        let wu = self
+            .workunits
+            .get_mut(&wu_id)
+            .expect("queued workunit exists");
         if wu.completed {
             // Queue copy became moot; try the next one for this client.
             self.on_assign(client, now, cal);
@@ -296,7 +353,13 @@ impl BoincSim {
         }
         let assignment = self.next_assignment;
         self.next_assignment += 1;
-        self.assignments.insert(assignment, Assignment { wu: wu_id, status: AssignmentStatus::Outstanding });
+        self.assignments.insert(
+            assignment,
+            Assignment {
+                wu: wu_id,
+                status: AssignmentStatus::Outstanding,
+            },
+        );
         if wu.first_started.is_none() {
             wu.first_started = Some(now);
         }
@@ -333,16 +396,35 @@ impl BoincSim {
             self.clients[client].task = Some(task);
             return BoincOutcome::None; // stale
         }
-        let cpu = task.cpu_spent
-            + now.saturating_since(task.resumed_at).as_secs_f64();
-        let a = self.assignments.get_mut(&assignment).expect("assignment exists");
+        let cpu = task.cpu_spent + now.saturating_since(task.resumed_at).as_secs_f64();
+        let a = self
+            .assignments
+            .get_mut(&assignment)
+            .expect("assignment exists");
         a.status = AssignmentStatus::Returned;
+        // Drawn only under an active corruption fault, so runs without one
+        // replay the exact RNG stream they always did.
+        let corrupt = self.corruption_rate > 0.0 && self.rng.chance(self.corruption_rate);
         let wu = self.workunits.get_mut(&task.wu).expect("workunit exists");
         let outcome = if wu.completed {
             // Late or redundant beyond quorum: wasted volunteer time.
             self.wasted_cpu_seconds += cpu;
             BoincOutcome::None
+        } else if corrupt && self.config.quorum >= 2 {
+            // Redundant validation rejects the result: it does not count
+            // toward quorum, its CPU is waste, and the server reissues a
+            // replacement copy.
+            self.corrupt_caught += 1;
+            self.wasted_cpu_seconds += cpu;
+            wu.reissues += 1;
+            self.queue.push_back(task.wu);
+            BoincOutcome::None
         } else {
+            if corrupt {
+                // No redundancy: nothing to validate against, the garbage
+                // result is accepted as-is.
+                self.corrupt_accepted += 1;
+            }
             wu.results_received += 1;
             *self.useful_by_wu.entry(task.wu).or_default() += cpu;
             if wu.results_received >= self.config.quorum {
@@ -352,6 +434,7 @@ impl BoincSim {
                     useful_cpu_seconds: self.useful_by_wu[&task.wu],
                     started: wu.first_started.expect("started before completing"),
                     reissues: wu.reissues,
+                    corrupt,
                 }
             } else {
                 BoincOutcome::None
@@ -366,7 +449,9 @@ impl BoincSim {
     /// (still outstanding, or silently abandoned — the server cannot tell
     /// the difference), reissue the workunit.
     pub fn on_deadline(&mut self, assignment: u64, now: SimTime, cal: &mut Calendar<GridEvent>) {
-        let Some(a) = self.assignments.get(&assignment) else { return };
+        let Some(a) = self.assignments.get(&assignment) else {
+            return;
+        };
         if a.status == AssignmentStatus::Returned {
             return;
         }
@@ -416,7 +501,10 @@ impl BoincSim {
                 let client_idx = client;
                 let h = cal.schedule_cancellable(
                     now + SimDuration::from_secs_f64(task.remaining_ref_seconds / speed),
-                    GridEvent::BoincClientDone { client: client_idx, assignment: task.assignment },
+                    GridEvent::BoincClientDone {
+                        client: client_idx,
+                        assignment: task.assignment,
+                    },
                 );
                 task.done = Some(h);
                 resumed = true;
@@ -454,11 +542,7 @@ mod tests {
     }
 
     /// Drive the pool's own events until quiet or `max` steps.
-    fn drain(
-        boinc: &mut BoincSim,
-        cal: &mut Calendar<GridEvent>,
-        max: usize,
-    ) -> Vec<BoincOutcome> {
+    fn drain(boinc: &mut BoincSim, cal: &mut Calendar<GridEvent>, max: usize) -> Vec<BoincOutcome> {
         let mut outcomes = Vec::new();
         for _ in 0..max {
             let Some((t, ev)) = cal.pop() else { break };
@@ -486,7 +570,12 @@ mod tests {
         let outcomes = drain(&mut boinc, &mut cal, 1000);
         assert_eq!(outcomes.len(), 1);
         match &outcomes[0] {
-            BoincOutcome::Completed { job, useful_cpu_seconds, reissues, .. } => {
+            BoincOutcome::Completed {
+                job,
+                useful_cpu_seconds,
+                reissues,
+                ..
+            } => {
                 assert_eq!(*job, JobId(1));
                 assert!((*useful_cpu_seconds - 3600.0).abs() < 10.0);
                 assert_eq!(*reissues, 0);
@@ -506,7 +595,9 @@ mod tests {
         let outcomes = drain(&mut boinc, &mut cal, 1000);
         assert_eq!(outcomes.len(), 1);
         match &outcomes[0] {
-            BoincOutcome::Completed { useful_cpu_seconds, .. } => {
+            BoincOutcome::Completed {
+                useful_cpu_seconds, ..
+            } => {
                 // Two copies of 600 s.
                 assert!((*useful_cpu_seconds - 1200.0).abs() < 10.0);
             }
@@ -548,14 +639,85 @@ mod tests {
         boinc.on_flip(0, t1, &mut cal); // off
         let t2 = t + SimDuration::from_hours(2);
         boinc.on_flip(0, t2, &mut cal); // on again
-        // Drain: completion should come ~1h after resume (half done already)
+                                        // Drain: completion should come ~1h after resume (half done already)
         let outcomes = drain(&mut boinc, &mut cal, 1000);
         let done = outcomes.iter().find_map(|o| match o {
-            BoincOutcome::Completed { useful_cpu_seconds, .. } => Some(*useful_cpu_seconds),
+            BoincOutcome::Completed {
+                useful_cpu_seconds, ..
+            } => Some(*useful_cpu_seconds),
             _ => None,
         });
         let cpu = done.expect("workunit completes after resume");
-        assert!((cpu - 7200.0).abs() < 20.0, "progress preserved, cpu = {cpu}");
+        assert!(
+            (cpu - 7200.0).abs() < 20.0,
+            "progress preserved, cpu = {cpu}"
+        );
+    }
+
+    #[test]
+    fn corruption_caught_by_quorum_two() {
+        let mut cal = Calendar::new();
+        let mut config = always_on_config(4);
+        config.quorum = 2;
+        let mut boinc = BoincSim::new(config, SimRng::new(8), &mut cal);
+        boinc.set_corruption_rate(1.0); // every result is garbage
+        boinc.enqueue(JobSpec::simple(1, 600.0), SimTime::ZERO, &mut cal);
+        let outcomes = drain(&mut boinc, &mut cal, 500);
+        // With certain corruption under validation, nothing ever completes;
+        // every result is caught and reissued.
+        assert!(outcomes.is_empty());
+        assert!(boinc.corrupt_caught() >= 2);
+        assert_eq!(boinc.corrupt_accepted(), 0);
+        assert!(boinc.wasted_cpu_seconds > 0.0);
+        assert_eq!(boinc.unfinished_workunits(), 1);
+        // End the fault window: replacement copies now complete cleanly.
+        boinc.set_corruption_rate(0.0);
+        let outcomes = drain(&mut boinc, &mut cal, 2000);
+        let completed = outcomes.iter().any(|o| {
+            matches!(o, BoincOutcome::Completed { job, corrupt: false, .. } if *job == JobId(1))
+        });
+        assert!(
+            completed,
+            "workunit completes validly after the fault clears"
+        );
+    }
+
+    #[test]
+    fn corruption_accepted_without_redundancy() {
+        let mut cal = Calendar::new();
+        let config = always_on_config(2); // quorum 1
+        let mut boinc = BoincSim::new(config, SimRng::new(9), &mut cal);
+        boinc.set_corruption_rate(1.0);
+        boinc.enqueue(JobSpec::simple(1, 600.0), SimTime::ZERO, &mut cal);
+        let outcomes = drain(&mut boinc, &mut cal, 500);
+        match outcomes.as_slice() {
+            [BoincOutcome::Completed { job, corrupt, .. }] => {
+                assert_eq!(*job, JobId(1));
+                assert!(*corrupt, "quorum 1 cannot catch corruption");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(boinc.corrupt_accepted(), 1);
+        assert_eq!(boinc.corrupt_caught(), 0);
+    }
+
+    #[test]
+    fn pending_reissues_excludes_completed_workunits() {
+        let mut cal = Calendar::new();
+        let mut config = always_on_config(3);
+        config.mean_on_hours = 0.5;
+        config.mean_off_hours = 0.1;
+        config.abandon_probability = 1.0;
+        config.deadline = DeadlinePolicy::Fixed(SimDuration::from_hours(2));
+        let mut boinc = BoincSim::new(config, SimRng::new(10), &mut cal);
+        boinc.enqueue(JobSpec::simple(1, 20_000.0), SimTime::ZERO, &mut cal);
+        let _ = drain(&mut boinc, &mut cal, 50_000);
+        assert!(boinc.total_reissues() > 0);
+        if boinc.unfinished_workunits() == 0 {
+            assert_eq!(boinc.pending_reissues(), 0);
+        } else {
+            assert_eq!(boinc.pending_reissues(), boinc.total_reissues());
+        }
     }
 
     #[test]
@@ -569,7 +731,10 @@ mod tests {
         let with_est = JobSpec::simple(1, 100.0).with_estimate(7200.0);
         let without = JobSpec::simple(2, 100.0);
         assert_eq!(fixed.deadline_for(&with_est), SimDuration::from_days(7));
-        assert_eq!(scaled.deadline_for(&with_est), SimDuration::from_secs(21_600));
+        assert_eq!(
+            scaled.deadline_for(&with_est),
+            SimDuration::from_secs(21_600)
+        );
         assert_eq!(scaled.deadline_for(&without), SimDuration::from_days(7));
         // Clamped to min.
         let tiny = JobSpec::simple(3, 1.0).with_estimate(10.0);

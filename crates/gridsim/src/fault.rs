@@ -1,0 +1,270 @@
+//! Grid fault vocabulary and scripted failure scenarios.
+//!
+//! [`FaultAction`] is the concrete action type plugged into
+//! [`simkit::FaultScript`]: each entry becomes one grid event at its
+//! scripted time. The scenario builders below produce the failure patterns
+//! the paper's production grid actually saw:
+//!
+//! * **site outages** — every resource of one institution drops at once
+//!   (a campus power or network event), unlike the independent per-resource
+//!   MTBF/MTTR outage model;
+//! * **silent MDS partitions** — the provider's reports stop reaching the
+//!   monitoring service while the resource keeps computing; §V.A's offline
+//!   rule must divert *new* work without wasting the work in flight;
+//! * **stragglers** — a resource's effective speed degrades mid-run,
+//!   invalidating its calibrated speed (§V.A) until the fault clears;
+//! * **flapping** — short, repeated down/up cycles that evict work faster
+//!   than it can finish;
+//! * **result corruption** — a fraction of BOINC results return garbage,
+//!   which redundant validation (quorum ≥ 2) catches and a quorum of 1
+//!   silently accepts.
+//!
+//! Scripts built here are deterministic data: the same inputs (and, for
+//! [`random_faults`], the same [`SimRng`] state) produce the same timeline,
+//! so a chaos campaign replays bit-for-bit.
+
+use simkit::{FaultScript, SimDuration, SimRng, SimTime};
+
+/// One scripted fault (or repair) applied to the grid world.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum FaultAction {
+    /// Take a resource's LRM offline, evicting everything running on it.
+    Down {
+        /// Index of the resource in `GridConfig::resources`.
+        resource: usize,
+    },
+    /// Bring a downed resource back online.
+    Up {
+        /// Index of the resource in `GridConfig::resources`.
+        resource: usize,
+    },
+    /// Stop the resource's provider reports from reaching the MDS while it
+    /// keeps computing (a monitoring partition, not a crash).
+    PartitionStart {
+        /// Index of the resource in `GridConfig::resources`.
+        resource: usize,
+    },
+    /// Restore the resource's provider reports.
+    PartitionEnd {
+        /// Index of the resource in `GridConfig::resources`.
+        resource: usize,
+    },
+    /// Scale the resource's effective compute speed by `factor` (e.g. `0.2`
+    /// turns it into a straggler; `1.0` restores calibrated speed).
+    SetSpeedFactor {
+        /// Index of the resource in `GridConfig::resources`.
+        resource: usize,
+        /// Multiplier on the resource's configured speed; must be positive.
+        factor: f64,
+    },
+    /// Set the BOINC pool's result-corruption probability (`0.0` disables).
+    BoincCorruption {
+        /// Probability that a returned result is garbage.
+        rate: f64,
+    },
+}
+
+/// A correlated site-wide outage: every listed resource goes down at `at`
+/// and comes back `duration` later.
+pub fn site_outage(
+    resources: &[usize],
+    at: SimTime,
+    duration: SimDuration,
+) -> FaultScript<FaultAction> {
+    let mut script = FaultScript::new();
+    for &resource in resources {
+        script.push(at, FaultAction::Down { resource });
+        script.push(at + duration, FaultAction::Up { resource });
+    }
+    script
+}
+
+/// A flapping resource: starting at `start`, `cycles` repetitions of
+/// `down` offline followed by `up` online.
+pub fn flapping(
+    resource: usize,
+    start: SimTime,
+    cycles: u32,
+    down: SimDuration,
+    up: SimDuration,
+) -> FaultScript<FaultAction> {
+    let mut script = FaultScript::new();
+    let mut t = start;
+    for _ in 0..cycles {
+        script.push(t, FaultAction::Down { resource });
+        t += down;
+        script.push(t, FaultAction::Up { resource });
+        t += up;
+    }
+    script
+}
+
+/// A silent monitoring partition: provider reports stop at `at` and resume
+/// `duration` later while the resource keeps computing.
+pub fn silent_partition(
+    resource: usize,
+    at: SimTime,
+    duration: SimDuration,
+) -> FaultScript<FaultAction> {
+    FaultScript::new().window(
+        at,
+        duration,
+        FaultAction::PartitionStart { resource },
+        FaultAction::PartitionEnd { resource },
+    )
+}
+
+/// A straggler window: the resource's effective speed drops to `factor` of
+/// its calibrated speed at `at` and recovers `duration` later.
+pub fn straggler(
+    resource: usize,
+    at: SimTime,
+    factor: f64,
+    duration: SimDuration,
+) -> FaultScript<FaultAction> {
+    FaultScript::new().window(
+        at,
+        duration,
+        FaultAction::SetSpeedFactor { resource, factor },
+        FaultAction::SetSpeedFactor {
+            resource,
+            factor: 1.0,
+        },
+    )
+}
+
+/// A BOINC corruption window: returned results are garbage with
+/// probability `rate` between `at` and `at + duration`.
+pub fn boinc_corruption(rate: f64, at: SimTime, duration: SimDuration) -> FaultScript<FaultAction> {
+    FaultScript::new().window(
+        at,
+        duration,
+        FaultAction::BoincCorruption { rate },
+        FaultAction::BoincCorruption { rate: 0.0 },
+    )
+}
+
+/// A randomized chaos script for property tests: `events` faults drawn from
+/// outages, partitions, and straggler windows, targeting only `resources`
+/// (leave at least one resource out so the workload can always finish).
+/// Every fault window closes within `2 × horizon`, so the grid eventually
+/// returns to a fully-healthy state. Deterministic given the RNG state.
+pub fn random_faults(
+    rng: &mut SimRng,
+    resources: &[usize],
+    horizon: SimDuration,
+    events: usize,
+) -> FaultScript<FaultAction> {
+    assert!(
+        !resources.is_empty(),
+        "random_faults needs at least one target resource"
+    );
+    let mut script = FaultScript::new();
+    for _ in 0..events {
+        let resource = *rng.choose(resources);
+        let at = SimTime::from_secs_f64(rng.range_f64(0.0, horizon.as_secs_f64()));
+        let duration =
+            SimDuration::from_secs_f64(rng.range_f64(300.0, horizon.as_secs_f64()).min(86_400.0));
+        let fault = match rng.index(3) {
+            0 => site_outage(&[resource], at, duration),
+            1 => silent_partition(resource, at, duration),
+            _ => straggler(resource, at, rng.range_f64(0.05, 0.8), duration),
+        };
+        script.merge(fault);
+    }
+    script
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_outage_pairs_down_with_up() {
+        let script = site_outage(&[2, 5], SimTime::from_hours(1), SimDuration::from_hours(3));
+        let entries = script.into_entries();
+        assert_eq!(entries.len(), 4);
+        assert_eq!(
+            entries[0],
+            (SimTime::from_hours(1), FaultAction::Down { resource: 2 })
+        );
+        assert_eq!(
+            entries[1],
+            (SimTime::from_hours(1), FaultAction::Down { resource: 5 })
+        );
+        assert_eq!(
+            entries[2],
+            (SimTime::from_hours(4), FaultAction::Up { resource: 2 })
+        );
+        assert_eq!(
+            entries[3],
+            (SimTime::from_hours(4), FaultAction::Up { resource: 5 })
+        );
+    }
+
+    #[test]
+    fn flapping_alternates() {
+        let script = flapping(
+            1,
+            SimTime::ZERO,
+            3,
+            SimDuration::from_mins(10),
+            SimDuration::from_mins(50),
+        );
+        let entries = script.into_entries();
+        assert_eq!(entries.len(), 6);
+        for pair in entries.chunks(2) {
+            assert_eq!(pair[0].1, FaultAction::Down { resource: 1 });
+            assert_eq!(pair[1].1, FaultAction::Up { resource: 1 });
+            assert_eq!(pair[1].0, pair[0].0 + SimDuration::from_mins(10));
+        }
+    }
+
+    #[test]
+    fn straggler_restores_unit_factor() {
+        let entries =
+            straggler(0, SimTime::from_hours(2), 0.25, SimDuration::from_hours(6)).into_entries();
+        assert_eq!(
+            entries,
+            vec![
+                (
+                    SimTime::from_hours(2),
+                    FaultAction::SetSpeedFactor {
+                        resource: 0,
+                        factor: 0.25
+                    }
+                ),
+                (
+                    SimTime::from_hours(8),
+                    FaultAction::SetSpeedFactor {
+                        resource: 0,
+                        factor: 1.0
+                    }
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    fn random_faults_deterministic_and_bounded() {
+        let build = |seed: u64| {
+            let mut rng = SimRng::new(seed);
+            random_faults(&mut rng, &[0, 1, 2], SimDuration::from_days(2), 12)
+        };
+        assert_eq!(build(9).into_entries(), build(9).into_entries());
+        let entries = build(10).into_entries();
+        assert_eq!(entries.len(), 24); // every fault is an on/off pair
+        let limit = SimTime::ZERO + SimDuration::from_days(2) * 2;
+        for (t, action) in entries {
+            assert!(t <= limit, "fault window must close by 2×horizon, got {t}");
+            match action {
+                FaultAction::Down { resource }
+                | FaultAction::Up { resource }
+                | FaultAction::PartitionStart { resource }
+                | FaultAction::PartitionEnd { resource }
+                | FaultAction::SetSpeedFactor { resource, .. } => assert!(resource <= 2),
+                FaultAction::BoincCorruption { .. } => panic!("not generated"),
+            }
+        }
+    }
+}

@@ -10,13 +10,16 @@
 
 use crate::adapter;
 use crate::boinc::{BoincConfig, BoincOutcome, BoincSim};
+use crate::fault::FaultAction;
 use crate::job::{JobId, JobOutcome, JobRecord, JobSpec};
 use crate::lrm::{LrmOutcome, LrmSim};
 use crate::mds::Mds;
+use crate::recovery::RecoveryPolicy;
 use crate::resource::{ResourceId, ResourceKind, ResourceSpec};
 use crate::scheduler::{choose_resource, ResourceView, SchedulerPolicy};
 use crate::speed::{benchmark_machines, speed_from_benchmarks};
-use simkit::{Calendar, SimDuration, SimRng, SimTime, Simulation, World};
+use crate::stability::{ResourceHealth, StabilityTracker};
+use simkit::{Calendar, FaultScript, SimDuration, SimRng, SimTime, Simulation, World};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// Events circulating through the grid simulation.
@@ -81,6 +84,14 @@ pub enum GridEvent {
         /// Assignment id.
         assignment: u64,
     },
+    /// A scripted fault (see [`crate::fault`]) fires.
+    Fault(FaultAction),
+    /// A bounced job's backoff delay elapsed; release it back to the
+    /// pending queue (recovery policy only).
+    RetryRelease {
+        /// The job to requeue.
+        job: JobId,
+    },
 }
 
 /// Grid-wide configuration.
@@ -104,6 +115,11 @@ pub struct GridConfig {
     pub dispatch_overhead: SimDuration,
     /// Local evictions before a job bounces back to the grid level.
     pub max_local_retries: u32,
+    /// Grid-level recovery policy (backoff, blacklist, dead-letter,
+    /// checkpoint carry-over). `None` keeps the legacy behaviour: bounced
+    /// jobs requeue immediately, restart from scratch, never return to a
+    /// resource they failed on, and retry forever.
+    pub recovery: Option<RecoveryPolicy>,
     /// Master seed.
     pub seed: u64,
 }
@@ -119,6 +135,7 @@ impl Default for GridConfig {
             mds_lifetime: SimDuration::from_mins(5),
             dispatch_overhead: SimDuration::from_secs(30),
             max_local_retries: 5,
+            recovery: None,
             seed: 0,
         }
     }
@@ -137,6 +154,18 @@ pub struct GridWorld {
     pending: VecDeque<JobId>,
     records: HashMap<JobId, JobRecord>,
     failed_on: HashMap<JobId, HashSet<usize>>,
+    /// Per-resource flag: provider reports silently dropped (MDS partition)
+    /// while the resource keeps computing.
+    partitioned: Vec<bool>,
+    /// Online resource-health tracking; present iff `config.recovery` is.
+    stability: Option<StabilityTracker>,
+    /// Checkpointed progress carried across grid-level bounces:
+    /// job → (reference-seconds still owed, resource that computed it).
+    carry: HashMap<JobId, (f64, usize)>,
+    /// Grid-level bounce count per live job (recovery policy only).
+    grid_retries: HashMap<JobId, u32>,
+    /// Jobs permanently failed under the recovery policy's retry budget.
+    dead_lettered: usize,
     completed: usize,
     dispatches: u64,
     submissions_rendered: u64,
@@ -144,14 +173,20 @@ pub struct GridWorld {
 }
 
 impl GridWorld {
-    /// True iff every submitted job has completed.
+    /// True iff every submitted job reached a terminal state (completed or
+    /// dead-lettered).
     pub fn all_done(&self) -> bool {
-        self.completed == self.records.len()
+        self.completed + self.dead_lettered == self.records.len()
     }
 
     /// Jobs completed so far.
     pub fn completed(&self) -> usize {
         self.completed
+    }
+
+    /// Jobs permanently failed (dead-lettered) so far.
+    pub fn dead_lettered(&self) -> usize {
+        self.dead_lettered
     }
 
     /// Measured (calibrated) speed of each resource.
@@ -160,6 +195,12 @@ impl GridWorld {
     }
 
     fn provider_report(&mut self, resource: usize, now: SimTime) {
+        if self.partitioned.get(resource).copied().unwrap_or(false) {
+            // Silent partition: the provider keeps computing but its report
+            // never reaches MDS, so the entry ages out and §V.A's offline
+            // rule diverts new work elsewhere.
+            return;
+        }
         let state = if Some(resource) == self.boinc_index {
             self.boinc.as_ref().map(|b| b.state())
         } else {
@@ -177,16 +218,23 @@ impl GridWorld {
         if self.pending.is_empty() {
             return;
         }
-        // Snapshot views of everything MDS currently considers online.
+        // Snapshot views of everything MDS currently considers online,
+        // dropping blacklisted resources and downgrading suspect ones to
+        // unstable (the §V stability score fed online instead of from
+        // static configuration).
         let mut views = Vec::new();
         for (i, spec) in self.resources.iter().enumerate() {
             if let Some(state) = self.mds.get(ResourceId(i), now) {
-                views.push(ResourceView::new(
-                    ResourceId(i),
-                    spec,
-                    state,
-                    self.measured_speeds[i],
-                ));
+                let mut view =
+                    ResourceView::new(ResourceId(i), spec, state, self.measured_speeds[i]);
+                if let Some(tracker) = &self.stability {
+                    match tracker.health(i, now) {
+                        ResourceHealth::Blacklisted => continue,
+                        ResourceHealth::Suspect => view.stable = false,
+                        ResourceHealth::Healthy => {}
+                    }
+                }
+                views.push(view);
             }
         }
         let mut still_pending = VecDeque::new();
@@ -217,7 +265,13 @@ impl GridWorld {
         self.pending = still_pending;
     }
 
-    fn dispatch(&mut self, job: JobSpec, resource: usize, now: SimTime, cal: &mut Calendar<GridEvent>) {
+    fn dispatch(
+        &mut self,
+        job: JobSpec,
+        resource: usize,
+        now: SimTime,
+        cal: &mut Calendar<GridEvent>,
+    ) {
         // Every dispatch passes through the scheduler adapter, as in the
         // real system.
         let _submission = adapter::translate(&job, &self.resources[resource]);
@@ -226,29 +280,56 @@ impl GridWorld {
         let record = self.records.get_mut(&job.id).expect("record exists");
         record.attempts += 1;
         if Some(resource) == self.boinc_index {
+            // Checkpointed progress cannot ride into a BOINC workunit: the
+            // volunteer client starts from scratch, so whatever a previous
+            // resource computed is written off as waste here.
+            if let Some((remaining, origin)) = self.carry.remove(&job.id) {
+                let discarded_ref = (job.true_reference_seconds - remaining).max(0.0);
+                if discarded_ref > 0.0 {
+                    let speed = self.measured_speeds[origin].max(1e-9);
+                    let record = self.records.get_mut(&job.id).expect("record exists");
+                    record.wasted_cpu_seconds += discarded_ref / speed;
+                }
+            }
             self.boinc
                 .as_mut()
                 .expect("boinc pool present")
                 .enqueue(job, now, cal);
         } else {
-            self.lrms[resource]
-                .as_mut()
-                .expect("lrm present")
-                .enqueue(
-                    job,
-                    self.config.dispatch_overhead.as_secs_f64(),
-                    now,
-                    resource,
-                    cal,
-                );
+            let overhead = self.config.dispatch_overhead.as_secs_f64();
+            let lrm = self.lrms[resource].as_mut().expect("lrm present");
+            match self.carry.get(&job.id) {
+                // Checkpoint-aware rescheduling: resume from the carried
+                // reference-seconds instead of restarting from scratch.
+                Some(&(remaining, _)) => {
+                    lrm.enqueue_resumed(job, remaining, overhead, now, resource, cal)
+                }
+                None => lrm.enqueue(job, overhead, now, resource, cal),
+            }
         }
     }
 
-    fn apply_lrm_outcome(&mut self, resource: usize, outcome: LrmOutcome, now: SimTime) {
+    fn apply_lrm_outcome(
+        &mut self,
+        resource: usize,
+        outcome: LrmOutcome,
+        now: SimTime,
+        cal: &mut Calendar<GridEvent>,
+    ) {
         match outcome {
             LrmOutcome::None => {}
-            LrmOutcome::Completed { job, cpu_seconds, started, wasted_cpu_seconds, attempts } => {
+            LrmOutcome::Completed {
+                job,
+                cpu_seconds,
+                started,
+                wasted_cpu_seconds,
+                attempts,
+            } => {
                 let record = self.records.get_mut(&job).expect("record exists");
+                assert!(
+                    record.outcome == JobOutcome::Unfinished,
+                    "job {job:?} reached a second terminal state"
+                );
                 record.outcome = JobOutcome::Completed;
                 record.started = Some(started);
                 record.finished = Some(now);
@@ -257,28 +338,157 @@ impl GridWorld {
                 record.wasted_cpu_seconds += wasted_cpu_seconds;
                 record.attempts += attempts.saturating_sub(1); // dispatch counted once
                 self.completed += 1;
+                if let Some(tracker) = &mut self.stability {
+                    tracker.record_success(resource);
+                }
+                self.carry.remove(&job);
+                self.grid_retries.remove(&job);
+                self.failed_on.remove(&job);
             }
-            LrmOutcome::BouncedToGrid { job, wasted_cpu_seconds } => {
+            LrmOutcome::BouncedToGrid {
+                job,
+                wasted_cpu_seconds,
+                remaining,
+            } => {
                 let record = self.records.get_mut(&job).expect("record exists");
                 record.wasted_cpu_seconds += wasted_cpu_seconds;
                 record.reissues += 1;
-                self.failed_on.entry(job).or_default().insert(resource);
-                self.pending.push_back(job);
+                let checkpointable = record.spec.checkpointable;
+                let true_ref = record.spec.true_reference_seconds;
+                let speed = self.measured_speeds[resource].max(1e-9);
+                match self.config.recovery {
+                    None => {
+                        // Legacy behaviour: requeue immediately, restart from
+                        // scratch (any checkpointed progress is discarded —
+                        // charged as waste at the resource's calibrated
+                        // speed), and never retry the failed resource.
+                        let discarded_ref = (true_ref - remaining).max(0.0);
+                        if discarded_ref > 0.0 {
+                            record.wasted_cpu_seconds += discarded_ref / speed;
+                        }
+                        self.failed_on.entry(job).or_default().insert(resource);
+                        self.pending.push_back(job);
+                    }
+                    Some(policy) => {
+                        if let Some(tracker) = &mut self.stability {
+                            tracker.record_failure(resource, now);
+                        }
+                        let retries = {
+                            let r = self.grid_retries.entry(job).or_insert(0);
+                            *r += 1;
+                            *r
+                        };
+                        if checkpointable {
+                            self.carry.insert(job, (remaining, resource));
+                        }
+                        if retries > policy.max_grid_retries {
+                            // Dead-letter: the retry budget is exhausted.
+                            // Surface the job to the user instead of
+                            // requeueing forever.
+                            let record = self.records.get_mut(&job).expect("record exists");
+                            assert!(
+                                record.outcome == JobOutcome::Unfinished,
+                                "job {job:?} reached a second terminal state"
+                            );
+                            record.outcome = JobOutcome::DeadLettered;
+                            self.dead_lettered += 1;
+                            self.grid_retries.remove(&job);
+                            self.failed_on.remove(&job);
+                            if let Some((rem, origin)) = self.carry.remove(&job) {
+                                let discarded_ref = (true_ref - rem).max(0.0);
+                                if discarded_ref > 0.0 {
+                                    let origin_speed = self.measured_speeds[origin].max(1e-9);
+                                    let record = self.records.get_mut(&job).expect("record exists");
+                                    record.wasted_cpu_seconds += discarded_ref / origin_speed;
+                                }
+                            }
+                        } else {
+                            // Give the failed resource another chance after
+                            // the backoff: blacklisting handles genuinely
+                            // sick resources, so permanent exclusion is
+                            // counter-productive.
+                            self.failed_on.remove(&job);
+                            let delay = policy.backoff_delay(retries, &mut self.rng);
+                            cal.schedule(now + delay, GridEvent::RetryRelease { job });
+                        }
+                    }
+                }
             }
         }
     }
 
     fn apply_boinc_outcome(&mut self, outcome: BoincOutcome, now: SimTime) {
-        if let BoincOutcome::Completed { job, useful_cpu_seconds, started, reissues } = outcome {
+        if let BoincOutcome::Completed {
+            job,
+            useful_cpu_seconds,
+            started,
+            reissues,
+            corrupt,
+        } = outcome
+        {
             let boinc_name = self.boinc_index.map(|i| self.resources[i].name.clone());
             let record = self.records.get_mut(&job).expect("record exists");
+            assert!(
+                record.outcome == JobOutcome::Unfinished,
+                "job {job:?} reached a second terminal state"
+            );
             record.outcome = JobOutcome::Completed;
             record.started = Some(started);
             record.finished = Some(now);
             record.completed_by = boinc_name;
-            record.useful_cpu_seconds += useful_cpu_seconds;
+            if corrupt {
+                // Accepted-but-garbage result (quorum 1): the job terminates
+                // but its CPU bought nothing.
+                record.corrupt_result = true;
+                record.wasted_cpu_seconds += useful_cpu_seconds;
+            } else {
+                record.useful_cpu_seconds += useful_cpu_seconds;
+            }
             record.reissues += reissues;
             self.completed += 1;
+            self.carry.remove(&job);
+            self.grid_retries.remove(&job);
+            self.failed_on.remove(&job);
+        }
+    }
+
+    /// Apply one scripted fault action at `now`.
+    fn apply_fault(&mut self, action: FaultAction, now: SimTime, cal: &mut Calendar<GridEvent>) {
+        match action {
+            FaultAction::Down { resource } => {
+                let outcomes = match self.lrms.get_mut(resource) {
+                    Some(Some(lrm)) => lrm.go_offline(now, resource, cal),
+                    _ => Vec::new(),
+                };
+                for o in outcomes {
+                    self.apply_lrm_outcome(resource, o, now, cal);
+                }
+            }
+            FaultAction::Up { resource } => {
+                if let Some(Some(lrm)) = self.lrms.get_mut(resource) {
+                    lrm.go_online(now, resource, cal);
+                }
+            }
+            FaultAction::PartitionStart { resource } => {
+                if let Some(p) = self.partitioned.get_mut(resource) {
+                    *p = true;
+                }
+            }
+            FaultAction::PartitionEnd { resource } => {
+                if let Some(p) = self.partitioned.get_mut(resource) {
+                    *p = false;
+                }
+            }
+            FaultAction::SetSpeedFactor { resource, factor } => {
+                if let Some(Some(lrm)) = self.lrms.get_mut(resource) {
+                    lrm.set_speed_factor(factor, now, resource, cal);
+                }
+            }
+            FaultAction::BoincCorruption { rate } => {
+                if let Some(b) = self.boinc.as_mut() {
+                    b.set_corruption_rate(rate);
+                }
+            }
         }
     }
 }
@@ -308,40 +518,54 @@ impl World for GridWorld {
                     GridEvent::ProviderReport { resource },
                 );
             }
-            GridEvent::LrmJobDone { resource, slot, generation } => {
+            GridEvent::LrmJobDone {
+                resource,
+                slot,
+                generation,
+            } => {
                 let outcome = self.lrms[resource]
                     .as_mut()
                     .expect("lrm present")
                     .on_job_done(slot, generation, now, resource, cal);
-                self.apply_lrm_outcome(resource, outcome, now);
+                self.apply_lrm_outcome(resource, outcome, now, cal);
             }
-            GridEvent::LrmInterrupt { resource, slot, generation } => {
+            GridEvent::LrmInterrupt {
+                resource,
+                slot,
+                generation,
+            } => {
                 let outcome = self.lrms[resource]
                     .as_mut()
                     .expect("lrm present")
                     .on_interrupt(slot, generation, now, resource, cal);
-                self.apply_lrm_outcome(resource, outcome, now);
+                self.apply_lrm_outcome(resource, outcome, now, cal);
             }
             GridEvent::OutageStart { resource } => {
-                let outcomes = self.lrms[resource]
-                    .as_mut()
-                    .expect("outages only on lrms")
-                    .go_offline(now, resource, cal);
+                let outcomes = match self.lrms.get_mut(resource) {
+                    Some(Some(lrm)) => lrm.go_offline(now, resource, cal),
+                    _ => Vec::new(),
+                };
                 for o in outcomes {
-                    self.apply_lrm_outcome(resource, o, now);
+                    self.apply_lrm_outcome(resource, o, now, cal);
                 }
-                let (_, mttr) = self.resources[resource].outages.expect("outage config");
-                let repair = SimDuration::from_secs_f64(self.rng.exponential(mttr * 3600.0));
-                cal.schedule(now + repair, GridEvent::OutageEnd { resource });
+                // Reschedule the repair only for resources that actually
+                // carry an outage process; injected or stray events must not
+                // panic and must not start a phantom MTBF/MTTR cycle.
+                if let Some((_, mttr)) = self.resources.get(resource).and_then(|spec| spec.outages)
+                {
+                    let repair = SimDuration::from_secs_f64(self.rng.exponential(mttr * 3600.0));
+                    cal.schedule(now + repair, GridEvent::OutageEnd { resource });
+                }
             }
             GridEvent::OutageEnd { resource } => {
-                self.lrms[resource]
-                    .as_mut()
-                    .expect("outages only on lrms")
-                    .go_online(now, resource, cal);
-                let (mtbf, _) = self.resources[resource].outages.expect("outage config");
-                let up = SimDuration::from_secs_f64(self.rng.exponential(mtbf * 3600.0));
-                cal.schedule(now + up, GridEvent::OutageStart { resource });
+                if let Some(Some(lrm)) = self.lrms.get_mut(resource) {
+                    lrm.go_online(now, resource, cal);
+                }
+                if let Some((mtbf, _)) = self.resources.get(resource).and_then(|spec| spec.outages)
+                {
+                    let up = SimDuration::from_secs_f64(self.rng.exponential(mtbf * 3600.0));
+                    cal.schedule(now + up, GridEvent::OutageStart { resource });
+                }
             }
             GridEvent::BoincFlip { client } => {
                 if let Some(b) = self.boinc.as_mut() {
@@ -364,6 +588,21 @@ impl World for GridWorld {
                     b.on_deadline(assignment, now, cal);
                 }
             }
+            GridEvent::Fault(action) => {
+                self.apply_fault(action, now, cal);
+            }
+            GridEvent::RetryRelease { job } => {
+                // Only requeue jobs still alive: the job may have completed
+                // on another resource (or been dead-lettered) while waiting
+                // out the backoff.
+                if self
+                    .records
+                    .get(&job)
+                    .is_some_and(|r| r.outcome == JobOutcome::Unfinished)
+                {
+                    self.pending.push_back(job);
+                }
+            }
         }
     }
 }
@@ -375,8 +614,14 @@ pub struct GridReport {
     pub total_jobs: usize,
     /// Jobs completed.
     pub completed: usize,
+    /// Jobs permanently failed under the recovery policy's retry budget.
+    pub dead_lettered: usize,
     /// Jobs still pending/running at report time.
     pub unfinished: usize,
+    /// Completed jobs whose accepted result was corrupt (BOINC quorum 1).
+    pub corrupt_completions: usize,
+    /// Times the stability tracker blacklisted a resource.
+    pub blacklist_events: u32,
     /// First submit → last completion, if anything completed.
     pub makespan_seconds: Option<f64>,
     /// Mean turnaround of completed jobs, seconds.
@@ -424,7 +669,7 @@ impl Grid {
         for (i, spec) in resources.iter().enumerate() {
             // Calibration: benchmark a sample of the resource's machines
             // (paper §V.A).
-            let sample = spec.slots.min(16).max(1);
+            let sample = spec.slots.clamp(1, 16);
             let mut brng = rng.fork_idx("bench", i as u64);
             let runs = benchmark_machines(&vec![spec.speed; sample], 0.03, &mut brng);
             measured_speeds.push(speed_from_benchmarks(&runs));
@@ -464,6 +709,10 @@ impl Grid {
 
         let world = GridWorld {
             mds: Mds::new(config.mds_lifetime),
+            partitioned: vec![false; resources.len()],
+            stability: config
+                .recovery
+                .map(|policy| StabilityTracker::new(resources.len(), policy)),
             resources,
             lrms,
             boinc,
@@ -472,6 +721,9 @@ impl Grid {
             pending: VecDeque::new(),
             records: HashMap::new(),
             failed_on: HashMap::new(),
+            carry: HashMap::new(),
+            grid_retries: HashMap::new(),
+            dead_lettered: 0,
             completed: 0,
             dispatches: 0,
             submissions_rendered: 0,
@@ -485,9 +737,11 @@ impl Grid {
             sim.calendar_mut().schedule(t, ev);
         }
         // Kick off periodic machinery.
-        sim.calendar_mut().schedule(SimTime::ZERO, GridEvent::ScheduleTick);
+        sim.calendar_mut()
+            .schedule(SimTime::ZERO, GridEvent::ScheduleTick);
         for i in 0..sim.world().resources.len() {
-            sim.calendar_mut().schedule(SimTime::ZERO, GridEvent::ProviderReport { resource: i });
+            sim.calendar_mut()
+                .schedule(SimTime::ZERO, GridEvent::ProviderReport { resource: i });
         }
         // Outage processes.
         let mut outage_events = Vec::new();
@@ -497,14 +751,18 @@ impl Grid {
             for (i, spec) in world.resources.iter().enumerate() {
                 if let Some((mtbf, _)) = spec.outages {
                     let wait = SimDuration::from_secs_f64(orng.exponential(mtbf * 3600.0));
-                    outage_events.push((SimTime::ZERO + wait, GridEvent::OutageStart { resource: i }));
+                    outage_events
+                        .push((SimTime::ZERO + wait, GridEvent::OutageStart { resource: i }));
                 }
             }
         }
         for (t, ev) in outage_events {
             sim.calendar_mut().schedule(t, ev);
         }
-        Grid { sim, submissions_expected: 0 }
+        Grid {
+            sim,
+            submissions_expected: 0,
+        }
     }
 
     /// Current simulation time.
@@ -531,7 +789,19 @@ impl Grid {
     /// Submit one job at a future time.
     pub fn submit_at(&mut self, job: JobSpec, at: SimTime) {
         self.submissions_expected += 1;
-        self.sim.calendar_mut().schedule(at, GridEvent::Submit(Box::new(job)));
+        self.sim
+            .calendar_mut()
+            .schedule(at, GridEvent::Submit(Box::new(job)));
+    }
+
+    /// Inject a scripted fault timeline (see [`crate::fault`]). Call before
+    /// running: entries scheduled in the past panic when stepped.
+    pub fn inject_faults(&mut self, script: FaultScript<FaultAction>) {
+        for (t, action) in script.into_entries() {
+            self.sim
+                .calendar_mut()
+                .schedule(t, GridEvent::Fault(action));
+        }
     }
 
     /// Run until every submitted job completes or the clock passes
@@ -581,7 +851,10 @@ impl Grid {
                 / completed.len() as f64
         };
         let boinc_waste = world.boinc.as_ref().map_or(0.0, |b| b.wasted_cpu_seconds);
-        let boinc_reissues = world.boinc.as_ref().map_or(0, |b| b.total_reissues());
+        // Reissues of completed workunits are already folded into the
+        // per-job records, so only count the in-flight (pending) ones here —
+        // summing `total_reissues()` on top would double-count.
+        let boinc_reissues = world.boinc.as_ref().map_or(0, |b| b.pending_reissues());
         let mut completed_by = BTreeMap::new();
         for r in &completed {
             if let Some(name) = &r.completed_by {
@@ -591,14 +864,16 @@ impl Grid {
         GridReport {
             total_jobs: records.len(),
             completed: completed.len(),
-            unfinished: records.len() - completed.len(),
+            dead_lettered: world.dead_lettered,
+            unfinished: records.len() - completed.len() - world.dead_lettered,
+            corrupt_completions: completed.iter().filter(|r| r.corrupt_result).count(),
+            blacklist_events: world.stability.as_ref().map_or(0, |t| t.blacklist_events()),
             makespan_seconds,
             mean_turnaround_seconds,
             useful_cpu_seconds: records.iter().map(|r| r.useful_cpu_seconds).sum(),
             wasted_cpu_seconds: records.iter().map(|r| r.wasted_cpu_seconds).sum::<f64>()
                 + boinc_waste,
-            total_reissues: records.iter().map(|r| r.reissues).sum::<u32>()
-                + boinc_reissues,
+            total_reissues: records.iter().map(|r| r.reissues).sum::<u32>() + boinc_reissues,
             total_attempts: records.iter().map(|r| r.attempts).sum(),
             dispatches: world.dispatches,
             completed_by,
@@ -613,7 +888,12 @@ mod tests {
 
     fn one_cluster_config(slots: usize, speed: f64) -> GridConfig {
         GridConfig {
-            resources: vec![ResourceSpec::cluster("cluster", ResourceKind::PbsCluster, slots, speed)],
+            resources: vec![ResourceSpec::cluster(
+                "cluster",
+                ResourceKind::PbsCluster,
+                slots,
+                speed,
+            )],
             seed: 7,
             ..Default::default()
         }
@@ -642,7 +922,11 @@ mod tests {
         let report = grid.run_until_done(SimTime::from_hours(24));
         let r = &report.records[0];
         // 7200 ref-seconds at speed 2.0 ≈ 3600s wall.
-        assert!((r.useful_cpu_seconds - 3630.0).abs() < 100.0, "{}", r.useful_cpu_seconds);
+        assert!(
+            (r.useful_cpu_seconds - 3630.0).abs() < 100.0,
+            "{}",
+            r.useful_cpu_seconds
+        );
     }
 
     #[test]
@@ -708,7 +992,10 @@ mod tests {
     fn mpi_jobs_avoid_boinc() {
         let config = GridConfig {
             resources: vec![ResourceSpec::cluster("c", ResourceKind::PbsCluster, 2, 1.0)],
-            boinc: Some(BoincConfig { num_clients: 100, ..Default::default() }),
+            boinc: Some(BoincConfig {
+                num_clients: 100,
+                ..Default::default()
+            }),
             seed: 10,
             ..Default::default()
         };
@@ -769,7 +1056,10 @@ mod tests {
                 ResourceSpec::condor_pool("condor", 50, 2.0, 4.0),
                 ResourceSpec::cluster("cluster", ResourceKind::PbsCluster, 2, 1.0),
             ],
-            policy: SchedulerPolicy { use_runtime_estimates: false, ..Default::default() },
+            policy: SchedulerPolicy {
+                use_runtime_estimates: false,
+                ..Default::default()
+            },
             seed: 13,
             ..Default::default()
         };
@@ -806,5 +1096,235 @@ mod tests {
         let mut grid = Grid::new(one_cluster_config(1, 1.0));
         grid.submit([JobSpec::simple(1, 10.0), JobSpec::simple(1, 10.0)]);
         let _ = grid.run_until_done(SimTime::from_hours(1));
+    }
+
+    #[test]
+    fn boinc_reissues_not_double_counted() {
+        use crate::boinc::DeadlinePolicy;
+        // Churny, abandoning volunteers force deadline reissues. Once every
+        // workunit completes, those reissues are already folded into the
+        // per-job records — the report must not add `total_reissues()` on
+        // top (the old double-count).
+        let config = GridConfig {
+            resources: vec![],
+            boinc: Some(BoincConfig {
+                num_clients: 40,
+                mean_on_hours: 2.0,
+                mean_off_hours: 6.0,
+                abandon_probability: 0.3,
+                deadline: DeadlinePolicy::Fixed(SimDuration::from_hours(6)),
+                ..Default::default()
+            }),
+            seed: 21,
+            ..Default::default()
+        };
+        let mut grid = Grid::new(config);
+        grid.submit((0..30).map(|i| JobSpec::simple(i, 3600.0).with_estimate(3600.0)));
+        let report = grid.run_until_done(SimTime::from_days(60));
+        assert_eq!(report.completed, 30, "{report:?}");
+        let per_record: u32 = report.records.iter().map(|r| r.reissues).sum();
+        assert!(per_record > 0, "scenario must actually reissue work");
+        assert_eq!(report.total_reissues, per_record);
+    }
+
+    #[test]
+    fn injected_outage_without_config_is_harmless() {
+        // The cluster has no MTBF/MTTR process; stray outage events (e.g.
+        // injected by a test harness) must neither panic nor spawn a
+        // phantom repair cycle.
+        let mut grid = Grid::new(one_cluster_config(2, 1.0));
+        grid.sim.calendar_mut().schedule(
+            SimTime::from_secs(10),
+            GridEvent::OutageStart { resource: 0 },
+        );
+        grid.sim
+            .calendar_mut()
+            .schedule(SimTime::from_secs(20), GridEvent::OutageEnd { resource: 0 });
+        grid.submit([JobSpec::simple(1, 1800.0)]);
+        let report = grid.run_until_done(SimTime::from_hours(12));
+        assert_eq!(report.completed, 1, "{report:?}");
+    }
+
+    #[test]
+    fn retry_budget_dead_letters_hopeless_jobs() {
+        // One hyper-flaky Condor pool and nowhere else to go: a long,
+        // non-checkpointable job can never finish, so the recovery policy
+        // must dead-letter it instead of bouncing forever.
+        let config = GridConfig {
+            resources: vec![ResourceSpec::condor_pool("flaky", 4, 1.0, 0.05)],
+            max_local_retries: 1,
+            recovery: Some(RecoveryPolicy {
+                max_grid_retries: 3,
+                backoff_base: SimDuration::from_secs(30),
+                ..Default::default()
+            }),
+            seed: 23,
+            ..Default::default()
+        };
+        let mut grid = Grid::new(config);
+        grid.submit([JobSpec::simple(1, 40.0 * 3600.0)]);
+        let report = grid.run_until_done(SimTime::from_days(90));
+        assert_eq!(report.dead_lettered, 1, "{report:?}");
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.unfinished, 0);
+        assert!(grid.world().all_done());
+        assert_eq!(report.records[0].outcome, JobOutcome::DeadLettered);
+        assert!(report.wasted_cpu_seconds > 0.0);
+    }
+
+    #[test]
+    fn blacklist_diverts_work_to_healthy_resources() {
+        // A fast but flapping cluster keeps evicting everything it runs;
+        // the online stability tracker must blacklist it so the workload
+        // drains on the slow, steady cluster instead.
+        let config = GridConfig {
+            resources: vec![
+                ResourceSpec::cluster("fast-flappy", ResourceKind::PbsCluster, 16, 4.0),
+                ResourceSpec::cluster("steady", ResourceKind::SgeCluster, 8, 1.0),
+            ],
+            recovery: Some(RecoveryPolicy {
+                backoff_base: SimDuration::from_secs(30),
+                ..Default::default()
+            }),
+            seed: 24,
+            ..Default::default()
+        };
+        let mut grid = Grid::new(config);
+        grid.inject_faults(crate::fault::flapping(
+            0,
+            SimTime::from_secs(300),
+            300,
+            SimDuration::from_mins(5),
+            SimDuration::from_mins(5),
+        ));
+        grid.submit((0..24).map(|i| JobSpec::simple(i, 2.0 * 3600.0)));
+        let report = grid.run_until_done(SimTime::from_days(10));
+        assert_eq!(report.completed, 24, "{report:?}");
+        assert!(report.blacklist_events > 0, "{report:?}");
+        assert!(
+            report.completed_by.get("steady").copied().unwrap_or(0) >= 20,
+            "{:?}",
+            report.completed_by
+        );
+    }
+
+    #[test]
+    fn checkpoint_carry_beats_restart_from_scratch() {
+        // Checkpointable jobs on an interruption-prone pool: the legacy
+        // path discards checkpointed progress on every grid bounce, the
+        // recovery path carries `remaining` to the next resource.
+        let run = |recovery: Option<RecoveryPolicy>| {
+            let config = GridConfig {
+                resources: vec![
+                    ResourceSpec::condor_pool("condor", 8, 2.0, 1.0),
+                    ResourceSpec::cluster("cluster", ResourceKind::PbsCluster, 4, 1.0),
+                ],
+                policy: SchedulerPolicy {
+                    use_runtime_estimates: false,
+                    ..Default::default()
+                },
+                max_local_retries: 2,
+                recovery,
+                seed: 25,
+                ..Default::default()
+            };
+            let mut grid = Grid::new(config);
+            grid.submit((0..8).map(|i| {
+                let mut j = JobSpec::simple(i, 10.0 * 3600.0);
+                j.checkpointable = true;
+                j
+            }));
+            grid.run_until_done(SimTime::from_days(30))
+        };
+        let legacy = run(None);
+        let hardened = run(Some(RecoveryPolicy::default()));
+        assert_eq!(legacy.completed, 8, "{legacy:?}");
+        assert_eq!(
+            hardened.completed + hardened.dead_lettered,
+            8,
+            "{hardened:?}"
+        );
+        assert!(
+            hardened.wasted_cpu_seconds < legacy.wasted_cpu_seconds,
+            "hardened {} vs legacy {}",
+            hardened.wasted_cpu_seconds,
+            legacy.wasted_cpu_seconds
+        );
+    }
+
+    #[test]
+    fn silent_partition_diverts_new_work_without_wasting_in_flight() {
+        let config = GridConfig {
+            resources: vec![
+                ResourceSpec::cluster("primary", ResourceKind::PbsCluster, 8, 4.0),
+                ResourceSpec::cluster("backup", ResourceKind::SgeCluster, 8, 1.0),
+            ],
+            seed: 26,
+            ..Default::default()
+        };
+        let mut grid = Grid::new(config);
+        grid.inject_faults(crate::fault::silent_partition(
+            0,
+            SimTime::from_secs(600),
+            SimDuration::from_hours(6),
+        ));
+        // First wave lands on the fast primary before the partition.
+        grid.submit((0..8).map(|i| JobSpec::simple(i, 2.0 * 3600.0)));
+        // Second wave arrives once the primary's MDS entry has aged out.
+        for i in 8..16 {
+            grid.submit_at(JobSpec::simple(i, 1800.0), SimTime::from_hours(1));
+        }
+        let report = grid.run_until_done(SimTime::from_hours(24));
+        assert_eq!(report.completed, 16, "{report:?}");
+        // In-flight work finished untouched on the partitioned resource
+        // (the load-balancing pass may have placed a straggler of the first
+        // wave on backup); every post-partition job diverted; no waste.
+        assert!(
+            report.completed_by.get("primary").copied().unwrap_or(0) >= 7,
+            "{:?}",
+            report.completed_by
+        );
+        for r in report.records.iter().filter(|r| r.spec.id.0 >= 8) {
+            assert_eq!(r.completed_by.as_deref(), Some("backup"), "{r:?}");
+        }
+        assert_eq!(report.wasted_cpu_seconds, 0.0);
+    }
+
+    #[test]
+    fn recovery_and_faults_deterministic_given_seed() {
+        let run = || {
+            let config = GridConfig {
+                resources: vec![
+                    ResourceSpec::condor_pool("condor", 16, 1.5, 2.0),
+                    ResourceSpec::cluster("cluster", ResourceKind::PbsCluster, 8, 1.0),
+                ],
+                recovery: Some(RecoveryPolicy::default()),
+                seed: 27,
+                ..Default::default()
+            };
+            let mut grid = Grid::new(config);
+            let mut rng = SimRng::new(99);
+            grid.inject_faults(crate::fault::random_faults(
+                &mut rng,
+                &[0],
+                SimDuration::from_hours(24),
+                6,
+            ));
+            grid.submit((0..20).map(|i| {
+                let mut j = JobSpec::simple(i, 4.0 * 3600.0);
+                j.checkpointable = i % 2 == 0;
+                j
+            }));
+            let r = grid.run_until_done(SimTime::from_days(20));
+            (
+                r.completed,
+                r.dead_lettered,
+                r.total_reissues,
+                r.makespan_seconds.map(f64::to_bits),
+                r.wasted_cpu_seconds.to_bits(),
+                r.useful_cpu_seconds.to_bits(),
+            )
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -104,6 +104,10 @@ pub enum JobOutcome {
     Completed,
     /// Still queued or running when the simulation was cut off.
     Unfinished,
+    /// Permanently failed: bounced back to the grid more often than the
+    /// recovery policy's retry budget allows. Reported to the user instead
+    /// of being requeued forever.
+    DeadLettered,
 }
 
 /// Accounting for one job across its grid lifetime.
@@ -131,6 +135,11 @@ pub struct JobRecord {
     /// Times the job was re-issued after a deadline miss (BOINC) or lost
     /// resource.
     pub reissues: u32,
+    /// True iff the accepted result was corrupt (possible only when BOINC
+    /// redundancy is disabled, quorum = 1): the job counts as completed but
+    /// its CPU is accounted as wasted, not useful.
+    #[serde(default)]
+    pub corrupt_result: bool,
 }
 
 impl JobRecord {
@@ -147,6 +156,7 @@ impl JobRecord {
             useful_cpu_seconds: 0.0,
             attempts: 0,
             reissues: 0,
+            corrupt_result: false,
         }
     }
 

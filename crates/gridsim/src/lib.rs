@@ -23,23 +23,37 @@
 //! * [`scheduler`] — the grid-level algorithm: matchmaking filters, then
 //!   ranking by load, speed, and stability (§V.A);
 //! * [`grid`] — the event-driven world tying everything together, with
-//!   per-job accounting (wait, runtime, wasted CPU, reissues).
+//!   per-job accounting (wait, runtime, wasted CPU, reissues);
+//! * [`fault`] — scripted fault scenarios (site outages, silent MDS
+//!   partitions, stragglers, flapping, BOINC result corruption) for
+//!   deterministic chaos experiments;
+//! * [`recovery`] — grid-level recovery policy: exponential backoff with
+//!   jitter, failure-rate blacklisting, bounded retries with a dead-letter
+//!   outcome, and checkpoint-aware rescheduling;
+//! * [`stability`] — online per-resource health tracking feeding the §V
+//!   stability score from observed failures instead of static config.
 
 #![warn(missing_docs)]
 
 pub mod adapter;
 pub mod boinc;
+pub mod fault;
 pub mod grid;
 pub mod job;
 pub mod lrm;
 pub mod mds;
 pub mod platform;
+pub mod recovery;
 pub mod resource;
 pub mod scheduler;
 pub mod speed;
+pub mod stability;
 
+pub use fault::FaultAction;
 pub use grid::{Grid, GridConfig, GridReport};
 pub use job::{JobId, JobOutcome, JobSpec};
 pub use platform::{Arch, Os, Platform};
+pub use recovery::RecoveryPolicy;
 pub use resource::{ResourceId, ResourceKind, ResourceSpec};
 pub use scheduler::SchedulerPolicy;
+pub use stability::{ResourceHealth, StabilityTracker};

@@ -42,7 +42,10 @@ pub struct Mds {
 impl Mds {
     /// A database whose entries expire after `lifetime`.
     pub fn new(lifetime: SimDuration) -> Mds {
-        Mds { lifetime, entries: HashMap::new() }
+        Mds {
+            lifetime,
+            entries: HashMap::new(),
+        }
     }
 
     /// The paper's "order of minutes" default: 5 minutes.
@@ -57,9 +60,9 @@ impl Mds {
 
     /// The state of `resource` if its entry is still live at `now`.
     pub fn get(&self, resource: ResourceId, now: SimTime) -> Option<ResourceState> {
-        self.entries.get(&resource).and_then(|&(state, at)| {
-            (now.saturating_since(at) <= self.lifetime).then_some(state)
-        })
+        self.entries
+            .get(&resource)
+            .and_then(|&(state, at)| (now.saturating_since(at) <= self.lifetime).then_some(state))
     }
 
     /// True iff the resource's entry is missing or expired (the scheduler's
@@ -88,7 +91,11 @@ mod tests {
     #[test]
     fn fresh_entries_visible() {
         let mut mds = Mds::new(SimDuration::from_mins(5));
-        let s = ResourceState { free_slots: 3, total_slots: 8, queued_jobs: 2 };
+        let s = ResourceState {
+            free_slots: 3,
+            total_slots: 8,
+            queued_jobs: 2,
+        };
         mds.report(ResourceId(0), s, SimTime::from_secs(100));
         assert_eq!(mds.get(ResourceId(0), SimTime::from_secs(200)), Some(s));
         assert!(!mds.is_offline(ResourceId(0), SimTime::from_secs(200)));
@@ -97,7 +104,11 @@ mod tests {
     #[test]
     fn stale_entries_mark_resource_offline() {
         let mut mds = Mds::new(SimDuration::from_mins(5));
-        let s = ResourceState { free_slots: 3, total_slots: 8, queued_jobs: 0 };
+        let s = ResourceState {
+            free_slots: 3,
+            total_slots: 8,
+            queued_jobs: 0,
+        };
         mds.report(ResourceId(0), s, SimTime::ZERO);
         let later = SimTime::ZERO + SimDuration::from_mins(6);
         assert!(mds.is_offline(ResourceId(0), later));
@@ -108,7 +119,11 @@ mod tests {
     #[test]
     fn reports_refresh_lifetime() {
         let mut mds = Mds::new(SimDuration::from_mins(5));
-        let s = ResourceState { free_slots: 1, total_slots: 2, queued_jobs: 0 };
+        let s = ResourceState {
+            free_slots: 1,
+            total_slots: 2,
+            queued_jobs: 0,
+        };
         mds.report(ResourceId(1), s, SimTime::ZERO);
         mds.report(ResourceId(1), s, SimTime::from_secs(280));
         assert!(!mds.is_offline(ResourceId(1), SimTime::from_secs(500)));
@@ -122,19 +137,34 @@ mod tests {
 
     #[test]
     fn load_metric() {
-        let s = ResourceState { free_slots: 2, total_slots: 10, queued_jobs: 4 };
+        let s = ResourceState {
+            free_slots: 2,
+            total_slots: 10,
+            queued_jobs: 4,
+        };
         // busy 8 + queued 4 over 10 slots
         assert!((s.load() - 1.2).abs() < 1e-12);
-        let idle = ResourceState { free_slots: 10, total_slots: 10, queued_jobs: 0 };
+        let idle = ResourceState {
+            free_slots: 10,
+            total_slots: 10,
+            queued_jobs: 0,
+        };
         assert_eq!(idle.load(), 0.0);
     }
 
     #[test]
     fn online_sorted() {
         let mut mds = Mds::with_default_lifetime();
-        let s = ResourceState { free_slots: 1, total_slots: 1, queued_jobs: 0 };
+        let s = ResourceState {
+            free_slots: 1,
+            total_slots: 1,
+            queued_jobs: 0,
+        };
         mds.report(ResourceId(2), s, SimTime::ZERO);
         mds.report(ResourceId(0), s, SimTime::ZERO);
-        assert_eq!(mds.online(SimTime::ZERO), vec![ResourceId(0), ResourceId(2)]);
+        assert_eq!(
+            mds.online(SimTime::ZERO),
+            vec![ResourceId(0), ResourceId(2)]
+        );
     }
 }

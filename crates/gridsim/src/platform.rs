@@ -103,7 +103,10 @@ mod tests {
     fn compatibility_requires_overlap() {
         let app = [Platform::LINUX_X64, Platform::WINDOWS_X64];
         assert!(compatible(&app, &[Platform::LINUX_X64]));
-        assert!(compatible(&app, &[Platform::MAC_X64, Platform::WINDOWS_X64]));
+        assert!(compatible(
+            &app,
+            &[Platform::MAC_X64, Platform::WINDOWS_X64]
+        ));
         assert!(!compatible(&app, &[Platform::MAC_PPC]));
         assert!(!compatible(&app, &[]));
         assert!(!compatible(&[], &[Platform::LINUX_X64]));

@@ -1,0 +1,137 @@
+//! Grid-level recovery policies.
+//!
+//! The seed scheduler's only reaction to a job bounced back from a resource
+//! was an immediate requeue with the resource permanently struck from the
+//! job's candidate set. That is how the production system started out too,
+//! and it has three failure modes the paper's operators hit in practice:
+//! requeue storms during site-wide outages, flapping resources repeatedly
+//! accepting and evicting work, and jobs that can never finish anywhere
+//! cycling forever. [`RecoveryPolicy`] bundles the knobs for the three
+//! corresponding mitigations — exponential backoff with jitter, a
+//! failure-rate blacklist (see [`crate::stability`]), and a bounded-retry
+//! dead-letter rule surfaced to the portal as a user-facing failure.
+//!
+//! The policy is opt-in: `GridConfig { recovery: None, .. }` preserves the
+//! legacy immediate-requeue behaviour exactly.
+
+use serde::{Deserialize, Serialize};
+use simkit::{SimDuration, SimRng};
+
+/// Knobs for grid-level failure handling. See module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Backoff before the first redispatch of a bounced job; doubles on each
+    /// subsequent bounce of the same job.
+    pub backoff_base: SimDuration,
+    /// Cap on the (pre-jitter) backoff delay.
+    pub backoff_max: SimDuration,
+    /// Relative jitter applied to every delay: the delay is scaled by a
+    /// uniform factor in `[1 - jitter, 1 + jitter]`, decorrelating the
+    /// redispatch times of jobs evicted by the same outage.
+    pub backoff_jitter: f64,
+    /// A resource whose observed failure rate reaches this value (with at
+    /// least [`RecoveryPolicy::blacklist_min_events`] observations) is
+    /// removed from matchmaking entirely.
+    pub blacklist_failure_threshold: f64,
+    /// Minimum success+failure observations before a resource may be
+    /// blacklisted, so a single early failure cannot banish it.
+    pub blacklist_min_events: u32,
+    /// How long a blacklisted resource stays out of matchmaking; when the
+    /// cooldown expires its failure history is forgiven and it re-enters
+    /// with a clean slate.
+    pub blacklist_cooldown: SimDuration,
+    /// Failure rate at which a resource is *suspected* (advertised to the
+    /// scheduler as unstable, so the §V.A stability filter diverts long
+    /// jobs) without being removed outright.
+    pub suspect_failure_threshold: f64,
+    /// A job bounced back to the grid more than this many times is
+    /// dead-lettered: marked permanently failed and reported to the user
+    /// instead of being requeued forever.
+    pub max_grid_retries: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> RecoveryPolicy {
+        RecoveryPolicy {
+            backoff_base: SimDuration::from_secs(120),
+            backoff_max: SimDuration::from_mins(30),
+            backoff_jitter: 0.25,
+            blacklist_failure_threshold: 0.5,
+            blacklist_min_events: 4,
+            blacklist_cooldown: SimDuration::from_hours(4),
+            suspect_failure_threshold: 0.3,
+            max_grid_retries: 12,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// The delay before redispatching a job on its `attempt`-th grid-level
+    /// retry (1-based): `min(base · 2^(attempt-1), max)`, scaled by uniform
+    /// jitter. Deterministic given the RNG state.
+    pub fn backoff_delay(&self, attempt: u32, rng: &mut SimRng) -> SimDuration {
+        let exp = attempt.saturating_sub(1).min(16);
+        let raw = self.backoff_base.as_secs_f64() * (1u64 << exp) as f64;
+        let capped = raw.min(self.backoff_max.as_secs_f64());
+        let jitter = 1.0 + self.backoff_jitter * (2.0 * rng.f64() - 1.0);
+        SimDuration::from_secs_f64((capped * jitter).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = RecoveryPolicy {
+            backoff_jitter: 0.0,
+            ..RecoveryPolicy::default()
+        };
+        let mut rng = SimRng::new(7);
+        let d1 = policy.backoff_delay(1, &mut rng);
+        let d2 = policy.backoff_delay(2, &mut rng);
+        let d5 = policy.backoff_delay(5, &mut rng);
+        let d20 = policy.backoff_delay(20, &mut rng);
+        assert_eq!(d1, SimDuration::from_secs(120));
+        assert_eq!(d2, SimDuration::from_secs(240));
+        assert_eq!(d5, SimDuration::from_mins(30)); // 120·2^4 = 32 min, capped
+        assert_eq!(d20, policy.backoff_max);
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let policy = RecoveryPolicy::default();
+        let mut rng = SimRng::new(11);
+        for attempt in 1..=8 {
+            let base = (policy.backoff_base.as_secs_f64() * (1u64 << (attempt - 1)) as f64)
+                .min(policy.backoff_max.as_secs_f64());
+            for _ in 0..50 {
+                let d = policy.backoff_delay(attempt as u32, &mut rng).as_secs_f64();
+                assert!(d >= base * (1.0 - policy.backoff_jitter) - 1e-6);
+                assert!(d <= base * (1.0 + policy.backoff_jitter) + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_rng() {
+        let policy = RecoveryPolicy::default();
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for attempt in 1..10 {
+            assert_eq!(
+                policy.backoff_delay(attempt, &mut a),
+                policy.backoff_delay(attempt, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let policy = RecoveryPolicy::default();
+        let json = serde_json::to_string(&policy).unwrap();
+        let back: RecoveryPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(policy, back);
+    }
+}

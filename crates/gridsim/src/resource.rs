@@ -72,7 +72,10 @@ pub struct ResourceSpec {
 impl ResourceSpec {
     /// A stable dedicated Linux cluster.
     pub fn cluster(name: &str, kind: ResourceKind, slots: usize, speed: f64) -> ResourceSpec {
-        assert!(matches!(kind, ResourceKind::PbsCluster | ResourceKind::SgeCluster));
+        assert!(matches!(
+            kind,
+            ResourceKind::PbsCluster | ResourceKind::SgeCluster
+        ));
         ResourceSpec {
             name: name.into(),
             kind,
@@ -101,7 +104,11 @@ impl ResourceSpec {
             slots,
             speed,
             memory_per_slot: 2 * 1024 * 1024 * 1024,
-            platforms: vec![Platform::LINUX_X64, Platform::WINDOWS_X64, Platform::MAC_X64],
+            platforms: vec![
+                Platform::LINUX_X64,
+                Platform::WINDOWS_X64,
+                Platform::MAC_X64,
+            ],
             mpi_capable: false,
             software: vec![],
             stable: false,

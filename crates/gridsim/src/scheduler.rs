@@ -122,8 +122,7 @@ pub fn matches(
     if job.needs_mpi && !view.mpi_capable {
         return Err(RejectReason::Mpi);
     }
-    if job.slots_required > 1
-        && (!view.mpi_capable || view.state.total_slots < job.slots_required)
+    if job.slots_required > 1 && (!view.mpi_capable || view.state.total_slots < job.slots_required)
     {
         return Err(RejectReason::Mpi);
     }
@@ -131,7 +130,11 @@ pub fn matches(
         return Err(RejectReason::Software);
     }
     if !view.stable && policy.use_runtime_estimates {
-        let speed = if policy.use_speed_scaling { view.measured_speed } else { 1.0 };
+        let speed = if policy.use_speed_scaling {
+            view.measured_speed
+        } else {
+            1.0
+        };
         if let Some(secs) = job.assumed_seconds_at(speed) {
             if secs > policy.unstable_cutoff.as_secs_f64() {
                 return Err(RejectReason::Stability);
@@ -147,7 +150,11 @@ pub fn matches(
 /// is better. "The scheduler attempts to keep jobs from backing up on any
 /// single resource … [corrected] for resource speed" (§V.A).
 pub fn score(view: &ResourceView, policy: &SchedulerPolicy) -> f64 {
-    let speed = if policy.use_speed_scaling { view.measured_speed } else { 1.0 };
+    let speed = if policy.use_speed_scaling {
+        view.measured_speed
+    } else {
+        1.0
+    };
     let busy = (view.state.total_slots - view.state.free_slots) as f64;
     let pending = busy + view.state.queued_jobs as f64;
     (pending + 1.0) / (view.state.total_slots.max(1) as f64 * speed)
@@ -167,11 +174,7 @@ pub fn choose_resource(
             score(a, policy)
                 .partial_cmp(&score(b, policy))
                 .unwrap()
-                .then(
-                    b.measured_speed
-                        .partial_cmp(&a.measured_speed)
-                        .unwrap(),
-                )
+                .then(b.measured_speed.partial_cmp(&a.measured_speed).unwrap())
                 .then(a.id.cmp(&b.id))
         })
         .map(|v| v.id)
@@ -183,7 +186,11 @@ mod tests {
     use crate::resource::ResourceKind;
 
     fn idle_state(slots: usize) -> ResourceState {
-        ResourceState { free_slots: slots, total_slots: slots, queued_jobs: 0 }
+        ResourceState {
+            free_slots: slots,
+            total_slots: slots,
+            queued_jobs: 0,
+        }
     }
 
     fn cluster_view(id: usize, slots: usize, speed: f64) -> ResourceView {
@@ -212,7 +219,10 @@ mod tests {
         let mut job = JobSpec::simple(1, 100.0);
         job.min_memory_bytes = 64 << 30;
         let v = cluster_view(0, 8, 1.0);
-        assert_eq!(matches(&job, &v, &SchedulerPolicy::default()), Err(RejectReason::Memory));
+        assert_eq!(
+            matches(&job, &v, &SchedulerPolicy::default()),
+            Err(RejectReason::Memory)
+        );
     }
 
     #[test]
@@ -239,7 +249,10 @@ mod tests {
         let policy = SchedulerPolicy::default(); // 10h cutoff
         let condor = condor_view(0, 8, 1.0);
         let long = JobSpec::simple(1, 100.0).with_estimate(11.0 * 3600.0);
-        assert_eq!(matches(&long, &condor, &policy), Err(RejectReason::Stability));
+        assert_eq!(
+            matches(&long, &condor, &policy),
+            Err(RejectReason::Stability)
+        );
         let short = JobSpec::simple(2, 100.0).with_estimate(9.0 * 3600.0);
         assert!(matches(&short, &condor, &policy).is_ok());
         // Stable resources take anything.
@@ -255,15 +268,24 @@ mod tests {
         let job = JobSpec::simple(1, 100.0).with_estimate(15.0 * 3600.0);
         assert!(matches(&job, &fast_condor, &policy).is_ok());
         // Without speed scaling the same job is rejected.
-        let unscaled = SchedulerPolicy { use_speed_scaling: false, ..policy };
-        assert_eq!(matches(&job, &fast_condor, &unscaled), Err(RejectReason::Stability));
+        let unscaled = SchedulerPolicy {
+            use_speed_scaling: false,
+            ..policy
+        };
+        assert_eq!(
+            matches(&job, &fast_condor, &unscaled),
+            Err(RejectReason::Stability)
+        );
     }
 
     #[test]
     fn without_estimates_long_jobs_pass_the_stability_filter() {
         // The pre-ML ablation: no estimate, so nothing blocks a 100-hour job
         // from landing on a Condor pool.
-        let policy = SchedulerPolicy { use_runtime_estimates: false, ..Default::default() };
+        let policy = SchedulerPolicy {
+            use_runtime_estimates: false,
+            ..Default::default()
+        };
         let condor = condor_view(0, 8, 1.0);
         let long = JobSpec::simple(1, 100.0 * 3600.0);
         assert!(matches(&long, &condor, &policy).is_ok());
@@ -275,17 +297,27 @@ mod tests {
         let slow = cluster_view(0, 8, 0.5);
         let fast = cluster_view(1, 8, 2.0);
         let job = JobSpec::simple(1, 100.0).with_estimate(100.0);
-        assert_eq!(choose_resource(&job, &[slow, fast], &policy), Some(ResourceId(1)));
+        assert_eq!(
+            choose_resource(&job, &[slow, fast], &policy),
+            Some(ResourceId(1))
+        );
     }
 
     #[test]
     fn ranking_spreads_away_from_loaded_resources() {
         let policy = SchedulerPolicy::default();
         let mut busy = cluster_view(0, 8, 1.0);
-        busy.state = ResourceState { free_slots: 0, total_slots: 8, queued_jobs: 20 };
+        busy.state = ResourceState {
+            free_slots: 0,
+            total_slots: 8,
+            queued_jobs: 20,
+        };
         let idle = cluster_view(1, 8, 1.0);
         let job = JobSpec::simple(1, 100.0);
-        assert_eq!(choose_resource(&job, &[busy, idle], &policy), Some(ResourceId(1)));
+        assert_eq!(
+            choose_resource(&job, &[busy, idle], &policy),
+            Some(ResourceId(1))
+        );
     }
 
     #[test]
@@ -308,7 +340,10 @@ mod tests {
         );
         // With speed scaling on, the fast resource wins despite the queue.
         let smart = SchedulerPolicy::default();
-        assert_eq!(choose_resource(&job, &[slow, fast2], &smart), Some(ResourceId(1)));
+        assert_eq!(
+            choose_resource(&job, &[slow, fast2], &smart),
+            Some(ResourceId(1))
+        );
     }
 
     #[test]

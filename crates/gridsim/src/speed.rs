@@ -34,13 +34,19 @@ pub fn speed_from_benchmarks(runs: &[BenchmarkRun]) -> f64 {
 /// Simulate benchmarking a resource whose machines have the given true
 /// speeds: each machine runs the reference job with a little measurement
 /// noise (system jitter), and the runtimes are averaged.
-pub fn benchmark_machines(true_speeds: &[f64], noise_sd: f64, rng: &mut SimRng) -> Vec<BenchmarkRun> {
+pub fn benchmark_machines(
+    true_speeds: &[f64],
+    noise_sd: f64,
+    rng: &mut SimRng,
+) -> Vec<BenchmarkRun> {
     true_speeds
         .iter()
         .map(|&s| {
             assert!(s > 0.0, "invalid machine speed {s}");
             let jitter = rng.normal(1.0, noise_sd).clamp(0.8, 1.25);
-            BenchmarkRun { seconds: BENCHMARK_REFERENCE_SECONDS / s * jitter }
+            BenchmarkRun {
+                seconds: BENCHMARK_REFERENCE_SECONDS / s * jitter,
+            }
         })
         .collect()
 }
@@ -52,11 +58,17 @@ mod tests {
     #[test]
     fn paper_examples() {
         // Half the time → speed 2.0; twice the time → speed 0.5.
-        let half = [BenchmarkRun { seconds: BENCHMARK_REFERENCE_SECONDS / 2.0 }];
+        let half = [BenchmarkRun {
+            seconds: BENCHMARK_REFERENCE_SECONDS / 2.0,
+        }];
         assert!((speed_from_benchmarks(&half) - 2.0).abs() < 1e-12);
-        let double = [BenchmarkRun { seconds: BENCHMARK_REFERENCE_SECONDS * 2.0 }];
+        let double = [BenchmarkRun {
+            seconds: BENCHMARK_REFERENCE_SECONDS * 2.0,
+        }];
         assert!((speed_from_benchmarks(&double) - 0.5).abs() < 1e-12);
-        let same = [BenchmarkRun { seconds: BENCHMARK_REFERENCE_SECONDS }];
+        let same = [BenchmarkRun {
+            seconds: BENCHMARK_REFERENCE_SECONDS,
+        }];
         assert!((speed_from_benchmarks(&same) - 1.0).abs() < 1e-12);
     }
 
@@ -64,7 +76,10 @@ mod tests {
     fn heterogeneous_pool_averages() {
         // Machines at speeds 1.0 and 3.0: runtimes 300 and 100, mean 200,
         // speed = 1.5 (runtime-average convention, as in the paper).
-        let runs = [BenchmarkRun { seconds: 300.0 }, BenchmarkRun { seconds: 100.0 }];
+        let runs = [
+            BenchmarkRun { seconds: 300.0 },
+            BenchmarkRun { seconds: 100.0 },
+        ];
         assert!((speed_from_benchmarks(&runs) - 1.5).abs() < 1e-12);
     }
 

@@ -37,9 +37,16 @@ impl RuntimeEstimator {
     /// Train directly on a prepared dataset (used by the online updater).
     pub fn train_on_dataset(dataset: Dataset, num_trees: usize, seed: u64) -> RuntimeEstimator {
         assert!(!dataset.is_empty(), "empty training set");
-        let config = ForestConfig { num_trees, ..Default::default() };
+        let config = ForestConfig {
+            num_trees,
+            ..Default::default()
+        };
         let forest = RandomForest::fit(&dataset, &config, seed);
-        RuntimeEstimator { forest, dataset, seed }
+        RuntimeEstimator {
+            forest,
+            dataset,
+            seed,
+        }
     }
 
     /// Predicted runtime (reference-computer seconds) for a job, clamped to

@@ -57,8 +57,11 @@ pub fn human_eta(seconds: f64) -> String {
 mod tests {
     use super::*;
 
-    const CAP: CapacitySnapshot =
-        CapacitySnapshot { slots: 100, mean_speed: 1.0, overhead_seconds: 30.0 };
+    const CAP: CapacitySnapshot = CapacitySnapshot {
+        slots: 100,
+        mean_speed: 1.0,
+        overhead_seconds: 30.0,
+    };
 
     #[test]
     fn single_wave() {
@@ -75,7 +78,10 @@ mod tests {
 
     #[test]
     fn speed_scales_eta() {
-        let fast = CapacitySnapshot { mean_speed: 2.0, ..CAP };
+        let fast = CapacitySnapshot {
+            mean_speed: 2.0,
+            ..CAP
+        };
         let eta = estimate_completion_seconds(100, 3600.0, fast);
         assert!((eta - (1800.0 + 30.0)).abs() < 1.0);
     }

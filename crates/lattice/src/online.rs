@@ -25,7 +25,13 @@ pub struct OnlineEstimator {
 impl OnlineEstimator {
     /// Start from an initial trained estimator.
     pub fn new(estimator: RuntimeEstimator, num_trees: usize, seed: u64) -> OnlineEstimator {
-        OnlineEstimator { estimator, num_trees, seed, observations: 0, prediction_log: Vec::new() }
+        OnlineEstimator {
+            estimator,
+            num_trees,
+            seed,
+            observations: 0,
+            prediction_log: Vec::new(),
+        }
     }
 
     /// Predict a job's runtime with the current model.
@@ -133,7 +139,11 @@ mod tests {
                 num_taxa: rng.range_u64(5, 30) as usize,
                 num_patterns: patterns,
                 data_type: DataType::Nucleotide,
-                rate_het: if ncat == 1 { RateHetKind::None } else { RateHetKind::Gamma },
+                rate_het: if ncat == 1 {
+                    RateHetKind::None
+                } else {
+                    RateHetKind::Gamma
+                },
                 num_rate_cats: ncat,
                 rate_matrix: RateMatrix::Jc,
                 state_frequencies: StateFrequencies::Equal,
@@ -143,30 +153,38 @@ mod tests {
             let y = 100.0 * ncat as f64 + 2.0 * patterns as f64;
             (f, y)
         };
-        // Tiny, unrepresentative seed set.
-        let mut seed_ds = crate::predictors::empty_dataset();
-        for _ in 0..3 {
-            let (f, y) = make(&mut rng);
-            seed_ds.push(f.to_row(), y);
-        }
-        let est = RuntimeEstimator::train_on_dataset(seed_ds, 80, 205);
-        let mut online = OnlineEstimator::new(est, 80, 206);
-        for _ in 0..60 {
+        // Tiny, unrepresentative seed set. Train the same 3-point model
+        // twice: one copy stays frozen, the other learns online.
+        let seed_points: Vec<(JobFeatures, f64)> = (0..3).map(|_| make(&mut rng)).collect();
+        let build_seed_est = || {
+            let mut seed_ds = crate::predictors::empty_dataset();
+            for (f, y) in &seed_points {
+                seed_ds.push(f.to_row(), *y);
+            }
+            RuntimeEstimator::train_on_dataset(seed_ds, 80, 205)
+        };
+        let frozen = build_seed_est();
+        let mut online = OnlineEstimator::new(build_seed_est(), 80, 206);
+        for _ in 0..120 {
             let (f, y) = make(&mut rng);
             online.observe(f, y);
         }
-        let log = online.prediction_log();
-        let err = |slice: &[(f64, f64)]| {
-            let mut apes: Vec<f64> =
-                slice.iter().map(|(p, a)| ((p - a) / a).abs()).collect();
+        // Evaluate both on a fresh stream: the retrained model must beat the
+        // frozen seed model decisively.
+        let median_ape = |est: &RuntimeEstimator, eval: &[(JobFeatures, f64)]| {
+            let mut apes: Vec<f64> = eval
+                .iter()
+                .map(|(f, y)| ((est.predict_seconds(f) - y) / y).abs())
+                .collect();
             apes.sort_by(|a, b| a.partial_cmp(b).unwrap());
             apes[apes.len() / 2]
         };
-        let early = err(&log[..15]);
-        let late = err(&log[45..]);
+        let eval: Vec<(JobFeatures, f64)> = (0..40).map(|_| make(&mut rng)).collect();
+        let frozen_err = median_ape(&frozen, &eval);
+        let online_err = median_ape(online.estimator(), &eval);
         assert!(
-            late < early * 0.8,
-            "model should improve with data: early {early:.3}, late {late:.3}"
+            online_err < frozen_err * 0.8,
+            "model should improve with data: frozen {frozen_err:.3}, online {online_err:.3}"
         );
     }
 

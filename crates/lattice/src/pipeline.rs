@@ -127,7 +127,10 @@ pub fn run_campaign(
                 .expect("submission already validated")
         })
         .collect();
-    let measured: Vec<f64> = probe_results.iter().map(|r| r.reference_seconds()).collect();
+    let measured: Vec<f64> = probe_results
+        .iter()
+        .map(|r| r.reference_seconds())
+        .collect();
     let probe_mean = measured.iter().sum::<f64>() / measured.len() as f64;
 
     // 4. True runtimes for the full replicate set.
@@ -206,22 +209,37 @@ pub fn run_campaign(
     let grid_report = grid.run_until_done(options.sim_deadline);
 
     // 8. Submission bookkeeping: each completed grid job finishes its
-    // bundled replicates.
+    // bundled replicates; dead-lettered jobs are surfaced to the user —
+    // the grid gave up on them, so silence would strand the submission.
     for record in &grid_report.records {
-        if record.outcome == gridsim::job::JobOutcome::Completed {
-            let JobId(id) = record.spec.id;
-            let start = id as usize * bundle_size;
-            let members = bundle_size.min(n - start.min(n));
-            for _ in 0..members {
-                submission.replicate_finished(outbox)?;
+        match record.outcome {
+            gridsim::job::JobOutcome::Completed => {
+                let JobId(id) = record.spec.id;
+                let start = id as usize * bundle_size;
+                let members = bundle_size.min(n - start.min(n));
+                for _ in 0..members {
+                    submission.replicate_finished(outbox)?;
+                }
             }
+            gridsim::job::JobOutcome::DeadLettered => {
+                outbox.notify(
+                    submission.user.email(),
+                    submission.id,
+                    portal::notify::EventKind::DeadLettered,
+                );
+            }
+            gridsim::job::JobOutcome::Unfinished => {}
         }
     }
 
     // 9. Post-processing: a real archive only when everything really ran.
     let archive = if probes >= n && *submission.status() == SubmissionStatus::PostProcessing {
-        let names: Vec<String> =
-            submission.alignment.taxon_names().iter().map(|s| s.to_string()).collect();
+        let names: Vec<String> = submission
+            .alignment
+            .taxon_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
         let archive = build_archive(&probe_results, &refs, submission.config.is_bootstrap());
         submission.mark_complete(outbox)?;
@@ -250,7 +268,9 @@ trait SubmissionExt {
 
 impl SubmissionExt for Submission {
     fn alignment_features(&self) -> garli::validate::ValidationReport {
-        self.validation().expect("validated before feature extraction").clone()
+        self.validation()
+            .expect("validated before feature extraction")
+            .clone()
     }
 }
 
@@ -305,7 +325,11 @@ mod tests {
         let mut sub = submission(3, false);
         let mut outbox = Outbox::new();
         let est = estimator();
-        let options = CampaignOptions { grid: small_grid(1), seed: 5, ..Default::default() };
+        let options = CampaignOptions {
+            grid: small_grid(1),
+            seed: 5,
+            ..Default::default()
+        };
         let result = run_campaign(&mut sub, Some(&est), &options, &mut outbox).unwrap();
         assert_eq!(result.report.completed, 3);
         assert_eq!(*sub.status(), SubmissionStatus::Complete);
@@ -330,7 +354,10 @@ mod tests {
         let result = run_campaign(&mut sub, Some(&est), &options, &mut outbox).unwrap();
         assert_eq!(result.report.total_jobs, 40);
         assert_eq!(result.report.completed, 40);
-        assert!(result.archive.is_none(), "sampled campaigns have no real archive");
+        assert!(
+            result.archive.is_none(),
+            "sampled campaigns have no real archive"
+        );
         assert_eq!(*sub.status(), SubmissionStatus::PostProcessing);
     }
 
@@ -351,7 +378,10 @@ mod tests {
             ..Default::default()
         };
         let result = run_campaign(&mut sub, Some(&est), &options, &mut outbox).unwrap();
-        assert!(result.bundle_size > 1, "compact jobs are short; should bundle");
+        assert!(
+            result.bundle_size > 1,
+            "compact jobs are short; should bundle"
+        );
         assert!(result.grid_jobs < 30);
         assert_eq!(result.report.completed, result.grid_jobs);
         // All 30 replicates were accounted to the submission.
@@ -362,7 +392,11 @@ mod tests {
     fn without_estimator_jobs_carry_no_estimates() {
         let mut sub = submission(2, false);
         let mut outbox = Outbox::new();
-        let options = CampaignOptions { grid: small_grid(4), seed: 8, ..Default::default() };
+        let options = CampaignOptions {
+            grid: small_grid(4),
+            seed: 8,
+            ..Default::default()
+        };
         let result = run_campaign(&mut sub, None, &options, &mut outbox).unwrap();
         assert_eq!(result.predicted_seconds, None);
         assert!(result
@@ -378,7 +412,11 @@ mod tests {
             let mut sub = submission(5, false);
             let mut outbox = Outbox::new();
             let est = estimator();
-            let options = CampaignOptions { grid: small_grid(5), seed: 9, ..Default::default() };
+            let options = CampaignOptions {
+                grid: small_grid(5),
+                seed: 9,
+                ..Default::default()
+            };
             let r = run_campaign(&mut sub, Some(&est), &options, &mut outbox).unwrap();
             (r.report.makespan_seconds, r.probe_mean_seconds)
         };

@@ -125,12 +125,27 @@ pub fn predictor_schema() -> Vec<(String, FeatureKind)> {
     vec![
         (PREDICTOR_NAMES[0].into(), FeatureKind::Continuous),
         (PREDICTOR_NAMES[1].into(), FeatureKind::Continuous),
-        (PREDICTOR_NAMES[2].into(), FeatureKind::Categorical { levels: 3 }),
-        (PREDICTOR_NAMES[3].into(), FeatureKind::Categorical { levels: 3 }),
+        (
+            PREDICTOR_NAMES[2].into(),
+            FeatureKind::Categorical { levels: 3 },
+        ),
+        (
+            PREDICTOR_NAMES[3].into(),
+            FeatureKind::Categorical { levels: 3 },
+        ),
         (PREDICTOR_NAMES[4].into(), FeatureKind::Continuous),
-        (PREDICTOR_NAMES[5].into(), FeatureKind::Categorical { levels: 4 }),
-        (PREDICTOR_NAMES[6].into(), FeatureKind::Categorical { levels: 3 }),
-        (PREDICTOR_NAMES[7].into(), FeatureKind::Categorical { levels: 2 }),
+        (
+            PREDICTOR_NAMES[5].into(),
+            FeatureKind::Categorical { levels: 4 },
+        ),
+        (
+            PREDICTOR_NAMES[6].into(),
+            FeatureKind::Categorical { levels: 3 },
+        ),
+        (
+            PREDICTOR_NAMES[7].into(),
+            FeatureKind::Categorical { levels: 2 },
+        ),
         (PREDICTOR_NAMES[8].into(), FeatureKind::Continuous),
     ]
 }
@@ -147,7 +162,11 @@ mod tests {
     #[test]
     fn schema_has_nine_predictors() {
         let s = predictor_schema();
-        assert_eq!(s.len(), 9, "the paper's model uses nine predictor variables");
+        assert_eq!(
+            s.len(),
+            9,
+            "the paper's model uses nine predictor variables"
+        );
     }
 
     #[test]
@@ -189,12 +208,20 @@ mod tests {
     fn codes_are_dense_and_distinct() {
         assert_eq!(
             (0..3).collect::<Vec<_>>(),
-            DataType::ALL.iter().map(|&d| data_type_code(d)).collect::<Vec<_>>()
+            DataType::ALL
+                .iter()
+                .map(|&d| data_type_code(d))
+                .collect::<Vec<_>>()
         );
-        let rm: Vec<usize> = RateMatrix::ALL.iter().map(|&m| rate_matrix_code(m)).collect();
+        let rm: Vec<usize> = RateMatrix::ALL
+            .iter()
+            .map(|&m| rate_matrix_code(m))
+            .collect();
         assert_eq!(rm, vec![0, 1, 2, 3]);
-        let sf: Vec<usize> =
-            StateFrequencies::ALL.iter().map(|&s| state_freq_code(s)).collect();
+        let sf: Vec<usize> = StateFrequencies::ALL
+            .iter()
+            .map(|&s| state_freq_code(s))
+            .collect();
         assert_eq!(sf, vec![0, 1, 2]);
         let rh: Vec<usize> = RateHetKind::ALL.iter().map(|&r| rate_het_code(r)).collect();
         assert_eq!(rh, vec![0, 1, 2]);

@@ -44,6 +44,17 @@ pub fn standard_grid(seed: u64) -> GridConfig {
     }
 }
 
+/// The [`standard_grid`] hardened with the default grid-level recovery
+/// policy: exponential backoff with jitter, failure-rate blacklisting,
+/// bounded retries with a dead-letter outcome, and checkpoint carry-over
+/// (see `gridsim::recovery`).
+pub fn hardened_grid(seed: u64) -> GridConfig {
+    GridConfig {
+        recovery: Some(gridsim::RecoveryPolicy::default()),
+        ..standard_grid(seed)
+    }
+}
+
 impl LatticeSystem {
     /// Bootstrap a system: generate-and-execute a training workload, fit
     /// the forest, and adopt the given grid layout.
@@ -107,7 +118,8 @@ impl LatticeSystem {
             &mut self.outbox,
         )?;
         // Online update from the reference-computer replicate.
-        self.estimator.observe(result.features, result.probe_mean_seconds);
+        self.estimator
+            .observe(result.features, result.probe_mean_seconds);
         Ok(result)
     }
 }
@@ -161,7 +173,11 @@ mod tests {
             )
             .unwrap();
         assert_eq!(result.report.completed, 3);
-        assert_eq!(sys.estimator().dataset().len(), before + 1, "online observation added");
+        assert_eq!(
+            sys.estimator().dataset().len(),
+            before + 1,
+            "online observation added"
+        );
         assert!(!sys.outbox().emails().is_empty());
     }
 
@@ -185,14 +201,50 @@ mod tests {
     }
 
     #[test]
+    fn hardened_grid_adds_recovery_only() {
+        let plain = standard_grid(3);
+        let hard = hardened_grid(3);
+        assert!(plain.recovery.is_none());
+        assert_eq!(hard.recovery, Some(gridsim::RecoveryPolicy::default()));
+        assert_eq!(hard.resources.len(), plain.resources.len());
+        assert_eq!(hard.seed, plain.seed);
+    }
+
+    #[test]
+    fn hardened_system_processes_submissions() {
+        let mut sys = LatticeSystem::bootstrap(20, Scale::Compact, 50, hardened_grid(31), 32);
+        let (config, aln) = quick_submission_parts();
+        let result = sys
+            .submit(
+                User::guest("u@x.org").unwrap(),
+                config,
+                aln,
+                CampaignOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(result.report.completed, 3);
+        assert_eq!(result.report.dead_lettered, 0);
+    }
+
+    #[test]
     fn submission_ids_increment() {
         let mut sys = small_system();
         let (config, aln) = quick_submission_parts();
         let _ = sys
-            .submit(User::guest("a@x.org").unwrap(), config.clone(), aln.clone(), CampaignOptions::default())
+            .submit(
+                User::guest("a@x.org").unwrap(),
+                config.clone(),
+                aln.clone(),
+                CampaignOptions::default(),
+            )
             .unwrap();
         let _ = sys
-            .submit(User::guest("b@x.org").unwrap(), config, aln, CampaignOptions::default())
+            .submit(
+                User::guest("b@x.org").unwrap(),
+                config,
+                aln,
+                CampaignOptions::default(),
+            )
             .unwrap();
         assert_eq!(sys.online().observations(), 2);
     }

@@ -112,7 +112,7 @@ pub fn dataset_library(scale: Scale) -> &'static [(DataType, Alignment)] {
                     (DataType::Codon, 6, 60),
                     (DataType::Codon, 10, 140),
                 ],
-                0xDA7A_5E7,
+                0x0DA7_A5E7,
             )
         }),
         Scale::Compact => COMPACT.get_or_init(|| {
@@ -147,7 +147,11 @@ pub fn sample_job(scale: Scale, rng: &mut SimRng) -> (GarliConfig, Alignment) {
     // (where it is ignored). Recording the *configured* value — as the
     // paper did — is why Fig. 2 finds `numratecats` to have "almost no
     // importance" while the on/off rate-het switch dominates.
-    let num_rate_cats = if rng.chance(0.8) { 4 } else { *rng.choose(&[2usize, 6, 8]) };
+    let num_rate_cats = if rng.chance(0.8) {
+        4
+    } else {
+        *rng.choose(&[2usize, 6, 8])
+    };
     let rate_matrix = *rng.choose(&RateMatrix::ALL);
     let state_frequencies = *rng.choose(&StateFrequencies::ALL);
     let invariant_sites = rate_het == RateHetKind::GammaInv;

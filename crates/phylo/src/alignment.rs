@@ -49,8 +49,15 @@ impl std::fmt::Display for AlignmentError {
             AlignmentError::TooFewSequences { found } => {
                 write!(f, "alignment needs at least 2 sequences, found {found}")
             }
-            AlignmentError::RaggedLength { name, expected, found } => {
-                write!(f, "sequence {name:?} has length {found}, expected {expected}")
+            AlignmentError::RaggedLength {
+                name,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "sequence {name:?} has length {found}, expected {expected}"
+                )
             }
             AlignmentError::MixedDataTypes { name } => {
                 write!(f, "sequence {name:?} has a different data type")
@@ -69,7 +76,9 @@ impl Alignment {
     /// Validate and assemble an alignment.
     pub fn new(sequences: Vec<Sequence>) -> Result<Alignment, AlignmentError> {
         if sequences.len() < 2 {
-            return Err(AlignmentError::TooFewSequences { found: sequences.len() });
+            return Err(AlignmentError::TooFewSequences {
+                found: sequences.len(),
+            });
         }
         let data_type = sequences[0].data_type();
         let num_sites = sequences[0].len();
@@ -79,7 +88,9 @@ impl Alignment {
         let mut names = std::collections::HashSet::new();
         for s in &sequences {
             if s.data_type() != data_type {
-                return Err(AlignmentError::MixedDataTypes { name: s.name().to_string() });
+                return Err(AlignmentError::MixedDataTypes {
+                    name: s.name().to_string(),
+                });
             }
             if s.len() != num_sites {
                 return Err(AlignmentError::RaggedLength {
@@ -89,18 +100,30 @@ impl Alignment {
                 });
             }
             if !names.insert(s.name().to_string()) {
-                return Err(AlignmentError::DuplicateName { name: s.name().to_string() });
+                return Err(AlignmentError::DuplicateName {
+                    name: s.name().to_string(),
+                });
             }
         }
-        Ok(Alignment { data_type, sequences, num_sites })
+        Ok(Alignment {
+            data_type,
+            sequences,
+            num_sites,
+        })
     }
 
     /// Parse a simple FASTA string into an alignment.
-    pub fn from_fasta(data_type: DataType, fasta: &str) -> Result<Alignment, Box<dyn std::error::Error>> {
+    pub fn from_fasta(
+        data_type: DataType,
+        fasta: &str,
+    ) -> Result<Alignment, Box<dyn std::error::Error>> {
         let mut seqs = Vec::new();
         let mut name: Option<String> = None;
         let mut body = String::new();
-        let flush = |name: &mut Option<String>, body: &mut String, seqs: &mut Vec<Sequence>| -> Result<(), Box<dyn std::error::Error>> {
+        let flush = |name: &mut Option<String>,
+                     body: &mut String,
+                     seqs: &mut Vec<Sequence>|
+         -> Result<(), Box<dyn std::error::Error>> {
             if let Some(n) = name.take() {
                 seqs.push(Sequence::from_text(n, data_type, body)?);
                 body.clear();
@@ -194,7 +217,11 @@ impl Alignment {
                 Sequence::from_states(s.name().to_string(), self.data_type, states)
             })
             .collect();
-        Alignment { data_type: self.data_type, sequences, num_sites: sites.len() }
+        Alignment {
+            data_type: self.data_type,
+            sequences,
+            num_sites: sites.len(),
+        }
     }
 }
 
@@ -255,7 +282,7 @@ mod tests {
     #[test]
     fn too_few_rejected() {
         let err = Alignment::new(vec![
-            Sequence::from_text("a", DataType::Nucleotide, "AC").unwrap(),
+            Sequence::from_text("a", DataType::Nucleotide, "AC").unwrap()
         ])
         .unwrap_err();
         assert!(matches!(err, AlignmentError::TooFewSequences { found: 1 }));
@@ -273,11 +300,8 @@ mod tests {
 
     #[test]
     fn fasta_multiline_bodies() {
-        let a = Alignment::from_fasta(
-            DataType::Nucleotide,
-            ">x extra words\nAC\nGT\n>y\nACGA\n",
-        )
-        .unwrap();
+        let a = Alignment::from_fasta(DataType::Nucleotide, ">x extra words\nAC\nGT\n>y\nACGA\n")
+            .unwrap();
         assert_eq!(a.num_sites(), 4);
         assert_eq!(a.taxon_names(), vec!["x", "y"]);
     }

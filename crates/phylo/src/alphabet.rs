@@ -99,8 +99,8 @@ impl State {
 
 /// The 20 amino acids in the conventional alphabetical one-letter order.
 pub const AMINO_ACIDS: [char; 20] = [
-    'A', 'R', 'N', 'D', 'C', 'Q', 'E', 'G', 'H', 'I', 'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W',
-    'Y', 'V',
+    'A', 'R', 'N', 'D', 'C', 'Q', 'E', 'G', 'H', 'I', 'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W', 'Y',
+    'V',
 ];
 
 /// The 4 nucleotides in alphabetical order (A, C, G, T).
@@ -256,9 +256,11 @@ pub fn codon_amino_acid(index: usize) -> usize {
 /// Any ambiguity or gap in the triplet yields full missing; a stop codon
 /// yields `None` (invalid data).
 pub fn encode_codon(c1: char, c2: char, c3: char) -> Option<State> {
-    let states = [encode_nucleotide(c1.to_ascii_uppercase())?,
+    let states = [
+        encode_nucleotide(c1.to_ascii_uppercase())?,
         encode_nucleotide(c2.to_ascii_uppercase())?,
-        encode_nucleotide(c3.to_ascii_uppercase())?];
+        encode_nucleotide(c3.to_ascii_uppercase())?,
+    ];
     match (states[0].index(), states[1].index(), states[2].index()) {
         (Some(a), Some(b), Some(c)) => triplet_index(a, b, c).map(State::known),
         _ => Some(State::missing(DataType::Codon)),

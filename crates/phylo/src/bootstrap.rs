@@ -131,6 +131,9 @@ mod tests {
             .collect();
         let rows = support_on_tree(&truth, &reps);
         let mean: f64 = rows.iter().map(|(_, v)| v).sum::<f64>() / rows.len() as f64;
-        assert!(mean > 0.8, "mean support {mean} too low for 2000-site signal");
+        assert!(
+            mean > 0.8,
+            "mean support {mean} too low for 2000-site signal"
+        );
     }
 }

@@ -83,7 +83,10 @@ pub fn greedy_consensus(trees: &[Tree]) -> ConsensusTree {
     }
 
     let tree = build_from_laminar(n, &accepted);
-    ConsensusTree { tree, supports: accepted }
+    ConsensusTree {
+        tree,
+        supports: accepted,
+    }
 }
 
 /// Construct a binary tree (rooted at taxon 0) from a laminar family of
@@ -106,12 +109,27 @@ fn build_from_laminar(n: usize, accepted: &[(Split, f64)]) -> Tree {
         top[t / 64] |= 1 << (t % 64);
         let mut bits = vec![0u64; w];
         bits[t / 64] |= 1 << (t % 64);
-        clusters.push(Cluster { bits, size: 1, support: 1.0, taxon: Some(t) });
+        clusters.push(Cluster {
+            bits,
+            size: 1,
+            support: 1.0,
+            taxon: Some(t),
+        });
     }
     for (s, sup) in accepted {
-        clusters.push(Cluster { bits: s.clone(), size: popcount(s), support: *sup, taxon: None });
+        clusters.push(Cluster {
+            bits: s.clone(),
+            size: popcount(s),
+            support: *sup,
+            taxon: None,
+        });
     }
-    clusters.push(Cluster { bits: top.clone(), size: n - 1, support: 1.0, taxon: None });
+    clusters.push(Cluster {
+        bits: top.clone(),
+        size: n - 1,
+        support: 1.0,
+        taxon: None,
+    });
 
     // Parent of each cluster = smallest strictly-containing cluster.
     let order: Vec<usize> = {
@@ -130,7 +148,8 @@ fn build_from_laminar(n: usize, accepted: &[(Split, f64)]) -> Tree {
             .iter()
             .copied()
             .find(|&j| {
-                clusters[j].size > clusters[i].size && is_subset(&clusters[i].bits, &clusters[j].bits)
+                clusters[j].size > clusters[i].size
+                    && is_subset(&clusters[i].bits, &clusters[j].bits)
             })
             .expect("top cluster contains everything");
         children[parent].push(i);
@@ -215,8 +234,7 @@ mod tests {
     fn consensus_is_valid_and_binary_for_random_forests_of_trees() {
         let mut rng = SimRng::new(603);
         for n in [4usize, 6, 10, 17] {
-            let trees: Vec<Tree> =
-                (0..7).map(|_| Tree::random_topology(n, &mut rng)).collect();
+            let trees: Vec<Tree> = (0..7).map(|_| Tree::random_topology(n, &mut rng)).collect();
             let c = greedy_consensus(&trees);
             c.tree.check_invariants();
             assert_eq!(c.tree.num_taxa(), n);
@@ -227,7 +245,9 @@ mod tests {
     #[test]
     fn accepted_splits_appear_in_consensus() {
         let mut rng = SimRng::new(604);
-        let trees: Vec<Tree> = (0..9).map(|_| Tree::random_topology(10, &mut rng)).collect();
+        let trees: Vec<Tree> = (0..9)
+            .map(|_| Tree::random_topology(10, &mut rng))
+            .collect();
         let c = greedy_consensus(&trees);
         let splits = c.tree.splits();
         for (s, _) in &c.supports {
@@ -238,7 +258,9 @@ mod tests {
     #[test]
     fn supports_are_descending_frequencies() {
         let mut rng = SimRng::new(605);
-        let trees: Vec<Tree> = (0..15).map(|_| Tree::random_topology(8, &mut rng)).collect();
+        let trees: Vec<Tree> = (0..15)
+            .map(|_| Tree::random_topology(8, &mut rng))
+            .collect();
         let c = greedy_consensus(&trees);
         for w in c.supports.windows(2) {
             assert!(w[0].1 >= w[1].1 - 1e-12);

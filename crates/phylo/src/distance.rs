@@ -44,6 +44,7 @@ pub fn jc_distance(alignment: &Alignment, a: usize, b: usize) -> f64 {
 }
 
 /// Full pairwise JC distance matrix.
+#[allow(clippy::needless_range_loop)] // fills both triangles of `d` at once
 pub fn distance_matrix(alignment: &Alignment) -> Vec<Vec<f64>> {
     let n = alignment.num_taxa();
     let mut d = vec![vec![0.0; n]; n];
@@ -66,7 +67,10 @@ pub fn distance_matrix(alignment: &Alignment) -> Vec<Vec<f64>> {
 pub fn neighbor_joining(dist: &[Vec<f64>]) -> Tree {
     let n = dist.len();
     assert!(n >= 2, "need at least two taxa");
-    assert!(dist.iter().all(|row| row.len() == n), "matrix must be square");
+    assert!(
+        dist.iter().all(|row| row.len() == n),
+        "matrix must be square"
+    );
     if n == 2 {
         return Tree::from_edges(2, &[(0, 1, dist[0][1].max(0.0))]);
     }

@@ -38,11 +38,11 @@
 pub mod alignment;
 pub mod alphabet;
 pub mod bootstrap;
+pub mod consensus;
 pub mod distance;
 pub mod likelihood;
 pub mod linalg;
 pub mod models;
-pub mod consensus;
 pub mod newick;
 pub mod patterns;
 pub mod sequence;

@@ -49,13 +49,21 @@ impl<'a, M: SubstModel> LikelihoodEngine<'a, M> {
             "alignment/model data type mismatch"
         );
         let patterns = PatternSet::compress(alignment);
-        LikelihoodEngine { patterns, model, rates }
+        LikelihoodEngine {
+            patterns,
+            model,
+            rates,
+        }
     }
 
     /// Build from an existing pattern set (bootstrap replicates reuse the
     /// compressed patterns with new weights).
     pub fn from_patterns(patterns: PatternSet, model: &'a M, rates: SiteRates) -> Self {
-        LikelihoodEngine { patterns, model, rates }
+        LikelihoodEngine {
+            patterns,
+            model,
+            rates,
+        }
     }
 
     /// The compressed pattern set.
@@ -94,7 +102,13 @@ pub fn evaluate_patterns<M: SubstModel>(
     rates: &SiteRates,
     tree: &Tree,
 ) -> Evaluation {
-    Evaluator { patterns, model, rates, num_states: model.num_states() }.run(tree)
+    Evaluator {
+        patterns,
+        model,
+        rates,
+        num_states: model.num_states(),
+    }
+    .run(tree)
 }
 
 struct Evaluator<'a, M: SubstModel> {
@@ -137,9 +151,7 @@ impl<M: SubstModel> Evaluator<'_, M> {
                     .collect();
                 match tree.node(child).taxon {
                     Some(taxon) => {
-                        work += self.combine_leaf_child(
-                            &mut acc, &pmats, taxon, ns, ncat, npat,
-                        );
+                        work += self.combine_leaf_child(&mut acc, &pmats, taxon, ns, ncat, npat);
                     }
                     None => {
                         let cp = partials[child]
@@ -150,7 +162,7 @@ impl<M: SubstModel> Evaluator<'_, M> {
                 }
             }
             // Per-pattern rescale across categories and states.
-            for p in 0..npat {
+            for (p, ls) in logscale.iter_mut().enumerate() {
                 let mut maxv = 0.0f64;
                 for k in 0..ncat {
                     let base = (k * npat + p) * ns;
@@ -166,7 +178,7 @@ impl<M: SubstModel> Evaluator<'_, M> {
                             acc[base + s] *= inv;
                         }
                     }
-                    logscale[p] += maxv.ln();
+                    *ls += maxv.ln();
                 }
             }
             partials[node] = Some(acc);
@@ -177,12 +189,14 @@ impl<M: SubstModel> Evaluator<'_, M> {
         let root_taxon = tree.node(root).taxon.expect("root is a leaf");
         let child = tree.node(root).children[0];
         let bl = tree.branch_length(child);
-        let pmats: Vec<Matrix> =
-            cats.iter().map(|&(r, _)| self.model.transition_matrix(bl * r)).collect();
+        let pmats: Vec<Matrix> = cats
+            .iter()
+            .map(|&(r, _)| self.model.transition_matrix(bl * r))
+            .collect();
         let freqs = self.model.frequencies();
 
         let mut lnl = 0.0f64;
-        for p in 0..npat {
+        for (p, &ls) in logscale.iter().enumerate() {
             let root_state = self.patterns.state(p, root_taxon);
             let mut site_like = 0.0f64;
             for (k, &(_, wk)) in cats.iter().enumerate() {
@@ -221,11 +235,17 @@ impl<M: SubstModel> Evaluator<'_, M> {
                 site_like += wk * cat_like;
             }
             if site_like <= 0.0 {
-                return Evaluation { log_likelihood: f64::NEG_INFINITY, work };
+                return Evaluation {
+                    log_likelihood: f64::NEG_INFINITY,
+                    work,
+                };
             }
-            lnl += self.patterns.weights()[p] * (site_like.ln() + logscale[p]);
+            lnl += self.patterns.weights()[p] * (site_like.ln() + ls);
         }
-        Evaluation { log_likelihood: lnl, work }
+        Evaluation {
+            log_likelihood: lnl,
+            work,
+        }
     }
 
     /// Multiply `acc` by the contribution of a leaf child (tip states let us
@@ -240,8 +260,7 @@ impl<M: SubstModel> Evaluator<'_, M> {
         npat: usize,
     ) -> u64 {
         let mut work = 0u64;
-        for k in 0..ncat {
-            let pm = &pmats[k];
+        for (k, pm) in pmats.iter().enumerate().take(ncat) {
             for p in 0..npat {
                 let tip: State = self.patterns.state(p, taxon);
                 let base = (k * npat + p) * ns;
@@ -279,8 +298,7 @@ fn combine_internal_child(
     ncat: usize,
     npat: usize,
 ) -> u64 {
-    for k in 0..ncat {
-        let pm = &pmats[k];
+    for (k, pm) in pmats.iter().enumerate().take(ncat) {
         for p in 0..npat {
             let base = (k * npat + p) * ns;
             for i in 0..ns {
@@ -356,10 +374,10 @@ mod tests {
         let with_gap = nuc_aln(&[("a", "AC-"), ("b", "AG-")]);
         let without = nuc_aln(&[("a", "AC"), ("b", "AG")]);
         let tree = two_taxon_tree(0.2, 0.0);
-        let lg = LikelihoodEngine::new(&with_gap, &model, SiteRates::uniform())
-            .log_likelihood(&tree);
-        let lw = LikelihoodEngine::new(&without, &model, SiteRates::uniform())
-            .log_likelihood(&tree);
+        let lg =
+            LikelihoodEngine::new(&with_gap, &model, SiteRates::uniform()).log_likelihood(&tree);
+        let lw =
+            LikelihoodEngine::new(&without, &model, SiteRates::uniform()).log_likelihood(&tree);
         assert!((lg - lw).abs() < 1e-10, "all-gap column must have L = 1");
     }
 
@@ -370,10 +388,9 @@ mod tests {
         let model = NucModel::jc69();
         let aln = crate::simulate::Simulator::new(&model, SiteRates::uniform())
             .simulate(&tree, 100, &mut rng);
-        let lu = LikelihoodEngine::new(&aln, &model, SiteRates::uniform())
-            .log_likelihood(&tree);
-        let lg = LikelihoodEngine::new(&aln, &model, SiteRates::gamma(1, 0.5))
-            .log_likelihood(&tree);
+        let lu = LikelihoodEngine::new(&aln, &model, SiteRates::uniform()).log_likelihood(&tree);
+        let lg =
+            LikelihoodEngine::new(&aln, &model, SiteRates::gamma(1, 0.5)).log_likelihood(&tree);
         assert!((lu - lg).abs() < 1e-10);
     }
 
@@ -382,11 +399,13 @@ mod tests {
         let aln = nuc_aln(&[("a", "ACGTACGTAC"), ("b", "ACGAACGAAC")]);
         let model = NucModel::jc69();
         let tree = two_taxon_tree(0.3, 0.0);
-        let lu = LikelihoodEngine::new(&aln, &model, SiteRates::uniform())
-            .log_likelihood(&tree);
-        let lg = LikelihoodEngine::new(&aln, &model, SiteRates::gamma(4, 0.3))
-            .log_likelihood(&tree);
-        assert!((lu - lg).abs() > 1e-6, "Γ(α=0.3) should move the likelihood");
+        let lu = LikelihoodEngine::new(&aln, &model, SiteRates::uniform()).log_likelihood(&tree);
+        let lg =
+            LikelihoodEngine::new(&aln, &model, SiteRates::gamma(4, 0.3)).log_likelihood(&tree);
+        assert!(
+            (lu - lg).abs() > 1e-6,
+            "Γ(α=0.3) should move the likelihood"
+        );
     }
 
     #[test]
@@ -397,10 +416,12 @@ mod tests {
         let aln = crate::simulate::Simulator::new(&model, SiteRates::uniform())
             .simulate(&tree, 300, &mut rng);
         let e1 = LikelihoodEngine::new(&aln, &model, SiteRates::uniform()).evaluate(&tree);
-        let e4 =
-            LikelihoodEngine::new(&aln, &model, SiteRates::gamma(4, 0.5)).evaluate(&tree);
+        let e4 = LikelihoodEngine::new(&aln, &model, SiteRates::gamma(4, 0.5)).evaluate(&tree);
         let ratio = e4.work as f64 / e1.work as f64;
-        assert!((ratio - 4.0).abs() < 0.2, "work ratio {ratio}, expected ≈ 4");
+        assert!(
+            (ratio - 4.0).abs() < 0.2,
+            "work ratio {ratio}, expected ≈ 4"
+        );
     }
 
     #[test]
@@ -427,7 +448,10 @@ mod tests {
         let pn = PatternSet::compress(&aln_n).num_patterns() as f64;
         let pa = PatternSet::compress(&aln_a).num_patterns() as f64;
         let ratio = (wa as f64 / pa) / (wn as f64 / pn);
-        assert!(ratio > 5.0, "20-state work should dwarf 4-state: ratio {ratio}");
+        assert!(
+            ratio > 5.0,
+            "20-state work should dwarf 4-state: ratio {ratio}"
+        );
     }
 
     /// Invariant-sites mixture has a closed form on two taxa: the rate-0
@@ -485,8 +509,7 @@ mod tests {
         let model = NucModel::jc69();
         let aln = crate::simulate::Simulator::new(&model, SiteRates::uniform())
             .simulate(&tree, 50, &mut rng);
-        let lnl = LikelihoodEngine::new(&aln, &model, SiteRates::uniform())
-            .log_likelihood(&tree);
+        let lnl = LikelihoodEngine::new(&aln, &model, SiteRates::uniform()).log_likelihood(&tree);
         assert!(lnl.is_finite(), "scaling must prevent underflow, got {lnl}");
         assert!(lnl < -100.0);
     }

@@ -16,7 +16,10 @@ pub struct Matrix {
 impl Matrix {
     /// n×n zero matrix.
     pub fn zeros(n: usize) -> Matrix {
-        Matrix { n, data: vec![0.0; n * n] }
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// n×n identity.
@@ -132,7 +135,10 @@ pub fn sym_eigen(a: &Matrix) -> SymEigen {
     let tol = 1e-12 * scale.max(1.0);
     for _sweep in 0..100 {
         if m.max_offdiag() <= tol {
-            return SymEigen { values: (0..n).map(|i| m[(i, i)]).collect(), vectors: v };
+            return SymEigen {
+                values: (0..n).map(|i| m[(i, i)]).collect(),
+                vectors: v,
+            };
         }
         for p in 0..n {
             for q in (p + 1)..n {
@@ -223,7 +229,10 @@ mod tests {
         let r = reconstruct(&e);
         for i in 0..n {
             for j in 0..n {
-                assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-8, "mismatch at ({i},{j})");
+                assert!(
+                    (r[(i, j)] - a[(i, j)]).abs() < 1e-8,
+                    "mismatch at ({i},{j})"
+                );
             }
         }
     }

@@ -155,7 +155,10 @@ mod tests {
         let cct = triplet_index(1, 1, 3).unwrap();
         let ratio_pur = pp[(ctt, cct)] / pp[(ctt, ctc)];
         let ratio_neu = pn[(ctt, cct)] / pn[(ctt, ctc)];
-        assert!(ratio_pur < ratio_neu * 0.1, "purifying {ratio_pur} vs neutral {ratio_neu}");
+        assert!(
+            ratio_pur < ratio_neu * 0.1,
+            "purifying {ratio_pur} vs neutral {ratio_neu}"
+        );
     }
 
     #[test]

@@ -94,8 +94,14 @@ impl ReversibleModel {
         assert_eq!(s.n(), n, "exchangeability dimension mismatch");
         assert_eq!(freqs.len(), n, "frequency dimension mismatch");
         let total: f64 = freqs.iter().sum();
-        assert!((total - 1.0).abs() < 1e-6, "frequencies must sum to 1, got {total}");
-        assert!(freqs.iter().all(|&f| f > 0.0), "frequencies must be positive");
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "frequencies must sum to 1, got {total}"
+        );
+        assert!(
+            freqs.iter().all(|&f| f > 0.0),
+            "frequencies must be positive"
+        );
         for i in 0..n {
             for j in (i + 1)..n {
                 assert!(s[(i, j)] >= 0.0, "negative exchangeability at ({i},{j})");
@@ -244,7 +250,9 @@ pub struct SiteRates {
 impl SiteRates {
     /// A single rate of 1 (no heterogeneity).
     pub fn uniform() -> SiteRates {
-        SiteRates { categories: vec![(1.0, 1.0)] }
+        SiteRates {
+            categories: vec![(1.0, 1.0)],
+        }
     }
 
     /// Yang (1994) equal-probability discrete Γ with `ncat` categories and
@@ -269,8 +277,16 @@ impl SiteRates {
             } else {
                 special::inv_gamma_p(alpha, (i + 1) as f64 / k)
             };
-            let p_hi = if hi.is_infinite() { 1.0 } else { special::gamma_p(alpha + 1.0, hi) };
-            let p_lo = if lo == 0.0 { 0.0 } else { special::gamma_p(alpha + 1.0, lo) };
+            let p_hi = if hi.is_infinite() {
+                1.0
+            } else {
+                special::gamma_p(alpha + 1.0, hi)
+            };
+            let p_lo = if lo == 0.0 {
+                0.0
+            } else {
+                special::gamma_p(alpha + 1.0, lo)
+            };
             rates.push(k * (p_hi - p_lo));
             lo = hi;
         }
@@ -290,7 +306,9 @@ impl SiteRates {
         if pinv == 0.0 {
             return SiteRates::uniform();
         }
-        SiteRates { categories: vec![(0.0, pinv), (1.0 / (1.0 - pinv), 1.0 - pinv)] }
+        SiteRates {
+            categories: vec![(0.0, pinv), (1.0 / (1.0 - pinv), 1.0 - pinv)],
+        }
     }
 
     /// Γ + invariant-sites mixture (GARLI `invgamma`).
@@ -315,9 +333,7 @@ impl SiteRates {
         match model {
             RateHetModel::None => SiteRates::uniform(),
             RateHetModel::Gamma { ncat, alpha } => SiteRates::gamma(ncat, alpha),
-            RateHetModel::GammaInv { ncat, alpha, pinv } => {
-                SiteRates::gamma_inv(ncat, alpha, pinv)
-            }
+            RateHetModel::GammaInv { ncat, alpha, pinv } => SiteRates::gamma_inv(ncat, alpha, pinv),
         }
     }
 
@@ -387,7 +403,10 @@ mod tests {
             for j in 0..4 {
                 let lhs = freqs[i] * p[(i, j)];
                 let rhs = freqs[j] * p[(j, i)];
-                assert!((lhs - rhs).abs() < 1e-9, "π_i P_ij != π_j P_ji at ({i},{j})");
+                assert!(
+                    (lhs - rhs).abs() < 1e-9,
+                    "π_i P_ij != π_j P_ji at ({i},{j})"
+                );
             }
         }
     }
@@ -409,7 +428,10 @@ mod tests {
             for &ncat in &[2usize, 4, 8] {
                 let sr = SiteRates::gamma(ncat, alpha);
                 assert_eq!(sr.num_categories(), ncat);
-                assert!((sr.mean_rate() - 1.0).abs() < 1e-9, "mean != 1 for α={alpha}");
+                assert!(
+                    (sr.mean_rate() - 1.0).abs() < 1e-9,
+                    "mean != 1 for α={alpha}"
+                );
                 let rates: Vec<f64> = sr.categories().iter().map(|c| c.0).collect();
                 for w in rates.windows(2) {
                     assert!(w[0] < w[1], "rates must increase: {rates:?}");
@@ -449,9 +471,21 @@ mod tests {
     #[test]
     fn rate_het_model_names_and_cats() {
         assert_eq!(RateHetModel::None.name(), "none");
-        assert_eq!(RateHetModel::Gamma { ncat: 4, alpha: 0.5 }.num_categories(), 4);
         assert_eq!(
-            RateHetModel::GammaInv { ncat: 4, alpha: 0.5, pinv: 0.1 }.num_categories(),
+            RateHetModel::Gamma {
+                ncat: 4,
+                alpha: 0.5
+            }
+            .num_categories(),
+            4
+        );
+        assert_eq!(
+            RateHetModel::GammaInv {
+                ncat: 4,
+                alpha: 0.5,
+                pinv: 0.1
+            }
+            .num_categories(),
             5
         );
     }

@@ -45,8 +45,12 @@ impl RateMatrix {
     }
 
     /// All members.
-    pub const ALL: [RateMatrix; 4] =
-        [RateMatrix::Jc, RateMatrix::K80, RateMatrix::Hky85, RateMatrix::Gtr];
+    pub const ALL: [RateMatrix; 4] = [
+        RateMatrix::Jc,
+        RateMatrix::K80,
+        RateMatrix::Hky85,
+        RateMatrix::Gtr,
+    ];
 }
 
 /// A concrete nucleotide model.
@@ -62,7 +66,14 @@ pub struct NucModel {
 fn exchangeability_matrix(rates: [f64; 6]) -> Matrix {
     let [ac, ag, at, cg, ct, gt] = rates;
     let mut s = Matrix::zeros(4);
-    let pairs = [(0, 1, ac), (0, 2, ag), (0, 3, at), (1, 2, cg), (1, 3, ct), (2, 3, gt)];
+    let pairs = [
+        (0, 1, ac),
+        (0, 2, ag),
+        (0, 3, at),
+        (1, 2, cg),
+        (1, 3, ct),
+        (2, 3, gt),
+    ];
     for (i, j, r) in pairs {
         s[(i, j)] = r;
         s[(j, i)] = r;
@@ -115,7 +126,10 @@ impl NucModel {
     /// # Panics
     /// Panics on invalid rates or frequencies.
     pub fn gtr(rates: [f64; 6], freqs: [f64; 4]) -> NucModel {
-        assert!(rates.iter().all(|r| *r > 0.0 && r.is_finite()), "invalid GTR rates");
+        assert!(
+            rates.iter().all(|r| *r > 0.0 && r.is_finite()),
+            "invalid GTR rates"
+        );
         let s = exchangeability_matrix(rates);
         NucModel {
             inner: ReversibleModel::new(DataType::Nucleotide, &s, freqs.to_vec()),

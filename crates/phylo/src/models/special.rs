@@ -9,10 +9,10 @@
 pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma requires positive argument, got {x}");
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
@@ -105,7 +105,10 @@ fn gamma_q_cf(a: f64, x: f64) -> f64 {
 /// Panics unless `0 < p < 1` and `a > 0`.
 pub fn inv_gamma_p(a: f64, p: f64) -> f64 {
     assert!(a > 0.0, "inv_gamma_p requires a > 0");
-    assert!(p > 0.0 && p < 1.0, "inv_gamma_p requires 0 < p < 1, got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "inv_gamma_p requires 0 < p < 1, got {p}"
+    );
     // Bracket: expand upper bound until P(a, hi) >= p.
     let mut hi = a.max(1.0);
     while gamma_p(a, hi) < p {

@@ -148,7 +148,14 @@ pub fn parse_newick(newick: &str, taxon_names: &[&str]) -> Result<Tree, NewickEr
             let center = next_internal;
             next_internal += 1;
             for ch in top_children {
-                attach(ch, center, &mut edges, &mut next_internal, taxon_names, &mut seen)?;
+                attach(
+                    ch,
+                    center,
+                    &mut edges,
+                    &mut next_internal,
+                    taxon_names,
+                    &mut seen,
+                )?;
             }
         }
         2 => {
@@ -387,8 +394,8 @@ mod tests {
 
     #[test]
     fn non_binary_internal_rejected() {
-        let err = parse_newick("((a:1,b:1,c:1):1,d:1,e:1);", &["a", "b", "c", "d", "e"])
-            .unwrap_err();
+        let err =
+            parse_newick("((a:1,b:1,c:1):1,d:1,e:1);", &["a", "b", "c", "d", "e"]).unwrap_err();
         assert_eq!(err, NewickError::NotBinary);
     }
 

@@ -44,14 +44,22 @@ impl PatternSet {
                 }
             }
         }
-        PatternSet { patterns, weights, site_to_pattern }
+        PatternSet {
+            patterns,
+            weights,
+            site_to_pattern,
+        }
     }
 
     /// Build directly from explicit patterns and weights (used by tests and
     /// by bootstrap reweighting).
     pub fn from_parts(patterns: Vec<Vec<State>>, weights: Vec<f64>) -> PatternSet {
         assert_eq!(patterns.len(), weights.len());
-        PatternSet { patterns, weights, site_to_pattern: Vec::new() }
+        PatternSet {
+            patterns,
+            weights,
+            site_to_pattern: Vec::new(),
+        }
     }
 
     /// Number of distinct patterns.

@@ -36,7 +36,10 @@ pub enum SequenceError {
 impl std::fmt::Display for SequenceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SequenceError::InvalidCharacter { position, character } => {
+            SequenceError::InvalidCharacter {
+                position,
+                character,
+            } => {
                 write!(f, "invalid character {character:?} at position {position}")
             }
             SequenceError::LengthNotMultipleOfThree { length } => {
@@ -65,8 +68,10 @@ impl Sequence {
         let chars: Vec<char> = text.chars().filter(|c| !c.is_whitespace()).collect();
         let states = match data_type {
             DataType::Codon => {
-                if chars.len() % 3 != 0 {
-                    return Err(SequenceError::LengthNotMultipleOfThree { length: chars.len() });
+                if !chars.len().is_multiple_of(3) {
+                    return Err(SequenceError::LengthNotMultipleOfThree {
+                        length: chars.len(),
+                    });
                 }
                 let mut out = Vec::with_capacity(chars.len() / 3);
                 for (k, triple) in chars.chunks_exact(3).enumerate() {
@@ -102,12 +107,20 @@ impl Sequence {
                 out
             }
         };
-        Ok(Sequence { name: name.into(), data_type, states })
+        Ok(Sequence {
+            name: name.into(),
+            data_type,
+            states,
+        })
     }
 
     /// Build a sequence directly from encoded states.
     pub fn from_states(name: impl Into<String>, data_type: DataType, states: Vec<State>) -> Self {
-        Sequence { name: name.into(), data_type, states }
+        Sequence {
+            name: name.into(),
+            data_type,
+            states,
+        }
     }
 
     /// The taxon name.
@@ -140,7 +153,11 @@ impl Sequence {
         if self.states.is_empty() {
             return 0.0;
         }
-        let missing = self.states.iter().filter(|s| s.is_missing(self.data_type)).count();
+        let missing = self
+            .states
+            .iter()
+            .filter(|s| s.is_missing(self.data_type))
+            .count();
         missing as f64 / self.states.len() as f64
     }
 
@@ -180,7 +197,13 @@ mod tests {
     #[test]
     fn invalid_character_reports_position() {
         let err = Sequence::from_text("t", DataType::Nucleotide, "ACJT").unwrap_err();
-        assert_eq!(err, SequenceError::InvalidCharacter { position: 2, character: 'J' });
+        assert_eq!(
+            err,
+            SequenceError::InvalidCharacter {
+                position: 2,
+                character: 'J'
+            }
+        );
     }
 
     #[test]

@@ -39,8 +39,9 @@ impl<'a, M: SubstModel> Simulator<'a, M> {
 
         // Per-site rate draw.
         let weights: Vec<f64> = cats.iter().map(|c| c.1).collect();
-        let site_rates: Vec<f64> =
-            (0..num_sites).map(|_| cats[rng.weighted_index(&weights)].0).collect();
+        let site_rates: Vec<f64> = (0..num_sites)
+            .map(|_| cats[rng.weighted_index(&weights)].0)
+            .collect();
 
         // states[node][site]
         let mut states: Vec<Vec<usize>> = vec![Vec::new(); tree.num_nodes()];
@@ -152,8 +153,7 @@ mod tests {
         let freqs = [0.5, 0.2, 0.2, 0.1];
         let model = NucModel::hky85(2.0, freqs);
         let tree = Tree::random_topology(4, &mut rng);
-        let aln =
-            Simulator::new(&model, SiteRates::uniform()).simulate(&tree, 20_000, &mut rng);
+        let aln = Simulator::new(&model, SiteRates::uniform()).simulate(&tree, 20_000, &mut rng);
         let mut counts = [0usize; 4];
         for s in aln.sequences() {
             for st in s.states() {
@@ -163,7 +163,11 @@ mod tests {
         let total: usize = counts.iter().sum();
         for (i, &c) in counts.iter().enumerate() {
             let obs = c as f64 / total as f64;
-            assert!((obs - freqs[i]).abs() < 0.02, "state {i}: {obs} vs {}", freqs[i]);
+            assert!(
+                (obs - freqs[i]).abs() < 0.02,
+                "state {i}: {obs} vs {}",
+                freqs[i]
+            );
         }
     }
 
@@ -200,7 +204,10 @@ mod tests {
                 worse += 1;
             }
         }
-        assert!(worse >= 4, "true tree should usually dominate, got {worse}/5");
+        assert!(
+            worse >= 4,
+            "true tree should usually dominate, got {worse}/5"
+        );
     }
 
     #[test]

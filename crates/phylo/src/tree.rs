@@ -132,7 +132,11 @@ impl Tree {
             }
         }
         assert!(visited.iter().all(|&v| v), "edge list is disconnected");
-        let t = Tree { nodes, root: 0, num_taxa };
+        let t = Tree {
+            nodes,
+            root: 0,
+            num_taxa,
+        };
         t.check_invariants();
         t
     }
@@ -140,16 +144,32 @@ impl Tree {
     /// Two leaves joined by one edge (taxon 0 is the root).
     fn two_taxon(branch_length: f64) -> Tree {
         let nodes = vec![
-            Node { parent: None, children: vec![1], branch_length: 0.0, taxon: Some(0) },
-            Node { parent: Some(0), children: vec![], branch_length, taxon: Some(1) },
+            Node {
+                parent: None,
+                children: vec![1],
+                branch_length: 0.0,
+                taxon: Some(0),
+            },
+            Node {
+                parent: Some(0),
+                children: vec![],
+                branch_length,
+                taxon: Some(1),
+            },
         ];
-        Tree { nodes, root: 0, num_taxa: 2 }
+        Tree {
+            nodes,
+            root: 0,
+            num_taxa: 2,
+        }
     }
 
     /// Attach a new leaf for `taxon` in the middle of the edge above node
     /// `below`, giving the new leaf branch length `leaf_bl`.
     fn attach_leaf(&mut self, taxon: usize, below: usize, leaf_bl: f64) {
-        let parent = self.nodes[below].parent.expect("cannot attach above the root");
+        let parent = self.nodes[below]
+            .parent
+            .expect("cannot attach above the root");
         let old_bl = self.nodes[below].branch_length;
         // New internal node splices into the edge.
         let mid = self.nodes.len();
@@ -252,9 +272,7 @@ impl Tree {
     pub fn internal_edge_nodes(&self) -> Vec<usize> {
         (0..self.nodes.len())
             .filter(|&i| {
-                i != self.root
-                    && !self.is_leaf(i)
-                    && self.nodes[i].parent != Some(self.root)
+                i != self.root && !self.is_leaf(i) && self.nodes[i].parent != Some(self.root)
             })
             .collect()
     }
@@ -310,7 +328,10 @@ impl Tree {
     /// # Panics
     /// Panics if `v` is the root or a leaf.
     pub fn nni(&mut self, v: usize, variant: usize) {
-        assert!(v != self.root && !self.is_leaf(v), "NNI needs an internal non-root edge");
+        assert!(
+            v != self.root && !self.is_leaf(v),
+            "NNI needs an internal non-root edge"
+        );
         let u = self.nodes[v].parent.expect("non-root node has a parent");
         assert!(u != self.root, "edge above v must join two internal nodes");
         let a = self.nodes[v].children[variant % 2];
@@ -331,8 +352,16 @@ impl Tree {
         debug_assert!(!self.subtree_contains(a, c) && !self.subtree_contains(c, a));
         let pa = self.nodes[a].parent.expect("subtree root must have parent");
         let pc = self.nodes[c].parent.expect("subtree root must have parent");
-        let ia = self.nodes[pa].children.iter().position(|&x| x == a).unwrap();
-        let ic = self.nodes[pc].children.iter().position(|&x| x == c).unwrap();
+        let ia = self.nodes[pa]
+            .children
+            .iter()
+            .position(|&x| x == a)
+            .unwrap();
+        let ic = self.nodes[pc]
+            .children
+            .iter()
+            .position(|&x| x == c)
+            .unwrap();
         self.nodes[pa].children[ia] = c;
         self.nodes[pc].children[ic] = a;
         self.nodes[a].parent = Some(pc);
@@ -359,7 +388,11 @@ impl Tree {
         if self.subtree_contains(prune, graft) {
             return false;
         }
-        let sibling = *self.nodes[p].children.iter().find(|&&x| x != prune).unwrap();
+        let sibling = *self.nodes[p]
+            .children
+            .iter()
+            .find(|&&x| x != prune)
+            .unwrap();
         if graft == sibling || graft == p {
             return false; // no-op topology
         }
@@ -374,7 +407,11 @@ impl Tree {
         // `graft` may have been `p`'s parent edge target (g==graft is fine).
         // Reuse node p as the new attachment point above `graft`.
         let gp = self.nodes[graft].parent.expect("graft is not root");
-        let gslot = self.nodes[gp].children.iter().position(|&x| x == graft).unwrap();
+        let gslot = self.nodes[gp]
+            .children
+            .iter()
+            .position(|&x| x == graft)
+            .unwrap();
         let old_bl = self.nodes[graft].branch_length;
         self.nodes[gp].children[gslot] = p;
         self.nodes[p].parent = Some(gp);
@@ -447,7 +484,11 @@ impl Tree {
     /// in debug builds.
     pub fn check_invariants(&self) {
         assert_eq!(self.nodes[self.root].taxon, Some(0), "root must be taxon 0");
-        assert_eq!(self.nodes[self.root].children.len(), 1, "root has one child");
+        assert_eq!(
+            self.nodes[self.root].children.len(),
+            1,
+            "root has one child"
+        );
         assert!(self.nodes[self.root].parent.is_none());
         let mut seen_taxa = HashSet::new();
         let mut visited = 0usize;
@@ -456,7 +497,10 @@ impl Tree {
             let n = &self.nodes[i];
             match n.taxon {
                 Some(t) => {
-                    assert!(i == self.root || n.children.is_empty(), "leaf with children");
+                    assert!(
+                        i == self.root || n.children.is_empty(),
+                        "leaf with children"
+                    );
                     assert!(seen_taxa.insert(t), "duplicate taxon {t}");
                 }
                 None => {
@@ -473,7 +517,11 @@ impl Tree {
                 );
             }
         }
-        assert_eq!(visited, self.nodes.len(), "arena contains disconnected nodes");
+        assert_eq!(
+            visited,
+            self.nodes.len(),
+            "arena contains disconnected nodes"
+        );
         assert_eq!(seen_taxa.len(), self.num_taxa, "missing taxa");
     }
 
@@ -507,7 +555,11 @@ mod tests {
             assert_eq!(t.num_nodes(), 2 * n - 2);
             t.check_invariants();
             if n >= 4 {
-                assert_eq!(t.splits().len(), n - 3, "unrooted binary: n-3 internal edges");
+                assert_eq!(
+                    t.splits().len(),
+                    n - 3,
+                    "unrooted binary: n-3 internal edges"
+                );
             }
         }
     }

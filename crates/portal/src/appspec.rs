@@ -106,11 +106,17 @@ struct Element {
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str) -> Self {
-        Parser { bytes: input.as_bytes(), pos: 0 }
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> SpecError {
-        SpecError { position: self.pos, message: message.into() }
+        SpecError {
+            position: self.pos,
+            message: message.into(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -171,7 +177,12 @@ impl<'a> Parser<'a> {
                         return Err(self.error("expected '>' after '/'"));
                     }
                     self.pos += 1;
-                    return Ok(Element { name, attrs, children: Vec::new(), text: String::new() });
+                    return Ok(Element {
+                        name,
+                        attrs,
+                        children: Vec::new(),
+                        text: String::new(),
+                    });
                 }
                 Some(b'>') => {
                     self.pos += 1;
@@ -196,9 +207,7 @@ impl<'a> Parser<'a> {
                     if self.pos >= self.bytes.len() {
                         return Err(self.error("unterminated attribute value"));
                     }
-                    let value = unescape(&String::from_utf8_lossy(
-                        &self.bytes[start..self.pos],
-                    ));
+                    let value = unescape(&String::from_utf8_lossy(&self.bytes[start..self.pos]));
                     self.pos += 1;
                     attrs.insert(key, value);
                 }
@@ -224,7 +233,12 @@ impl<'a> Parser<'a> {
                     return Err(self.error("expected '>'"));
                 }
                 self.pos += 1;
-                return Ok(Element { name, attrs, children, text: text.trim().to_string() });
+                return Ok(Element {
+                    name,
+                    attrs,
+                    children,
+                    text: text.trim().to_string(),
+                });
             }
             match self.bytes.get(self.pos) {
                 Some(b'<') => children.push(self.parse_element()?),
@@ -256,13 +270,15 @@ pub fn parse_app_spec(xml: &str) -> Result<AppSpec, SpecError> {
     let root = p.parse_element()?;
     p.skip_ws();
     if root.name != "application" {
-        return Err(SpecError { position: 0, message: "root must be <application>".into() });
+        return Err(SpecError {
+            position: 0,
+            message: "root must be <application>".into(),
+        });
     }
-    let name = root
-        .attrs
-        .get("name")
-        .cloned()
-        .ok_or(SpecError { position: 0, message: "<application> needs a name".into() })?;
+    let name = root.attrs.get("name").cloned().ok_or(SpecError {
+        position: 0,
+        message: "<application> needs a name".into(),
+    })?;
     let mut params = Vec::new();
     for child in &root.children {
         if child.name != "param" {
@@ -287,12 +303,15 @@ fn attr_parse<T: std::str::FromStr>(e: &Element, key: &str, default: T) -> Resul
 }
 
 fn parse_param(e: &Element) -> Result<Param, SpecError> {
-    let name = e
+    let name = e.attrs.get("name").cloned().ok_or(SpecError {
+        position: 0,
+        message: "<param> needs a name".into(),
+    })?;
+    let label = e
         .attrs
-        .get("name")
+        .get("label")
         .cloned()
-        .ok_or(SpecError { position: 0, message: "<param> needs a name".into() })?;
-    let label = e.attrs.get("label").cloned().unwrap_or_else(|| name.clone());
+        .unwrap_or_else(|| name.clone());
     let required = attr_parse(e, "required", false)?;
     let default = e.attrs.get("default").cloned();
     let ty = match e.attrs.get("type").map(|s| s.as_str()) {
@@ -329,7 +348,13 @@ fn parse_param(e: &Element) -> Result<Param, SpecError> {
             })
         }
     };
-    Ok(Param { name, label, ty, required, default })
+    Ok(Param {
+        name,
+        label,
+        ty,
+        required,
+        default,
+    })
 }
 
 /// The GARLI application spec behind the Fig. 1 job-creation form.
@@ -428,30 +453,34 @@ mod tests {
 
     #[test]
     fn mismatched_close_rejected() {
-        let err = parse_app_spec("<application name=\"x\"><param name=\"a\"></wrong></application>");
+        let err =
+            parse_app_spec("<application name=\"x\"><param name=\"a\"></wrong></application>");
         assert!(err.is_err());
     }
 
     #[test]
     fn unterminated_rejected() {
         assert!(parse_app_spec("<application name=\"x\">").is_err());
-        assert!(parse_app_spec("<application name=\"x\"><param name=\"a\" label=\"oops></application>").is_err());
+        assert!(parse_app_spec(
+            "<application name=\"x\"><param name=\"a\" label=\"oops></application>"
+        )
+        .is_err());
     }
 
     #[test]
     fn missing_choice_options_rejected() {
-        let err =
-            parse_app_spec(r#"<application name="x"><param name="a" type="choice"/></application>"#)
-                .unwrap_err();
+        let err = parse_app_spec(
+            r#"<application name="x"><param name="a" type="choice"/></application>"#,
+        )
+        .unwrap_err();
         assert!(err.message.contains("no <choice> options"));
     }
 
     #[test]
     fn unknown_type_rejected() {
-        let err = parse_app_spec(
-            r#"<application name="x"><param name="a" type="blob"/></application>"#,
-        )
-        .unwrap_err();
+        let err =
+            parse_app_spec(r#"<application name="x"><param name="a" type="blob"/></application>"#)
+                .unwrap_err();
         assert!(err.message.contains("unknown param type"));
     }
 

@@ -39,7 +39,11 @@ pub fn split_into_batches(total: usize, batch_size: usize) -> Vec<Batch> {
     let mut start = 0;
     while start < total {
         let end = (start + batch_size).min(total);
-        batches.push(Batch { index: batches.len(), start, end });
+        batches.push(Batch {
+            index: batches.len(),
+            start,
+            end,
+        });
         start = end;
     }
     batches
@@ -72,7 +76,14 @@ pub fn split_by_capacity(total: usize, weights: &[f64]) -> Vec<(usize, Batch)> {
     let mut start = 0;
     for (i, &c) in counts.iter().enumerate() {
         if c > 0 {
-            out.push((i, Batch { index: out.len(), start, end: start + c }));
+            out.push((
+                i,
+                Batch {
+                    index: out.len(),
+                    start,
+                    end: start + c,
+                },
+            ));
             start += c;
         }
     }

@@ -79,7 +79,10 @@ impl ValidatedForm {
 
 /// Validate raw values against the spec. All problems are reported at once
 /// (web-form style), not just the first.
-pub fn validate_form(spec: &AppSpec, values: &FormValues) -> Result<ValidatedForm, Vec<FieldError>> {
+pub fn validate_form(
+    spec: &AppSpec,
+    values: &FormValues,
+) -> Result<ValidatedForm, Vec<FieldError>> {
     let mut errors = Vec::new();
     let mut resolved = HashMap::new();
 
@@ -90,11 +93,18 @@ pub fn validate_form(spec: &AppSpec, values: &FormValues) -> Result<ValidatedFor
     }
 
     for param in &spec.params {
-        let supplied = values.get(&param.name).map(|s| s.trim()).filter(|s| !s.is_empty());
-        let effective = supplied.map(str::to_string).or_else(|| param.default.clone());
+        let supplied = values
+            .get(&param.name)
+            .map(|s| s.trim())
+            .filter(|s| !s.is_empty());
+        let effective = supplied
+            .map(str::to_string)
+            .or_else(|| param.default.clone());
         let Some(value) = effective else {
             if param.required {
-                errors.push(FieldError::Missing { field: param.name.clone() });
+                errors.push(FieldError::Missing {
+                    field: param.name.clone(),
+                });
             }
             continue;
         };
@@ -190,8 +200,12 @@ mod tests {
     fn missing_required_reported() {
         let spec = garli_app_spec();
         let errs = validate_form(&spec, &FormValues::new()).unwrap_err();
-        assert!(errs.contains(&FieldError::Missing { field: "sequence_file".into() }));
-        assert!(errs.contains(&FieldError::Missing { field: "email".into() }));
+        assert!(errs.contains(&FieldError::Missing {
+            field: "sequence_file".into()
+        }));
+        assert!(errs.contains(&FieldError::Missing {
+            field: "email".into()
+        }));
     }
 
     #[test]
@@ -221,7 +235,9 @@ mod tests {
         let mut v = base_values();
         v.insert("favourite_colour".into(), "teal".into());
         let errs = validate_form(&spec, &v).unwrap_err();
-        assert!(errs.contains(&FieldError::Unknown { field: "favourite_colour".into() }));
+        assert!(errs.contains(&FieldError::Unknown {
+            field: "favourite_colour".into()
+        }));
     }
 
     #[test]
@@ -240,7 +256,9 @@ mod tests {
         let mut v = base_values();
         v.insert("email".into(), "   ".into());
         let errs = validate_form(&spec, &v).unwrap_err();
-        assert!(errs.contains(&FieldError::Missing { field: "email".into() }));
+        assert!(errs.contains(&FieldError::Missing {
+            field: "email".into()
+        }));
     }
 
     #[test]

@@ -20,6 +20,9 @@ pub enum EventKind {
     Complete,
     /// Validation or execution failure.
     Failed,
+    /// A replicate exhausted the grid's retry budget and was dead-lettered:
+    /// it will not be retried again without user action.
+    DeadLettered,
 }
 
 /// One outgoing email.
@@ -64,16 +67,26 @@ impl Outbox {
             ),
             EventKind::Complete => (
                 format!("[Lattice] Submission {submission_id} complete"),
-                "All replicates finished; your results archive is ready for download."
-                    .to_string(),
+                "All replicates finished; your results archive is ready for download.".to_string(),
             ),
             EventKind::Failed => (
                 format!("[Lattice] Submission {submission_id} FAILED"),
-                "Your submission could not be completed; see the portal for details."
+                "Your submission could not be completed; see the portal for details.".to_string(),
+            ),
+            EventKind::DeadLettered => (
+                format!("[Lattice] Submission {submission_id}: replicate dead-lettered"),
+                "A replicate failed more times than the grid's retry budget allows \
+                 and was parked. It will not be retried automatically; resubmit it \
+                 or contact the administrators."
                     .to_string(),
             ),
         };
-        self.emails.push(Email { to: to.to_string(), subject, body, kind });
+        self.emails.push(Email {
+            to: to.to_string(),
+            subject,
+            body,
+            kind,
+        });
     }
 
     /// Everything queued so far, oldest first.
@@ -101,6 +114,14 @@ mod tests {
         assert!(out.emails()[0].subject.contains("accepted"));
         assert!(out.emails()[1].subject.contains("50%"));
         assert_eq!(out.emails()[2].kind, EventKind::Complete);
+    }
+
+    #[test]
+    fn dead_letter_notification() {
+        let mut out = Outbox::new();
+        out.notify("u@x.org", 7, EventKind::DeadLettered);
+        assert!(out.emails()[0].subject.contains("dead-lettered"));
+        assert!(out.emails()[0].body.contains("retry budget"));
     }
 
     #[test]

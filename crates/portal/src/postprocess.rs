@@ -68,11 +68,13 @@ pub fn build_archive(
         )
         .unwrap();
     }
-    files.push(ArchiveFile { name: "replicates.csv".into(), contents: table });
+    files.push(ArchiveFile {
+        name: "replicates.csv".into(),
+        contents: table,
+    });
 
     if is_bootstrap {
-        let trees: Vec<phylo::tree::Tree> =
-            results.iter().map(|r| r.best_tree.clone()).collect();
+        let trees: Vec<phylo::tree::Tree> = results.iter().map(|r| r.best_tree.clone()).collect();
         // The publishable summary: the greedy consensus with support values
         // as branch annotations (encoded as branch lengths; see
         // `phylo::consensus`).
@@ -91,7 +93,10 @@ pub fn build_archive(
         for (size, v) in sorted {
             writeln!(support, "{size},{:.3}", v).unwrap();
         }
-        files.push(ArchiveFile { name: "bootstrap_support.csv".into(), contents: support });
+        files.push(ArchiveFile {
+            name: "bootstrap_support.csv".into(),
+            contents: support,
+        });
     }
 
     let mut summary_txt = String::new();
@@ -104,7 +109,10 @@ pub fn build_archive(
         summary.total_work_cells as f64 / garli::work::REFERENCE_CELLS_PER_SEC
     )
     .unwrap();
-    files.push(ArchiveFile { name: "summary.txt".into(), contents: summary_txt });
+    files.push(ArchiveFile {
+        name: "summary.txt".into(),
+        contents: summary_txt,
+    });
 
     ResultsArchive { files }
 }
@@ -134,7 +142,10 @@ mod tests {
             config.search_replicates = 3;
         }
         let names: Vec<String> = aln.taxon_names().iter().map(|s| s.to_string()).collect();
-        (run_replicates(&config, &aln, &SimRng::new(162)).unwrap(), names)
+        (
+            run_replicates(&config, &aln, &SimRng::new(162)).unwrap(),
+            names,
+        )
     }
 
     #[test]
@@ -183,7 +194,9 @@ mod tests {
         // Plain search archives do not carry one.
         let (rs2, names2) = results(false);
         let refs2: Vec<&str> = names2.iter().map(|s| s.as_str()).collect();
-        assert!(build_archive(&rs2, &refs2, false).file("consensus_tree.nwk").is_none());
+        assert!(build_archive(&rs2, &refs2, false)
+            .file("consensus_tree.nwk")
+            .is_none());
     }
 
     #[test]

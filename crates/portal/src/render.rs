@@ -86,7 +86,11 @@ fn render_param(p: &Param, out: &mut String) {
             writeln!(out, "{required}/>").unwrap();
         }
         ParamType::Bool => {
-            let checked = if p.default.as_deref() == Some("true") { " checked" } else { "" };
+            let checked = if p.default.as_deref() == Some("true") {
+                " checked"
+            } else {
+                ""
+            };
             writeln!(
                 out,
                 "    <input type=\"checkbox\" id=\"{0}\" name=\"{0}\" value=\"true\"{1}/>",
@@ -96,11 +100,19 @@ fn render_param(p: &Param, out: &mut String) {
             .unwrap();
         }
         ParamType::Choice { options } => {
-            writeln!(out, "    <select id=\"{0}\" name=\"{0}\"{1}>", escape(&p.name), required)
-                .unwrap();
+            writeln!(
+                out,
+                "    <select id=\"{0}\" name=\"{0}\"{1}>",
+                escape(&p.name),
+                required
+            )
+            .unwrap();
             for option in options {
-                let selected =
-                    if p.default.as_deref() == Some(option.as_str()) { " selected" } else { "" };
+                let selected = if p.default.as_deref() == Some(option.as_str()) {
+                    " selected"
+                } else {
+                    ""
+                };
                 writeln!(
                     out,
                     "      <option value=\"{0}\"{1}>{0}</option>",
@@ -144,7 +156,11 @@ mod tests {
         let spec = garli_app_spec();
         let html = render_form(&spec);
         for p in &spec.params {
-            assert!(html.contains(&format!("name=\"{}\"", p.name)), "missing {}", p.name);
+            assert!(
+                html.contains(&format!("name=\"{}\"", p.name)),
+                "missing {}",
+                p.name
+            );
         }
         assert!(html.contains("<form id=\"garli-create-job\""));
         assert!(html.contains("</form>"));

@@ -108,7 +108,10 @@ impl Submission {
     /// email; on failure the submission is failed with the error text.
     pub fn run_validation(&mut self, outbox: &mut Outbox) -> Result<&ValidationReport, StateError> {
         if self.status != SubmissionStatus::Created {
-            return Err(StateError { from: self.state_name(), operation: "validate" });
+            return Err(StateError {
+                from: self.state_name(),
+                operation: "validate",
+            });
         }
         match validate(&self.config, &self.alignment) {
             Ok(report) => {
@@ -120,7 +123,10 @@ impl Submission {
             Err(e) => {
                 self.status = SubmissionStatus::Failed(e.to_string());
                 outbox.notify(self.user.email(), self.id, EventKind::Failed);
-                Err(StateError { from: "Created (validation failed)".into(), operation: "validate" })
+                Err(StateError {
+                    from: "Created (validation failed)".into(),
+                    operation: "validate",
+                })
             }
         }
     }
@@ -128,7 +134,10 @@ impl Submission {
     /// Mark all replicates dispatched.
     pub fn mark_scheduled(&mut self, outbox: &mut Outbox) -> Result<(), StateError> {
         if self.status != SubmissionStatus::Validated {
-            return Err(StateError { from: self.state_name(), operation: "schedule" });
+            return Err(StateError {
+                from: self.state_name(),
+                operation: "schedule",
+            });
         }
         self.status = SubmissionStatus::Scheduled;
         outbox.notify(self.user.email(), self.id, EventKind::Scheduled);
@@ -140,7 +149,12 @@ impl Submission {
     pub fn replicate_finished(&mut self, outbox: &mut Outbox) -> Result<(), StateError> {
         match self.status {
             SubmissionStatus::Scheduled | SubmissionStatus::Running => {}
-            _ => return Err(StateError { from: self.state_name(), operation: "finish replicate" }),
+            _ => {
+                return Err(StateError {
+                    from: self.state_name(),
+                    operation: "finish replicate",
+                })
+            }
         }
         self.completed_replicates += 1;
         self.status = SubmissionStatus::Running;
@@ -160,7 +174,10 @@ impl Submission {
     /// Archive assembled: complete, tell the user.
     pub fn mark_complete(&mut self, outbox: &mut Outbox) -> Result<(), StateError> {
         if self.status != SubmissionStatus::PostProcessing {
-            return Err(StateError { from: self.state_name(), operation: "complete" });
+            return Err(StateError {
+                from: self.state_name(),
+                operation: "complete",
+            });
         }
         self.status = SubmissionStatus::Complete;
         outbox.notify(self.user.email(), self.id, EventKind::Complete);
@@ -234,7 +251,10 @@ mod tests {
         assert!(s.replicate_finished(&mut out).is_err());
         assert!(s.mark_complete(&mut out).is_err());
         s.run_validation(&mut out).unwrap();
-        assert!(s.run_validation(&mut out).is_err(), "double validation rejected");
+        assert!(
+            s.run_validation(&mut out).is_err(),
+            "double validation rejected"
+        );
     }
 
     #[test]

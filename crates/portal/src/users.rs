@@ -52,7 +52,9 @@ impl std::error::Error for UserError {}
 
 /// Basic email shape check: `local@domain.tld` with no whitespace.
 pub fn email_is_valid(email: &str) -> bool {
-    let Some((local, domain)) = email.split_once('@') else { return false };
+    let Some((local, domain)) = email.split_once('@') else {
+        return false;
+    };
     !local.is_empty()
         && !domain.is_empty()
         && domain.contains('.')
@@ -66,21 +68,35 @@ impl User {
     /// Create a guest.
     pub fn guest(email: &str) -> Result<User, UserError> {
         if !email_is_valid(email) {
-            return Err(UserError::InvalidEmail { email: email.to_string() });
+            return Err(UserError::InvalidEmail {
+                email: email.to_string(),
+            });
         }
-        Ok(User::Guest { email: email.to_string() })
+        Ok(User::Guest {
+            email: email.to_string(),
+        })
     }
 
     /// Create a registered user.
     pub fn registered(username: &str, email: &str) -> Result<User, UserError> {
-        if username.is_empty() || !username.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        if username.is_empty()
+            || !username
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_')
         {
-            return Err(UserError::InvalidUsername { username: username.to_string() });
+            return Err(UserError::InvalidUsername {
+                username: username.to_string(),
+            });
         }
         if !email_is_valid(email) {
-            return Err(UserError::InvalidEmail { email: email.to_string() });
+            return Err(UserError::InvalidEmail {
+                email: email.to_string(),
+            });
         }
-        Ok(User::Registered { username: username.to_string(), email: email.to_string() })
+        Ok(User::Registered {
+            username: username.to_string(),
+            email: email.to_string(),
+        })
     }
 
     /// The notification address.

@@ -61,21 +61,33 @@ impl<E> Default for Calendar<E> {
 impl<E> Calendar<E> {
     /// An empty calendar.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), next_seq: 0, cancelled: HashSet::new() }
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: HashSet::new(),
+        }
     }
 
     /// Schedule `event` at absolute time `at`.
     pub fn schedule(&mut self, at: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time: at, seq, event });
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
     }
 
     /// Schedule `event` at `at` and return a handle that can cancel it later.
     pub fn schedule_cancellable(&mut self, at: SimTime, event: E) -> EventHandle {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time: at, seq, event });
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
         EventHandle(seq)
     }
 
@@ -119,8 +131,8 @@ impl<E> Calendar<E> {
     }
 
     /// True iff no live events remain.
-    pub fn is_empty(&mut self) -> bool {
-        self.peek_time().is_none()
+    pub fn is_empty(&self) -> bool {
+        self.heap.iter().all(|e| self.cancelled.contains(&e.seq))
     }
 }
 

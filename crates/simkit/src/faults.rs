@@ -1,0 +1,163 @@
+//! Deterministic, scriptable fault injection.
+//!
+//! A [`FaultScript`] is a timeline of `(time, action)` pairs prepared *before*
+//! a simulation runs, then handed to the model, which schedules one event per
+//! entry. Because the script is plain data and every generator draws from a
+//! [`crate::SimRng`], a fault campaign replays bit-for-bit under the same
+//! seed — the property chaos experiments need to compare recovery policies on
+//! *identical* failure sequences.
+//!
+//! The action type is generic: `simkit` knows nothing about grids or
+//! resources. Domain crates define their own action enum (e.g. a resource
+//! outage or a speed fault) and build scripts out of it.
+
+use crate::time::{SimDuration, SimTime};
+
+/// An ordered timeline of fault actions.
+///
+/// Entries may be pushed in any order; [`FaultScript::into_entries`] and
+/// [`FaultScript::entries`] present them sorted by time, with insertion order
+/// preserved among simultaneous entries (matching the FIFO tie-break of
+/// [`crate::Calendar`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultScript<A> {
+    entries: Vec<(SimTime, A)>,
+}
+
+impl<A> Default for FaultScript<A> {
+    fn default() -> Self {
+        FaultScript {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<A> FaultScript<A> {
+    /// An empty script.
+    pub fn new() -> FaultScript<A> {
+        FaultScript::default()
+    }
+
+    /// Builder-style: add `action` at `at`.
+    pub fn at(mut self, at: SimTime, action: A) -> FaultScript<A> {
+        self.push(at, action);
+        self
+    }
+
+    /// Add `action` at `at`.
+    pub fn push(&mut self, at: SimTime, action: A) {
+        self.entries.push((at, action));
+    }
+
+    /// Append every entry of `other`, keeping relative order.
+    pub fn merge(&mut self, other: FaultScript<A>) {
+        self.entries.extend(other.entries);
+    }
+
+    /// Number of scripted actions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff nothing is scripted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The timeline, sorted by time (stable: simultaneous entries keep
+    /// insertion order).
+    pub fn entries(&self) -> Vec<(SimTime, &A)> {
+        let mut v: Vec<(SimTime, &A)> = self.entries.iter().map(|(t, a)| (*t, a)).collect();
+        v.sort_by_key(|&(t, _)| t);
+        v
+    }
+
+    /// Consume the script into its sorted timeline.
+    pub fn into_entries(mut self) -> Vec<(SimTime, A)> {
+        self.entries.sort_by_key(|&(t, _)| t);
+        self.entries
+    }
+
+    /// The same script shifted `offset` later (builder style).
+    pub fn shifted(mut self, offset: SimDuration) -> FaultScript<A> {
+        for (t, _) in &mut self.entries {
+            *t += offset;
+        }
+        self
+    }
+
+    /// Convenience for on/off fault windows: `on` at `start`, `off` at
+    /// `start + duration`.
+    pub fn window(
+        mut self,
+        start: SimTime,
+        duration: SimDuration,
+        on: A,
+        off: A,
+    ) -> FaultScript<A> {
+        self.push(start, on);
+        self.push(start + duration, off);
+        self
+    }
+}
+
+impl<A> IntoIterator for FaultScript<A> {
+    type Item = (SimTime, A);
+    type IntoIter = std::vec::IntoIter<(SimTime, A)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.into_entries().into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_sorted_by_time_stable() {
+        let script = FaultScript::new()
+            .at(SimTime::from_secs(30), "late")
+            .at(SimTime::from_secs(10), "first")
+            .at(SimTime::from_secs(30), "late-second");
+        let seq: Vec<&str> = script.into_entries().into_iter().map(|(_, a)| a).collect();
+        assert_eq!(seq, vec!["first", "late", "late-second"]);
+    }
+
+    #[test]
+    fn merge_and_shift() {
+        let mut a = FaultScript::new().at(SimTime::from_secs(5), 1);
+        let b = FaultScript::new()
+            .at(SimTime::from_secs(1), 2)
+            .shifted(SimDuration::from_secs(10));
+        a.merge(b);
+        assert_eq!(
+            a.into_entries(),
+            vec![(SimTime::from_secs(5), 1), (SimTime::from_secs(11), 2)]
+        );
+    }
+
+    #[test]
+    fn window_emits_on_off_pair() {
+        let s = FaultScript::new().window(
+            SimTime::from_secs(100),
+            SimDuration::from_secs(50),
+            "down",
+            "up",
+        );
+        assert_eq!(
+            s.into_entries(),
+            vec![
+                (SimTime::from_secs(100), "down"),
+                (SimTime::from_secs(150), "up")
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_script() {
+        let s: FaultScript<u8> = FaultScript::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

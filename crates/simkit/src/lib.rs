@@ -13,6 +13,8 @@
 //!   sequence number for stable ordering of simultaneous events).
 //! * [`Simulation`] and the [`World`] trait — the driver loop.
 //! * [`SimRng`] — deterministic, forkable randomness.
+//! * [`FaultScript`] — pre-computed fault timelines for deterministic
+//!   chaos/robustness experiments.
 //! * [`stats`] — counters, Welford tallies, time-weighted averages, sample
 //!   collectors with exact quantiles.
 //! * [`trace`] — a bounded event trace for debugging simulations.
@@ -43,12 +45,14 @@
 #![warn(missing_docs)]
 
 pub mod calendar;
+pub mod faults;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use calendar::Calendar;
+pub use faults::FaultScript;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 
@@ -77,7 +81,12 @@ pub struct Simulation<W: World> {
 impl<W: World> Simulation<W> {
     /// Create a simulation at time zero with an empty calendar.
     pub fn new(world: W) -> Self {
-        Self { world, calendar: Calendar::new(), now: SimTime::ZERO, processed: 0 }
+        Self {
+            world,
+            calendar: Calendar::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
     }
 
     /// Current simulation time (the timestamp of the last processed event).
@@ -118,7 +127,11 @@ impl<W: World> Simulation<W> {
     pub fn step(&mut self) -> bool {
         match self.calendar.pop() {
             Some((t, ev)) => {
-                assert!(t >= self.now, "event scheduled in the past: {t:?} < {:?}", self.now);
+                assert!(
+                    t >= self.now,
+                    "event scheduled in the past: {t:?} < {:?}",
+                    self.now
+                );
                 self.now = t;
                 self.processed += 1;
                 self.world.handle(t, ev, &mut self.calendar);

@@ -22,7 +22,10 @@ pub struct SimRng {
 impl SimRng {
     /// Root stream for a simulation run.
     pub fn new(seed: u64) -> Self {
-        Self { inner: ChaCha8Rng::seed_from_u64(seed), seed }
+        Self {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+            seed,
+        }
     }
 
     /// The seed this stream was created from.

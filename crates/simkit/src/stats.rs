@@ -50,7 +50,13 @@ pub struct Tally {
 impl Tally {
     /// Empty tally.
     pub fn new() -> Self {
-        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Record one observation.
@@ -142,7 +148,13 @@ pub struct TimeWeighted {
 impl TimeWeighted {
     /// Start tracking at `start` with the given initial value.
     pub fn new(start: SimTime, initial: f64) -> Self {
-        Self { value: initial, last_update: start, start, integral: 0.0, max: initial }
+        Self {
+            value: initial,
+            last_update: start,
+            start,
+            integral: 0.0,
+            max: initial,
+        }
     }
 
     /// Record a change of the signal to `value` at time `now`.

@@ -13,15 +13,11 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 const MICROS_PER_SEC: u64 = 1_000_000;
 
 /// An absolute instant on the simulation clock, in microseconds since t = 0.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(u64);
 
 /// A non-negative span of simulation time, in microseconds.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -150,7 +146,10 @@ impl SimDuration {
     /// # Panics
     /// Panics on negative or non-finite factors.
     pub fn scale(self, factor: f64) -> SimDuration {
-        assert!(factor.is_finite() && factor >= 0.0, "invalid scale: {factor}");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid scale: {factor}"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 
@@ -287,7 +286,10 @@ mod tests {
         let t = SimTime::from_secs(10) + SimDuration::from_secs(5);
         assert_eq!(t, SimTime::from_secs(15));
         assert_eq!(t - SimTime::from_secs(10), SimDuration::from_secs(5));
-        assert_eq!(SimDuration::from_secs(10) / 4, SimDuration::from_micros(2_500_000));
+        assert_eq!(
+            SimDuration::from_secs(10) / 4,
+            SimDuration::from_micros(2_500_000)
+        );
         assert_eq!(SimDuration::from_secs(3) * 2, SimDuration::from_secs(6));
     }
 

@@ -49,7 +49,11 @@ pub struct Record {
 
 impl fmt::Display for Record {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{} {} {}] {}", self.time, self.level, self.component, self.message)
+        write!(
+            f,
+            "[{} {} {}] {}",
+            self.time, self.level, self.component, self.message
+        )
     }
 }
 
@@ -66,7 +70,13 @@ pub struct Trace {
 impl Trace {
     /// Trace keeping at most `capacity` records at or above `min_level`.
     pub fn new(capacity: usize, min_level: Level) -> Self {
-        Self { records: VecDeque::new(), capacity, min_level, dropped: 0, emitted: 0 }
+        Self {
+            records: VecDeque::new(),
+            capacity,
+            min_level,
+            dropped: 0,
+            emitted: 0,
+        }
     }
 
     /// A trace that records nothing (capacity 0, Error-only).
@@ -75,7 +85,13 @@ impl Trace {
     }
 
     /// Record a happening (dropped silently if below the level floor).
-    pub fn emit(&mut self, time: SimTime, level: Level, component: &str, message: impl Into<String>) {
+    pub fn emit(
+        &mut self,
+        time: SimTime,
+        level: Level,
+        component: &str,
+        message: impl Into<String>,
+    ) {
         if level < self.min_level {
             return;
         }
@@ -123,7 +139,9 @@ impl Trace {
 
     /// Retained records from `component`, oldest first.
     pub fn by_component<'a>(&'a self, component: &'a str) -> impl Iterator<Item = &'a Record> {
-        self.records.iter().filter(move |r| r.component == component)
+        self.records
+            .iter()
+            .filter(move |r| r.component == component)
     }
 }
 

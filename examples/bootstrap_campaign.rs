@@ -68,7 +68,10 @@ fn main() {
         result.bundle_size,
         result.grid_jobs
     );
-    println!("user-facing ETA: {:.1} simulated hours", result.eta_seconds / 3600.0);
+    println!(
+        "user-facing ETA: {:.1} simulated hours",
+        result.eta_seconds / 3600.0
+    );
     println!(
         "completed {}/{} jobs; makespan {:.1} simulated hours",
         result.report.completed,

@@ -8,6 +8,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use gridsim::grid::GridConfig;
+use gridsim::resource::{ResourceKind, ResourceSpec};
 use lattice::pipeline::{run_campaign, CampaignOptions};
 use lattice::training::Scale;
 use phylo::models::nucleotide::NucModel;
@@ -21,8 +23,6 @@ use portal::jobspec::config_from_form;
 use portal::notify::Outbox;
 use portal::submission::Submission;
 use portal::users::User;
-use gridsim::grid::GridConfig;
-use gridsim::resource::{ResourceKind, ResourceSpec};
 use simkit::SimRng;
 
 fn main() {
@@ -30,9 +30,12 @@ fn main() {
     let mut rng = SimRng::new(42);
     let truth = Tree::random_topology(10, &mut rng);
     let model = NucModel::hky85(2.0, [0.3, 0.2, 0.2, 0.3]);
-    let alignment =
-        Simulator::new(&model, SiteRates::uniform()).simulate(&truth, 600, &mut rng);
-    println!("dataset: {} taxa × {} sites", alignment.num_taxa(), alignment.num_sites());
+    let alignment = Simulator::new(&model, SiteRates::uniform()).simulate(&truth, 600, &mut rng);
+    println!(
+        "dataset: {} taxa × {} sites",
+        alignment.num_taxa(),
+        alignment.num_sites()
+    );
 
     // --- 2. Fill in the GARLI web form (Fig. 1 of the paper).
     let spec = garli_app_spec();
@@ -48,8 +51,11 @@ fn main() {
     let form = validate_form(&spec, &values).expect("form validates");
     let mut config = config_from_form(&form, None).expect("config builds");
     config.max_generations = 150;
-    println!("form accepted: {} search replicates, {} model", config.search_replicates,
-        config.rate_matrix.name());
+    println!(
+        "form accepted: {} search replicates, {} model",
+        config.search_replicates,
+        config.rate_matrix.name()
+    );
 
     // --- 3. Train a quick runtime model (the paper's random forest).
     println!("training runtime model on 30 executed jobs …");
@@ -68,7 +74,11 @@ fn main() {
     let user = User::guest("researcher@example.edu").unwrap();
     let mut submission = Submission::new(1, user, config, alignment.clone());
     let mut outbox = Outbox::new();
-    let options = CampaignOptions { grid, seed: 10, ..Default::default() };
+    let options = CampaignOptions {
+        grid,
+        seed: 10,
+        ..Default::default()
+    };
     let result = run_campaign(&mut submission, Some(&estimator), &options, &mut outbox)
         .expect("campaign runs");
 

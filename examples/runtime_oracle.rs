@@ -50,7 +50,11 @@ fn main() {
     show("base job", &base);
     show(
         "… with Γ4 rate heterogeneity",
-        &JobFeatures { rate_het: RateHetKind::Gamma, num_rate_cats: 4, ..base },
+        &JobFeatures {
+            rate_het: RateHetKind::Gamma,
+            num_rate_cats: 4,
+            ..base
+        },
     );
     show(
         "… with Γ8 + invariant sites",
@@ -61,10 +65,34 @@ fn main() {
             ..base
         },
     );
-    show("… as amino-acid data", &JobFeatures { data_type: DataType::AminoAcid, ..base });
-    show("… as codon data", &JobFeatures { data_type: DataType::Codon, ..base });
-    show("… with twice the patterns", &JobFeatures { num_patterns: 240, ..base });
-    show("… with patient termination (genthresh 11)", &JobFeatures { genthresh: 11, ..base });
+    show(
+        "… as amino-acid data",
+        &JobFeatures {
+            data_type: DataType::AminoAcid,
+            ..base
+        },
+    );
+    show(
+        "… as codon data",
+        &JobFeatures {
+            data_type: DataType::Codon,
+            ..base
+        },
+    );
+    show(
+        "… with twice the patterns",
+        &JobFeatures {
+            num_patterns: 240,
+            ..base
+        },
+    );
+    show(
+        "… with patient termination (genthresh 11)",
+        &JobFeatures {
+            genthresh: 11,
+            ..base
+        },
+    );
 
     println!(
         "\n(the scheduler multiplies these by calibrated resource speeds to pick \

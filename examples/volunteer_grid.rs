@@ -48,7 +48,10 @@ fn run(label: &str, deadline: DeadlinePolicy) -> GridReport {
     grid.submit(workload(7));
     let report = grid.run_until_done(SimTime::from_days(45));
     println!("\n--- {label} ---");
-    println!("completed      : {}/{}", report.completed, report.total_jobs);
+    println!(
+        "completed      : {}/{}",
+        report.completed, report.total_jobs
+    );
     println!(
         "batch makespan : {:.1} days",
         report.makespan_seconds.unwrap_or(f64::NAN) / 86_400.0
@@ -82,8 +85,8 @@ fn main() {
     );
 
     println!("\n--- comparison ---");
-    let speedup = fixed.makespan_seconds.unwrap_or(f64::NAN)
-        / scaled.makespan_seconds.unwrap_or(f64::NAN);
+    let speedup =
+        fixed.makespan_seconds.unwrap_or(f64::NAN) / scaled.makespan_seconds.unwrap_or(f64::NAN);
     println!("estimate-driven deadlines finish the batch {speedup:.1}× faster");
     println!(
         "(tight-but-sufficient deadlines reissue lost work early instead of \

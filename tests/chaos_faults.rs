@@ -1,0 +1,160 @@
+//! Chaos integration tests: randomized fault scripts against the grid,
+//! asserting job conservation (nothing lost, nothing completed twice) and
+//! bit-exact replay, with the recovery policy both on and off.
+
+use gridsim::fault::random_faults;
+use gridsim::grid::{Grid, GridConfig, GridReport};
+use gridsim::job::{JobOutcome, JobSpec};
+use gridsim::recovery::RecoveryPolicy;
+use gridsim::resource::{ResourceKind, ResourceSpec};
+use simkit::{SimDuration, SimRng, SimTime};
+
+const N_JOBS: usize = 40;
+
+fn chaos_config(seed: u64, recovery: Option<RecoveryPolicy>) -> GridConfig {
+    GridConfig {
+        resources: vec![
+            // Fault-free safe harbour: the workload can always finish here.
+            ResourceSpec::cluster("safe", ResourceKind::PbsCluster, 8, 1.0),
+            ResourceSpec::cluster("target-a", ResourceKind::PbsCluster, 16, 1.4),
+            ResourceSpec::cluster("target-b", ResourceKind::SgeCluster, 12, 1.1),
+            ResourceSpec::condor_pool("target-c", 24, 1.6, 8.0),
+        ],
+        max_local_retries: 2,
+        recovery,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn workload(seed: u64) -> Vec<JobSpec> {
+    let mut rng = SimRng::new(seed ^ 0xC0FFEE);
+    (0..N_JOBS as u64)
+        .map(|id| {
+            let true_secs = rng.range_f64(0.5, 5.0) * 3600.0;
+            let mut job = JobSpec::simple(id, true_secs).with_estimate(true_secs);
+            job.checkpointable = id % 2 == 0;
+            job
+        })
+        .collect()
+}
+
+fn run_chaos(seed: u64, recovery: Option<RecoveryPolicy>) -> GridReport {
+    let mut grid = Grid::new(chaos_config(seed, recovery));
+    let mut frng = SimRng::new(seed ^ 0xFA17);
+    // Faults target only resources 1..=3 — "safe" stays healthy throughout.
+    grid.inject_faults(random_faults(
+        &mut frng,
+        &[1, 2, 3],
+        SimDuration::from_hours(36),
+        10,
+    ));
+    grid.submit(workload(seed));
+    grid.run_until_done(SimTime::from_days(60))
+}
+
+fn fingerprint(r: &GridReport) -> (usize, usize, usize, u32, u64, u64) {
+    (
+        r.completed,
+        r.dead_lettered,
+        r.unfinished,
+        r.total_reissues,
+        r.wasted_cpu_seconds.to_bits(),
+        r.useful_cpu_seconds.to_bits(),
+    )
+}
+
+/// Exactly-once conservation under chaos, with recovery enabled: every job
+/// reaches exactly one terminal state and none are left behind.
+#[test]
+fn recovery_conserves_jobs_under_chaos() {
+    for seed in [1u64, 7, 42, 1234, 90210] {
+        let report = run_chaos(seed, Some(RecoveryPolicy::default()));
+        assert_eq!(report.total_jobs, N_JOBS, "seed {seed}");
+        assert_eq!(
+            report.completed + report.dead_lettered,
+            N_JOBS,
+            "seed {seed}: jobs lost or duplicated: {report:?}"
+        );
+        assert_eq!(report.unfinished, 0, "seed {seed}");
+        let completed_records = report
+            .records
+            .iter()
+            .filter(|r| r.outcome == JobOutcome::Completed)
+            .count();
+        assert_eq!(completed_records, report.completed, "seed {seed}");
+        // Every record is terminal and consistent.
+        for r in &report.records {
+            match r.outcome {
+                JobOutcome::Completed => {
+                    assert!(r.finished.is_some(), "seed {seed}: {r:?}");
+                    assert!(
+                        r.useful_cpu_seconds > 0.0 || r.corrupt_result,
+                        "seed {seed}: {r:?}"
+                    );
+                }
+                JobOutcome::DeadLettered => {
+                    assert!(r.finished.is_none(), "seed {seed}: {r:?}");
+                    assert!(
+                        r.reissues > 0,
+                        "seed {seed}: dead-letter without bounces: {r:?}"
+                    );
+                }
+                JobOutcome::Unfinished => panic!("seed {seed}: unfinished job {r:?}"),
+            }
+        }
+    }
+}
+
+/// The legacy path (no recovery) must also conserve jobs and never panic
+/// under the same chaos scripts; jobs may stay unfinished but none vanish.
+#[test]
+fn legacy_path_survives_chaos_without_losing_jobs() {
+    for seed in [1u64, 7, 42, 1234, 90210] {
+        let report = run_chaos(seed, None);
+        assert_eq!(report.total_jobs, N_JOBS, "seed {seed}");
+        assert_eq!(
+            report.dead_lettered, 0,
+            "seed {seed}: legacy path cannot dead-letter"
+        );
+        assert_eq!(
+            report.completed + report.unfinished,
+            N_JOBS,
+            "seed {seed}: jobs lost or duplicated: {report:?}"
+        );
+        // The safe cluster guarantees the bulk completes even under chaos.
+        assert!(
+            report.completed > N_JOBS / 2,
+            "seed {seed}: almost everything failed: {report:?}"
+        );
+    }
+}
+
+/// Same seed → bit-identical chaos run, with and without recovery.
+#[test]
+fn chaos_runs_replay_bit_identically() {
+    for recovery in [None, Some(RecoveryPolicy::default())] {
+        let a = run_chaos(77, recovery);
+        let b = run_chaos(77, recovery);
+        assert_eq!(fingerprint(&a), fingerprint(&b), "recovery={recovery:?}");
+        assert_eq!(a.makespan_seconds, b.makespan_seconds);
+        assert_eq!(a.completed_by, b.completed_by);
+    }
+}
+
+/// Recovery must never complete fewer jobs than the legacy path on the same
+/// chaos script (the safety net cannot make things worse).
+#[test]
+fn recovery_never_completes_less_than_legacy() {
+    for seed in [3u64, 11, 99] {
+        let legacy = run_chaos(seed, None);
+        let hardened = run_chaos(seed, Some(RecoveryPolicy::default()));
+        assert!(
+            hardened.completed + hardened.dead_lettered >= legacy.completed,
+            "seed {seed}: hardened {} (+{} dead) vs legacy {}",
+            hardened.completed,
+            hardened.dead_lettered,
+            legacy.completed
+        );
+    }
+}

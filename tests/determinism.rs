@@ -41,10 +41,18 @@ fn grid_simulation_is_reproducible_and_seed_sensitive() {
         let mut grid = Grid::new(config);
         grid.submit((0..40).map(|i| JobSpec::simple(i, 3600.0).with_estimate(3600.0)));
         let r = grid.run_until_done(SimTime::from_days(10));
-        (r.makespan_seconds, r.useful_cpu_seconds, r.wasted_cpu_seconds)
+        (
+            r.makespan_seconds,
+            r.useful_cpu_seconds,
+            r.wasted_cpu_seconds,
+        )
     };
     assert_eq!(run(5), run(5));
-    assert_ne!(run(5), run(6), "different seeds must explore different histories");
+    assert_ne!(
+        run(5),
+        run(6),
+        "different seeds must explore different histories"
+    );
 }
 
 #[test]
@@ -58,8 +66,7 @@ fn full_campaign_is_reproducible() {
         config.genthresh_for_topo_term = 4;
         config.max_generations = 20;
         config.search_replicates = 3;
-        let mut submission =
-            Submission::new(1, User::guest("d@x.org").unwrap(), config, aln);
+        let mut submission = Submission::new(1, User::guest("d@x.org").unwrap(), config, aln);
         let mut outbox = Outbox::new();
         let options = CampaignOptions {
             grid: GridConfig {

@@ -66,9 +66,12 @@ fn form_to_archive() {
     let corpus = generate_training_jobs(15, Scale::Compact, 302);
     let estimator = lattice::estimator::RuntimeEstimator::train(&corpus, 50, 303);
 
-    let options = CampaignOptions { grid: small_grid(304), seed: 305, ..Default::default() };
-    let result =
-        run_campaign(&mut submission, Some(&estimator), &options, &mut outbox).unwrap();
+    let options = CampaignOptions {
+        grid: small_grid(304),
+        seed: 305,
+        ..Default::default()
+    };
+    let result = run_campaign(&mut submission, Some(&estimator), &options, &mut outbox).unwrap();
 
     // Grid completed both replicates.
     assert_eq!(result.report.completed, 2);
@@ -77,12 +80,14 @@ fn form_to_archive() {
     // The archive's best tree matches the strong simulated signal.
     let archive = result.archive.expect("real run has an archive");
     let names = aln.taxon_names();
-    let best = phylo::newick::parse_newick(
-        &archive.file("best_tree.nwk").unwrap().contents,
-        &names,
-    )
-    .unwrap();
-    assert_eq!(best.robinson_foulds(&truth), 0, "800 JC sites on 7 taxa is unambiguous");
+    let best =
+        phylo::newick::parse_newick(&archive.file("best_tree.nwk").unwrap().contents, &names)
+            .unwrap();
+    assert_eq!(
+        best.robinson_foulds(&truth),
+        0,
+        "800 JC sites on 7 taxa is unambiguous"
+    );
 
     // The user heard about every milestone.
     let kinds: Vec<EventKind> = outbox.emails().iter().map(|e| e.kind.clone()).collect();
@@ -101,7 +106,11 @@ fn bootstrap_submission_produces_support_values() {
     let user = User::registered("lab", "lab@example.org").unwrap();
     let mut submission = Submission::new(10, user, config, aln);
     let mut outbox = Outbox::new();
-    let options = CampaignOptions { grid: small_grid(312), seed: 313, ..Default::default() };
+    let options = CampaignOptions {
+        grid: small_grid(312),
+        seed: 313,
+        ..Default::default()
+    };
     let result = run_campaign(&mut submission, None, &options, &mut outbox).unwrap();
     let archive = result.archive.expect("archive");
     let support = archive.file("bootstrap_support.csv").expect("support file");
@@ -117,7 +126,11 @@ fn validation_failure_stops_before_the_grid() {
     let user = User::guest("x@y.org").unwrap();
     let mut submission = Submission::new(11, user, config, aln);
     let mut outbox = Outbox::new();
-    let options = CampaignOptions { grid: small_grid(322), seed: 323, ..Default::default() };
+    let options = CampaignOptions {
+        grid: small_grid(322),
+        seed: 323,
+        ..Default::default()
+    };
     let err = run_campaign(&mut submission, None, &options, &mut outbox);
     assert!(err.is_err());
     assert!(matches!(submission.status(), SubmissionStatus::Failed(_)));

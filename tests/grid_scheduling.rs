@@ -70,7 +70,10 @@ fn estimates_route_long_jobs_to_the_cluster() {
 
 #[test]
 fn without_estimates_long_jobs_burn_condor_cpu() {
-    let policy = SchedulerPolicy { use_runtime_estimates: false, ..Default::default() };
+    let policy = SchedulerPolicy {
+        use_runtime_estimates: false,
+        ..Default::default()
+    };
     let mut grid = Grid::new(config(policy, 51));
     grid.submit(mixed_workload(false, 52));
     let report = grid.run_until_done(SimTime::from_days(40));
@@ -91,7 +94,10 @@ fn estimator_on_vs_off_waste_gap() {
     };
     let with = run(SchedulerPolicy::default(), true);
     let without = run(
-        SchedulerPolicy { use_runtime_estimates: false, ..Default::default() },
+        SchedulerPolicy {
+            use_runtime_estimates: false,
+            ..Default::default()
+        },
         false,
     );
     assert!(
@@ -113,7 +119,10 @@ fn short_jobs_still_use_the_big_pool() {
         .iter()
         .filter(|r| r.completed_by.as_deref() == Some("condor"))
         .count();
-    assert!(on_pool > 30, "most short jobs belong on the pool, got {on_pool}");
+    assert!(
+        on_pool > 30,
+        "most short jobs belong on the pool, got {on_pool}"
+    );
 }
 
 #[test]

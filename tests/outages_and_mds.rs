@@ -14,8 +14,9 @@ fn jobs_survive_resource_outages() {
     // repair. Checkpointable jobs must still complete (progress preserved);
     // the report shows the resource-level churn in attempts.
     let config = GridConfig {
-        resources: vec![ResourceSpec::cluster("flaky", ResourceKind::PbsCluster, 4, 1.0)
-            .with_outages(6.0, 1.0)],
+        resources: vec![
+            ResourceSpec::cluster("flaky", ResourceKind::PbsCluster, 4, 1.0).with_outages(6.0, 1.0),
+        ],
         max_local_retries: 100,
         seed: 401,
         ..Default::default()
@@ -27,7 +28,10 @@ fn jobs_survive_resource_outages() {
         j
     }));
     let report = grid.run_until_done(SimTime::from_days(20));
-    assert_eq!(report.completed, 8, "checkpointing must carry jobs across outages");
+    assert_eq!(
+        report.completed, 8,
+        "checkpointing must carry jobs across outages"
+    );
     // Outages evicted running jobs at least once somewhere.
     assert!(
         report.records.iter().any(|r| r.attempts > 1),
@@ -71,8 +75,9 @@ fn outage_silences_mds_and_diverts_new_jobs() {
 #[test]
 fn non_checkpointable_jobs_lose_progress_on_outage() {
     let config = GridConfig {
-        resources: vec![ResourceSpec::cluster("flaky", ResourceKind::PbsCluster, 2, 1.0)
-            .with_outages(3.0, 0.5)],
+        resources: vec![
+            ResourceSpec::cluster("flaky", ResourceKind::PbsCluster, 2, 1.0).with_outages(3.0, 0.5),
+        ],
         max_local_retries: 200,
         seed: 403,
         ..Default::default()

@@ -190,6 +190,81 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Grid fault tolerance
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random outage scripts against a mixed checkpointable workload with
+    /// recovery on: no job is lost or completed twice, and the wasted-CPU
+    /// account only ever grows as the simulation advances.
+    #[test]
+    fn chaos_conserves_jobs_and_waste_is_monotone(
+        seed in 0u64..5_000,
+        fault_events in 1usize..12,
+        n_jobs in 5usize..30,
+    ) {
+        use gridsim::grid::{Grid, GridConfig};
+        use gridsim::job::{JobOutcome, JobSpec};
+        use gridsim::resource::{ResourceKind, ResourceSpec};
+        use simkit::{SimDuration, SimRng, SimTime};
+
+        let config = GridConfig {
+            resources: vec![
+                // Fault-free harbour so the workload can always finish.
+                ResourceSpec::cluster("safe", ResourceKind::PbsCluster, 6, 1.0),
+                ResourceSpec::cluster("chaotic-a", ResourceKind::PbsCluster, 12, 1.5),
+                ResourceSpec::condor_pool("chaotic-b", 16, 1.2, 10.0),
+            ],
+            max_local_retries: 1,
+            recovery: Some(gridsim::RecoveryPolicy::default()),
+            seed,
+            ..Default::default()
+        };
+        let mut grid = Grid::new(config);
+        let mut frng = SimRng::new(seed ^ 0xFA11);
+        grid.inject_faults(gridsim::fault::random_faults(
+            &mut frng,
+            &[1, 2],
+            SimDuration::from_hours(24),
+            fault_events,
+        ));
+        let mut wrng = SimRng::new(seed ^ 0x90B5);
+        grid.submit((0..n_jobs as u64).map(|id| {
+            let secs = wrng.range_f64(0.25, 4.0) * 3600.0;
+            let mut job = JobSpec::simple(id, secs).with_estimate(secs);
+            job.checkpointable = id % 2 == 0;
+            job
+        }));
+
+        // Two-stage run: the mid-flight report must show a wasted-CPU value
+        // the final report never undercuts (waste is never un-booked).
+        let mid = grid.run_until_done(SimTime::from_hours(6));
+        let fin = grid.run_until_done(SimTime::from_days(60));
+        prop_assert!(
+            fin.wasted_cpu_seconds >= mid.wasted_cpu_seconds - 1e-6,
+            "waste shrank: {} -> {}", mid.wasted_cpu_seconds, fin.wasted_cpu_seconds
+        );
+
+        // Conservation: every job in exactly one terminal state, no dupes.
+        prop_assert_eq!(fin.total_jobs, n_jobs);
+        prop_assert_eq!(fin.completed + fin.dead_lettered, n_jobs);
+        prop_assert_eq!(fin.unfinished, 0);
+        let mut ids: Vec<u64> = fin.records.iter().map(|r| r.spec.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n_jobs, "duplicate job records");
+        let terminal = fin
+            .records
+            .iter()
+            .filter(|r| r.outcome != JobOutcome::Unfinished)
+            .count();
+        prop_assert_eq!(terminal, n_jobs);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Speed calibration
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,129 @@
+//! Workspace-local stand-in for `rayon`, covering the one pattern this
+//! workspace uses: `collection.into_par_iter().map(f).collect()`.
+//!
+//! Work really runs in parallel (scoped `std::thread` workers over
+//! contiguous chunks), and results are concatenated in input order, so
+//! deterministic-per-seed code behaves identically to upstream rayon.
+
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+/// Conversion into a (materialized) parallel iterator.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+        C: FromIterator<R>,
+    {
+        map_ordered(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Apply `f` to every item, in parallel, preserving input order.
+fn map_ordered<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_map_collect() {
+        let squares: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, (0u64..1000).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collects_results_short_circuit_style() {
+        let ok: Result<Vec<u32>, &str> = (0u32..10)
+            .into_par_iter()
+            .map(|i| if i < 10 { Ok(i) } else { Err("no") })
+            .collect();
+        assert_eq!(ok.unwrap().len(), 10);
+        let err: Result<Vec<u32>, &str> = (0u32..10)
+            .into_par_iter()
+            .map(|i| if i % 2 == 0 { Ok(i) } else { Err("odd") })
+            .collect();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,541 @@
+//! Workspace-local stand-in for `serde_derive`.
+//!
+//! Generates impls of the shim `serde::Serialize` / `serde::Deserialize`
+//! traits (a `Value`-tree data model) for the shapes this workspace uses:
+//! named structs, tuple/newtype structs, unit structs, and externally tagged
+//! enums with unit/tuple/struct variants. Field types are never parsed —
+//! generated code leans on trait dispatch and type inference — so the parser
+//! only needs to *skip* types, tracking `<...>` nesting.
+//!
+//! Supported attributes: `#[serde(default)]` and `#[serde(default = "path")]`
+//! on named fields. Anything else under `#[serde(...)]` is a compile error so
+//! unsupported behaviour cannot silently diverge from real serde.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// --- item model ------------------------------------------------------------
+
+struct Item {
+    name: String,
+    data: Data,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    default: Option<DefaultKind>,
+}
+
+enum DefaultKind {
+    /// `#[serde(default)]`
+    Std,
+    /// `#[serde(default = "path")]`
+    Path(String),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+// --- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&toks, &mut pos);
+    let kind = expect_ident(&toks, &mut pos);
+    assert!(
+        kind == "struct" || kind == "enum",
+        "serde_derive: expected struct or enum, found `{kind}`"
+    );
+    let name = expect_ident(&toks, &mut pos);
+    if let Some(TokenTree::Punct(p)) = toks.get(pos) {
+        assert!(
+            p.as_char() != '<',
+            "serde_derive shim: generic types are not supported (deriving {name})"
+        );
+    }
+    let data = if kind == "struct" {
+        match toks.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::UnitStruct,
+            other => panic!("serde_derive: unexpected token after struct {name}: {other:?}"),
+        }
+    } else {
+        match toks.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream(), &name))
+            }
+            other => panic!("serde_derive: unexpected token after enum {name}: {other:?}"),
+        }
+    };
+    Item { name, data }
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], pos: &mut usize) {
+    loop {
+        match toks.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // '#' + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *pos += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], pos: &mut usize) -> String {
+    match toks.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Skip field attributes, returning any `#[serde(default ...)]` marker.
+fn parse_field_attrs(toks: &[TokenTree], pos: &mut usize) -> Option<DefaultKind> {
+    let mut default = None;
+    while let Some(TokenTree::Punct(p)) = toks.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(g)) = toks.get(*pos + 1) else {
+            panic!("serde_derive: malformed attribute");
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        *pos += 2;
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue; // doc comments, cfg, etc.
+        }
+        let Some(TokenTree::Group(args)) = inner.get(1) else {
+            panic!("serde_derive: malformed #[serde] attribute");
+        };
+        let args: Vec<TokenTree> = args.stream().into_iter().collect();
+        match args.as_slice() {
+            [TokenTree::Ident(id)] if id.to_string() == "default" => {
+                default = Some(DefaultKind::Std);
+            }
+            [TokenTree::Ident(id), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+                if id.to_string() == "default" && eq.as_char() == '=' =>
+            {
+                let raw = lit.to_string();
+                let path = raw.trim_matches('"').to_string();
+                default = Some(DefaultKind::Path(path));
+            }
+            other => panic!("serde_derive shim: unsupported serde attribute {other:?}"),
+        }
+    }
+    default
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < toks.len() {
+        let default = parse_field_attrs(&toks, &mut pos);
+        if pos >= toks.len() {
+            break;
+        }
+        skip_vis(&toks, &mut pos);
+        let name = expect_ident(&toks, &mut pos);
+        match toks.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&toks, &mut pos);
+        if let Some(TokenTree::Punct(p)) = toks.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn skip_vis(toks: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Advance past a type, stopping at a top-level `,` (angle brackets tracked;
+/// parens/brackets/braces arrive as whole groups so they need no tracking).
+fn skip_type(toks: &[TokenTree], pos: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = toks.get(*pos) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut segment_has_tokens = false;
+    for t in &toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if segment_has_tokens {
+                        count += 1;
+                    }
+                    segment_has_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        segment_has_tokens = true;
+    }
+    if segment_has_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream, enum_name: &str) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < toks.len() {
+        let _ = parse_field_attrs(&toks, &mut pos);
+        if pos >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut pos);
+        let shape = match toks.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        match toks.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            None => {}
+            Some(other) => panic!(
+                "serde_derive shim: unsupported token {other:?} after variant {enum_name}::{name} \
+                 (explicit discriminants are not supported)"
+            ),
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// --- code generation -------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut __entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                let _ = writeln!(
+                    s,
+                    "__entries.push((::std::string::String::from(\"{0}\"), \
+                     ::serde::Serialize::to_value(&self.{0})));",
+                    f.name
+                );
+            }
+            s.push_str("::serde::Value::Map(__entries)");
+            s
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::Value::Seq(::std::vec::Vec::from([{}]))",
+                items.join(", ")
+            )
+        }
+        Data::UnitStruct => "::serde::Value::Null".to_string(),
+        Data::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        let _ = writeln!(
+                            s,
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        );
+                    }
+                    Shape::Tuple(1) => {
+                        let _ = writeln!(
+                            s,
+                            "{name}::{vn}(__f0) => ::serde::Value::Map(::std::vec::Vec::from([\
+                             (::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(__f0))])),"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let _ = writeln!(
+                            s,
+                            "{name}::{vn}({binds}) => ::serde::Value::Map(::std::vec::Vec::from([\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Seq(::std::vec::Vec::from([{items}])))])),",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        );
+                    }
+                    Shape::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), \
+                                     ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        let _ = writeln!(
+                            s,
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec::Vec::from([\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Map(::std::vec::Vec::from([{pushes}])))])),",
+                            binds = binds.join(", "),
+                            pushes = pushes.join(", ")
+                        );
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn field_expr(f: &Field, entries_var: &str) -> String {
+    match &f.default {
+        None => format!("::serde::field({entries_var}, \"{}\")?", f.name),
+        Some(DefaultKind::Std) => format!(
+            "::serde::field_or({entries_var}, \"{}\", ::std::default::Default::default)?",
+            f.name
+        ),
+        Some(DefaultKind::Path(path)) => {
+            format!("::serde::field_or({entries_var}, \"{}\", {path})?", f.name)
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            let mut s = format!(
+                "let __entries = __value.as_map().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected map for {name}\"))?;\n"
+            );
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{}: {}", f.name, field_expr(f, "__entries")))
+                .collect();
+            let _ = write!(
+                s,
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            );
+            s
+        }
+        Data::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Data::TupleStruct(n) => {
+            let mut s = format!(
+                "let __items = __value.as_seq().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected sequence for {name}\"))?;\n\
+                 if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"wrong tuple length for {name}\")); }}\n"
+            );
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            let _ = write!(s, "::std::result::Result::Ok({name}({}))", inits.join(", "));
+            s
+        }
+        Data::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Data::Enum(variants) => {
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .collect();
+            let payload: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, Shape::Unit))
+                .collect();
+            let mut s = String::from("match __value {\n");
+            // Unit variants arrive as plain strings.
+            s.push_str("::serde::Value::Str(__tag) => match __tag.as_str() {\n");
+            for v in &unit {
+                let _ = writeln!(
+                    s,
+                    "\"{0}\" => ::std::result::Result::Ok({name}::{0}),",
+                    v.name
+                );
+            }
+            let _ = writeln!(
+                s,
+                "__other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                 \"unknown variant `{{__other}}` for {name}\")))\n}},"
+            );
+            // Payload variants arrive as single-entry maps.
+            let inner_var = if payload.is_empty() {
+                "_inner"
+            } else {
+                "__inner"
+            };
+            let _ = writeln!(
+                s,
+                "::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, {inner_var}) = &__entries[0];\n\
+                 match __tag.as_str() {{"
+            );
+            for v in &payload {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unreachable!(),
+                    Shape::Tuple(1) => {
+                        let _ = writeln!(
+                            s,
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__inner)?)),"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        let _ = writeln!(
+                            s,
+                            "\"{vn}\" => {{\n\
+                             let __items = __inner.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                             \"expected sequence for variant {name}::{vn}\"))?;\n\
+                             if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::custom(\"wrong tuple length for {name}::{vn}\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({inits}))\n}},",
+                            inits = inits.join(", ")
+                        );
+                    }
+                    Shape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{}: {}", f.name, field_expr(f, "__fields")))
+                            .collect();
+                        let _ = writeln!(
+                            s,
+                            "\"{vn}\" => {{\n\
+                             let __fields = __inner.as_map().ok_or_else(|| ::serde::Error::custom(\
+                             \"expected map for variant {name}::{vn}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{ {inits} }})\n}},",
+                            inits = inits.join(", ")
+                        );
+                    }
+                }
+            }
+            let _ = writeln!(
+                s,
+                "__other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                 \"unknown variant `{{__other}}` for {name}\")))\n}}\n}},"
+            );
+            let _ = writeln!(
+                s,
+                "__other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                 \"expected string or single-entry map for {name}, found {{__other:?}}\")))"
+            );
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

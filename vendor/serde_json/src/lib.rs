@@ -1,0 +1,438 @@
+//! Workspace-local stand-in for `serde_json`: renders the shim `serde`
+//! crate's `Value` tree to JSON text and parses it back. Output conventions
+//! follow serde_json (floats always carry a decimal point or exponent, maps
+//! keep insertion order, pretty printing indents by two spaces).
+
+use serde::{Deserialize, Serialize, Value};
+
+/// JSON serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl std::fmt::Display) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error(e.to_string())
+    }
+}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+// --- writer ----------------------------------------------------------------
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // `{:?}` is the shortest roundtrip form and always keeps a
+                // `.0` on integral values, matching serde_json.
+                out.push_str(&format!("{x:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            write_newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_newline_indent(out, indent, level + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            write_newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn write_newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// --- parser ----------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::new("unexpected end of input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        let got = self.peek()?;
+        if got != b {
+            return Err(Error::new(format!(
+                "expected `{}` at byte {}, found `{}`",
+                b as char, self.pos, got as char
+            )));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => self.string().map(Value::Str),
+            b'[' => self.seq(),
+            b'{' => self.map(),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(Error::new(format!(
+                "unexpected character `{}` at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}, found `{}`",
+                        self.pos, other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            entries.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}, found `{}`",
+                        self.pos, other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error::new(format!("invalid utf-8 in string: {e}")))?,
+            );
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: require a following \uXXXX.
+                                if self.bytes.get(self.pos) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((unit - 0xD800) << 10)
+                                        + (low
+                                            .checked_sub(0xDC00)
+                                            .ok_or_else(|| Error::new("invalid low surrogate"))?);
+                                    char::from_u32(combined)
+                                        .ok_or_else(|| Error::new("invalid surrogate pair"))?
+                                } else {
+                                    return Err(Error::new("unpaired surrogate"));
+                                }
+                            } else {
+                                char::from_u32(unit)
+                                    .ok_or_else(|| Error::new("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(Error::new(format!(
+                                "invalid escape `\\{}`",
+                                *other as char
+                            )))
+                        }
+                    }
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+        let s = std::str::from_utf8(slice).map_err(|_| Error::new("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| Error::new("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(from_str::<f64>("1.5e3").unwrap(), 1500.0);
+        assert_eq!(from_str::<u64>(&u64::MAX.to_string()).unwrap(), u64::MAX);
+        assert_eq!(from_str::<i64>("-12").unwrap(), -12);
+        assert!(from_str::<bool>("true").unwrap());
+    }
+
+    #[test]
+    fn strings_escape_and_parse() {
+        let original = "line\none \"quoted\" \\ tab\t unicode µ λ".to_string();
+        let json = to_string(&original).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), original);
+        assert_eq!(from_str::<String>(r#""aéA""#).unwrap(), "aéA");
+        assert_eq!(from_str::<String>(r#""😀""#).unwrap(), "😀");
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![(1.0f64, 2.0f64), (3.5, -4.25)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<(f64, f64)>>(&json).unwrap(), v);
+        let opt: Option<Vec<u32>> = Some(vec![1, 2, 3]);
+        assert_eq!(
+            from_str::<Option<Vec<u32>>>(&to_string(&opt).unwrap()).unwrap(),
+            opt
+        );
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let m: std::collections::BTreeMap<String, usize> =
+            [("a".to_string(), 1), ("b".to_string(), 2)]
+                .into_iter()
+                .collect();
+        let pretty = to_string_pretty(&m).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(
+            from_str::<std::collections::BTreeMap<String, usize>>(&pretty).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<u64>("12 34").is_err());
+        assert!(from_str::<Vec<u64>>("[1,").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+    }
+}
