@@ -14,13 +14,14 @@
 //! dominate OFF: at least as many validly-completed jobs in every scenario
 //! (strictly more in aggregate) and strictly less wasted CPU.
 
-use bench::{env_usize, fmt_secs, header, write_json};
+use bench::{env_usize, fmt_secs, header, write_json, write_metrics};
 use gridsim::boinc::BoincConfig;
 use gridsim::fault::{self, FaultAction};
 use gridsim::grid::{Grid, GridConfig, GridReport};
 use gridsim::job::JobSpec;
 use gridsim::recovery::RecoveryPolicy;
 use gridsim::resource::{ResourceKind, ResourceSpec};
+use gridsim::telemetry::TelemetryConfig;
 use simkit::{FaultScript, SimDuration, SimRng, SimTime};
 
 // Resource indices in the base grid (the fault scripts target these).
@@ -112,20 +113,32 @@ fn scenarios() -> Vec<Scenario> {
     ]
 }
 
+/// One scenario arm. The full [`GridReport`] is embedded verbatim in the
+/// JSON artifact (no hand-copied fields); display/assert values below are
+/// derived from it.
 #[derive(serde::Serialize)]
 struct Row {
     scenario: String,
     recovery: bool,
-    completed: usize,
-    valid_completed: usize,
-    corrupt: usize,
-    dead_lettered: usize,
-    total: usize,
-    reissues: u32,
-    blacklist_events: u32,
-    wasted_cpu_hours: f64,
-    useful_cpu_hours: f64,
-    makespan_hours: f64,
+    report: GridReport,
+}
+
+impl Row {
+    fn valid_completed(&self) -> usize {
+        self.report.completed - self.report.corrupt_completions
+    }
+
+    fn wasted_cpu_hours(&self) -> f64 {
+        self.report.wasted_cpu_seconds / 3600.0
+    }
+
+    fn useful_cpu_hours(&self) -> f64 {
+        self.report.useful_cpu_seconds / 3600.0
+    }
+
+    fn makespan_hours(&self) -> f64 {
+        self.report.makespan_seconds.unwrap_or(0.0) / 3600.0
+    }
 }
 
 /// Fingerprint for the determinism assertion (exact, bit-level).
@@ -164,17 +177,29 @@ fn run(sc: &Scenario, recovery: bool, n_jobs: usize, seed: u64) -> Row {
     Row {
         scenario: sc.name.to_string(),
         recovery,
-        completed: report.completed,
-        valid_completed: report.completed - report.corrupt_completions,
-        corrupt: report.corrupt_completions,
-        dead_lettered: report.dead_lettered,
-        total: report.total_jobs,
-        reissues: report.total_reissues,
-        blacklist_events: report.blacklist_events,
-        wasted_cpu_hours: report.wasted_cpu_seconds / 3600.0,
-        useful_cpu_hours: report.useful_cpu_seconds / 3600.0,
-        makespan_hours: report.makespan_seconds.unwrap_or(0.0) / 3600.0,
+        report,
     }
+}
+
+/// Re-run one arm with telemetry enabled: assert the observed run matches
+/// the unobserved fingerprint (telemetry must not perturb the simulation),
+/// and write the snapshot as the experiment's metrics artifact.
+fn observed_run(sc: &Scenario, baseline: &GridReport, n_jobs: usize, seed: u64) {
+    let mut config = base_config(seed, true, 2, sc.with_boinc);
+    config.telemetry = Some(TelemetryConfig::default());
+    let mut grid = Grid::new(config);
+    grid.inject_faults(sc.script.clone());
+    let mut wrng = SimRng::new(seed ^ 0xE12);
+    grid.submit(workload(n_jobs, &mut wrng));
+    let report = grid.run_until_done(SimTime::from_days(30));
+    assert_eq!(
+        fingerprint(&report),
+        fingerprint(baseline),
+        "telemetry must not change outcomes ({})",
+        sc.name
+    );
+    let snapshot = grid.telemetry_snapshot().expect("telemetry enabled");
+    write_metrics("e12_fault_tolerance", &snapshot);
 }
 
 fn main() {
@@ -207,14 +232,14 @@ fn main() {
                 "{:<18} {:<9} {:>7}/{:<3} {:>8} {:>6} {:>9} {:>10.0}h {:>10.0}h {:>10}",
                 row.scenario,
                 if row.recovery { "ON" } else { "off" },
-                row.valid_completed,
-                row.total,
-                row.corrupt,
-                row.dead_lettered,
-                row.reissues,
-                row.wasted_cpu_hours,
-                row.useful_cpu_hours,
-                fmt_secs(row.makespan_hours * 3600.0)
+                row.valid_completed(),
+                row.report.total_jobs,
+                row.report.corrupt_completions,
+                row.report.dead_lettered,
+                row.report.total_reissues,
+                row.wasted_cpu_hours(),
+                row.useful_cpu_hours(),
+                fmt_secs(row.makespan_hours() * 3600.0)
             );
             rows.push(row);
         }
@@ -230,28 +255,29 @@ fn main() {
     for pair in rows.chunks(2) {
         let (off, on) = (&pair[0], &pair[1]);
         assert!(
-            on.valid_completed >= off.valid_completed,
+            on.valid_completed() >= off.valid_completed(),
             "{}: recovery ON completed less valid work ({} < {})",
             on.scenario,
-            on.valid_completed,
-            off.valid_completed
+            on.valid_completed(),
+            off.valid_completed()
         );
         assert!(
-            on.valid_completed > off.valid_completed || on.wasted_cpu_hours < off.wasted_cpu_hours,
+            on.valid_completed() > off.valid_completed()
+                || on.wasted_cpu_hours() < off.wasted_cpu_hours(),
             "{}: recovery ON is not a strict improvement (valid {} vs {}, waste {:.1}h vs {:.1}h)",
             on.scenario,
-            on.valid_completed,
-            off.valid_completed,
-            on.wasted_cpu_hours,
-            off.wasted_cpu_hours
+            on.valid_completed(),
+            off.valid_completed(),
+            on.wasted_cpu_hours(),
+            off.wasted_cpu_hours()
         );
         agg_valid = (
-            agg_valid.0 + off.valid_completed,
-            agg_valid.1 + on.valid_completed,
+            agg_valid.0 + off.valid_completed(),
+            agg_valid.1 + on.valid_completed(),
         );
         agg_waste = (
-            agg_waste.0 + off.wasted_cpu_hours,
-            agg_waste.1 + on.wasted_cpu_hours,
+            agg_waste.0 + off.wasted_cpu_hours(),
+            agg_waste.1 + on.wasted_cpu_hours(),
         );
     }
     assert!(
@@ -266,6 +292,13 @@ fn main() {
         "\nrecovery ON dominates: valid completions {} -> {}, wasted CPU {:.0}h -> {:.0}h",
         agg_valid.0, agg_valid.1, agg_waste.0, agg_waste.1
     );
+
+    // Observability arm: replay the first scenario's recovery-ON run with
+    // telemetry enabled. Outcomes must be untouched; the snapshot becomes
+    // the experiment's metrics artifact.
+    let all = scenarios();
+    observed_run(&all[0], &rows[1].report, n_jobs, seed);
+    println!("telemetry replay: outcomes identical with telemetry enabled");
 
     write_json("e12_fault_tolerance", &rows);
 }

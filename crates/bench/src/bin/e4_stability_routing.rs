@@ -15,11 +15,12 @@
 //! Expected shape: the estimator-on rows complete everything with near-zero
 //! wasted CPU; the estimator-off row burns CPU on evicted long jobs.
 
-use bench::{env_f64, env_usize, fmt_secs, header, write_json};
-use gridsim::grid::{Grid, GridConfig};
+use bench::{env_f64, env_usize, fmt_secs, header, write_json, write_metrics};
+use gridsim::grid::{Grid, GridConfig, GridReport};
 use gridsim::job::JobSpec;
 use gridsim::resource::{ResourceKind, ResourceSpec};
 use gridsim::scheduler::SchedulerPolicy;
+use gridsim::telemetry::TelemetryConfig;
 use simkit::{SimDuration, SimRng, SimTime};
 
 /// Build the mixed workload: short jobs (minutes–hours) + long tail (1–4
@@ -68,18 +69,39 @@ fn grid_config(policy: SchedulerPolicy, seed: u64) -> GridConfig {
     }
 }
 
+/// One policy arm; the full [`GridReport`] rides along verbatim in the JSON
+/// artifact, and the display values below are derived from it.
 #[derive(serde::Serialize)]
 struct Row {
     policy: String,
-    completed: usize,
-    total: usize,
-    long_completed: usize,
-    wasted_cpu_hours: f64,
-    useful_cpu_hours: f64,
-    makespan_hours: f64,
-    reissues: u32,
+    report: GridReport,
 }
 
+impl Row {
+    fn long_completed(&self, n_short: usize) -> usize {
+        self.report
+            .records
+            .iter()
+            .filter(|r| {
+                r.spec.id.0 >= n_short as u64 && r.outcome == gridsim::job::JobOutcome::Completed
+            })
+            .count()
+    }
+
+    fn wasted_cpu_hours(&self) -> f64 {
+        self.report.wasted_cpu_seconds / 3600.0
+    }
+
+    fn useful_cpu_hours(&self) -> f64 {
+        self.report.useful_cpu_seconds / 3600.0
+    }
+
+    fn makespan_secs(&self) -> f64 {
+        self.report.makespan_seconds.unwrap_or(0.0)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run(
     label: &str,
     policy: SchedulerPolicy,
@@ -88,28 +110,24 @@ fn run(
     n_long: usize,
     noise: f64,
     seed: u64,
+    telemetry: bool,
 ) -> Row {
     let mut rng = SimRng::new(seed);
     let jobs = workload(n_short, n_long, with_estimates, noise, &mut rng);
-    let mut grid = Grid::new(grid_config(policy, seed));
+    let mut config = grid_config(policy, seed);
+    if telemetry {
+        config.telemetry = Some(TelemetryConfig::default());
+    }
+    let mut grid = Grid::new(config);
     grid.submit(jobs);
     let report = grid.run_until_done(SimTime::from_days(45));
-    let long_completed = report
-        .records
-        .iter()
-        .filter(|r| {
-            r.spec.id.0 >= n_short as u64 && r.outcome == gridsim::job::JobOutcome::Completed
-        })
-        .count();
+    if telemetry {
+        let snapshot = grid.telemetry_snapshot().expect("telemetry enabled");
+        write_metrics("e4_stability_routing", &snapshot);
+    }
     Row {
         policy: label.to_string(),
-        completed: report.completed,
-        total: report.total_jobs,
-        long_completed,
-        wasted_cpu_hours: report.wasted_cpu_seconds / 3600.0,
-        useful_cpu_hours: report.useful_cpu_seconds / 3600.0,
-        makespan_hours: report.makespan_seconds.unwrap_or(0.0) / 3600.0,
-        reissues: report.total_reissues,
+        report,
     }
 }
 
@@ -131,6 +149,9 @@ fn main() {
     let mut rows = Vec::new();
     let base = SchedulerPolicy::default();
     for (label, policy, with_est) in [
+        // The production row runs with telemetry enabled and writes the
+        // experiment's metrics artifact (telemetry never changes outcomes;
+        // asserted in gridsim's tests and in E12).
         ("estimates ON, speed scaling ON", base, true),
         (
             "estimates ON, speed scaling OFF",
@@ -149,16 +170,19 @@ fn main() {
             false,
         ),
     ] {
-        let row = run(label, policy, with_est, n_short, n_long, noise, seed);
+        let telemetry = rows.is_empty();
+        let row = run(
+            label, policy, with_est, n_short, n_long, noise, seed, telemetry,
+        );
         println!(
             "{:<34} {:>5}/{:<3} {:>10} {:>11.0}h {:>11.0}h {:>11}",
             row.policy,
-            row.completed,
-            row.total,
-            row.long_completed,
-            row.wasted_cpu_hours,
-            row.useful_cpu_hours,
-            fmt_secs(row.makespan_hours * 3600.0)
+            row.report.completed,
+            row.report.total_jobs,
+            row.long_completed(n_short),
+            row.wasted_cpu_hours(),
+            row.useful_cpu_hours(),
+            fmt_secs(row.makespan_secs())
         );
         rows.push(row);
     }
@@ -181,14 +205,15 @@ fn main() {
             n_long,
             noise,
             seed ^ hours,
+            false,
         );
         println!(
             "{:<14} {:>5}/{:<3} {:>11.0}h {:>11}",
             row.policy,
-            row.completed,
-            row.total,
-            row.wasted_cpu_hours,
-            fmt_secs(row.makespan_hours * 3600.0)
+            row.report.completed,
+            row.report.total_jobs,
+            row.wasted_cpu_hours(),
+            fmt_secs(row.makespan_secs())
         );
         rows.push(row);
     }

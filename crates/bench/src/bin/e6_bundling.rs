@@ -11,23 +11,25 @@
 //! "auto" = the estimate-driven policy) and measure makespan and the
 //! overhead fraction.
 
-use bench::{env_usize, fmt_secs, header, write_json};
-use gridsim::grid::{Grid, GridConfig};
+use bench::{env_usize, fmt_secs, header, write_json, write_metrics};
+use gridsim::grid::{Grid, GridConfig, GridReport};
 use gridsim::job::JobSpec;
 use gridsim::resource::{ResourceKind, ResourceSpec};
+use gridsim::telemetry::TelemetryConfig;
 use lattice::bundling::BundlingPolicy;
 use simkit::{SimRng, SimTime};
 
+/// One bundle-size arm; the full [`GridReport`] is embedded verbatim in the
+/// JSON artifact alongside the derived bundling figures.
 #[derive(serde::Serialize)]
 struct Row {
     bundle_size: usize,
     grid_jobs: usize,
-    makespan: f64,
-    total_cpu_hours: f64,
     overhead_fraction: f64,
+    report: GridReport,
 }
 
-fn run(bundle: usize, n_replicates: usize, rep_secs: f64, seed: u64) -> Row {
+fn run(bundle: usize, n_replicates: usize, rep_secs: f64, seed: u64, telemetry: bool) -> Row {
     let overhead = 30.0;
     let mut rng = SimRng::new(seed);
     // Pack replicates into jobs of `bundle`.
@@ -50,6 +52,7 @@ fn run(bundle: usize, n_replicates: usize, rep_secs: f64, seed: u64) -> Row {
             1.0,
         )],
         dispatch_overhead: simkit::SimDuration::from_secs_f64(overhead),
+        telemetry: telemetry.then(TelemetryConfig::default),
         seed,
         ..Default::default()
     };
@@ -57,14 +60,17 @@ fn run(bundle: usize, n_replicates: usize, rep_secs: f64, seed: u64) -> Row {
     grid.submit(jobs);
     let report = grid.run_until_done(SimTime::from_days(30));
     assert_eq!(report.completed, grid_jobs, "all bundles must finish");
+    if telemetry {
+        let snapshot = grid.telemetry_snapshot().expect("telemetry enabled");
+        write_metrics("e6_bundling", &snapshot);
+    }
     let compute_cpu = report.useful_cpu_seconds - grid_jobs as f64 * overhead;
     Row {
         bundle_size: bundle,
         grid_jobs,
-        makespan: report.makespan_seconds.unwrap(),
-        total_cpu_hours: report.useful_cpu_seconds / 3600.0,
         overhead_fraction: grid_jobs as f64 * overhead
             / (grid_jobs as f64 * overhead + compute_cpu),
+        report,
     }
 }
 
@@ -86,7 +92,8 @@ fn main() {
     );
     let mut rows = Vec::new();
     for bundle in [1usize, 2, 4, auto, 16, 64] {
-        let row = run(bundle, n, rep_secs, seed ^ bundle as u64);
+        // The auto (estimate-driven) arm writes the metrics artifact.
+        let row = run(bundle, n, rep_secs, seed ^ bundle as u64, bundle == auto);
         let label = if bundle == auto {
             format!("{bundle} (auto)")
         } else {
@@ -96,8 +103,8 @@ fn main() {
             "{:<14} {:>10} {:>11} {:>11.1}h {:>9.1}%",
             label,
             row.grid_jobs,
-            fmt_secs(row.makespan),
-            row.total_cpu_hours,
+            fmt_secs(row.report.makespan_seconds.unwrap_or(0.0)),
+            row.report.useful_cpu_seconds / 3600.0,
             row.overhead_fraction * 100.0
         );
         rows.push(row);

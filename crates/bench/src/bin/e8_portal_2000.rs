@@ -10,10 +10,10 @@
 //! standard 4-institution + BOINC layout → per-resource batch distribution,
 //! makespan, ETA accuracy, and the email trail.
 
-use bench::{env_usize, fmt_secs, header, write_json};
+use bench::{env_usize, fmt_secs, header, write_json, write_metrics};
 use garli::config::GarliConfig;
 use lattice::pipeline::{run_campaign, CampaignOptions};
-use lattice::system::standard_grid;
+use lattice::system::observed_grid;
 use lattice::training::Scale;
 use phylo::models::nucleotide::NucModel;
 use phylo::models::SiteRates;
@@ -63,8 +63,10 @@ fn main() {
     // CampaignOptions::runtime_scale and DESIGN.md) maps each measured
     // second to ~17 simulated minutes so the grid sees paper-scale jobs.
     let scale = bench::env_f64("LATTICE_RUNTIME_SCALE", 1000.0);
+    // The observed grid is the standard layout with telemetry enabled, so
+    // this end-to-end run also exercises the monitoring stack.
     let options = CampaignOptions {
-        grid: standard_grid(seed),
+        grid: observed_grid(seed),
         probe_replicates: probes,
         bundling: Some(lattice::bundling::BundlingPolicy::default()),
         sim_deadline: SimTime::from_days(30),
@@ -138,6 +140,13 @@ fn main() {
         println!("  {}", email.subject);
     }
 
+    header("grid status page (portal rendering of the telemetry snapshot)");
+    let snapshot = result.telemetry.as_ref().expect("observed grid");
+    print!("{}", portal::status::render_text(snapshot));
+    write_metrics("e8_portal_2000", snapshot);
+
+    // The artifact embeds the GridReport verbatim; campaign-level figures
+    // the report cannot carry ride alongside it.
     #[derive(serde::Serialize)]
     struct Out {
         replicates: usize,
@@ -146,10 +155,7 @@ fn main() {
         predicted_seconds: f64,
         probe_mean_seconds: f64,
         eta_seconds: f64,
-        makespan_seconds: f64,
-        completed: usize,
-        wasted_cpu_hours: f64,
-        completed_by: std::collections::BTreeMap<String, usize>,
+        report: gridsim::grid::GridReport,
     }
     write_json(
         "e8_portal_2000",
@@ -160,10 +166,7 @@ fn main() {
             predicted_seconds: result.predicted_seconds.unwrap(),
             probe_mean_seconds: result.probe_mean_seconds,
             eta_seconds: result.eta_seconds,
-            makespan_seconds: result.report.makespan_seconds.unwrap_or(f64::NAN),
-            completed: result.report.completed,
-            wasted_cpu_hours: result.report.wasted_cpu_seconds / 3600.0,
-            completed_by: result.report.completed_by.clone(),
+            report: result.report.clone(),
         },
     );
 }

@@ -73,6 +73,13 @@ pub fn write_json(name: &str, value: &impl serde::Serialize) {
     eprintln!("[out] {}", path.display());
 }
 
+/// Write an experiment's telemetry/metrics artifact as
+/// `bench_results/<name>_metrics.json` (the observability twin of the
+/// experiment's result file).
+pub fn write_metrics(name: &str, value: &impl serde::Serialize) {
+    write_json(&format!("{name}_metrics"), value);
+}
+
 /// Print a section header.
 pub fn header(title: &str) {
     println!("\n=== {title} ===");

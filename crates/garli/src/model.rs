@@ -1,4 +1,4 @@
-//! Model assembly: from a [`GarliConfig`](crate::config::GarliConfig) plus
+//! Model assembly: from a [`crate::config::GarliConfig`] plus
 //! current parameter values to a concrete substitution model.
 //!
 //! The GA mutates [`ModelParams`] (κ, ω, α, p-inv, and free frequencies when

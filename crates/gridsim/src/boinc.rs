@@ -274,6 +274,13 @@ impl BoincSim {
         self.workunits.values().filter(|w| !w.completed).count()
     }
 
+    /// Clients currently holding an assigned task (actively computing).
+    /// Unlike `state().free_slots`, this does not conflate offline hosts
+    /// with busy ones — it is the utilisation signal telemetry wants.
+    pub fn active_clients(&self) -> usize {
+        self.clients.iter().filter(|c| c.task.is_some()).count()
+    }
+
     /// Total reissues across all workunits so far.
     pub fn total_reissues(&self) -> u32 {
         self.workunits.values().map(|w| w.reissues).sum()

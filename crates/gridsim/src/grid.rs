@@ -16,9 +16,11 @@ use crate::lrm::{LrmOutcome, LrmSim};
 use crate::mds::Mds;
 use crate::recovery::RecoveryPolicy;
 use crate::resource::{ResourceId, ResourceKind, ResourceSpec};
-use crate::scheduler::{choose_resource, ResourceView, SchedulerPolicy};
+use crate::scheduler::{choose_resource, choose_resource_explained, ResourceView, SchedulerPolicy};
 use crate::speed::{benchmark_machines, speed_from_benchmarks};
 use crate::stability::{ResourceHealth, StabilityTracker};
+use crate::telemetry::{GridTelemetry, TelemetryConfig, TelemetrySnapshot};
+use serde::Serialize;
 use simkit::{Calendar, FaultScript, SimDuration, SimRng, SimTime, Simulation, World};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
@@ -120,6 +122,11 @@ pub struct GridConfig {
     /// jobs requeue immediately, restart from scratch, never return to a
     /// resource they failed on, and retry forever.
     pub recovery: Option<RecoveryPolicy>,
+    /// Telemetry (structured events, metrics, lifecycle spans, utilisation
+    /// timelines). `None` (the default) runs with zero observability
+    /// overhead and — by construction — identical behaviour: telemetry
+    /// never consumes randomness or schedules events.
+    pub telemetry: Option<TelemetryConfig>,
     /// Master seed.
     pub seed: u64,
 }
@@ -136,6 +143,7 @@ impl Default for GridConfig {
             dispatch_overhead: SimDuration::from_secs(30),
             max_local_retries: 5,
             recovery: None,
+            telemetry: None,
             seed: 0,
         }
     }
@@ -169,6 +177,8 @@ pub struct GridWorld {
     completed: usize,
     dispatches: u64,
     submissions_rendered: u64,
+    /// Telemetry sink; present iff `config.telemetry` is.
+    telemetry: Option<GridTelemetry>,
     rng: SimRng,
 }
 
@@ -192,6 +202,16 @@ impl GridWorld {
     /// Measured (calibrated) speed of each resource.
     pub fn measured_speeds(&self) -> &[f64] {
         &self.measured_speeds
+    }
+
+    /// The telemetry sink, if the grid was configured with one.
+    pub fn telemetry(&self) -> Option<&GridTelemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// The MDS database (for monitoring snapshots).
+    pub fn mds(&self) -> &Mds {
+        &self.mds
     }
 
     fn provider_report(&mut self, resource: usize, now: SimTime) {
@@ -246,7 +266,18 @@ impl GridWorld {
                 .filter(|v| excluded.is_none_or(|ex| !ex.contains(&v.id.0)))
                 .cloned()
                 .collect();
-            match choose_resource(&spec, &eligible, &self.config.policy) {
+            // The explained path runs the identical filter/score/tie-break
+            // (asserted in scheduler tests), so enabling telemetry cannot
+            // change placement.
+            let chosen = match self.telemetry.as_mut() {
+                Some(t) => {
+                    let decision = choose_resource_explained(&spec, &eligible, &self.config.policy);
+                    t.on_decision(now, job_id, &decision);
+                    decision.chosen
+                }
+                None => choose_resource(&spec, &eligible, &self.config.policy),
+            };
+            match chosen {
                 Some(ResourceId(r)) => {
                     self.dispatch(spec, r, now, cal);
                     // Update the view's load so one pass doesn't dump every
@@ -279,7 +310,15 @@ impl GridWorld {
         self.dispatches += 1;
         let record = self.records.get_mut(&job.id).expect("record exists");
         record.attempts += 1;
-        if Some(resource) == self.boinc_index {
+        let to_boinc = Some(resource) == self.boinc_index;
+        if let Some(t) = self.telemetry.as_mut() {
+            let resumed = !to_boinc && self.carry.contains_key(&job.id);
+            t.on_dispatch(now, job.id, resource, resumed);
+            if to_boinc {
+                t.on_boinc_workunit(now, job.id);
+            }
+        }
+        if to_boinc {
             // Checkpointed progress cannot ride into a BOINC workunit: the
             // volunteer client starts from scratch, so whatever a previous
             // resource computed is written off as waste here.
@@ -344,6 +383,15 @@ impl GridWorld {
                 self.carry.remove(&job);
                 self.grid_retries.remove(&job);
                 self.failed_on.remove(&job);
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.on_completed(
+                        now,
+                        job,
+                        &self.resources[resource].name,
+                        Some(started),
+                        false,
+                    );
+                }
             }
             LrmOutcome::BouncedToGrid {
                 job,
@@ -356,6 +404,9 @@ impl GridWorld {
                 let checkpointable = record.spec.checkpointable;
                 let true_ref = record.spec.true_reference_seconds;
                 let speed = self.measured_speeds[resource].max(1e-9);
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.on_bounce(now, job, resource, wasted_cpu_seconds);
+                }
                 match self.config.recovery {
                     None => {
                         // Legacy behaviour: requeue immediately, restart from
@@ -370,8 +421,14 @@ impl GridWorld {
                         self.pending.push_back(job);
                     }
                     Some(policy) => {
-                        if let Some(tracker) = &mut self.stability {
-                            tracker.record_failure(resource, now);
+                        let newly_blacklisted = match &mut self.stability {
+                            Some(tracker) => tracker.record_failure(resource, now),
+                            None => false,
+                        };
+                        if newly_blacklisted {
+                            if let Some(t) = self.telemetry.as_mut() {
+                                t.on_blacklist(now, resource);
+                            }
                         }
                         let retries = {
                             let r = self.grid_retries.entry(job).or_insert(0);
@@ -402,6 +459,9 @@ impl GridWorld {
                                     record.wasted_cpu_seconds += discarded_ref / origin_speed;
                                 }
                             }
+                            if let Some(t) = self.telemetry.as_mut() {
+                                t.on_dead_letter(now, job);
+                            }
                         } else {
                             // Give the failed resource another chance after
                             // the backoff: blacklisting handles genuinely
@@ -409,6 +469,9 @@ impl GridWorld {
                             // counter-productive.
                             self.failed_on.remove(&job);
                             let delay = policy.backoff_delay(retries, &mut self.rng);
+                            if let Some(t) = self.telemetry.as_mut() {
+                                t.on_backoff(now, job, retries, delay.as_secs_f64());
+                            }
                             cal.schedule(now + delay, GridEvent::RetryRelease { job });
                         }
                     }
@@ -435,7 +498,7 @@ impl GridWorld {
             record.outcome = JobOutcome::Completed;
             record.started = Some(started);
             record.finished = Some(now);
-            record.completed_by = boinc_name;
+            record.completed_by = boinc_name.clone();
             if corrupt {
                 // Accepted-but-garbage result (quorum 1): the job terminates
                 // but its CPU bought nothing.
@@ -449,6 +512,15 @@ impl GridWorld {
             self.carry.remove(&job);
             self.grid_retries.remove(&job);
             self.failed_on.remove(&job);
+            if let Some(t) = self.telemetry.as_mut() {
+                t.on_completed(
+                    now,
+                    job,
+                    boinc_name.as_deref().unwrap_or("boinc-pool"),
+                    Some(started),
+                    corrupt,
+                );
+            }
         }
     }
 
@@ -456,6 +528,7 @@ impl GridWorld {
     fn apply_fault(&mut self, action: FaultAction, now: SimTime, cal: &mut Calendar<GridEvent>) {
         match action {
             FaultAction::Down { resource } => {
+                self.note_resource_down(now, resource);
                 let outcomes = match self.lrms.get_mut(resource) {
                     Some(Some(lrm)) => lrm.go_offline(now, resource, cal),
                     _ => Vec::new(),
@@ -465,6 +538,7 @@ impl GridWorld {
                 }
             }
             FaultAction::Up { resource } => {
+                self.note_resource_up(now, resource);
                 if let Some(Some(lrm)) = self.lrms.get_mut(resource) {
                     lrm.go_online(now, resource, cal);
                 }
@@ -473,10 +547,20 @@ impl GridWorld {
                 if let Some(p) = self.partitioned.get_mut(resource) {
                     *p = true;
                 }
+                if self.resources.get(resource).is_some() {
+                    if let Some(t) = self.telemetry.as_mut() {
+                        t.on_partition(now, resource, true);
+                    }
+                }
             }
             FaultAction::PartitionEnd { resource } => {
                 if let Some(p) = self.partitioned.get_mut(resource) {
                     *p = false;
+                }
+                if self.resources.get(resource).is_some() {
+                    if let Some(t) = self.telemetry.as_mut() {
+                        t.on_partition(now, resource, false);
+                    }
                 }
             }
             FaultAction::SetSpeedFactor { resource, factor } => {
@@ -489,6 +573,46 @@ impl GridWorld {
                     b.set_corruption_rate(rate);
                 }
             }
+        }
+    }
+
+    fn note_resource_down(&mut self, now: SimTime, resource: usize) {
+        if self.resources.get(resource).is_some() {
+            if let Some(t) = self.telemetry.as_mut() {
+                t.on_resource_down(now, resource);
+            }
+        }
+    }
+
+    fn note_resource_up(&mut self, now: SimTime, resource: usize) {
+        if self.resources.get(resource).is_some() {
+            if let Some(t) = self.telemetry.as_mut() {
+                t.on_resource_up(now, resource);
+            }
+        }
+    }
+
+    /// Refresh the busy-slot timelines after an event. No-op when telemetry
+    /// is off; an offline resource counts as zero busy slots.
+    fn record_utilisation(&mut self, now: SimTime) {
+        let Some(t) = self.telemetry.as_mut() else {
+            return;
+        };
+        for i in 0..self.resources.len() {
+            let busy = if Some(i) == self.boinc_index {
+                // `state()` counts offline volunteers as non-free; only
+                // clients actually holding a task are busy.
+                self.boinc.as_ref().map_or(0, |b| b.active_clients())
+            } else {
+                match self.lrms[i].as_ref() {
+                    Some(l) if l.online() => {
+                        let s = l.state();
+                        s.total_slots - s.free_slots
+                    }
+                    _ => 0,
+                }
+            };
+            t.set_busy(now, i, busy);
         }
     }
 }
@@ -506,6 +630,9 @@ impl World for GridWorld {
                 );
                 self.records.insert(id, JobRecord::new(*job, now));
                 self.pending.push_back(id);
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.on_submit(now, id);
+                }
             }
             GridEvent::ScheduleTick => {
                 self.schedule_pass(now, cal);
@@ -541,6 +668,7 @@ impl World for GridWorld {
                 self.apply_lrm_outcome(resource, outcome, now, cal);
             }
             GridEvent::OutageStart { resource } => {
+                self.note_resource_down(now, resource);
                 let outcomes = match self.lrms.get_mut(resource) {
                     Some(Some(lrm)) => lrm.go_offline(now, resource, cal),
                     _ => Vec::new(),
@@ -558,6 +686,7 @@ impl World for GridWorld {
                 }
             }
             GridEvent::OutageEnd { resource } => {
+                self.note_resource_up(now, resource);
                 if let Some(Some(lrm)) = self.lrms.get_mut(resource) {
                     lrm.go_online(now, resource, cal);
                 }
@@ -585,7 +714,12 @@ impl World for GridWorld {
             }
             GridEvent::BoincDeadline { assignment } => {
                 if let Some(b) = self.boinc.as_mut() {
+                    let before = b.total_reissues();
                     b.on_deadline(assignment, now, cal);
+                    let reissued = b.total_reissues() - before;
+                    if let Some(t) = self.telemetry.as_mut() {
+                        t.on_boinc_deadline(now, assignment, reissued);
+                    }
                 }
             }
             GridEvent::Fault(action) => {
@@ -604,11 +738,14 @@ impl World for GridWorld {
                 }
             }
         }
+        // Utilisation timelines are piecewise-constant between events, so
+        // refreshing once per handled event captures every transition.
+        self.record_utilisation(now);
     }
 }
 
 /// Aggregate results of a grid run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct GridReport {
     /// Jobs submitted.
     pub total_jobs: usize,
@@ -699,6 +836,7 @@ impl Grid {
                 stable: false,
                 mean_hours_between_interruptions: Some(bc.mean_on_hours),
                 outages: None,
+                site: None,
             };
             measured_speeds.push(pool.median_speed());
             resources.push(spec);
@@ -710,6 +848,9 @@ impl Grid {
         let world = GridWorld {
             mds: Mds::new(config.mds_lifetime),
             partitioned: vec![false; resources.len()],
+            telemetry: config
+                .telemetry
+                .map(|tc| GridTelemetry::new(tc, &resources)),
             stability: config
                 .recovery
                 .map(|policy| StabilityTracker::new(resources.len(), policy)),
@@ -773,6 +914,16 @@ impl Grid {
     /// The world (for inspection).
     pub fn world(&self) -> &GridWorld {
         self.sim.world()
+    }
+
+    /// Full telemetry export at the current instant (`None` when the grid
+    /// was built without [`GridConfig::telemetry`]).
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        let world = self.sim.world();
+        world
+            .telemetry
+            .as_ref()
+            .map(|t| t.snapshot(self.sim.now(), &world.mds))
     }
 
     /// Submit jobs at the current simulation time.
@@ -1288,6 +1439,105 @@ mod tests {
             assert_eq!(r.completed_by.as_deref(), Some("backup"), "{r:?}");
         }
         assert_eq!(report.wasted_cpu_seconds, 0.0);
+    }
+
+    #[test]
+    fn telemetry_does_not_change_outcomes() {
+        // The same seeded chaos scenario with and without telemetry must
+        // produce identical results: telemetry reads no randomness and
+        // schedules no events.
+        let run = |telemetry: Option<TelemetryConfig>| {
+            let config = GridConfig {
+                resources: vec![
+                    ResourceSpec::condor_pool("condor", 16, 1.5, 2.0),
+                    ResourceSpec::cluster("cluster", ResourceKind::PbsCluster, 8, 1.0),
+                ],
+                recovery: Some(RecoveryPolicy::default()),
+                telemetry,
+                seed: 31,
+                ..Default::default()
+            };
+            let mut grid = Grid::new(config);
+            let mut rng = SimRng::new(77);
+            grid.inject_faults(crate::fault::random_faults(
+                &mut rng,
+                &[0],
+                SimDuration::from_hours(24),
+                6,
+            ));
+            grid.submit((0..20).map(|i| {
+                let mut j = JobSpec::simple(i, 4.0 * 3600.0);
+                j.checkpointable = i % 2 == 0;
+                j
+            }));
+            let r = grid.run_until_done(SimTime::from_days(20));
+            (
+                r.completed,
+                r.dead_lettered,
+                r.total_reissues,
+                r.makespan_seconds.map(f64::to_bits),
+                r.wasted_cpu_seconds.to_bits(),
+                r.useful_cpu_seconds.to_bits(),
+            )
+        };
+        assert_eq!(run(None), run(Some(TelemetryConfig::default())));
+    }
+
+    #[test]
+    fn telemetry_tracks_lifecycle_and_utilisation() {
+        let config = GridConfig {
+            resources: vec![
+                ResourceSpec::cluster("cluster", ResourceKind::PbsCluster, 4, 1.0).with_site("umd"),
+            ],
+            telemetry: Some(TelemetryConfig::default()),
+            seed: 7,
+            ..Default::default()
+        };
+        let mut grid = Grid::new(config);
+        grid.submit((0..8).map(|i| JobSpec::simple(i, 1800.0)));
+        let report = grid.run_until_done(SimTime::from_hours(24));
+        assert_eq!(report.completed, 8);
+        let snap = grid.telemetry_snapshot().expect("telemetry enabled");
+        assert_eq!(snap.metrics.counter("job.submitted"), 8);
+        assert_eq!(snap.metrics.counter("job.completed"), 8);
+        assert_eq!(snap.metrics.counter("job.dispatches"), 8);
+        assert_eq!(snap.jobs_in_flight, 0);
+        let turnaround = snap.metrics.histogram("job.turnaround_seconds").unwrap();
+        assert_eq!(turnaround.count(), 8);
+        assert_eq!(snap.resources.len(), 1);
+        assert_eq!(snap.resources[0].name, "cluster");
+        assert!(snap.resources[0].mean_busy_slots > 0.0);
+        assert_eq!(snap.sites.len(), 1);
+        assert_eq!(snap.sites[0].site, "umd");
+        // MDS view: the provider reported regularly and stayed online.
+        assert_eq!(snap.mds.resources.len(), 1);
+        assert!(snap.mds.resources[0].online);
+        assert_eq!(snap.mds.resources[0].offline_episodes, 0);
+        // Event totals match the counters.
+        assert_eq!(snap.events.counts.get("job.submit"), Some(&8));
+        assert_eq!(snap.events.counts.get("job.complete"), Some(&8));
+    }
+
+    #[test]
+    fn telemetry_snapshot_json_is_replay_identical() {
+        let run = || {
+            let config = GridConfig {
+                resources: vec![
+                    ResourceSpec::condor_pool("condor", 8, 1.5, 2.0).with_site("umd"),
+                    ResourceSpec::cluster("cluster", ResourceKind::PbsCluster, 4, 1.0)
+                        .with_site("bowie"),
+                ],
+                recovery: Some(RecoveryPolicy::default()),
+                telemetry: Some(TelemetryConfig::default()),
+                seed: 41,
+                ..Default::default()
+            };
+            let mut grid = Grid::new(config);
+            grid.submit((0..12).map(|i| JobSpec::simple(i, 3600.0 * (1.0 + i as f64))));
+            let _ = grid.run_until_done(SimTime::from_days(30));
+            serde_json::to_string(&grid.telemetry_snapshot().unwrap()).unwrap()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

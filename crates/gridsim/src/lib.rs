@@ -31,7 +31,10 @@
 //!   jitter, failure-rate blacklisting, bounded retries with a dead-letter
 //!   outcome, and checkpoint-aware rescheduling;
 //! * [`stability`] — online per-resource health tracking feeding the §V
-//!   stability score from observed failures instead of static config.
+//!   stability score from observed failures instead of static config;
+//! * [`telemetry`] — deterministic grid-wide observability: structured
+//!   lifecycle events, a metrics registry, per-job latency decomposition,
+//!   utilisation timelines, and an MDS-backed monitoring snapshot.
 
 #![warn(missing_docs)]
 
@@ -48,12 +51,15 @@ pub mod resource;
 pub mod scheduler;
 pub mod speed;
 pub mod stability;
+pub mod telemetry;
 
 pub use fault::FaultAction;
 pub use grid::{Grid, GridConfig, GridReport};
 pub use job::{JobId, JobOutcome, JobSpec};
+pub use mds::MdsSnapshot;
 pub use platform::{Arch, Os, Platform};
 pub use recovery::RecoveryPolicy;
 pub use resource::{ResourceId, ResourceKind, ResourceSpec};
 pub use scheduler::SchedulerPolicy;
 pub use stability::{ResourceHealth, StabilityTracker};
+pub use telemetry::{GridTelemetry, TelemetryConfig, TelemetrySnapshot};

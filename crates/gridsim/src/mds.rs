@@ -10,6 +10,8 @@
 
 use crate::resource::ResourceId;
 use serde::{Deserialize, Serialize};
+use simkit::stats::Tally;
+use simkit::telemetry::{staleness_buckets_seconds, Histogram};
 use simkit::{SimDuration, SimTime};
 use std::collections::HashMap;
 
@@ -32,11 +34,24 @@ impl ResourceState {
     }
 }
 
+/// Per-provider reporting history: how regularly a resource's information
+/// provider has published, and how often its entry lapsed into "offline".
+#[derive(Debug, Clone, Default)]
+struct ProviderStats {
+    reports: u64,
+    last_report: Option<SimTime>,
+    gap: Tally,
+    offline_episodes: u64,
+    offline_seconds: f64,
+}
+
 /// The central aggregated MDS database.
 #[derive(Debug, Clone)]
 pub struct Mds {
     lifetime: SimDuration,
     entries: HashMap<ResourceId, (ResourceState, SimTime)>,
+    stats: HashMap<ResourceId, ProviderStats>,
+    staleness: Histogram,
 }
 
 impl Mds {
@@ -45,6 +60,8 @@ impl Mds {
         Mds {
             lifetime,
             entries: HashMap::new(),
+            stats: HashMap::new(),
+            staleness: Histogram::new(&staleness_buckets_seconds()),
         }
     }
 
@@ -55,6 +72,21 @@ impl Mds {
 
     /// Ingest a provider report.
     pub fn report(&mut self, resource: ResourceId, state: ResourceState, now: SimTime) {
+        let stats = self.stats.entry(resource).or_default();
+        if let Some(last) = stats.last_report {
+            let gap = now.saturating_since(last).as_secs_f64();
+            stats.gap.record(gap);
+            self.staleness.observe(gap);
+            // A gap longer than the lifetime means the entry expired and the
+            // scheduler saw the resource offline until this report arrived.
+            let lifetime = self.lifetime.as_secs_f64();
+            if gap > lifetime {
+                stats.offline_episodes += 1;
+                stats.offline_seconds += gap - lifetime;
+            }
+        }
+        stats.reports += 1;
+        stats.last_report = Some(now);
         self.entries.insert(resource, (state, now));
     }
 
@@ -82,6 +114,80 @@ impl Mds {
         ids.sort_unstable();
         ids
     }
+
+    /// Entry lifetime.
+    pub fn lifetime(&self) -> SimDuration {
+        self.lifetime
+    }
+
+    /// Queryable monitoring snapshot: per-resource freshness, offline-episode
+    /// accounting, and the grid-wide report-gap (staleness) histogram.
+    pub fn snapshot(&self, now: SimTime) -> MdsSnapshot {
+        let mut resources: Vec<MdsResourceStatus> = self
+            .stats
+            .iter()
+            .map(|(&id, s)| {
+                let age = s
+                    .last_report
+                    .map(|at| now.saturating_since(at).as_secs_f64());
+                MdsResourceStatus {
+                    id,
+                    reports: s.reports,
+                    age_seconds: age,
+                    online: age.is_some_and(|a| a <= self.lifetime.as_secs_f64()),
+                    mean_gap_seconds: (s.gap.count() > 0).then(|| s.gap.mean()),
+                    max_gap_seconds: s.gap.max(),
+                    offline_episodes: s.offline_episodes,
+                    offline_seconds: s.offline_seconds,
+                }
+            })
+            .collect();
+        resources.sort_by_key(|r| r.id);
+        MdsSnapshot {
+            lifetime_seconds: self.lifetime.as_secs_f64(),
+            detection_latency_seconds: self.lifetime.as_secs_f64(),
+            resources,
+            staleness: self.staleness.clone(),
+        }
+    }
+}
+
+/// One resource's monitoring status inside an [`MdsSnapshot`].
+#[derive(Debug, Clone, Serialize)]
+pub struct MdsResourceStatus {
+    /// Resource id.
+    pub id: ResourceId,
+    /// Provider reports received over the run.
+    pub reports: u64,
+    /// Seconds since the last report (`None` if never reported).
+    pub age_seconds: Option<f64>,
+    /// True iff the entry is still within its lifetime.
+    pub online: bool,
+    /// Mean gap between consecutive reports, if at least two arrived.
+    pub mean_gap_seconds: Option<f64>,
+    /// Largest observed gap between consecutive reports.
+    pub max_gap_seconds: Option<f64>,
+    /// Number of times the entry expired before the next report arrived.
+    pub offline_episodes: u64,
+    /// Total seconds the entry spent expired across those episodes.
+    pub offline_seconds: f64,
+}
+
+/// Queryable snapshot of the MDS database (telemetry export).
+///
+/// Offline detection is expiry-based, so the worst-case latency between a
+/// resource dying and the scheduler noticing equals the entry lifetime;
+/// `detection_latency_seconds` records that bound.
+#[derive(Debug, Clone, Serialize)]
+pub struct MdsSnapshot {
+    /// Configured entry lifetime in seconds.
+    pub lifetime_seconds: f64,
+    /// Worst-case offline-detection latency (== the entry lifetime).
+    pub detection_latency_seconds: f64,
+    /// Per-resource status, sorted by id.
+    pub resources: Vec<MdsResourceStatus>,
+    /// Histogram of gaps between consecutive provider reports, all resources.
+    pub staleness: Histogram,
 }
 
 #[cfg(test)]
@@ -150,6 +256,71 @@ mod tests {
             queued_jobs: 0,
         };
         assert_eq!(idle.load(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_tracks_freshness_and_offline_episodes() {
+        let mut mds = Mds::new(SimDuration::from_mins(5));
+        let s = ResourceState {
+            free_slots: 1,
+            total_slots: 4,
+            queued_jobs: 0,
+        };
+        // Regular 120s cadence, then a 10-minute silence (one offline
+        // episode of 10min - 5min = 300s), then recovery.
+        mds.report(ResourceId(0), s, SimTime::ZERO);
+        mds.report(ResourceId(0), s, SimTime::from_secs(120));
+        mds.report(ResourceId(0), s, SimTime::from_secs(240));
+        mds.report(ResourceId(0), s, SimTime::from_secs(240 + 600));
+        let snap = mds.snapshot(SimTime::from_secs(900));
+        assert_eq!(snap.lifetime_seconds, 300.0);
+        assert_eq!(snap.detection_latency_seconds, 300.0);
+        assert_eq!(snap.resources.len(), 1);
+        let r = &snap.resources[0];
+        assert_eq!(r.reports, 4);
+        assert_eq!(r.offline_episodes, 1);
+        assert!((r.offline_seconds - 300.0).abs() < 1e-9);
+        assert_eq!(r.max_gap_seconds, Some(600.0));
+        assert_eq!(r.age_seconds, Some(60.0));
+        assert!(r.online);
+        // Three gaps recorded: 120, 120, 600.
+        assert_eq!(snap.staleness.count(), 3);
+        assert!((snap.staleness.sum() - 840.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_marks_stale_resources_offline() {
+        let mut mds = Mds::with_default_lifetime();
+        let s = ResourceState {
+            free_slots: 0,
+            total_slots: 2,
+            queued_jobs: 0,
+        };
+        mds.report(ResourceId(3), s, SimTime::ZERO);
+        let snap = mds.snapshot(SimTime::from_secs(3600));
+        assert!(!snap.resources[0].online);
+        assert_eq!(snap.resources[0].age_seconds, Some(3600.0));
+        assert_eq!(snap.resources[0].mean_gap_seconds, None);
+    }
+
+    #[test]
+    fn snapshot_resources_sorted_by_id() {
+        let mut mds = Mds::with_default_lifetime();
+        let s = ResourceState {
+            free_slots: 1,
+            total_slots: 1,
+            queued_jobs: 0,
+        };
+        mds.report(ResourceId(2), s, SimTime::ZERO);
+        mds.report(ResourceId(0), s, SimTime::ZERO);
+        mds.report(ResourceId(1), s, SimTime::ZERO);
+        let ids: Vec<ResourceId> = mds
+            .snapshot(SimTime::ZERO)
+            .resources
+            .iter()
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(ids, vec![ResourceId(0), ResourceId(1), ResourceId(2)]);
     }
 
     #[test]

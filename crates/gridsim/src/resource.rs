@@ -67,6 +67,10 @@ pub struct ResourceSpec {
     /// Mean seconds of provider staleness tolerated before jobs fail;
     /// modeled as random whole-resource outages when `Some((mtbf_h, mttr_h))`.
     pub outages: Option<(f64, f64)>,
+    /// Administrative site the resource belongs to (e.g. `"umd"`), used by
+    /// telemetry for per-site utilisation rollups. `None` = unattributed.
+    #[serde(default)]
+    pub site: Option<String>,
 }
 
 impl ResourceSpec {
@@ -88,6 +92,7 @@ impl ResourceSpec {
             stable: true,
             mean_hours_between_interruptions: None,
             outages: None,
+            site: None,
         }
     }
 
@@ -114,6 +119,7 @@ impl ResourceSpec {
             stable: false,
             mean_hours_between_interruptions: Some(mean_hours_between_interruptions),
             outages: None,
+            site: None,
         }
     }
 
@@ -127,6 +133,12 @@ impl ResourceSpec {
     /// failures / mean time to repair, in hours).
     pub fn with_outages(mut self, mtbf_hours: f64, mttr_hours: f64) -> ResourceSpec {
         self.outages = Some((mtbf_hours, mttr_hours));
+        self
+    }
+
+    /// Builder-style site attribution for telemetry rollups.
+    pub fn with_site(mut self, site: &str) -> ResourceSpec {
+        self.site = Some(site.into());
         self
     }
 }
@@ -163,8 +175,10 @@ mod tests {
     fn builders() {
         let r = ResourceSpec::cluster("c", ResourceKind::SgeCluster, 8, 1.0)
             .with_memory(16 << 30)
-            .with_outages(200.0, 4.0);
+            .with_outages(200.0, 4.0)
+            .with_site("umd");
         assert_eq!(r.memory_per_slot, 16 << 30);
         assert_eq!(r.outages, Some((200.0, 4.0)));
+        assert_eq!(r.site.as_deref(), Some("umd"));
     }
 }

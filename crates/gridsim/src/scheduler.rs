@@ -30,7 +30,7 @@ pub struct SchedulerPolicy {
     /// unstable resources. Paper: n = 10 hours.
     pub unstable_cutoff: SimDuration,
     /// Whether ranking and the cutoff use measured resource speeds
-    /// (`false` = the "naive algorithm [that] does not take into account
+    /// (`false` = the "naive algorithm \[that\] does not take into account
     /// resource speed").
     pub use_speed_scaling: bool,
 }
@@ -107,6 +107,20 @@ pub enum RejectReason {
     Stability,
 }
 
+impl RejectReason {
+    /// Stable lowercase label, used as a metrics-key suffix
+    /// (`scheduler.reject.<label>`).
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::Platform => "platform",
+            RejectReason::Memory => "memory",
+            RejectReason::Mpi => "mpi",
+            RejectReason::Software => "software",
+            RejectReason::Stability => "stability",
+        }
+    }
+}
+
 /// Check all matchmaking filters for one resource. `Ok(())` = eligible.
 pub fn matches(
     job: &JobSpec,
@@ -148,7 +162,7 @@ pub fn matches(
 
 /// Ranking score: expected contention per unit effective throughput; lower
 /// is better. "The scheduler attempts to keep jobs from backing up on any
-/// single resource … [corrected] for resource speed" (§V.A).
+/// single resource … \[corrected\] for resource speed" (§V.A).
 pub fn score(view: &ResourceView, policy: &SchedulerPolicy) -> f64 {
     let speed = if policy.use_speed_scaling {
         view.measured_speed
@@ -178,6 +192,70 @@ pub fn choose_resource(
                 .then(a.id.cmp(&b.id))
         })
         .map(|v| v.id)
+}
+
+/// One candidate's fate in an explained scheduling decision: the rank inputs
+/// the scheduler saw (load, speed, stability) plus either its score or the
+/// matchmaking filter that rejected it.
+#[derive(Debug, Clone, Serialize)]
+pub struct CandidateDecision {
+    /// Resource id.
+    pub id: ResourceId,
+    /// Human-readable name.
+    pub name: String,
+    /// True iff the candidate survived all matchmaking filters.
+    pub eligible: bool,
+    /// The filter that rejected it (`None` when eligible).
+    pub reject: Option<RejectReason>,
+    /// Ranking score (lower is better; `None` when rejected).
+    pub score: Option<f64>,
+    /// Load proxy from the candidate's MDS state.
+    pub load: f64,
+    /// Calibrated speed factor.
+    pub speed: f64,
+    /// Stability classification at decision time.
+    pub stable: bool,
+}
+
+/// A full matchmaking + ranking decision with per-candidate reasoning, for
+/// telemetry (`scheduler.decision` events) and offline debugging.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScheduleDecision {
+    /// The winning resource, if any candidate was eligible.
+    pub chosen: Option<ResourceId>,
+    /// Every candidate considered, in view order.
+    pub candidates: Vec<CandidateDecision>,
+}
+
+/// Like [`choose_resource`], but records why each candidate was kept or
+/// rejected. Uses the identical filter, score, and tie-break, so
+/// `choose_resource_explained(..).chosen == choose_resource(..)` always.
+pub fn choose_resource_explained(
+    job: &JobSpec,
+    views: &[ResourceView],
+    policy: &SchedulerPolicy,
+) -> ScheduleDecision {
+    let candidates: Vec<CandidateDecision> = views
+        .iter()
+        .map(|v| {
+            let reject = matches(job, v, policy).err();
+            let eligible = reject.is_none();
+            CandidateDecision {
+                id: v.id,
+                name: v.name.clone(),
+                eligible,
+                reject,
+                score: eligible.then(|| score(v, policy)),
+                load: v.state.load(),
+                speed: v.measured_speed,
+                stable: v.stable,
+            }
+        })
+        .collect();
+    ScheduleDecision {
+        chosen: choose_resource(job, views, policy),
+        candidates,
+    }
 }
 
 #[cfg(test)]
@@ -353,5 +431,41 @@ mod tests {
         job.needs_mpi = true;
         let condor = condor_view(0, 8, 1.0);
         assert_eq!(choose_resource(&job, &[condor], &policy), None);
+    }
+
+    #[test]
+    fn explained_decision_agrees_with_choose_resource() {
+        // Exercise mixed eligibility: a loaded cluster, a fast cluster, an
+        // unstable condor pool with a long job, and an MPI-incapable pool.
+        let policy = SchedulerPolicy::default();
+        let mut busy = cluster_view(0, 8, 1.0);
+        busy.state = ResourceState {
+            free_slots: 2,
+            total_slots: 8,
+            queued_jobs: 5,
+        };
+        let views = vec![
+            busy,
+            cluster_view(1, 8, 2.0),
+            condor_view(2, 16, 1.0),
+            condor_view(3, 4, 0.5),
+        ];
+        let jobs = vec![
+            JobSpec::simple(1, 100.0).with_estimate(100.0),
+            JobSpec::simple(2, 100.0).with_estimate(20.0 * 3600.0),
+            JobSpec::simple(3, 100.0),
+        ];
+        for job in &jobs {
+            let explained = choose_resource_explained(job, &views, &policy);
+            assert_eq!(explained.chosen, choose_resource(job, &views, &policy));
+            assert_eq!(explained.candidates.len(), views.len());
+            for c in &explained.candidates {
+                assert_eq!(c.eligible, c.reject.is_none());
+                assert_eq!(c.eligible, c.score.is_some());
+            }
+        }
+        // The long-estimate job must show a Stability reject on the pools.
+        let long = choose_resource_explained(&jobs[1], &views, &policy);
+        assert_eq!(long.candidates[2].reject, Some(RejectReason::Stability));
     }
 }

@@ -90,6 +90,9 @@ pub struct CampaignResult {
     pub grid_jobs: usize,
     /// Bundle size used (1 = unbundled).
     pub bundle_size: usize,
+    /// End-of-run telemetry snapshot, when the grid config enabled
+    /// telemetry (e.g. [`crate::system::observed_grid`]).
+    pub telemetry: Option<gridsim::TelemetrySnapshot>,
 }
 
 /// Run a validated-or-fresh submission through the full pipeline.
@@ -207,6 +210,7 @@ pub fn run_campaign(
     grid.submit(jobs);
     submission.mark_scheduled(outbox)?;
     let grid_report = grid.run_until_done(options.sim_deadline);
+    let telemetry = grid.telemetry_snapshot();
 
     // 8. Submission bookkeeping: each completed grid job finishes its
     // bundled replicates; dead-lettered jobs are surfaced to the user —
@@ -257,6 +261,7 @@ pub fn run_campaign(
         archive,
         grid_jobs,
         bundle_size,
+        telemetry,
     })
 }
 

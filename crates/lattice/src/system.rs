@@ -28,19 +28,32 @@ pub struct LatticeSystem {
 pub fn standard_grid(seed: u64) -> GridConfig {
     GridConfig {
         resources: vec![
-            ResourceSpec::cluster("umd-pbs", ResourceKind::PbsCluster, 128, 1.2),
-            ResourceSpec::cluster("umd-sge", ResourceKind::SgeCluster, 64, 1.0),
-            ResourceSpec::cluster("bowie-pbs", ResourceKind::PbsCluster, 32, 0.8),
+            ResourceSpec::cluster("umd-pbs", ResourceKind::PbsCluster, 128, 1.2).with_site("umd"),
+            ResourceSpec::cluster("umd-sge", ResourceKind::SgeCluster, 64, 1.0).with_site("umd"),
+            ResourceSpec::cluster("bowie-pbs", ResourceKind::PbsCluster, 32, 0.8)
+                .with_site("bowie"),
             ResourceSpec::cluster("smithsonian-sge", ResourceKind::SgeCluster, 48, 1.5)
-                .with_memory(16 << 30),
-            ResourceSpec::condor_pool("umd-condor", 120, 0.9, 8.0),
-            ResourceSpec::condor_pool("coppin-condor", 40, 0.7, 6.0),
-            ResourceSpec::condor_pool("bowie-condor", 60, 0.8, 10.0),
-            ResourceSpec::condor_pool("smithsonian-condor", 50, 1.1, 12.0),
+                .with_memory(16 << 30)
+                .with_site("smithsonian"),
+            ResourceSpec::condor_pool("umd-condor", 120, 0.9, 8.0).with_site("umd"),
+            ResourceSpec::condor_pool("coppin-condor", 40, 0.7, 6.0).with_site("coppin"),
+            ResourceSpec::condor_pool("bowie-condor", 60, 0.8, 10.0).with_site("bowie"),
+            ResourceSpec::condor_pool("smithsonian-condor", 50, 1.1, 12.0).with_site("smithsonian"),
         ],
         boinc: Some(BoincConfig::default()),
         seed,
         ..Default::default()
+    }
+}
+
+/// The [`standard_grid`] with grid-wide telemetry enabled (structured
+/// events, metrics, lifecycle spans, utilisation timelines — see
+/// `gridsim::telemetry`). Telemetry is observation-only, so results match
+/// [`standard_grid`] bit for bit.
+pub fn observed_grid(seed: u64) -> GridConfig {
+    GridConfig {
+        telemetry: Some(gridsim::TelemetryConfig::default()),
+        ..standard_grid(seed)
     }
 }
 
@@ -208,6 +221,20 @@ mod tests {
         assert_eq!(hard.recovery, Some(gridsim::RecoveryPolicy::default()));
         assert_eq!(hard.resources.len(), plain.resources.len());
         assert_eq!(hard.seed, plain.seed);
+    }
+
+    #[test]
+    fn observed_grid_adds_telemetry_only() {
+        let plain = standard_grid(5);
+        let observed = observed_grid(5);
+        assert!(plain.telemetry.is_none());
+        assert_eq!(
+            observed.telemetry,
+            Some(gridsim::TelemetryConfig::default())
+        );
+        assert_eq!(observed.resources.len(), plain.resources.len());
+        // Every standard resource carries a site for telemetry rollups.
+        assert!(observed.resources.iter().all(|r| r.site.is_some()));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Nonparametric bootstrap support (Felsenstein 1985 — the paper's [3]).
+//! Nonparametric bootstrap support (Felsenstein 1985 — the paper's \[3\]).
 //!
 //! Bootstrap searches dominate the job mix on The Lattice Project: each
 //! submission typically carries hundreds to thousands of pseudo-replicate

@@ -20,7 +20,9 @@
 //! * [`postprocess`] — assembling the result archive (best tree, bootstrap
 //!   support, per-replicate logs) the user downloads as one zip;
 //! * [`notify`] — the email status events ("the user is notified via email
-//!   about important status updates").
+//!   about important status updates");
+//! * [`status`] — the "grid status" page: plain-text and JSON renderings of
+//!   a grid telemetry snapshot (utilisation, MDS freshness, job counters).
 
 #![warn(missing_docs)]
 
@@ -31,6 +33,7 @@ pub mod jobspec;
 pub mod notify;
 pub mod postprocess;
 pub mod render;
+pub mod status;
 pub mod submission;
 pub mod users;
 

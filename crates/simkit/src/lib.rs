@@ -17,6 +17,9 @@
 //!   chaos/robustness experiments.
 //! * [`stats`] — counters, Welford tallies, time-weighted averages, sample
 //!   collectors with exact quantiles.
+//! * [`telemetry`] — deterministic structured telemetry: a sim-time-stamped
+//!   event bus and a metrics registry (counters, gauges, fixed-bucket
+//!   histograms) whose serialized snapshots are byte-stable under replay.
 //! * [`trace`] — a bounded event trace for debugging simulations.
 //!
 //! # Example
@@ -48,6 +51,7 @@ pub mod calendar;
 pub mod faults;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 

@@ -136,6 +136,18 @@ impl Tally {
 ///
 /// Call [`TimeWeighted::set`] whenever the signal changes; the collector
 /// integrates `value × elapsed-time` between updates.
+///
+/// # Timestamp semantics
+///
+/// * **Zero-duration updates** — several `set` calls at the same instant
+///   are legal: each contributes zero to the integral and the last value
+///   wins (the signal is right-continuous).
+/// * **Out-of-order timestamps** — updates are *clamped*, not rejected: an
+///   update earlier than the last one contributes zero elapsed time and the
+///   internal clock never moves backwards. In a correctly ordered
+///   discrete-event simulation this cannot happen; clamping means a stray
+///   caller can at worst lose the (non-causal) interval, never corrupt the
+///   integral with a negative contribution.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct TimeWeighted {
     value: f64,
@@ -191,6 +203,9 @@ impl TimeWeighted {
     }
 
     fn advance(&mut self, now: SimTime) {
+        // Out-of-order `now` is clamped: saturating elapsed time (zero for
+        // non-causal updates) and a monotone last_update. See the type-level
+        // docs for the full timestamp semantics.
         let dt = now.saturating_since(self.last_update).as_secs_f64();
         self.integral += dt * self.value;
         self.last_update = now.max(self.last_update);
@@ -324,6 +339,66 @@ mod tests {
         assert_eq!(a.count(), whole.count());
         assert!((a.mean() - whole.mean()).abs() < 1e-9);
         assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tally_single_observation() {
+        let mut t = Tally::new();
+        t.record(3.5);
+        assert_eq!(t.count(), 1);
+        assert_eq!(t.mean(), 3.5);
+        assert_eq!(t.variance(), 0.0, "n = 1 has no sample variance");
+        assert_eq!(t.std_dev(), 0.0);
+        assert_eq!(t.min(), Some(3.5));
+        assert_eq!(t.max(), Some(3.5));
+        assert_eq!(t.sum(), 3.5);
+    }
+
+    #[test]
+    fn tally_merge_with_empty_is_identity() {
+        let mut a = Tally::new();
+        a.record(1.0);
+        a.record(2.0);
+        let before = (a.count(), a.mean(), a.variance());
+        a.merge(&Tally::new());
+        assert_eq!((a.count(), a.mean(), a.variance()), before);
+        let mut empty = Tally::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 2);
+        assert_eq!(empty.mean(), a.mean());
+    }
+
+    #[test]
+    fn time_weighted_zero_duration_updates() {
+        let t0 = SimTime::from_secs(10);
+        let mut tw = TimeWeighted::new(t0, 1.0);
+        // Two updates at the same instant: zero elapsed time each, last
+        // value wins, max still observes the transient.
+        tw.set(t0, 9.0);
+        tw.set(t0, 2.0);
+        assert_eq!(tw.value(), 2.0);
+        assert_eq!(tw.max(), 9.0);
+        // With no elapsed time at all, the average degenerates to the
+        // current value.
+        assert_eq!(tw.time_average(t0), 2.0);
+        // Only the final value integrates forward.
+        let later = t0 + SimDuration::from_secs(10);
+        assert!((tw.time_average(later) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_out_of_order_updates_are_clamped() {
+        let t0 = SimTime::ZERO;
+        let mut tw = TimeWeighted::new(t0, 0.0);
+        tw.set(t0 + SimDuration::from_secs(10), 5.0);
+        // A non-causal update strictly earlier than the last one: clamped to
+        // zero elapsed time (no negative contribution), value still applied.
+        tw.set(t0 + SimDuration::from_secs(5), 7.0);
+        assert_eq!(tw.value(), 7.0);
+        let now = t0 + SimDuration::from_secs(20);
+        // [0,10): 0.0; [10,20): 7.0 — the out-of-order 5.0→7.0 switch
+        // happened "at" t=10 as far as the integral is concerned.
+        assert!((tw.time_average(now) - (10.0 * 7.0) / 20.0).abs() < 1e-12);
     }
 
     #[test]

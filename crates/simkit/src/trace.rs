@@ -143,6 +143,38 @@ impl Trace {
             .iter()
             .filter(move |r| r.component == component)
     }
+
+    /// One-line accounting summary: how much passed the level filter, how
+    /// much is retained, and — crucially for debugging — how much the ring
+    /// buffer silently evicted.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            retained: self.records.len(),
+            emitted: self.emitted,
+            dropped: self.dropped,
+        }
+    }
+}
+
+/// Accounting summary of a [`Trace`] (see [`Trace::summary`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Records currently held in the ring.
+    pub retained: usize,
+    /// Records that passed the level filter over the trace's lifetime.
+    pub emitted: u64,
+    /// Records that passed the filter but were evicted (or never stored).
+    pub dropped: u64,
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} retained, {} emitted, {} dropped",
+            self.retained, self.emitted, self.dropped
+        )
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +220,19 @@ mod tests {
         t.emit(SimTime::ZERO, Level::Info, "a", "3");
         assert_eq!(t.by_component("a").count(), 2);
         assert_eq!(t.by_component("b").count(), 1);
+    }
+
+    #[test]
+    fn summary_exposes_drop_accounting() {
+        let mut t = Trace::new(2, Level::Debug);
+        for i in 0..5 {
+            t.emit(SimTime::from_secs(i), Level::Info, "c", format!("m{i}"));
+        }
+        let s = t.summary();
+        assert_eq!(s.retained, 2);
+        assert_eq!(s.emitted, 5);
+        assert_eq!(s.dropped, 3);
+        assert_eq!(s.to_string(), "2 retained, 5 emitted, 3 dropped");
     }
 
     #[test]

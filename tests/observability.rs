@@ -1,0 +1,140 @@
+//! Cross-crate observability: the telemetry stack is deterministic, inert
+//! (never changes simulation outcomes), and renderable by the portal.
+//!
+//! The acceptance bar for the telemetry layer: replaying the same seeded
+//! scenario twice yields byte-identical `TelemetrySnapshot` JSON, and
+//! enabling telemetry leaves every simulation outcome untouched.
+
+use gridsim::grid::{Grid, GridConfig, GridReport};
+use gridsim::job::JobSpec;
+use lattice::system::{observed_grid, standard_grid};
+use simkit::{SimRng, SimTime};
+
+/// A mixed workload over the standard 4-institution + BOINC layout.
+fn workload(n: usize, seed: u64) -> Vec<JobSpec> {
+    let mut rng = SimRng::new(seed);
+    (0..n as u64)
+        .map(|id| {
+            let true_secs = rng.lognormal(8.5, 1.0);
+            let mut j =
+                JobSpec::simple(id, true_secs).with_estimate(true_secs * rng.lognormal(0.0, 0.25));
+            j.checkpointable = true;
+            j
+        })
+        .collect()
+}
+
+fn run(config: GridConfig, n: usize, seed: u64) -> (GridReport, Option<String>) {
+    let mut grid = Grid::new(config);
+    grid.submit(workload(n, seed ^ 0x0B5));
+    let report = grid.run_until_done(SimTime::from_days(14));
+    let json = grid
+        .telemetry_snapshot()
+        .map(|s| serde_json::to_string(&s).expect("snapshot serializes"));
+    (report, json)
+}
+
+fn outcome_fingerprint(r: &GridReport) -> (usize, usize, u32, u64, u64, Option<u64>) {
+    (
+        r.completed,
+        r.dead_lettered,
+        r.total_reissues,
+        r.useful_cpu_seconds.to_bits(),
+        r.wasted_cpu_seconds.to_bits(),
+        r.makespan_seconds.map(f64::to_bits),
+    )
+}
+
+#[test]
+fn snapshot_json_is_byte_identical_across_replays() {
+    let (_, a) = run(observed_grid(42), 60, 42);
+    let (_, b) = run(observed_grid(42), 60, 42);
+    let (a, b) = (a.expect("telemetry enabled"), b.expect("telemetry enabled"));
+    assert_eq!(
+        a, b,
+        "replaying a seeded scenario must reproduce the snapshot byte for byte"
+    );
+}
+
+#[test]
+fn telemetry_never_changes_outcomes_on_the_standard_grid() {
+    let (observed, snap) = run(observed_grid(7), 60, 7);
+    let (plain, none) = run(standard_grid(7), 60, 7);
+    assert!(snap.is_some() && none.is_none());
+    assert_eq!(
+        outcome_fingerprint(&observed),
+        outcome_fingerprint(&plain),
+        "telemetry must be a pure observer"
+    );
+    assert_eq!(observed.completed_by, plain.completed_by);
+}
+
+#[test]
+fn portal_status_page_renders_the_standard_grid_deterministically() {
+    let render = |seed: u64| {
+        let mut grid = Grid::new(observed_grid(seed));
+        grid.submit(workload(40, seed));
+        let _ = grid.run_until_done(SimTime::from_days(14));
+        let snap = grid.telemetry_snapshot().expect("telemetry enabled");
+        (
+            portal::status::render_text(&snap),
+            portal::status::render_json(&snap),
+        )
+    };
+    let (text_a, json_a) = render(11);
+    let (text_b, json_b) = render(11);
+    assert_eq!(text_a, text_b);
+    assert_eq!(json_a, json_b);
+    // The page names every institution of the standard layout.
+    for site in ["umd", "bowie", "smithsonian", "coppin"] {
+        assert!(text_a.contains(site), "status page missing site {site}");
+    }
+    assert!(
+        text_a.contains("MDS"),
+        "status page missing the MDS section"
+    );
+}
+
+#[test]
+fn campaign_pipeline_surfaces_the_snapshot() {
+    use garli::config::GarliConfig;
+    use lattice::pipeline::{run_campaign, CampaignOptions};
+    use phylo::models::nucleotide::NucModel;
+    use phylo::models::SiteRates;
+    use phylo::simulate::Simulator;
+    use phylo::tree::Tree;
+    use portal::notify::Outbox;
+    use portal::submission::Submission;
+    use portal::users::User;
+
+    let mut rng = SimRng::new(301);
+    let truth = Tree::random_topology(8, &mut rng);
+    let model = NucModel::jc69();
+    let aln = Simulator::new(&model, SiteRates::uniform()).simulate(&truth, 200, &mut rng);
+    let mut config = GarliConfig::quick_nucleotide();
+    config.genthresh_for_topo_term = 4;
+    config.max_generations = 20;
+    config.search_replicates = 12;
+
+    let mut submission = Submission::new(1, User::guest("o11y@example.edu").unwrap(), config, aln);
+    let mut outbox = Outbox::new();
+    let options = CampaignOptions {
+        grid: observed_grid(301),
+        probe_replicates: 2,
+        sim_deadline: SimTime::from_days(10),
+        seed: 301,
+        ..Default::default()
+    };
+    let result = run_campaign(&mut submission, None, &options, &mut outbox).expect("campaign runs");
+    let snap = result
+        .telemetry
+        .expect("observed grid exposes the snapshot");
+    assert_eq!(
+        snap.metrics.counter("job.submitted"),
+        result.report.total_jobs as u64
+    );
+    assert_eq!(
+        snap.metrics.counter("job.completed"),
+        result.report.completed as u64
+    );
+}
