@@ -1,0 +1,31 @@
+//! Content-addressed data staging for the grid simulation.
+//!
+//! The paper's grid ships every GARLI job's alignment and configuration to a
+//! service-grid site or BOINC volunteer before compute can start. This crate
+//! models that movement as three deterministic, composable pieces:
+//!
+//! * [`ObjectStore`] — a content-addressed catalogue (`ObjectId =
+//!   hash(bytes)`, size-tracked) so bootstrap replicates and bundled
+//!   workunits that share one alignment are deduplicated instead of
+//!   re-shipped;
+//! * [`Link`] — a bandwidth/latency pipe that serializes concurrent
+//!   transfers in simulation time (a transfer queues behind whatever the
+//!   link is already carrying);
+//! * [`LruCache`] — a capacity-bounded, least-recently-used object cache
+//!   with hit/miss/eviction accounting and bulk invalidation (a site bounce
+//!   colds its cache).
+//!
+//! Everything is deterministic by construction: no randomness, no wall
+//! clock, ordered containers throughout. Simulation time enters only as
+//! `f64` seconds passed in by the caller, so the same call sequence always
+//! produces the same transfers, evictions, and counters.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod link;
+pub mod object;
+
+pub use cache::{CacheStats, LruCache};
+pub use link::{Link, LinkSpec, TransferOutcome};
+pub use object::{ObjectId, ObjectRef, ObjectStore, StoreStats};

@@ -5,10 +5,10 @@
 //! * **Permutation importance (%IncMSE)** — for each tree, compare its
 //!   out-of-bag MSE before and after permuting one feature's values among
 //!   the OOB rows; average the increase over trees and express it as a
-//!   percentage of the baseline OOB MSE. "Variable importance was assessed
-//!   by measuring the increase in \[error\] when partitioning data based on a
-//!   variable" (§VI.C); Fig. 2's x-axis is "percent increase in mean square
-//!   error".
+//!   percentage of the baseline OOB MSE. Per §VI.C, variable importance was
+//!   assessed by measuring the increase in error when partitioning data
+//!   based on a variable; Fig. 2's x-axis is "percent increase in mean
+//!   square error".
 //! * **Node purity** — total SSE decrease contributed by each feature's
 //!   splits, summed over all trees.
 

@@ -10,6 +10,7 @@
 //! received in a timely manner" (paper §VI.A). Runtime estimates let those
 //! deadlines be set programmatically instead of by hand.
 
+use crate::data::{DataGridState, StageIn};
 use crate::grid::GridEvent;
 use crate::job::{JobId, JobSpec};
 use crate::mds::ResourceState;
@@ -341,23 +342,37 @@ impl BoincSim {
     }
 
     /// Deliver a task to a client that completed its scheduler RPC.
-    pub fn on_assign(&mut self, client: usize, now: SimTime, cal: &mut Calendar<GridEvent>) {
+    ///
+    /// When the grid runs a data plane, the client first downloads the
+    /// workunit's inputs (against its own cache and the shared server→client
+    /// link): computation starts — and the completion event fires — only
+    /// after the download, and the server extends the reported deadline by
+    /// the same amount, sizing the work request so transfer time does not
+    /// silently eat the compute budget. Returns the staged download (with
+    /// the workunit's job id) when one happened, for telemetry.
+    pub fn on_assign(
+        &mut self,
+        client: usize,
+        data: Option<&mut DataGridState>,
+        now: SimTime,
+        cal: &mut Calendar<GridEvent>,
+    ) -> Option<(JobId, StageIn)> {
         self.clients[client].fetching = false;
         if !self.clients[client].available || self.clients[client].task.is_some() {
-            return; // went away or got work meanwhile
+            return None; // went away or got work meanwhile
         }
-        let Some(wu_id) = self.queue.pop_front() else {
-            return;
+        // Pop queue copies until one belongs to a live workunit (copies of
+        // already-completed workunits are moot).
+        let wu_id = loop {
+            let id = self.queue.pop_front()?;
+            if !self.workunits[&id].completed {
+                break id;
+            }
         };
         let wu = self
             .workunits
             .get_mut(&wu_id)
             .expect("queued workunit exists");
-        if wu.completed {
-            // Queue copy became moot; try the next one for this client.
-            self.on_assign(client, now, cal);
-            return;
-        }
         let assignment = self.next_assignment;
         self.next_assignment += 1;
         self.assignments.insert(
@@ -371,21 +386,29 @@ impl BoincSim {
             wu.first_started = Some(now);
         }
         let deadline = self.config.deadline.deadline_for(&wu.spec);
-        cal.schedule(now + deadline, GridEvent::BoincDeadline { assignment });
+        let stage = data.map(|d| d.boinc_stage_in(client, &wu.spec, now.as_secs_f64()));
+        let download = SimDuration::from_secs_f64(stage.as_ref().map_or(0.0, |s| s.seconds));
+        cal.schedule(
+            now + deadline + download,
+            GridEvent::BoincDeadline { assignment },
+        );
         let remaining = wu.spec.true_reference_seconds;
         let speed = self.clients[client].speed;
         let done = cal.schedule_cancellable(
-            now + SimDuration::from_secs_f64(remaining / speed),
+            now + download + SimDuration::from_secs_f64(remaining / speed),
             GridEvent::BoincClientDone { client, assignment },
         );
         self.clients[client].task = Some(ClientTask {
             wu: wu_id,
             assignment,
             remaining_ref_seconds: remaining,
-            resumed_at: now,
+            // Compute starts after the download; a flip during the download
+            // window charges no CPU (`saturating_since` clamps to zero).
+            resumed_at: now + download,
             done: Some(done),
             cpu_spent: 0.0,
         });
+        stage.map(|s| (wu_id, s))
     }
 
     /// A client finished computing its task and uploads the result.
@@ -554,7 +577,9 @@ mod tests {
         for _ in 0..max {
             let Some((t, ev)) = cal.pop() else { break };
             match ev {
-                GridEvent::BoincAssign { client } => boinc.on_assign(client, t, cal),
+                GridEvent::BoincAssign { client } => {
+                    boinc.on_assign(client, None, t, cal);
+                }
                 GridEvent::BoincClientDone { client, assignment } => {
                     let o = boinc.on_client_done(client, assignment, t, cal);
                     if o != BoincOutcome::None {
@@ -640,7 +665,7 @@ mod tests {
         // Let the assignment happen.
         let (t, ev) = cal.pop().unwrap();
         assert!(matches!(ev, GridEvent::BoincAssign { .. }));
-        boinc.on_assign(0, t, &mut cal);
+        boinc.on_assign(0, None, t, &mut cal);
         // Suspend at t+1h, resume at t+2h.
         let t1 = t + SimDuration::from_hours(1);
         boinc.on_flip(0, t1, &mut cal); // off
@@ -757,7 +782,7 @@ mod tests {
         // Process the assignment RPC.
         let (t, ev) = cal.pop().unwrap();
         if let GridEvent::BoincAssign { client } = ev {
-            boinc.on_assign(client, t, &mut cal);
+            boinc.on_assign(client, None, t, &mut cal);
         }
         assert_eq!(boinc.state().free_slots, 2);
         assert_eq!(boinc.state().total_slots, 3);

@@ -10,6 +10,7 @@
 
 use crate::adapter;
 use crate::boinc::{BoincConfig, BoincOutcome, BoincSim};
+use crate::data::{DataConfig, DataGridState, DataReport};
 use crate::fault::FaultAction;
 use crate::job::{JobId, JobOutcome, JobRecord, JobSpec};
 use crate::lrm::{LrmOutcome, LrmSim};
@@ -127,6 +128,12 @@ pub struct GridConfig {
     /// overhead and — by construction — identical behaviour: telemetry
     /// never consumes randomness or schedules events.
     pub telemetry: Option<TelemetryConfig>,
+    /// Data plane (content-addressed staging, bandwidth-modeled transfers,
+    /// site/volunteer caches, optional data-aware scheduling). `None` (the
+    /// default) keeps the original model where inputs are free; like
+    /// telemetry, the plane consumes no randomness and schedules no events,
+    /// so jobs without inputs behave identically either way.
+    pub data: Option<DataConfig>,
     /// Master seed.
     pub seed: u64,
 }
@@ -144,6 +151,7 @@ impl Default for GridConfig {
             max_local_retries: 5,
             recovery: None,
             telemetry: None,
+            data: None,
             seed: 0,
         }
     }
@@ -179,6 +187,8 @@ pub struct GridWorld {
     submissions_rendered: u64,
     /// Telemetry sink; present iff `config.telemetry` is.
     telemetry: Option<GridTelemetry>,
+    /// Data plane; present iff `config.data` is.
+    data: Option<DataGridState>,
     rng: SimRng,
 }
 
@@ -212,6 +222,11 @@ impl GridWorld {
     /// The MDS database (for monitoring snapshots).
     pub fn mds(&self) -> &Mds {
         &self.mds
+    }
+
+    /// The data plane, if the grid was configured with one.
+    pub fn data(&self) -> Option<&DataGridState> {
+        self.data.as_ref()
     }
 
     fn provider_report(&mut self, resource: usize, now: SimTime) {
@@ -261,11 +276,23 @@ impl GridWorld {
         while let Some(job_id) = self.pending.pop_front() {
             let spec = self.records[&job_id].spec.clone();
             let excluded = self.failed_on.get(&job_id);
-            let eligible: Vec<ResourceView> = views
+            let mut eligible: Vec<ResourceView> = views
                 .iter()
                 .filter(|v| excluded.is_none_or(|ex| !ex.contains(&v.id.0)))
                 .cloned()
                 .collect();
+            // Data-aware scheduling: fill the stage-in estimate on every
+            // candidate *before* choosing, so the plain and explained paths
+            // rank identical inputs. Blind mode leaves the field `None` and
+            // the ranking is exactly the paper's original.
+            if let Some(d) = self.data.as_ref() {
+                if d.aware() {
+                    let now_s = now.as_secs_f64();
+                    for v in &mut eligible {
+                        v.stage_in_seconds = Some(d.estimate_stage_in(v.id.0, &spec, now_s));
+                    }
+                }
+            }
             // The explained path runs the identical filter/score/tie-break
             // (asserted in scheduler tests), so enabling telemetry cannot
             // change placement.
@@ -335,7 +362,17 @@ impl GridWorld {
                 .expect("boinc pool present")
                 .enqueue(job, now, cal);
         } else {
-            let overhead = self.config.dispatch_overhead.as_secs_f64();
+            let mut overhead = self.config.dispatch_overhead.as_secs_f64();
+            // Stage the inputs to the site at dispatch time: the transfer
+            // delay rides the existing per-dispatch overhead, holding the
+            // slot while bytes move (as real stage-in does).
+            if let Some(d) = self.data.as_mut() {
+                let stage = d.stage_in(resource, &job, now.as_secs_f64());
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.on_stage_in(now, job.id, resource, &stage);
+                }
+                overhead += stage.seconds;
+            }
             let lrm = self.lrms[resource].as_mut().expect("lrm present");
             match self.carry.get(&job.id) {
                 // Checkpoint-aware rescheduling: resume from the carried
@@ -578,6 +615,15 @@ impl GridWorld {
 
     fn note_resource_down(&mut self, now: SimTime, resource: usize) {
         if self.resources.get(resource).is_some() {
+            // An outage colds the site cache: staged inputs die with the
+            // head node, so post-recovery dispatches re-pay the transfer.
+            if let Some(d) = self.data.as_mut() {
+                if let Some(dropped) = d.invalidate_resource(resource) {
+                    if let Some(t) = self.telemetry.as_mut() {
+                        t.on_cache_invalidate(now, resource, dropped);
+                    }
+                }
+            }
             if let Some(t) = self.telemetry.as_mut() {
                 t.on_resource_down(now, resource);
             }
@@ -628,6 +674,9 @@ impl World for GridWorld {
                     !self.records.contains_key(&id),
                     "duplicate job id {id:?} submitted"
                 );
+                if let Some(d) = self.data.as_mut() {
+                    d.register_job(&job);
+                }
                 self.records.insert(id, JobRecord::new(*job, now));
                 self.pending.push_back(id);
                 if let Some(t) = self.telemetry.as_mut() {
@@ -703,7 +752,13 @@ impl World for GridWorld {
             }
             GridEvent::BoincAssign { client } => {
                 if let Some(b) = self.boinc.as_mut() {
-                    b.on_assign(client, now, cal);
+                    let staged = b.on_assign(client, self.data.as_mut(), now, cal);
+                    if let Some((job, stage)) = staged {
+                        if let Some(t) = self.telemetry.as_mut() {
+                            let pool = self.boinc_index.expect("boinc pool present");
+                            t.on_stage_in(now, job, pool, &stage);
+                        }
+                    }
                 }
             }
             GridEvent::BoincClientDone { client, assignment } => {
@@ -776,6 +831,9 @@ pub struct GridReport {
     pub dispatches: u64,
     /// Completions per resource name.
     pub completed_by: BTreeMap<String, usize>,
+    /// Data-plane accounting (`None` when the grid runs without
+    /// [`GridConfig::data`]).
+    pub data: Option<DataReport>,
     /// Per-job records, sorted by job id.
     pub records: Vec<JobRecord>,
 }
@@ -851,6 +909,10 @@ impl Grid {
             telemetry: config
                 .telemetry
                 .map(|tc| GridTelemetry::new(tc, &resources)),
+            data: config
+                .data
+                .clone()
+                .map(|dc| DataGridState::new(dc, &resources, boinc_index)),
             stability: config
                 .recovery
                 .map(|policy| StabilityTracker::new(resources.len(), policy)),
@@ -923,7 +985,7 @@ impl Grid {
         world
             .telemetry
             .as_ref()
-            .map(|t| t.snapshot(self.sim.now(), &world.mds))
+            .map(|t| t.snapshot(self.sim.now(), &world.mds, world.data.as_ref()))
     }
 
     /// Submit jobs at the current simulation time.
@@ -1028,6 +1090,7 @@ impl Grid {
             total_attempts: records.iter().map(|r| r.attempts).sum(),
             dispatches: world.dispatches,
             completed_by,
+            data: world.data.as_ref().map(DataGridState::report),
             records,
         }
     }
@@ -1576,5 +1639,99 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn data_plane_without_inputs_does_not_change_outcomes() {
+        // Enabling the data plane on jobs that carry no inputs must be
+        // byte-identical to running without it: every stage-in is zero
+        // bytes, zero seconds, and the BOINC download offsets are exactly
+        // zero micros. Same seeded chaos scenario as the telemetry
+        // inertness test, plus a volunteer pool to cover the download path.
+        let run = |data: Option<DataConfig>| {
+            let config = GridConfig {
+                resources: vec![
+                    ResourceSpec::condor_pool("condor", 16, 1.5, 2.0),
+                    ResourceSpec::cluster("cluster", ResourceKind::PbsCluster, 8, 1.0),
+                ],
+                boinc: Some(BoincConfig {
+                    num_clients: 30,
+                    ..Default::default()
+                }),
+                recovery: Some(RecoveryPolicy::default()),
+                data,
+                seed: 31,
+                ..Default::default()
+            };
+            let mut grid = Grid::new(config);
+            let mut rng = SimRng::new(77);
+            grid.inject_faults(crate::fault::random_faults(
+                &mut rng,
+                &[0],
+                SimDuration::from_hours(24),
+                6,
+            ));
+            grid.submit((0..20).map(|i| {
+                let mut j = JobSpec::simple(i, 4.0 * 3600.0).with_estimate(4.2 * 3600.0);
+                j.checkpointable = i % 2 == 0;
+                j
+            }));
+            let r = grid.run_until_done(SimTime::from_days(20));
+            (
+                r.completed,
+                r.dead_lettered,
+                r.total_reissues,
+                r.makespan_seconds.map(f64::to_bits),
+                r.wasted_cpu_seconds.to_bits(),
+                r.useful_cpu_seconds.to_bits(),
+            )
+        };
+        assert_eq!(run(None), run(Some(DataConfig::default())));
+    }
+
+    #[test]
+    fn staging_dedup_and_cache_hits_are_reported() {
+        // Eight jobs share one alignment; the site cache absorbs all but
+        // the first copy and the store dedups the repeated registrations.
+        let alignment = datagrid::ObjectRef::named("alignment.phy", 64 << 20);
+        let config = GridConfig {
+            resources: vec![
+                ResourceSpec::cluster("cluster", ResourceKind::PbsCluster, 4, 1.0).with_site("umd"),
+            ],
+            telemetry: Some(TelemetryConfig::default()),
+            data: Some(DataConfig::default()),
+            seed: 7,
+            ..Default::default()
+        };
+        let mut grid = Grid::new(config);
+        grid.submit((0..8).map(|i| {
+            JobSpec::simple(i, 1800.0)
+                .with_input(alignment)
+                .with_input(datagrid::ObjectRef::named(&format!("conf-{i}"), 1 << 20))
+        }));
+        let report = grid.run_until_done(SimTime::from_days(2));
+        assert_eq!(report.completed, 8);
+        let data = report.data.expect("data plane enabled");
+        assert_eq!(data.stage_ins, 8);
+        // Alignment: one cold miss, seven cache hits. Configs: eight misses.
+        assert_eq!(data.cache_hits, 7);
+        assert_eq!(data.cache_misses, 9);
+        assert_eq!(data.bytes_moved, (64 << 20) + 8 * (1 << 20));
+        assert_eq!(data.dedup_saved_bytes, 7 * (64 << 20));
+        assert!(data.total_stage_in_seconds > 0.0);
+        // The same accounting flows into telemetry.
+        let snap = grid.telemetry_snapshot().expect("telemetry enabled");
+        assert_eq!(snap.metrics.counter("data.stage_ins"), 8);
+        assert_eq!(snap.metrics.counter("data.cache_hits"), 7);
+        assert_eq!(snap.events.counts.get("data.stage_in"), Some(&8));
+        let hist = snap
+            .metrics
+            .histogram("data.stage_in_seconds")
+            .expect("stage-in histogram recorded");
+        assert_eq!(hist.count(), 8);
+        let dsnap = snap.data.expect("snapshot carries the data plane");
+        assert_eq!(dsnap.store.dedup_hits, 7);
+        assert!(dsnap.links.iter().any(|l| l.name == "site:umd"));
+        assert!(dsnap.caches.iter().any(|c| c.name == "site:umd"));
     }
 }

@@ -8,6 +8,7 @@
 //! runtime estimate produced by the random-forest model.
 
 use crate::platform::Platform;
+use datagrid::ObjectRef;
 use serde::{Deserialize, Serialize};
 use simkit::{SimDuration, SimTime};
 
@@ -44,6 +45,11 @@ pub struct JobSpec {
     pub estimated_reference_seconds: Option<f64>,
     /// Whether the application checkpoints (the BOINC GARLI build does).
     pub checkpointable: bool,
+    /// Content-addressed input objects (alignment, config) that must be
+    /// staged to the executing resource before the job starts. Ignored
+    /// unless the grid enables its data plane ([`crate::GridConfig::data`]).
+    #[serde(default)]
+    pub inputs: Vec<ObjectRef>,
 }
 
 impl JobSpec {
@@ -60,7 +66,23 @@ impl JobSpec {
             true_reference_seconds,
             estimated_reference_seconds: None,
             checkpointable: false,
+            inputs: Vec::new(),
         }
+    }
+
+    /// Attach one content-addressed input object (builder style). Jobs
+    /// sharing content — bootstrap replicates over one alignment — attach
+    /// the *same* [`ObjectRef`], which is what makes dedup and cache hits
+    /// possible downstream.
+    pub fn with_input(mut self, input: ObjectRef) -> JobSpec {
+        self.inputs.push(input);
+        self
+    }
+
+    /// Attach several input objects at once (builder style).
+    pub fn with_inputs(mut self, inputs: &[ObjectRef]) -> JobSpec {
+        self.inputs.extend_from_slice(inputs);
+        self
     }
 
     /// Attach a runtime estimate (builder style).

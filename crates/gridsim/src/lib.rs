@@ -34,12 +34,16 @@
 //!   stability score from observed failures instead of static config;
 //! * [`telemetry`] — deterministic grid-wide observability: structured
 //!   lifecycle events, a metrics registry, per-job latency decomposition,
-//!   utilisation timelines, and an MDS-backed monitoring snapshot.
+//!   utilisation timelines, and an MDS-backed monitoring snapshot;
+//! * [`data`] — the optional data plane: a content-addressed object store,
+//!   bandwidth-modeled links, per-site and per-volunteer LRU caches, and
+//!   the stage-in estimates that make scheduling data-aware.
 
 #![warn(missing_docs)]
 
 pub mod adapter;
 pub mod boinc;
+pub mod data;
 pub mod fault;
 pub mod grid;
 pub mod job;
@@ -53,6 +57,7 @@ pub mod speed;
 pub mod stability;
 pub mod telemetry;
 
+pub use data::{DataConfig, DataGridState, DataPolicy, DataReport, DataSnapshot, StageIn};
 pub use fault::FaultAction;
 pub use grid::{Grid, GridConfig, GridReport};
 pub use job::{JobId, JobOutcome, JobSpec};

@@ -30,8 +30,8 @@ pub struct SchedulerPolicy {
     /// unstable resources. Paper: n = 10 hours.
     pub unstable_cutoff: SimDuration,
     /// Whether ranking and the cutoff use measured resource speeds
-    /// (`false` = the "naive algorithm \[that\] does not take into account
-    /// resource speed").
+    /// (`false` reproduces the paper's naive algorithm, which "does not take
+    /// into account resource speed").
     pub use_speed_scaling: bool,
 }
 
@@ -67,6 +67,10 @@ pub struct ResourceView {
     pub measured_speed: f64,
     /// Latest dynamic state from MDS.
     pub state: ResourceState,
+    /// Estimated seconds to stage the job's inputs here, filled by the grid
+    /// when data-aware scheduling ([`crate::DataPolicy::Aware`]) is enabled;
+    /// `None` keeps the original data-blind behaviour.
+    pub stage_in_seconds: Option<f64>,
 }
 
 impl ResourceView {
@@ -88,6 +92,7 @@ impl ResourceView {
             stable: spec.stable,
             measured_speed,
             state,
+            stage_in_seconds: None,
         }
     }
 }
@@ -150,7 +155,10 @@ pub fn matches(
             1.0
         };
         if let Some(secs) = job.assumed_seconds_at(speed) {
-            if secs > policy.unstable_cutoff.as_secs_f64() {
+            // Data-aware scheduling: the slot is held from dispatch, so the
+            // stage-in delay counts against the same stability budget.
+            let total = secs + view.stage_in_seconds.unwrap_or(0.0);
+            if total > policy.unstable_cutoff.as_secs_f64() {
                 return Err(RejectReason::Stability);
             }
         }
@@ -160,9 +168,16 @@ pub fn matches(
     Ok(())
 }
 
+/// One hour of stage-in delay costs as much as one full unit of contention
+/// in [`score`]; the divisor converts the estimate into score units.
+const STAGE_IN_RANK_SECONDS: f64 = 3600.0;
+
 /// Ranking score: expected contention per unit effective throughput; lower
 /// is better. "The scheduler attempts to keep jobs from backing up on any
-/// single resource … \[corrected\] for resource speed" (§V.A).
+/// single resource", corrected for resource speed (§V.A). When the grid
+/// runs data-aware ([`ResourceView::stage_in_seconds`] is filled), the
+/// estimated stage-in delay is added so warm caches and fast links win ties
+/// and slow cold paths lose them.
 pub fn score(view: &ResourceView, policy: &SchedulerPolicy) -> f64 {
     let speed = if policy.use_speed_scaling {
         view.measured_speed
@@ -171,7 +186,8 @@ pub fn score(view: &ResourceView, policy: &SchedulerPolicy) -> f64 {
     };
     let busy = (view.state.total_slots - view.state.free_slots) as f64;
     let pending = busy + view.state.queued_jobs as f64;
-    (pending + 1.0) / (view.state.total_slots.max(1) as f64 * speed)
+    let contention = (pending + 1.0) / (view.state.total_slots.max(1) as f64 * speed);
+    contention + view.stage_in_seconds.unwrap_or(0.0) / STAGE_IN_RANK_SECONDS
 }
 
 /// Full scheduling decision: filter, then rank. Deterministic tie-breaking
@@ -215,6 +231,9 @@ pub struct CandidateDecision {
     pub speed: f64,
     /// Stability classification at decision time.
     pub stable: bool,
+    /// Estimated stage-in seconds the ranker saw (`None` when the grid is
+    /// data-blind).
+    pub stage_in_seconds: Option<f64>,
 }
 
 /// A full matchmaking + ranking decision with per-candidate reasoning, for
@@ -249,6 +268,7 @@ pub fn choose_resource_explained(
                 load: v.state.load(),
                 speed: v.measured_speed,
                 stable: v.stable,
+                stage_in_seconds: v.stage_in_seconds,
             }
         })
         .collect();
@@ -467,5 +487,100 @@ mod tests {
         // The long-estimate job must show a Stability reject on the pools.
         let long = choose_resource_explained(&jobs[1], &views, &policy);
         assert_eq!(long.candidates[2].reject, Some(RejectReason::Stability));
+    }
+
+    #[test]
+    fn explained_decision_agrees_when_every_candidate_is_rejected() {
+        // Regression: with zero survivors the explained path must still
+        // agree with the plain path (both None) and enumerate a concrete
+        // reject reason for every candidate.
+        let policy = SchedulerPolicy::default();
+        let mut job = JobSpec::simple(1, 100.0);
+        job.needs_mpi = true;
+        job.software_deps = vec!["fortran-2003".into()];
+        job.min_memory_bytes = 1 << 40;
+        let views = vec![
+            cluster_view(0, 8, 1.0),
+            condor_view(1, 16, 1.0),
+            condor_view(2, 4, 0.5),
+        ];
+        let explained = choose_resource_explained(&job, &views, &policy);
+        assert_eq!(explained.chosen, None);
+        assert_eq!(explained.chosen, choose_resource(&job, &views, &policy));
+        assert_eq!(explained.candidates.len(), views.len());
+        for c in &explained.candidates {
+            assert!(!c.eligible);
+            assert!(c.reject.is_some(), "rejected candidates carry a reason");
+            assert_eq!(c.score, None);
+        }
+    }
+
+    #[test]
+    fn software_and_mpi_rejections_are_reported_distinctly() {
+        // A Condor pool fails an MPI job on Mpi and a java job on Software:
+        // the two filters must not collapse into one reason.
+        let policy = SchedulerPolicy::default();
+        let condor = condor_view(0, 8, 1.0);
+        let mut mpi_job = JobSpec::simple(1, 100.0);
+        mpi_job.needs_mpi = true;
+        let mut sw_job = JobSpec::simple(2, 100.0);
+        sw_job.software_deps = vec!["java".into()];
+        let views = vec![condor];
+        let mpi_decision = choose_resource_explained(&mpi_job, &views, &policy);
+        let sw_decision = choose_resource_explained(&sw_job, &views, &policy);
+        assert_eq!(mpi_decision.candidates[0].reject, Some(RejectReason::Mpi));
+        assert_eq!(
+            sw_decision.candidates[0].reject,
+            Some(RejectReason::Software)
+        );
+        assert_ne!(
+            mpi_decision.candidates[0].reject,
+            sw_decision.candidates[0].reject
+        );
+        assert_ne!(RejectReason::Mpi.label(), RejectReason::Software.label());
+    }
+
+    #[test]
+    fn stage_in_estimates_steer_ranking_when_present() {
+        let policy = SchedulerPolicy::default();
+        // Two identical idle clusters: ties break by id without data, but a
+        // warm cache (zero stage-in) beats a cold one.
+        let mut cold = cluster_view(0, 8, 1.0);
+        let mut warm = cluster_view(1, 8, 1.0);
+        let job = JobSpec::simple(1, 100.0);
+        assert_eq!(
+            choose_resource(&job, &[cold.clone(), warm.clone()], &policy),
+            Some(ResourceId(0)),
+            "data-blind: tie-break by lower id"
+        );
+        cold.stage_in_seconds = Some(600.0);
+        warm.stage_in_seconds = Some(0.0);
+        assert_eq!(
+            choose_resource(&job, &[cold.clone(), warm.clone()], &policy),
+            Some(ResourceId(1)),
+            "data-aware: the warm cache wins"
+        );
+        let explained = choose_resource_explained(&job, &[cold, warm], &policy);
+        assert_eq!(explained.chosen, Some(ResourceId(1)));
+        assert_eq!(explained.candidates[0].stage_in_seconds, Some(600.0));
+        assert_eq!(explained.candidates[1].stage_in_seconds, Some(0.0));
+    }
+
+    #[test]
+    fn stage_in_counts_against_the_stability_cutoff() {
+        let policy = SchedulerPolicy::default(); // 10h cutoff
+        let mut condor = condor_view(0, 8, 1.0);
+        let job = JobSpec::simple(1, 100.0).with_estimate(9.5 * 3600.0);
+        assert!(matches(&job, &condor, &policy).is_ok());
+        // A one-hour stage-in pushes the 9.5h job past the 10h budget.
+        condor.stage_in_seconds = Some(3600.0);
+        assert_eq!(
+            matches(&job, &condor, &policy),
+            Err(RejectReason::Stability)
+        );
+        // Stable resources have no cutoff to exceed.
+        let mut cluster = cluster_view(1, 8, 1.0);
+        cluster.stage_in_seconds = Some(3600.0);
+        assert!(matches(&job, &cluster, &policy).is_ok());
     }
 }

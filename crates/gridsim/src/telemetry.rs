@@ -14,7 +14,8 @@
 //! * **Event taxonomy** — `job.submit`, `job.dispatch`, `job.complete`,
 //!   `job.bounce`, `scheduler.decision`, `boinc.workunit`, `boinc.deadline`,
 //!   `recovery.backoff`, `recovery.blacklist`, `recovery.dead_letter`,
-//!   `resource.down`, `resource.up`, `mds.partition`. Recent events sit in a
+//!   `resource.down`, `resource.up`, `mds.partition`, `data.stage_in`,
+//!   `data.cache_invalidate`. Recent events sit in a
 //!   bounded ring ([`simkit::telemetry::EventBus`]); totals per kind are
 //!   exact even after eviction.
 //! * **Lifecycle spans** — per live job: submit → first/last dispatch →
@@ -24,6 +25,7 @@
 //! * **Utilisation timelines** — busy slots per resource and per site via
 //!   [`simkit::stats::TimeWeighted`] integration.
 
+use crate::data::{DataGridState, DataSnapshot, StageIn};
 use crate::job::JobId;
 use crate::mds::{Mds, MdsSnapshot};
 use crate::resource::ResourceSpec;
@@ -52,6 +54,11 @@ impl Default for TelemetryConfig {
         }
     }
 }
+
+/// Histogram bounds for stage-in delays. Transfers complete in seconds to
+/// minutes — far below the job-latency buckets, which start at one minute —
+/// so the data plane gets its own, finer scale.
+const STAGE_IN_BUCKETS: [f64; 7] = [1.0, 5.0, 15.0, 60.0, 300.0, 900.0, 3600.0];
 
 /// Lifecycle span of one in-flight job.
 #[derive(Debug, Clone, Copy)]
@@ -148,16 +155,22 @@ impl GridTelemetry {
                 "none".into()
             }
         };
-        self.bus.emit(
-            now,
-            "scheduler.decision",
-            &[
-                ("job", job.0.into()),
-                ("chosen", chosen),
-                ("eligible", eligible.into()),
-                ("candidates", decision.candidates.len().into()),
-            ],
-        );
+        let mut fields: Vec<(&str, FieldValue)> = vec![
+            ("job", job.0.into()),
+            ("chosen", chosen),
+            ("eligible", eligible.into()),
+            ("candidates", decision.candidates.len().into()),
+        ];
+        // With data-aware scheduling, surface the stage-in term the ranker
+        // saw for the winner (per-candidate terms live in the decision).
+        if let Some(s) = decision
+            .chosen
+            .and_then(|id| decision.candidates.iter().find(|c| c.id == id))
+            .and_then(|c| c.stage_in_seconds)
+        {
+            fields.push(("stage_in_seconds", s.into()));
+        }
+        self.bus.emit(now, "scheduler.decision", &fields);
     }
 
     /// A job was handed to a resource's adapter (LRM queue or BOINC).
@@ -321,6 +334,45 @@ impl GridTelemetry {
         );
     }
 
+    /// A job's inputs were staged to a resource (service-site dispatch or a
+    /// BOINC volunteer download).
+    pub fn on_stage_in(&mut self, now: SimTime, job: JobId, resource: usize, stage: &StageIn) {
+        self.metrics.incr("data.stage_ins");
+        self.metrics.add("data.bytes_moved", stage.bytes_moved);
+        self.metrics.add("data.cache_hits", stage.hits);
+        self.metrics.add("data.cache_misses", stage.misses);
+        self.metrics
+            .observe("data.stage_in_seconds", &STAGE_IN_BUCKETS, stage.seconds);
+        self.bus.emit(
+            now,
+            "data.stage_in",
+            &[
+                ("job", job.0.into()),
+                ("resource", self.names[resource].as_str().into()),
+                ("seconds", stage.seconds.into()),
+                ("bytes", stage.bytes_moved.into()),
+                ("hits", stage.hits.into()),
+                ("misses", stage.misses.into()),
+            ],
+        );
+    }
+
+    /// An outage colded a site cache, dropping `dropped_bytes` of staged
+    /// inputs.
+    pub fn on_cache_invalidate(&mut self, now: SimTime, resource: usize, dropped_bytes: u64) {
+        self.metrics.incr("data.cache_invalidations");
+        self.metrics
+            .add("data.cache_invalidated_bytes", dropped_bytes);
+        self.bus.emit(
+            now,
+            "data.cache_invalidate",
+            &[
+                ("resource", self.names[resource].as_str().into()),
+                ("dropped_bytes", dropped_bytes.into()),
+            ],
+        );
+    }
+
     /// A silent MDS partition started or ended on a resource.
     pub fn on_partition(&mut self, now: SimTime, resource: usize, started: bool) {
         if started {
@@ -359,8 +411,14 @@ impl GridTelemetry {
         }
     }
 
-    /// Export everything, joined with the MDS monitoring view, at `now`.
-    pub fn snapshot(&self, now: SimTime, mds: &Mds) -> TelemetrySnapshot {
+    /// Export everything, joined with the MDS monitoring view and (when the
+    /// grid runs one) the data plane, at `now`.
+    pub fn snapshot(
+        &self,
+        now: SimTime,
+        mds: &Mds,
+        data: Option<&DataGridState>,
+    ) -> TelemetrySnapshot {
         let resources: Vec<ResourceUtilisation> = (0..self.names.len())
             .map(|i| {
                 let mean = self.util[i].time_average(now);
@@ -403,6 +461,7 @@ impl GridTelemetry {
             resources,
             sites,
             mds: mds.snapshot(now),
+            data: data.map(|d| d.snapshot(now.as_secs_f64())),
             events: self.bus.snapshot(),
         }
     }
@@ -459,6 +518,9 @@ pub struct TelemetrySnapshot {
     pub sites: Vec<SiteUtilisation>,
     /// MDS monitoring view (freshness, offline episodes, staleness).
     pub mds: MdsSnapshot,
+    /// Data-plane view (store, links, caches); `None` when the grid runs
+    /// without [`crate::GridConfig::data`].
+    pub data: Option<DataSnapshot>,
     /// Event totals and the recent-event ring.
     pub events: EventBusSnapshot,
 }
@@ -514,7 +576,7 @@ mod tests {
         t.set_busy(SimTime::ZERO, 0, 4);
         t.set_busy(SimTime::ZERO, 1, 2);
         t.set_busy(SimTime::from_hours(1), 0, 0);
-        let snap = t.snapshot(SimTime::from_hours(2), &Mds::with_default_lifetime());
+        let snap = t.snapshot(SimTime::from_hours(2), &Mds::with_default_lifetime(), None);
         let a = &snap.resources[0];
         assert!((a.mean_busy_slots - 2.0).abs() < 1e-9);
         assert!((a.utilisation - 0.25).abs() < 1e-9);
@@ -562,7 +624,7 @@ mod tests {
                 );
             }
             t.on_completed(SimTime::from_secs(500), JobId(0), "a", None, false);
-            serde_json::to_string(&t.snapshot(SimTime::from_secs(600), &mds)).unwrap()
+            serde_json::to_string(&t.snapshot(SimTime::from_secs(600), &mds, None)).unwrap()
         };
         let a = run();
         assert_eq!(a, run());

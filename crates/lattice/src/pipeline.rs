@@ -161,13 +161,31 @@ pub fn run_campaign(
         (Some(policy), Some(est)) => policy.bundle_size(est * options.runtime_scale),
         _ => 1,
     };
+    // Every replicate of a submission executes against the *same* alignment
+    // and GARLI config, so all its grid jobs reference the same two
+    // content-addressed objects. When the grid runs a data plane this is
+    // what lets the object store dedup the repeated shipments and the site
+    // caches serve all but the first stage-in; without one the refs are
+    // inert metadata.
+    let alignment_bytes =
+        (submission.alignment.num_taxa() * submission.alignment.num_sites()) as u64 + 4 * 1024;
+    let alignment_ref = gridsim::data::ObjectRef::named(
+        &format!("submission-{}/alignment", submission.id),
+        alignment_bytes,
+    );
+    let config_ref = gridsim::data::ObjectRef::named(
+        &format!("submission-{}/garli.conf", submission.id),
+        8 * 1024,
+    );
     let mut jobs = Vec::new();
     let mut idx = 0usize;
     let mut job_id = 0u64;
     while idx < n {
         let take = bundle_size.min(n - idx);
         let true_secs: f64 = true_runtimes[idx..idx + take].iter().sum();
-        let mut job = JobSpec::simple(job_id, true_secs * options.runtime_scale);
+        let mut job = JobSpec::simple(job_id, true_secs * options.runtime_scale)
+            .with_input(alignment_ref)
+            .with_input(config_ref);
         job.min_memory_bytes = report.memory_bytes;
         job.checkpointable = options.checkpointable;
         if options.attach_estimates {

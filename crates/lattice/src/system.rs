@@ -57,6 +57,18 @@ pub fn observed_grid(seed: u64) -> GridConfig {
     }
 }
 
+/// The [`standard_grid`] with the data plane enabled: content-addressed
+/// staging over per-site links, site and volunteer caches, and data-aware
+/// scheduling (see `gridsim::data`). Campaign jobs already carry their
+/// alignment/config [`gridsim::data::ObjectRef`]s, so this is the only
+/// switch to flip.
+pub fn data_aware_grid(seed: u64) -> GridConfig {
+    GridConfig {
+        data: Some(gridsim::DataConfig::default()),
+        ..standard_grid(seed)
+    }
+}
+
 /// The [`standard_grid`] hardened with the default grid-level recovery
 /// policy: exponential backoff with jitter, failure-rate blacklisting,
 /// bounded retries with a dead-letter outcome, and checkpoint carry-over
@@ -235,6 +247,51 @@ mod tests {
         assert_eq!(observed.resources.len(), plain.resources.len());
         // Every standard resource carries a site for telemetry rollups.
         assert!(observed.resources.iter().all(|r| r.site.is_some()));
+    }
+
+    #[test]
+    fn data_aware_grid_adds_data_plane_only() {
+        let plain = standard_grid(6);
+        let data = data_aware_grid(6);
+        assert!(plain.data.is_none());
+        assert_eq!(data.data, Some(gridsim::DataConfig::default()));
+        assert_eq!(data.resources.len(), plain.resources.len());
+        // Every standard resource carries a site, so each gets a site cache.
+        assert!(data.resources.iter().all(|r| r.site.is_some()));
+    }
+
+    #[test]
+    fn data_aware_system_stages_and_dedups_submission_inputs() {
+        let grid = GridConfig {
+            data: Some(gridsim::DataConfig::default()),
+            telemetry: Some(gridsim::TelemetryConfig::default()),
+            resources: vec![
+                ResourceSpec::cluster("c", ResourceKind::PbsCluster, 16, 1.0).with_site("umd"),
+            ],
+            seed: 33,
+            ..Default::default()
+        };
+        let mut sys = LatticeSystem::bootstrap(20, Scale::Compact, 50, grid, 34);
+        let (config, aln) = quick_submission_parts();
+        let result = sys
+            .submit(
+                User::guest("u@x.org").unwrap(),
+                config,
+                aln,
+                CampaignOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(result.report.completed, 3);
+        let data = result.report.data.expect("data plane enabled");
+        assert_eq!(data.stage_ins, 3);
+        // All three replicates share one alignment + one config: two cold
+        // misses on the first dispatch, four cache hits after.
+        assert_eq!(data.cache_misses, 2);
+        assert_eq!(data.cache_hits, 4);
+        assert_eq!(data.dedup_saved_bytes, 2 * data.unique_bytes);
+        let snap = result.telemetry.expect("telemetry enabled");
+        assert_eq!(snap.metrics.counter("data.stage_ins"), 3);
+        assert!(snap.data.is_some());
     }
 
     #[test]

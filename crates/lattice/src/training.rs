@@ -1,6 +1,6 @@
 //! Training workload generation.
 //!
-//! The paper trained on "approximately 150 GARLI jobs … represent\[ing\] a
+//! The paper trained on "approximately 150 GARLI jobs" that "represent a
 //! great diversity of 'real' jobs that had been previously submitted by
 //! researchers". We do not have those jobs, so — per the substitution rule
 //! in DESIGN.md — this module *fabricates* a comparably structured

@@ -1,4 +1,5 @@
-//! Nonparametric bootstrap support (Felsenstein 1985 — the paper's \[3\]).
+//! Nonparametric bootstrap support (Felsenstein 1985, the paper's third
+//! reference).
 //!
 //! Bootstrap searches dominate the job mix on The Lattice Project: each
 //! submission typically carries hundreds to thousands of pseudo-replicate

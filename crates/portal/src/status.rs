@@ -147,6 +147,56 @@ pub fn render_text(snap: &TelemetrySnapshot) -> String {
     )
     .unwrap();
 
+    if let Some(d) = &snap.data {
+        writeln!(
+            out,
+            "\nData: {} stage-ins moved {} MB ({} MB saved by dedup), {} invalidations",
+            m.counter("data.stage_ins"),
+            m.counter("data.bytes_moved") / (1 << 20),
+            d.store.dedup_saved_bytes() / (1 << 20),
+            m.counter("data.cache_invalidations")
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  {:<22} {:>9} {:>10} {:>10} {:>10} {:>6}",
+            "link", "MB/s", "transfers", "moved-MB", "queued-s", "util%"
+        )
+        .unwrap();
+        for l in &d.links {
+            writeln!(
+                out,
+                "  {:<22} {:>9.1} {:>10} {:>10} {:>10.0} {:>5.1}%",
+                l.name,
+                l.bandwidth_bytes_per_sec / 1e6,
+                l.transfers,
+                l.bytes_moved / (1 << 20),
+                l.queued_seconds,
+                l.utilisation * 100.0
+            )
+            .unwrap();
+        }
+        writeln!(
+            out,
+            "  {:<22} {:>10} {:>10} {:>8} {:>8} {:>9}",
+            "cache", "used-MB", "cap-MB", "hits", "misses", "evictions"
+        )
+        .unwrap();
+        for c in &d.caches {
+            writeln!(
+                out,
+                "  {:<22} {:>10} {:>10} {:>8} {:>8} {:>9}",
+                c.name,
+                c.occupancy_bytes / (1 << 20),
+                c.capacity_bytes / (1 << 20),
+                c.stats.hits,
+                c.stats.misses,
+                c.stats.evictions
+            )
+            .unwrap();
+        }
+    }
+
     writeln!(
         out,
         "\nEvents: {} emitted ({} evicted from the ring)",
@@ -168,7 +218,10 @@ pub fn render_json(snap: &TelemetrySnapshot) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gridsim::{Grid, GridConfig, JobSpec, ResourceKind, ResourceSpec, TelemetryConfig};
+    use gridsim::data::ObjectRef;
+    use gridsim::{
+        DataConfig, Grid, GridConfig, JobSpec, ResourceKind, ResourceSpec, TelemetryConfig,
+    };
     use simkit::SimTime;
 
     fn observed_run() -> TelemetrySnapshot {
@@ -178,11 +231,13 @@ mod tests {
                 ResourceSpec::condor_pool("beta", 16, 1.2, 8.0).with_site("bowie"),
             ],
             telemetry: Some(TelemetryConfig::default()),
+            data: Some(DataConfig::default()),
             seed: 99,
             ..Default::default()
         };
         let mut grid = Grid::new(config);
-        grid.submit((0..10).map(|i| JobSpec::simple(i, 1800.0)));
+        let alignment = ObjectRef::named("aln", 32 << 20);
+        grid.submit((0..10).map(|i| JobSpec::simple(i, 1800.0).with_input(alignment)));
         let _ = grid.run_until_done(SimTime::from_hours(12));
         grid.telemetry_snapshot().expect("telemetry enabled")
     }
@@ -200,8 +255,12 @@ mod tests {
             "umd",
             "MDS (entry lifetime 300s",
             "Scheduler:",
+            "Data:",
+            "site:umd",
+            "site:bowie",
             "Events:",
             "job.complete",
+            "data.stage_in",
         ] {
             assert!(page.contains(needle), "missing {needle:?} in:\n{page}");
         }
@@ -224,6 +283,7 @@ mod tests {
             "\"resources\"",
             "\"sites\"",
             "\"mds\"",
+            "\"data\"",
             "\"events\"",
             "\"job.completed\"",
         ] {

@@ -116,6 +116,19 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     }
 }
 
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A 0, B 1) (A 0, B 1, C 2) (A 0, B 1, C 2, D 3));
+
 /// `Just`-style constant strategy.
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone>(pub T);
