@@ -14,6 +14,7 @@ use crate::data::{DataGridState, StageIn};
 use crate::grid::GridEvent;
 use crate::job::{JobId, JobSpec};
 use crate::mds::ResourceState;
+use quorum::{Completion, QuorumEngine, ValidationConfig, ValidationSnapshot, Verdict};
 use serde::{Deserialize, Serialize};
 use simkit::calendar::EventHandle;
 use simkit::{Calendar, SimDuration, SimRng, SimTime};
@@ -48,7 +49,17 @@ impl DeadlinePolicy {
                 min,
                 fallback,
             } => match job.estimated_reference_seconds {
-                Some(est) => {
+                // Guard against poisoned estimates (NaN, ±inf, zero,
+                // negative) and against `est * slack` overflowing to
+                // infinity: `SimDuration::from_secs_f64` asserts finite
+                // non-negative input, so an unchecked estimate from a
+                // mis-trained predictor would panic the server loop.
+                Some(est)
+                    if est.is_finite()
+                        && est > 0.0
+                        && (est * slack).is_finite()
+                        && est * slack >= 0.0 =>
+                {
                     let d = SimDuration::from_secs_f64(est * slack);
                     if d < min {
                         min
@@ -56,7 +67,7 @@ impl DeadlinePolicy {
                         d
                     }
                 }
-                None => fallback,
+                _ => fallback,
             },
         }
     }
@@ -140,7 +151,19 @@ enum AssignmentStatus {
 #[derive(Debug)]
 struct Assignment {
     wu: JobId,
+    /// The host this copy ran on (reputation bookkeeping on timeout).
+    client: usize,
     status: AssignmentStatus,
+}
+
+/// Validation state carried by the pool when `GridConfig::validation` is
+/// set: the quorum engine plus a per-workunit ledger of CPU-seconds banked
+/// per returned result (arrival order), so useful vs. wasted compute can be
+/// split along the engine's valid/invalid verdict at completion.
+#[derive(Debug)]
+struct ValidationState {
+    engine: QuorumEngine,
+    cpu_by_result: HashMap<JobId, Vec<f64>>,
 }
 
 /// What the grid must act on after a BOINC state change.
@@ -161,6 +184,15 @@ pub enum BoincOutcome {
         /// True iff the accepted result was corrupt — possible only without
         /// redundancy (quorum = 1); validation catches it otherwise.
         corrupt: bool,
+        /// The quorum engine's completion record, when the validation
+        /// subsystem is enabled (`None` on the legacy counting path).
+        validation: Option<Completion>,
+    },
+    /// The quorum engine gave up on this workunit (error/total budget
+    /// exhausted): the job cannot complete and must be dead-lettered.
+    ValidationFailed {
+        /// The unvalidatable workunit/job.
+        job: JobId,
     },
 }
 
@@ -184,6 +216,13 @@ pub struct BoincSim {
     corrupt_caught: u32,
     /// Corrupt results silently accepted (quorum = 1).
     corrupt_accepted: u32,
+    /// Probability that an otherwise-honest host returns a wrong score
+    /// (transient fault injection; only meaningful with validation on).
+    erroneous_rate: f64,
+    /// Hosts that *always* return wrong scores (malicious-host injection).
+    malicious: Vec<bool>,
+    /// The result-validation subsystem (`GridConfig::validation`).
+    validation: Option<ValidationState>,
     rng: SimRng,
 }
 
@@ -223,8 +262,76 @@ impl BoincSim {
             corruption_rate: 0.0,
             corrupt_caught: 0,
             corrupt_accepted: 0,
+            erroneous_rate: 0.0,
+            malicious: Vec::new(),
+            validation: None,
             rng,
         }
+    }
+
+    /// Turn on result validation. `rng` must be a dedicated fork (the
+    /// engine draws spot checks and score jitter from it), so enabling
+    /// validation leaves the pool's own RNG stream untouched.
+    pub fn enable_validation(&mut self, config: ValidationConfig, rng: SimRng) {
+        let mut engine = QuorumEngine::new(config, rng);
+        engine.ensure_hosts(self.config.num_clients);
+        self.validation = Some(ValidationState {
+            engine,
+            cpu_by_result: HashMap::new(),
+        });
+    }
+
+    /// True iff the validation subsystem is active.
+    pub fn validation_enabled(&self) -> bool {
+        self.validation.is_some()
+    }
+
+    /// The quorum engine's aggregate accounting, when validation is on.
+    pub fn validation_snapshot(&self) -> Option<ValidationSnapshot> {
+        self.validation.as_ref().map(|v| v.engine.snapshot())
+    }
+
+    /// True iff `host` is currently reputation-blacklisted.
+    pub fn host_blacklisted(&self, host: usize) -> bool {
+        self.validation
+            .as_ref()
+            .is_some_and(|v| v.engine.is_blacklisted(host))
+    }
+
+    /// True iff `host` has earned replication-1 trust.
+    pub fn host_trusted(&self, host: usize) -> bool {
+        self.validation
+            .as_ref()
+            .is_some_and(|v| v.engine.is_trusted(host))
+    }
+
+    /// Set the probability that an honest host's result carries a wrong
+    /// score (fault injection; clamped to `[0, 1]`, `0.0` disables). Only
+    /// observable with validation enabled.
+    pub fn set_erroneous_rate(&mut self, rate: f64) {
+        self.erroneous_rate = rate.clamp(0.0, 1.0);
+    }
+
+    /// Mark a deterministic `fraction` of hosts as malicious (every result
+    /// they return is wrong). Selection hash-spreads over client indices —
+    /// `assign_work` favours low indices, so taking the first *k* hosts
+    /// would grossly overweight the injected fraction in practice.
+    pub fn set_malicious_fraction(&mut self, fraction: f64) {
+        let fraction = fraction.clamp(0.0, 1.0);
+        self.malicious = (0..self.config.num_clients)
+            .map(|i| {
+                let mut h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xDEFE_C8ED;
+                h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                h ^= h >> 31;
+                ((h >> 11) as f64 / (1u64 << 53) as f64) < fraction
+            })
+            .collect();
+    }
+
+    /// Hosts currently marked malicious.
+    pub fn malicious_count(&self) -> usize {
+        self.malicious.iter().filter(|&&m| m).count()
     }
 
     /// Set the probability that a returned result is garbage (fault
@@ -300,8 +407,9 @@ impl BoincSim {
             .sum()
     }
 
-    /// Accept a job from the grid: create the workunit and queue `quorum`
-    /// initial copies.
+    /// Accept a job from the grid: create the workunit and queue the
+    /// initial copies — `quorum` of them on the legacy path, or however
+    /// many the validation engine's replication policy dictates.
     pub fn enqueue(&mut self, job: JobSpec, now: SimTime, cal: &mut Calendar<GridEvent>) {
         let id = job.id;
         self.workunits.insert(
@@ -314,7 +422,11 @@ impl BoincSim {
                 first_started: None,
             },
         );
-        for _ in 0..self.config.quorum {
+        let copies = match &mut self.validation {
+            Some(v) => v.engine.register(id.0),
+            None => self.config.quorum,
+        };
+        for _ in 0..copies {
             self.queue.push_back(id);
         }
         self.assign_work(now, cal);
@@ -329,6 +441,15 @@ impl BoincSim {
         for i in 0..self.clients.len() {
             if self.queue.is_empty() {
                 break;
+            }
+            // Reputation blacklist: hosts whose record crossed the error
+            // threshold stop receiving work entirely.
+            if self
+                .validation
+                .as_ref()
+                .is_some_and(|v| v.engine.is_blacklisted(i))
+            {
+                continue;
             }
             let c = &mut self.clients[i];
             if c.available && c.task.is_none() && !c.fetching {
@@ -361,6 +482,9 @@ impl BoincSim {
         if !self.clients[client].available || self.clients[client].task.is_some() {
             return None; // went away or got work meanwhile
         }
+        if self.host_blacklisted(client) {
+            return None; // blacklisted between RPC and delivery
+        }
         // Pop queue copies until one belongs to a live workunit (copies of
         // already-completed workunits are moot).
         let wu_id = loop {
@@ -379,12 +503,35 @@ impl BoincSim {
             assignment,
             Assignment {
                 wu: wu_id,
+                client,
                 status: AssignmentStatus::Outstanding,
             },
         );
         if wu.first_started.is_none() {
             wu.first_started = Some(now);
         }
+        // Adaptive replication reacts to who this copy landed on: the first
+        // assignment to an untrusted (or spot-checked) host escalates the
+        // workunit to its full quorum, and the extra copies join the queue.
+        let mut escalated = false;
+        if let Some(v) = &mut self.validation {
+            let extra = v.engine.on_assign(wu_id.0, client);
+            if extra > 0 {
+                // Quorum-motivated copies jump the queue: closing an open
+                // quorum beats starting fresh work, and in a big batch the
+                // partner copy would otherwise sit behind every
+                // still-unassigned workunit, stalling the completions that
+                // reputations (and the adaptive shortcut) are built from.
+                for _ in 0..extra {
+                    self.queue.push_front(wu_id);
+                }
+                escalated = true;
+            }
+        }
+        let wu = self
+            .workunits
+            .get_mut(&wu_id)
+            .expect("queued workunit exists");
         let deadline = self.config.deadline.deadline_for(&wu.spec);
         let stage = data.map(|d| d.boinc_stage_in(client, &wu.spec, now.as_secs_f64()));
         let download = SimDuration::from_secs_f64(stage.as_ref().map_or(0.0, |s| s.seconds));
@@ -408,6 +555,10 @@ impl BoincSim {
             done: Some(done),
             cpu_spent: 0.0,
         });
+        if escalated {
+            // Hand the freshly-queued quorum copies to other idle hosts.
+            self.assign_work(now, cal);
+        }
         stage.map(|s| (wu_id, s))
     }
 
@@ -435,6 +586,11 @@ impl BoincSim {
         // Drawn only under an active corruption fault, so runs without one
         // replay the exact RNG stream they always did.
         let corrupt = self.corruption_rate > 0.0 && self.rng.chance(self.corruption_rate);
+        if self.validation.is_some() {
+            let outcome = self.on_validated_result(client, task.wu, cpu, corrupt);
+            self.assign_work(now, cal);
+            return outcome;
+        }
         let wu = self.workunits.get_mut(&task.wu).expect("workunit exists");
         let outcome = if wu.completed {
             // Late or redundant beyond quorum: wasted volunteer time.
@@ -465,6 +621,7 @@ impl BoincSim {
                     started: wu.first_started.expect("started before completing"),
                     reissues: wu.reissues,
                     corrupt,
+                    validation: None,
                 }
             } else {
                 BoincOutcome::None
@@ -475,24 +632,123 @@ impl BoincSim {
         outcome
     }
 
-    /// A deadline fired for an assignment. If its result never arrived
-    /// (still outstanding, or silently abandoned — the server cannot tell
-    /// the difference), reissue the workunit.
-    pub fn on_deadline(&mut self, assignment: u64, now: SimTime, cal: &mut Calendar<GridEvent>) {
-        let Some(a) = self.assignments.get(&assignment) else {
-            return;
-        };
-        if a.status == AssignmentStatus::Returned {
-            return;
-        }
-        let wu_id = a.wu;
+    /// Route a returned result through the quorum engine: synthesize its
+    /// likelihood score (honest or bad depending on the host and active
+    /// faults), bank its CPU against the workunit, and act on the verdict.
+    fn on_validated_result(
+        &mut self,
+        client: usize,
+        wu_id: JobId,
+        cpu: f64,
+        corrupt: bool,
+    ) -> BoincOutcome {
+        let bad = corrupt
+            || self.malicious.get(client).copied().unwrap_or(false)
+            || (self.erroneous_rate > 0.0 && self.rng.chance(self.erroneous_rate));
+        let v = self.validation.as_mut().expect("validation enabled");
         let wu = self.workunits.get_mut(&wu_id).expect("workunit exists");
         if wu.completed {
-            return;
+            // Late or redundant beyond the decided quorum: wasted time.
+            self.wasted_cpu_seconds += cpu;
+            return BoincOutcome::None;
+        }
+        wu.results_received += 1;
+        v.cpu_by_result.entry(wu_id).or_default().push(cpu);
+        let score = v.engine.score_for(wu_id.0, !bad);
+        match v.engine.on_result(wu_id.0, client, score) {
+            Verdict::Pending { issue } => {
+                if issue > 0 {
+                    wu.reissues += issue as u32;
+                    // Tiebreaker copies jump the queue like escalation
+                    // copies do: the workunit already has results waiting
+                    // on them.
+                    for _ in 0..issue {
+                        self.queue.push_front(wu_id);
+                    }
+                }
+                BoincOutcome::None
+            }
+            Verdict::Completed(c) => {
+                wu.completed = true;
+                let cpus = v.cpu_by_result.remove(&wu_id).unwrap_or_default();
+                let useful: f64 = c
+                    .valid
+                    .iter()
+                    .map(|&i| cpus.get(i).copied().unwrap_or(0.0))
+                    .sum();
+                let wasted: f64 = c
+                    .invalid
+                    .iter()
+                    .map(|&i| cpus.get(i).copied().unwrap_or(0.0))
+                    .sum();
+                self.wasted_cpu_seconds += wasted;
+                // Honest scores always land within tolerance of each other,
+                // so an invalid result is necessarily a bad one: caught.
+                self.corrupt_caught += c.invalid.len() as u32;
+                if c.canonical_bad {
+                    self.corrupt_accepted += 1;
+                }
+                BoincOutcome::Completed {
+                    job: wu_id,
+                    useful_cpu_seconds: useful,
+                    started: wu.first_started.expect("started before completing"),
+                    reissues: wu.reissues,
+                    corrupt: c.canonical_bad,
+                    validation: Some(c),
+                }
+            }
+            Verdict::Failed => {
+                // Unvalidatable: every result's CPU was wasted and the job
+                // is handed back to the grid as a dead letter.
+                wu.completed = true;
+                let cpus = v.cpu_by_result.remove(&wu_id).unwrap_or_default();
+                self.wasted_cpu_seconds += cpus.iter().sum::<f64>();
+                BoincOutcome::ValidationFailed { job: wu_id }
+            }
+        }
+    }
+
+    /// A deadline fired for an assignment. If its result never arrived
+    /// (still outstanding, or silently abandoned — the server cannot tell
+    /// the difference), reissue the workunit. Under validation the quorum
+    /// engine decides: the timeout dents the host's reputation, and a
+    /// workunit whose replica budget is exhausted fails outright.
+    pub fn on_deadline(
+        &mut self,
+        assignment: u64,
+        now: SimTime,
+        cal: &mut Calendar<GridEvent>,
+    ) -> BoincOutcome {
+        let Some(a) = self.assignments.get(&assignment) else {
+            return BoincOutcome::None;
+        };
+        if a.status == AssignmentStatus::Returned {
+            return BoincOutcome::None;
+        }
+        let wu_id = a.wu;
+        let host = a.client;
+        let wu = self.workunits.get_mut(&wu_id).expect("workunit exists");
+        if wu.completed {
+            return BoincOutcome::None;
+        }
+        if let Some(v) = &mut self.validation {
+            let decision = v.engine.on_timeout(wu_id.0, host);
+            if decision.reissue {
+                wu.reissues += 1;
+                self.queue.push_back(wu_id);
+                self.assign_work(now, cal);
+            } else if decision.failed {
+                wu.completed = true;
+                let cpus = v.cpu_by_result.remove(&wu_id).unwrap_or_default();
+                self.wasted_cpu_seconds += cpus.iter().sum::<f64>();
+                return BoincOutcome::ValidationFailed { job: wu_id };
+            }
+            return BoincOutcome::None;
         }
         wu.reissues += 1;
         self.queue.push_back(wu_id);
         self.assign_work(now, cal);
+        BoincOutcome::None
     }
 
     /// A client's availability flips.
@@ -586,7 +842,12 @@ mod tests {
                         outcomes.push(o);
                     }
                 }
-                GridEvent::BoincDeadline { assignment } => boinc.on_deadline(assignment, t, cal),
+                GridEvent::BoincDeadline { assignment } => {
+                    let o = boinc.on_deadline(assignment, t, cal);
+                    if o != BoincOutcome::None {
+                        outcomes.push(o);
+                    }
+                }
                 GridEvent::BoincFlip { client } => boinc.on_flip(client, t, cal),
                 _ => {}
             }
@@ -771,6 +1032,186 @@ mod tests {
         // Clamped to min.
         let tiny = JobSpec::simple(3, 1.0).with_estimate(10.0);
         assert_eq!(scaled.deadline_for(&tiny), SimDuration::from_hours(1));
+    }
+
+    #[test]
+    fn estimate_scaled_guards_poisoned_estimates() {
+        // A mis-trained predictor can emit NaN, ±inf, zero, or negative
+        // estimates; `SimDuration::from_secs_f64` panics on any of them, so
+        // the policy must fall back instead of taking down the server loop.
+        let fallback = SimDuration::from_days(7);
+        let scaled = DeadlinePolicy::EstimateScaled {
+            slack: 3.0,
+            min: SimDuration::from_hours(1),
+            fallback,
+        };
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -100.0, 0.0] {
+            let job = JobSpec::simple(1, 100.0).with_estimate(bad);
+            assert_eq!(scaled.deadline_for(&job), fallback, "estimate {bad}");
+        }
+        // A finite estimate whose scaled product overflows must also fall
+        // back rather than panic.
+        let huge = JobSpec::simple(2, 100.0).with_estimate(f64::MAX);
+        assert_eq!(scaled.deadline_for(&huge), fallback);
+    }
+
+    #[test]
+    fn reissue_with_data_plane_charges_download_once_per_assignment() {
+        use crate::data::{DataConfig, DataGridState};
+        use crate::resource::{ResourceKind, ResourceSpec};
+        use datagrid::ObjectRef;
+
+        // A job too long for its deadline: the first assignment times out,
+        // the reissued copy lands on the second client, and each of the two
+        // assignments must pay the input download exactly once.
+        let mut cal = Calendar::new();
+        let mut config = always_on_config(2);
+        config.deadline = DeadlinePolicy::Fixed(SimDuration::from_hours(1));
+        let mut boinc = BoincSim::new(config, SimRng::new(11), &mut cal);
+        let pool_spec = ResourceSpec {
+            name: "boinc-pool".into(),
+            kind: ResourceKind::BoincPool,
+            slots: 2,
+            speed: 1.0,
+            memory_per_slot: 1 << 30,
+            platforms: vec![],
+            mpi_capable: false,
+            software: vec![],
+            stable: false,
+            mean_hours_between_interruptions: None,
+            outages: None,
+            site: None,
+        };
+        let mut data = DataGridState::new(DataConfig::default(), &[pool_spec], Some(0));
+        let size = 2_000_000u64;
+        let job = JobSpec::simple(1, 20_000.0).with_input(ObjectRef::named("wu", size));
+        data.register_job(&job);
+        boinc.enqueue(job, SimTime::ZERO, &mut cal);
+        let mut outcomes = Vec::new();
+        for _ in 0..10_000 {
+            let Some((t, ev)) = cal.pop() else { break };
+            match ev {
+                GridEvent::BoincAssign { client } => {
+                    boinc.on_assign(client, Some(&mut data), t, &mut cal);
+                }
+                GridEvent::BoincClientDone { client, assignment } => {
+                    let o = boinc.on_client_done(client, assignment, t, &mut cal);
+                    if o != BoincOutcome::None {
+                        outcomes.push(o);
+                    }
+                }
+                GridEvent::BoincDeadline { assignment } => {
+                    let o = boinc.on_deadline(assignment, t, &mut cal);
+                    if o != BoincOutcome::None {
+                        outcomes.push(o);
+                    }
+                }
+                GridEvent::BoincFlip { client } => boinc.on_flip(client, t, &mut cal),
+                _ => {}
+            }
+        }
+        assert!(
+            outcomes
+                .iter()
+                .any(|o| matches!(o, BoincOutcome::Completed { .. })),
+            "workunit completes on the slow-but-steady first client"
+        );
+        assert!(boinc.total_reissues() >= 1, "deadline must have fired");
+        let report = data.report();
+        // Two assignments (original + one that actually got delivered after
+        // reissue), two distinct volunteer caches: exactly one charged
+        // download each — never zero, never double-charged.
+        assert_eq!(report.stage_ins, 2, "{report:?}");
+        assert_eq!(report.bytes_moved, 2 * size, "{report:?}");
+    }
+
+    #[test]
+    fn validated_pool_completes_with_full_quorum() {
+        use quorum::ReplicationPolicy;
+
+        let mut cal = Calendar::new();
+        let config = always_on_config(4);
+        let mut boinc = BoincSim::new(config, SimRng::new(12), &mut cal);
+        boinc.enable_validation(
+            ValidationConfig {
+                min_quorum: 2,
+                policy: ReplicationPolicy::Always,
+                ..ValidationConfig::default()
+            },
+            SimRng::new(77),
+        );
+        boinc.enqueue(JobSpec::simple(1, 600.0), SimTime::ZERO, &mut cal);
+        let outcomes = drain(&mut boinc, &mut cal, 1000);
+        match outcomes.as_slice() {
+            [BoincOutcome::Completed {
+                useful_cpu_seconds,
+                corrupt,
+                validation: Some(c),
+                ..
+            }] => {
+                assert!((*useful_cpu_seconds - 1200.0).abs() < 10.0);
+                assert!(!corrupt);
+                assert_eq!(c.valid.len(), 2);
+                assert!(c.invalid.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let snap = boinc.validation_snapshot().expect("validation on");
+        assert_eq!(snap.workunits, 1);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.replicas_issued, 2);
+    }
+
+    #[test]
+    fn malicious_results_rejected_and_reputation_blacklists() {
+        use quorum::{ReplicationPolicy, TrustPolicy};
+
+        let mut cal = Calendar::new();
+        let config = always_on_config(6);
+        let mut boinc = BoincSim::new(config, SimRng::new(13), &mut cal);
+        boinc.enable_validation(
+            ValidationConfig {
+                min_quorum: 2,
+                policy: ReplicationPolicy::Always,
+                trust: TrustPolicy {
+                    blacklist_min_results: 3,
+                    blacklist_error_rate: 0.5,
+                    ..TrustPolicy::default()
+                },
+                ..ValidationConfig::default()
+            },
+            SimRng::new(78),
+        );
+        // Force one specific host bad via the malicious mask.
+        boinc.set_malicious_fraction(0.0);
+        boinc.malicious = vec![true, false, false, false, false, false];
+        for i in 0..8 {
+            boinc.enqueue(JobSpec::simple(i, 600.0), SimTime::ZERO, &mut cal);
+        }
+        let outcomes = drain(&mut boinc, &mut cal, 20_000);
+        let completed = outcomes
+            .iter()
+            .filter(|o| matches!(o, BoincOutcome::Completed { .. }))
+            .count();
+        let failed = outcomes
+            .iter()
+            .filter(|o| matches!(o, BoincOutcome::ValidationFailed { .. }))
+            .count();
+        // Every workunit terminates: the honest majority validates it, or
+        // the cheater burns its replica budget and it fails loudly —
+        // nothing hangs, and nothing wrong is ever accepted.
+        assert_eq!(completed + failed, 8, "{outcomes:?}");
+        assert!(completed >= 6, "honest majority validates almost all work");
+        assert!(outcomes
+            .iter()
+            .all(|o| !matches!(o, BoincOutcome::Completed { corrupt: true, .. })));
+        let snap = boinc.validation_snapshot().expect("validation on");
+        assert_eq!(snap.bad_accepted, 0);
+        assert!(snap.invalid_results > 0, "{snap:?}");
+        assert!(
+            boinc.host_blacklisted(0),
+            "persistent cheater must lose matchmaking access: {snap:?}"
+        );
     }
 
     #[test]

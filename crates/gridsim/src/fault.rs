@@ -62,6 +62,20 @@ pub enum FaultAction {
         /// Probability that a returned result is garbage.
         rate: f64,
     },
+    /// Set the probability that an otherwise-honest volunteer returns a
+    /// wrong likelihood score (`0.0` disables). Only observable with the
+    /// validation subsystem on — the quorum engine is what compares scores.
+    BoincErroneousResults {
+        /// Per-result wrong-score probability.
+        rate: f64,
+    },
+    /// Mark a deterministic, hash-spread fraction of volunteer hosts as
+    /// malicious: every result they return carries a wrong score (`0.0`
+    /// clears the set). Only observable with the validation subsystem on.
+    BoincMaliciousHosts {
+        /// Fraction of the pool turned malicious.
+        fraction: f64,
+    },
 }
 
 /// A correlated site-wide outage: every listed resource goes down at `at`
@@ -142,6 +156,31 @@ pub fn boinc_corruption(rate: f64, at: SimTime, duration: SimDuration) -> FaultS
         FaultAction::BoincCorruption { rate },
         FaultAction::BoincCorruption { rate: 0.0 },
     )
+}
+
+/// An erroneous-results window: between `at` and `at + duration` each
+/// returned result carries a wrong likelihood score with probability
+/// `rate`. Meaningful only with `GridConfig::validation` enabled.
+pub fn erroneous_results(
+    rate: f64,
+    at: SimTime,
+    duration: SimDuration,
+) -> FaultScript<FaultAction> {
+    FaultScript::new().window(
+        at,
+        duration,
+        FaultAction::BoincErroneousResults { rate },
+        FaultAction::BoincErroneousResults { rate: 0.0 },
+    )
+}
+
+/// Turn `fraction` of the volunteer pool malicious at `at` (every result
+/// from those hosts is wrong until the set is cleared with fraction `0.0`).
+/// Meaningful only with `GridConfig::validation` enabled.
+pub fn malicious_hosts(fraction: f64, at: SimTime) -> FaultScript<FaultAction> {
+    let mut script = FaultScript::new();
+    script.push(at, FaultAction::BoincMaliciousHosts { fraction });
+    script
 }
 
 /// A randomized chaos script for property tests: `events` faults drawn from
@@ -263,7 +302,9 @@ mod tests {
                 | FaultAction::PartitionStart { resource }
                 | FaultAction::PartitionEnd { resource }
                 | FaultAction::SetSpeedFactor { resource, .. } => assert!(resource <= 2),
-                FaultAction::BoincCorruption { .. } => panic!("not generated"),
+                FaultAction::BoincCorruption { .. }
+                | FaultAction::BoincErroneousResults { .. }
+                | FaultAction::BoincMaliciousHosts { .. } => panic!("not generated"),
             }
         }
     }

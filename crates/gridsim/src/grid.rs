@@ -134,6 +134,13 @@ pub struct GridConfig {
     /// telemetry, the plane consumes no randomness and schedules no events,
     /// so jobs without inputs behave identically either way.
     pub data: Option<DataConfig>,
+    /// Result validation for the volunteer pool (quorum engine, host
+    /// reputation, adaptive replication — see the `quorum` crate). `None`
+    /// (the default) keeps the legacy counting quorum; the engine draws
+    /// from its own forked RNG stream, so an inert configuration (full
+    /// quorum matching `BoincConfig::quorum`, no blacklist) replays the
+    /// exact event sequence of a validation-free run.
+    pub validation: Option<quorum::ValidationConfig>,
     /// Master seed.
     pub seed: u64,
 }
@@ -152,6 +159,7 @@ impl Default for GridConfig {
             recovery: None,
             telemetry: None,
             data: None,
+            validation: None,
             seed: 0,
         }
     }
@@ -518,45 +526,71 @@ impl GridWorld {
     }
 
     fn apply_boinc_outcome(&mut self, outcome: BoincOutcome, now: SimTime) {
-        if let BoincOutcome::Completed {
-            job,
-            useful_cpu_seconds,
-            started,
-            reissues,
-            corrupt,
-        } = outcome
-        {
-            let boinc_name = self.boinc_index.map(|i| self.resources[i].name.clone());
-            let record = self.records.get_mut(&job).expect("record exists");
-            assert!(
-                record.outcome == JobOutcome::Unfinished,
-                "job {job:?} reached a second terminal state"
-            );
-            record.outcome = JobOutcome::Completed;
-            record.started = Some(started);
-            record.finished = Some(now);
-            record.completed_by = boinc_name.clone();
-            if corrupt {
-                // Accepted-but-garbage result (quorum 1): the job terminates
-                // but its CPU bought nothing.
-                record.corrupt_result = true;
-                record.wasted_cpu_seconds += useful_cpu_seconds;
-            } else {
-                record.useful_cpu_seconds += useful_cpu_seconds;
-            }
-            record.reissues += reissues;
-            self.completed += 1;
-            self.carry.remove(&job);
-            self.grid_retries.remove(&job);
-            self.failed_on.remove(&job);
-            if let Some(t) = self.telemetry.as_mut() {
-                t.on_completed(
-                    now,
-                    job,
-                    boinc_name.as_deref().unwrap_or("boinc-pool"),
-                    Some(started),
-                    corrupt,
+        match outcome {
+            BoincOutcome::None => {}
+            BoincOutcome::Completed {
+                job,
+                useful_cpu_seconds,
+                started,
+                reissues,
+                corrupt,
+                validation,
+            } => {
+                let boinc_name = self.boinc_index.map(|i| self.resources[i].name.clone());
+                let record = self.records.get_mut(&job).expect("record exists");
+                assert!(
+                    record.outcome == JobOutcome::Unfinished,
+                    "job {job:?} reached a second terminal state"
                 );
+                record.outcome = JobOutcome::Completed;
+                record.started = Some(started);
+                record.finished = Some(now);
+                record.completed_by = boinc_name.clone();
+                if corrupt {
+                    // Accepted-but-garbage result (quorum 1 or a bad result
+                    // slipping past trust): the CPU bought nothing.
+                    record.corrupt_result = true;
+                    record.wasted_cpu_seconds += useful_cpu_seconds;
+                } else {
+                    record.useful_cpu_seconds += useful_cpu_seconds;
+                }
+                record.reissues += reissues;
+                self.completed += 1;
+                self.carry.remove(&job);
+                self.grid_retries.remove(&job);
+                self.failed_on.remove(&job);
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.on_completed(
+                        now,
+                        job,
+                        boinc_name.as_deref().unwrap_or("boinc-pool"),
+                        Some(started),
+                        corrupt,
+                    );
+                    if let Some(c) = &validation {
+                        let quorum_seconds = now.saturating_since(started).as_secs_f64();
+                        t.on_validation_complete(now, job, c, quorum_seconds);
+                    }
+                }
+            }
+            BoincOutcome::ValidationFailed { job } => {
+                // The quorum engine gave up: surface the job as a dead
+                // letter (same terminal state the recovery policy uses for
+                // exhausted retry budgets).
+                let record = self.records.get_mut(&job).expect("record exists");
+                assert!(
+                    record.outcome == JobOutcome::Unfinished,
+                    "job {job:?} reached a second terminal state"
+                );
+                record.outcome = JobOutcome::DeadLettered;
+                self.dead_lettered += 1;
+                self.carry.remove(&job);
+                self.grid_retries.remove(&job);
+                self.failed_on.remove(&job);
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.on_validation_failed(now, job);
+                    t.on_dead_letter(now, job);
+                }
             }
         }
     }
@@ -608,6 +642,16 @@ impl GridWorld {
             FaultAction::BoincCorruption { rate } => {
                 if let Some(b) = self.boinc.as_mut() {
                     b.set_corruption_rate(rate);
+                }
+            }
+            FaultAction::BoincErroneousResults { rate } => {
+                if let Some(b) = self.boinc.as_mut() {
+                    b.set_erroneous_rate(rate);
+                }
+            }
+            FaultAction::BoincMaliciousHosts { fraction } => {
+                if let Some(b) = self.boinc.as_mut() {
+                    b.set_malicious_fraction(fraction);
                 }
             }
         }
@@ -770,11 +814,12 @@ impl World for GridWorld {
             GridEvent::BoincDeadline { assignment } => {
                 if let Some(b) = self.boinc.as_mut() {
                     let before = b.total_reissues();
-                    b.on_deadline(assignment, now, cal);
+                    let outcome = b.on_deadline(assignment, now, cal);
                     let reissued = b.total_reissues() - before;
                     if let Some(t) = self.telemetry.as_mut() {
                         t.on_boinc_deadline(now, assignment, reissued);
                     }
+                    self.apply_boinc_outcome(outcome, now);
                 }
             }
             GridEvent::Fault(action) => {
@@ -834,6 +879,9 @@ pub struct GridReport {
     /// Data-plane accounting (`None` when the grid runs without
     /// [`GridConfig::data`]).
     pub data: Option<DataReport>,
+    /// Result-validation accounting (`None` when the grid runs without
+    /// [`GridConfig::validation`]).
+    pub validation: Option<quorum::ValidationSnapshot>,
     /// Per-job records, sorted by job id.
     pub records: Vec<JobRecord>,
 }
@@ -880,7 +928,12 @@ impl Grid {
         let mut boinc_index = None;
         if let Some(bc) = config.boinc {
             let idx = resources.len();
-            let pool = BoincSim::new(bc, rng.fork("boinc"), &mut cal_seed);
+            let mut pool = BoincSim::new(bc, rng.fork("boinc"), &mut cal_seed);
+            // The engine gets its own fork: enabling validation must not
+            // perturb the pool's (or anything else's) RNG stream.
+            if let Some(vc) = config.validation {
+                pool.enable_validation(vc, rng.fork("validation"));
+            }
             // The pool advertises itself as one big unstable resource.
             let spec = ResourceSpec {
                 name: "boinc-pool".into(),
@@ -982,10 +1035,14 @@ impl Grid {
     /// was built without [`GridConfig::telemetry`]).
     pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
         let world = self.sim.world();
-        world
-            .telemetry
-            .as_ref()
-            .map(|t| t.snapshot(self.sim.now(), &world.mds, world.data.as_ref()))
+        world.telemetry.as_ref().map(|t| {
+            t.snapshot(
+                self.sim.now(),
+                &world.mds,
+                world.data.as_ref(),
+                world.boinc.as_ref().and_then(|b| b.validation_snapshot()),
+            )
+        })
     }
 
     /// Submit jobs at the current simulation time.
@@ -1091,6 +1148,7 @@ impl Grid {
             dispatches: world.dispatches,
             completed_by,
             data: world.data.as_ref().map(DataGridState::report),
+            validation: world.boinc.as_ref().and_then(|b| b.validation_snapshot()),
             records,
         }
     }

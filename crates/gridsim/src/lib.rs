@@ -37,7 +37,11 @@
 //!   utilisation timelines, and an MDS-backed monitoring snapshot;
 //! * [`data`] — the optional data plane: a content-addressed object store,
 //!   bandwidth-modeled links, per-site and per-volunteer LRU caches, and
-//!   the stage-in estimates that make scheduling data-aware.
+//!   the stage-in estimates that make scheduling data-aware;
+//! * result validation (the `quorum` crate, wired through
+//!   [`grid::GridConfig::validation`]): a workunit replication state
+//!   machine with tolerance-based fuzzy comparison of likelihood scores,
+//!   per-host reputation, and adaptive replication with spot checks.
 
 #![warn(missing_docs)]
 
@@ -68,3 +72,5 @@ pub use resource::{ResourceId, ResourceKind, ResourceSpec};
 pub use scheduler::SchedulerPolicy;
 pub use stability::{ResourceHealth, StabilityTracker};
 pub use telemetry::{GridTelemetry, TelemetryConfig, TelemetrySnapshot};
+
+pub use quorum::{ReplicationPolicy, TrustPolicy, ValidationConfig, ValidationSnapshot};

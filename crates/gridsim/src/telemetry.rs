@@ -357,6 +357,60 @@ impl GridTelemetry {
         );
     }
 
+    /// A workunit's result validation completed: record the verdict mix and
+    /// the enqueue→canonical-result latency.
+    pub fn on_validation_complete(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        completion: &quorum::Completion,
+        quorum_seconds: f64,
+    ) {
+        self.metrics.incr("validation.completed");
+        self.metrics
+            .add("validation.results", completion.results as u64);
+        self.metrics
+            .add("validation.valid_results", completion.valid.len() as u64);
+        self.metrics.add(
+            "validation.invalid_results",
+            completion.invalid.len() as u64,
+        );
+        if completion.trusted_single {
+            self.metrics.incr("validation.trusted_accepts");
+        }
+        if completion.spot_checked {
+            self.metrics.incr("validation.spot_checks");
+        }
+        if completion.canonical_bad {
+            self.metrics.incr("validation.bad_accepted");
+        }
+        self.metrics.observe(
+            "validation.quorum_seconds",
+            &latency_buckets_seconds(),
+            quorum_seconds,
+        );
+        self.bus.emit(
+            now,
+            "validation.complete",
+            &[
+                ("job", job.0.into()),
+                ("results", (completion.results as u64).into()),
+                ("valid", (completion.valid.len() as u64).into()),
+                ("invalid", (completion.invalid.len() as u64).into()),
+                ("trusted_single", completion.trusted_single.into()),
+                ("spot_checked", completion.spot_checked.into()),
+                ("canonical_bad", completion.canonical_bad.into()),
+            ],
+        );
+    }
+
+    /// A workunit exhausted its validation budget and was failed.
+    pub fn on_validation_failed(&mut self, now: SimTime, job: JobId) {
+        self.metrics.incr("validation.failed");
+        self.bus
+            .emit(now, "validation.failed", &[("job", job.0.into())]);
+    }
+
     /// An outage colded a site cache, dropping `dropped_bytes` of staged
     /// inputs.
     pub fn on_cache_invalidate(&mut self, now: SimTime, resource: usize, dropped_bytes: u64) {
@@ -418,6 +472,7 @@ impl GridTelemetry {
         now: SimTime,
         mds: &Mds,
         data: Option<&DataGridState>,
+        validation: Option<quorum::ValidationSnapshot>,
     ) -> TelemetrySnapshot {
         let resources: Vec<ResourceUtilisation> = (0..self.names.len())
             .map(|i| {
@@ -462,6 +517,7 @@ impl GridTelemetry {
             sites,
             mds: mds.snapshot(now),
             data: data.map(|d| d.snapshot(now.as_secs_f64())),
+            validation,
             events: self.bus.snapshot(),
         }
     }
@@ -521,6 +577,9 @@ pub struct TelemetrySnapshot {
     /// Data-plane view (store, links, caches); `None` when the grid runs
     /// without [`crate::GridConfig::data`].
     pub data: Option<DataSnapshot>,
+    /// Result-validation view (quorum accounting, host reputation totals);
+    /// `None` when the grid runs without [`crate::GridConfig::validation`].
+    pub validation: Option<quorum::ValidationSnapshot>,
     /// Event totals and the recent-event ring.
     pub events: EventBusSnapshot,
 }
@@ -576,7 +635,12 @@ mod tests {
         t.set_busy(SimTime::ZERO, 0, 4);
         t.set_busy(SimTime::ZERO, 1, 2);
         t.set_busy(SimTime::from_hours(1), 0, 0);
-        let snap = t.snapshot(SimTime::from_hours(2), &Mds::with_default_lifetime(), None);
+        let snap = t.snapshot(
+            SimTime::from_hours(2),
+            &Mds::with_default_lifetime(),
+            None,
+            None,
+        );
         let a = &snap.resources[0];
         assert!((a.mean_busy_slots - 2.0).abs() < 1e-9);
         assert!((a.utilisation - 0.25).abs() < 1e-9);
@@ -624,7 +688,7 @@ mod tests {
                 );
             }
             t.on_completed(SimTime::from_secs(500), JobId(0), "a", None, false);
-            serde_json::to_string(&t.snapshot(SimTime::from_secs(600), &mds, None)).unwrap()
+            serde_json::to_string(&t.snapshot(SimTime::from_secs(600), &mds, None, None)).unwrap()
         };
         let a = run();
         assert_eq!(a, run());

@@ -69,6 +69,18 @@ pub fn data_aware_grid(seed: u64) -> GridConfig {
     }
 }
 
+/// The [`standard_grid`] with result validation enabled on the volunteer
+/// pool: a quorum engine with tolerance-based fuzzy comparison of GARLI
+/// likelihood scores, per-host reputation, and adaptive replication with
+/// spot checks (see the `quorum` crate). With no bad hosts in play,
+/// campaign results (trees, likelihoods) match [`standard_grid`]'s.
+pub fn validated_grid(seed: u64) -> GridConfig {
+    GridConfig {
+        validation: Some(gridsim::ValidationConfig::default()),
+        ..standard_grid(seed)
+    }
+}
+
 /// The [`standard_grid`] hardened with the default grid-level recovery
 /// policy: exponential backoff with jitter, failure-rate blacklisting,
 /// bounded retries with a dead-letter outcome, and checkpoint carry-over
@@ -247,6 +259,20 @@ mod tests {
         assert_eq!(observed.resources.len(), plain.resources.len());
         // Every standard resource carries a site for telemetry rollups.
         assert!(observed.resources.iter().all(|r| r.site.is_some()));
+    }
+
+    #[test]
+    fn validated_grid_adds_validation_only() {
+        let plain = standard_grid(7);
+        let validated = validated_grid(7);
+        assert!(plain.validation.is_none());
+        assert_eq!(
+            validated.validation,
+            Some(gridsim::ValidationConfig::default())
+        );
+        assert_eq!(validated.resources.len(), plain.resources.len());
+        assert_eq!(validated.boinc, plain.boinc);
+        assert_eq!(validated.seed, plain.seed);
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Per-host reputation: validated / invalid / timed-out tallies folded into
+//! an error-rate score, with trust and blacklist classification.
+
+use crate::TrustPolicy;
+use serde::Serialize;
+
+/// One host's lifetime validation record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct HostStats {
+    /// Results that landed in a winning agreement group.
+    pub validated: u32,
+    /// Results judged wrong (outside the winning agreement group).
+    pub invalid: u32,
+    /// Assignments whose deadline passed with no result.
+    pub timed_out: u32,
+}
+
+impl HostStats {
+    /// Total observations.
+    pub fn total(&self) -> u32 {
+        self.validated + self.invalid + self.timed_out
+    }
+
+    /// `(invalid + timed_out) / total`; `0.0` with no observations. Never
+    /// decreases on an invalid/timeout observation and never increases on a
+    /// validated one (the monotonicity the proptests pin down).
+    pub fn error_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            f64::from(self.invalid + self.timed_out) / f64::from(total)
+        }
+    }
+}
+
+/// The server's per-host reputation table.
+#[derive(Debug, Clone)]
+pub struct ReputationBook {
+    hosts: Vec<HostStats>,
+    trust: TrustPolicy,
+}
+
+impl ReputationBook {
+    /// A book for `num_hosts` hosts under `trust`.
+    pub fn new(num_hosts: usize, trust: TrustPolicy) -> ReputationBook {
+        ReputationBook {
+            hosts: vec![HostStats::default(); num_hosts],
+            trust,
+        }
+    }
+
+    /// Grow the table to cover at least `num_hosts` hosts.
+    pub fn ensure_hosts(&mut self, num_hosts: usize) {
+        if self.hosts.len() < num_hosts {
+            self.hosts.resize(num_hosts, HostStats::default());
+        }
+    }
+
+    /// Number of tracked hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// True iff the book tracks no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// One host's record (default-zero for unknown hosts).
+    pub fn stats(&self, host: usize) -> HostStats {
+        self.hosts.get(host).copied().unwrap_or_default()
+    }
+
+    /// A result by `host` was validated.
+    pub fn record_validated(&mut self, host: usize) {
+        self.ensure_hosts(host + 1);
+        self.hosts[host].validated += 1;
+    }
+
+    /// A result by `host` was judged invalid.
+    pub fn record_invalid(&mut self, host: usize) {
+        self.ensure_hosts(host + 1);
+        self.hosts[host].invalid += 1;
+    }
+
+    /// An assignment to `host` timed out without a result.
+    pub fn record_timeout(&mut self, host: usize) {
+        self.ensure_hosts(host + 1);
+        self.hosts[host].timed_out += 1;
+    }
+
+    /// True iff `host` has earned replication-1 trust: enough validated
+    /// results and an error rate at or below the trust ceiling.
+    pub fn is_trusted(&self, host: usize) -> bool {
+        let s = self.stats(host);
+        s.validated >= self.trust.min_validated && s.error_rate() <= self.trust.max_error_rate
+    }
+
+    /// True iff `host`'s error rate earns it a reputation blacklist (no
+    /// further assignments).
+    pub fn is_blacklisted(&self, host: usize) -> bool {
+        let s = self.stats(host);
+        s.total() >= self.trust.blacklist_min_results
+            && s.error_rate() >= self.trust.blacklist_error_rate
+    }
+
+    /// Hosts currently trusted.
+    pub fn trusted_count(&self) -> usize {
+        (0..self.hosts.len())
+            .filter(|&h| self.is_trusted(h))
+            .count()
+    }
+
+    /// Hosts currently blacklisted.
+    pub fn blacklisted_count(&self) -> usize {
+        (0..self.hosts.len())
+            .filter(|&h| self.is_blacklisted(h))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trust_needs_validated_history_and_low_error_rate() {
+        let mut book = ReputationBook::new(2, TrustPolicy::default());
+        assert!(!book.is_trusted(0), "fresh host untrusted");
+        for _ in 0..5 {
+            book.record_validated(0);
+        }
+        assert!(book.is_trusted(0));
+        // One invalid among five: error rate 1/6 > 5% ceiling.
+        book.record_invalid(0);
+        assert!(!book.is_trusted(0));
+    }
+
+    #[test]
+    fn blacklist_needs_min_results_then_rate() {
+        let mut book = ReputationBook::new(1, TrustPolicy::default());
+        for _ in 0..4 {
+            book.record_invalid(0);
+        }
+        assert!(!book.is_blacklisted(0), "below min observations");
+        book.record_invalid(0);
+        assert!(book.is_blacklisted(0));
+        assert_eq!(book.blacklisted_count(), 1);
+        assert_eq!(book.trusted_count(), 0);
+    }
+
+    #[test]
+    fn never_blacklist_policy_cannot_fire() {
+        let mut book = ReputationBook::new(1, TrustPolicy::never_blacklist());
+        for _ in 0..100 {
+            book.record_invalid(0);
+        }
+        assert!(!book.is_blacklisted(0));
+    }
+
+    #[test]
+    fn timeouts_count_toward_error_rate() {
+        let mut book = ReputationBook::new(1, TrustPolicy::default());
+        book.record_validated(0);
+        book.record_timeout(0);
+        assert!((book.stats(0).error_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_hosts_grow_on_demand() {
+        let mut book = ReputationBook::new(0, TrustPolicy::default());
+        assert_eq!(book.stats(7), HostStats::default());
+        book.record_validated(7);
+        assert_eq!(book.len(), 8);
+        assert_eq!(book.stats(7).validated, 1);
+    }
+}

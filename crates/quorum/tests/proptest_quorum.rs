@@ -1,0 +1,136 @@
+//! Property tests over the quorum engine's replication and reputation
+//! invariants.
+
+use proptest::prelude::*;
+use quorum::{
+    QuorumEngine, ReplicationPolicy, ReputationBook, TrustPolicy, ValidationConfig, Verdict,
+};
+use simkit::SimRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Drive one workunit with an arbitrary mix of assignments, honest
+    /// results, bad results, and timeouts from arbitrary hosts. Whatever
+    /// the script:
+    /// * the engine never issues more than `max_total_results` copies;
+    /// * a completion on the untrusted path carries at least `min_quorum`
+    ///   agreeing results, every one within tolerance of the canonical.
+    #[test]
+    fn replication_budget_and_quorum_floor(
+        seed in 0u64..10_000,
+        min_quorum in 1usize..4,
+        max_total in 1usize..10,
+        max_error in 0usize..6,
+        adaptive in 0u8..2,
+        script in prop::collection::vec((0usize..8, 0u8..4), 1..40),
+    ) {
+        prop_assume!(max_total >= min_quorum);
+        let config = ValidationConfig {
+            min_quorum,
+            max_total_results: max_total,
+            max_error_results: max_error,
+            policy: if adaptive == 1 {
+                ReplicationPolicy::Adaptive { spot_check_probability: 0.3 }
+            } else {
+                ReplicationPolicy::Always
+            },
+            ..ValidationConfig::default()
+        };
+        let tolerance = config.tolerance;
+        let mut e = QuorumEngine::new(config, SimRng::new(seed));
+        e.ensure_hosts(8);
+        let wu = 42u64;
+        e.register(wu);
+        prop_assert!(e.issued(wu).unwrap() <= max_total);
+        let mut scores: Vec<f64> = Vec::new();
+        for (host, action) in script {
+            match action {
+                0 => {
+                    let _ = e.on_assign(wu, host);
+                }
+                1 | 2 => {
+                    let score = e.score_for(wu, action == 1);
+                    scores.push(score);
+                    match e.on_result(wu, host, score) {
+                        Verdict::Pending { .. } | Verdict::Failed => {}
+                        Verdict::Completed(c) => {
+                            if !c.trusted_single {
+                                prop_assert!(
+                                    c.valid.len() >= min_quorum,
+                                    "untrusted completion below quorum: {c:?}"
+                                );
+                            }
+                            let canonical = scores[c.canonical];
+                            for &i in &c.valid {
+                                prop_assert!(
+                                    (scores[i] - canonical).abs() <= tolerance,
+                                    "valid result outside tolerance: {c:?}"
+                                );
+                            }
+                            for &i in &c.invalid {
+                                prop_assert!(
+                                    (scores[i] - canonical).abs() > tolerance,
+                                    "invalid result agrees with canonical: {c:?}"
+                                );
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    let _ = e.on_timeout(wu, host);
+                }
+            }
+            prop_assert!(
+                e.issued(wu).unwrap() <= max_total,
+                "replica budget exceeded: issued {:?} > {max_total}",
+                e.issued(wu)
+            );
+        }
+    }
+
+    /// A host's error rate moves the right way on every ledger update:
+    /// never up on a validated result, never down on an invalid result or
+    /// a timeout.
+    #[test]
+    fn reputation_error_rate_monotonicity(
+        ops in prop::collection::vec(0u8..3, 1..100),
+    ) {
+        let mut book = ReputationBook::new(1, TrustPolicy::default());
+        let mut prev = book.stats(0).error_rate();
+        for op in ops {
+            match op {
+                0 => book.record_validated(0),
+                1 => book.record_invalid(0),
+                _ => book.record_timeout(0),
+            }
+            let now = book.stats(0).error_rate();
+            if op == 0 {
+                prop_assert!(now <= prev, "validated raised error rate");
+            } else {
+                prop_assert!(now >= prev, "error lowered error rate");
+            }
+            prev = now;
+        }
+    }
+
+    /// Trust is never granted below the validated-result floor, and a
+    /// blacklisted host is never simultaneously trusted.
+    #[test]
+    fn trust_requires_track_record(
+        validated in 0u32..12,
+        invalid in 0u32..12,
+        timed_out in 0u32..12,
+    ) {
+        let trust = TrustPolicy::default();
+        let mut book = ReputationBook::new(1, trust);
+        for _ in 0..validated { book.record_validated(0); }
+        for _ in 0..invalid { book.record_invalid(0); }
+        for _ in 0..timed_out { book.record_timeout(0); }
+        if book.is_trusted(0) {
+            prop_assert!(validated >= trust.min_validated);
+            prop_assert!(book.stats(0).error_rate() <= trust.max_error_rate);
+            prop_assert!(!book.is_blacklisted(0));
+        }
+    }
+}
