@@ -1,11 +1,11 @@
 //! Capacity-bounded LRU object caches with full accounting.
 
 use crate::object::{ObjectId, ObjectRef};
-use serde::Serialize;
+use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 
 /// Lifetime counters for one [`LruCache`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Lookups that found the object resident.
     pub hits: u64,
@@ -145,6 +145,48 @@ impl LruCache {
     }
 }
 
+// Snapshot serde: the resident map is keyed by `ObjectId`, which JSON maps
+// cannot express, so it is flattened to `[id, size, tick]` triples (already
+// sorted — `BTreeMap` iteration order), keeping the rendering byte-stable.
+impl Serialize for LruCache {
+    fn to_value(&self) -> Value {
+        let resident: Vec<(ObjectId, u64, u64)> = self
+            .resident
+            .iter()
+            .map(|(&id, &(size, tick))| (id, size, tick))
+            .collect();
+        Value::Map(vec![
+            ("capacity_bytes".to_string(), self.capacity_bytes.to_value()),
+            ("resident".to_string(), resident.to_value()),
+            (
+                "occupancy_bytes".to_string(),
+                self.occupancy_bytes.to_value(),
+            ),
+            ("tick".to_string(), self.tick.to_value()),
+            ("stats".to_string(), self.stats.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for LruCache {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for LruCache"))?;
+        let resident: Vec<(ObjectId, u64, u64)> = serde::field(fields, "resident")?;
+        Ok(LruCache {
+            capacity_bytes: serde::field(fields, "capacity_bytes")?,
+            resident: resident
+                .into_iter()
+                .map(|(id, size, tick)| (id, (size, tick)))
+                .collect(),
+            occupancy_bytes: serde::field(fields, "occupancy_bytes")?,
+            tick: serde::field(fields, "tick")?,
+            stats: serde::field(fields, "stats")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +248,24 @@ mod tests {
         assert_eq!(c.occupancy_bytes(), 0);
         assert_eq!(c.stats().invalidations, 1);
         assert!(!c.lookup(ObjectId(1)));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_recency_and_stats() {
+        let mut c = LruCache::new(100);
+        c.insert(obj(1, 40));
+        c.insert(obj(2, 40));
+        c.lookup(ObjectId(1)); // 1 hotter than 2
+
+        let json = serde_json::to_string(&c).unwrap();
+        let mut back: LruCache = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        assert_eq!(back.stats(), c.stats());
+        assert_eq!(back.lru_order(), c.lru_order());
+        // Eviction picks the same victim the original would.
+        back.insert(obj(3, 40));
+        assert!(back.contains(ObjectId(1)));
+        assert!(!back.contains(ObjectId(2)));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Deterministic bandwidth/latency links with in-sim-time serialization.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Static description of one network path (portal→site, server→client).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -143,6 +143,38 @@ impl Link {
     }
 }
 
+// Snapshot serde: the busy horizon is the live state (a restored link must
+// keep queueing transfers behind whatever was in flight); the counters ride
+// along so lifetime accounting survives a resume.
+impl Serialize for Link {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("spec".to_string(), self.spec.to_value()),
+            ("busy_until".to_string(), self.busy_until.to_value()),
+            ("bytes_moved".to_string(), self.bytes_moved.to_value()),
+            ("transfers".to_string(), self.transfers.to_value()),
+            ("busy_seconds".to_string(), self.busy_seconds.to_value()),
+            ("queued_seconds".to_string(), self.queued_seconds.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Link {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for Link"))?;
+        Ok(Link {
+            spec: serde::field(fields, "spec")?,
+            busy_until: serde::field(fields, "busy_until")?,
+            bytes_moved: serde::field(fields, "bytes_moved")?,
+            transfers: serde::field(fields, "transfers")?,
+            busy_seconds: serde::field(fields, "busy_seconds")?,
+            queued_seconds: serde::field(fields, "queued_seconds")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +222,22 @@ mod tests {
         assert_eq!(out.total_seconds, 0.0);
         assert_eq!(link.transfers(), 0);
         assert_eq!(link.busy_seconds(), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_busy_horizon() {
+        let mut link = Link::new(LinkSpec::mbps(10.0, 0.5));
+        link.transfer(0.0, 10_000_000); // busy until 1.5
+        let json = serde_json::to_string(&link).unwrap();
+        let mut back: Link = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        // A transfer committed after restore queues behind the in-flight one
+        // exactly as on the original link.
+        let a = link.transfer(0.0, 1_000_000);
+        let b = back.transfer(0.0, 1_000_000);
+        assert_eq!(a.total_seconds.to_bits(), b.total_seconds.to_bits());
+        assert_eq!(a.queued_seconds.to_bits(), b.queued_seconds.to_bits());
+        assert_eq!(back.bytes_moved(), link.bytes_moved());
     }
 
     #[test]

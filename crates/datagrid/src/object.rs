@@ -1,6 +1,6 @@
 //! Content-addressed objects: identities, references, and the store.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 
 /// Content address of an immutable object: a 64-bit hash of its bytes.
@@ -56,7 +56,7 @@ impl ObjectRef {
 }
 
 /// Aggregate accounting for an [`ObjectStore`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct StoreStats {
     /// Distinct objects registered.
     pub unique_objects: usize,
@@ -137,6 +137,31 @@ impl ObjectStore {
     }
 }
 
+// Snapshot serde: the catalogue is keyed by `ObjectId`, so it flattens to
+// sorted `[id, size]` pairs (JSON map keys must be strings).
+impl Serialize for ObjectStore {
+    fn to_value(&self) -> Value {
+        let sizes: Vec<(ObjectId, u64)> = self.sizes.iter().map(|(&id, &s)| (id, s)).collect();
+        Value::Map(vec![
+            ("sizes".to_string(), sizes.to_value()),
+            ("stats".to_string(), self.stats.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ObjectStore {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for ObjectStore"))?;
+        let sizes: Vec<(ObjectId, u64)> = serde::field(fields, "sizes")?;
+        Ok(ObjectStore {
+            sizes: sizes.into_iter().collect(),
+            stats: serde::field(fields, "stats")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +202,20 @@ mod tests {
             id: ObjectId::from_name("a"),
             bytes: 20,
         });
+    }
+
+    #[test]
+    fn store_serde_roundtrip_keeps_dedup_accounting() {
+        let mut store = ObjectStore::new();
+        store.register(ObjectRef::named("aln", 1000));
+        store.register(ObjectRef::named("aln", 1000));
+        store.register(ObjectRef::named("cfg", 10));
+        let json = serde_json::to_string(&store).unwrap();
+        let mut back: ObjectStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        assert_eq!(back.stats(), store.stats());
+        // Re-registering known content after restore is still a dedup hit.
+        assert!(!back.register(ObjectRef::named("aln", 1000)));
     }
 
     #[test]

@@ -28,16 +28,22 @@ pub struct SearchCheckpoint {
 }
 
 impl SearchCheckpoint {
-    /// Serialize to JSON.
+    /// Serialize to bare JSON (no envelope). Prefer the [`simkit::Snapshot`]
+    /// methods for on-disk checkpoints: they add the versioned, checksummed
+    /// envelope and atomic writes shared with whole-grid snapshots.
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("checkpoint serialization cannot fail")
     }
 
-    /// Deserialize from JSON.
+    /// Deserialize from bare JSON (no envelope).
     pub fn from_json(json: &str) -> Result<SearchCheckpoint, serde_json::Error> {
         serde_json::from_str(json)
     }
 }
+
+/// GARLI checkpoints share the grid-wide snapshot envelope (version guard,
+/// checksum, atomic tmp+rename writes) instead of ad-hoc JSON files.
+impl simkit::Snapshot for SearchCheckpoint {}
 
 #[cfg(test)]
 mod tests {
@@ -69,5 +75,32 @@ mod tests {
     #[test]
     fn corrupt_json_rejected() {
         assert!(SearchCheckpoint::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn snapshot_envelope_roundtrip_and_tamper_detection() {
+        use simkit::Snapshot;
+        let config = GarliConfig::quick_nucleotide();
+        let cp = SearchCheckpoint {
+            generation: 7,
+            population: vec![Individual {
+                tree: Tree::caterpillar(4, 0.05),
+                params: ModelParams::from_config(&config),
+                log_likelihood: -99.25,
+            }],
+            stagnant_generations: 2,
+            work_cells: 4242,
+            accepted_improvements: 1,
+            mutation_counts: [1, 0, 1, 0],
+        };
+        let text = cp.to_snapshot();
+        let back = SearchCheckpoint::from_snapshot(&text).unwrap();
+        assert_eq!(cp, back);
+        // The envelope catches corruption the bare-JSON path would accept
+        // only by luck: flip one byte inside the payload.
+        let pos = text.rfind("4242").expect("payload present");
+        let mut bad = text.clone();
+        bad.replace_range(pos..pos + 4, "4243");
+        assert!(SearchCheckpoint::from_snapshot(&bad).is_err());
     }
 }

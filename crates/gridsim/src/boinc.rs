@@ -15,7 +15,7 @@ use crate::grid::GridEvent;
 use crate::job::{JobId, JobSpec};
 use crate::mds::ResourceState;
 use quorum::{Completion, QuorumEngine, ValidationConfig, ValidationSnapshot, Verdict};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use simkit::calendar::EventHandle;
 use simkit::{Calendar, SimDuration, SimRng, SimTime};
 use std::collections::{HashMap, VecDeque};
@@ -112,7 +112,7 @@ impl Default for BoincConfig {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 struct Client {
     speed: f64,
     available: bool,
@@ -121,7 +121,7 @@ struct Client {
     fetching: bool,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 struct ClientTask {
     wu: JobId,
     assignment: u64,
@@ -132,7 +132,7 @@ struct ClientTask {
     cpu_spent: f64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 struct Workunit {
     spec: JobSpec,
     results_received: usize,
@@ -141,14 +141,14 @@ struct Workunit {
     first_started: Option<SimTime>,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 enum AssignmentStatus {
     Outstanding,
     Returned,
     Abandoned,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 struct Assignment {
     wu: JobId,
     /// The host this copy ran on (reputation bookkeeping on timeout).
@@ -164,6 +164,37 @@ struct Assignment {
 struct ValidationState {
     engine: QuorumEngine,
     cpu_by_result: HashMap<JobId, Vec<f64>>,
+}
+
+// Snapshot serde: the CPU ledger is keyed by `JobId`, so it flattens to
+// id-sorted `[id, cpus]` pairs for a byte-stable encoding.
+impl Serialize for ValidationState {
+    fn to_value(&self) -> Value {
+        let mut cpus: Vec<(JobId, &Vec<f64>)> =
+            self.cpu_by_result.iter().map(|(&id, v)| (id, v)).collect();
+        cpus.sort_by_key(|(id, _)| *id);
+        let cpus: Vec<Value> = cpus
+            .into_iter()
+            .map(|(id, v)| Value::Seq(vec![id.to_value(), v.to_value()]))
+            .collect();
+        Value::Map(vec![
+            ("engine".to_string(), self.engine.to_value()),
+            ("cpu_by_result".to_string(), Value::Seq(cpus)),
+        ])
+    }
+}
+
+impl Deserialize for ValidationState {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for ValidationState"))?;
+        let cpus: Vec<(JobId, Vec<f64>)> = serde::field(fields, "cpu_by_result")?;
+        Ok(ValidationState {
+            engine: serde::field(fields, "engine")?,
+            cpu_by_result: cpus.into_iter().collect(),
+        })
+    }
 }
 
 /// What the grid must act on after a BOINC state change.
@@ -807,6 +838,92 @@ impl BoincSim {
         };
         let wait = SimDuration::from_secs_f64(self.rng.exponential(mean * 3600.0));
         cal.schedule(now + wait, GridEvent::BoincFlip { client });
+    }
+}
+
+// Snapshot serde: the work queue keeps its FIFO order (escalation copies
+// push_front, so order is semantic), while the workunit, assignment, and
+// useful-CPU maps flatten to key-sorted pairs for byte-stable encodings.
+// Client task records carry their `done` [`EventHandle`]s verbatim; they
+// stay valid because the grid calendar snapshots its handle space intact.
+impl Serialize for BoincSim {
+    fn to_value(&self) -> Value {
+        let queue: Vec<JobId> = self.queue.iter().copied().collect();
+        let mut wus: Vec<(JobId, &Workunit)> =
+            self.workunits.iter().map(|(&id, w)| (id, w)).collect();
+        wus.sort_by_key(|(id, _)| *id);
+        let wus: Vec<Value> = wus
+            .into_iter()
+            .map(|(id, w)| Value::Seq(vec![id.to_value(), w.to_value()]))
+            .collect();
+        let mut assignments: Vec<(u64, &Assignment)> =
+            self.assignments.iter().map(|(&id, a)| (id, a)).collect();
+        assignments.sort_by_key(|(id, _)| *id);
+        let assignments: Vec<Value> = assignments
+            .into_iter()
+            .map(|(id, a)| Value::Seq(vec![id.to_value(), a.to_value()]))
+            .collect();
+        let mut useful: Vec<(JobId, f64)> =
+            self.useful_by_wu.iter().map(|(&id, &c)| (id, c)).collect();
+        useful.sort_by_key(|(id, _)| *id);
+        Value::Map(vec![
+            ("config".to_string(), self.config.to_value()),
+            ("clients".to_string(), self.clients.to_value()),
+            ("queue".to_string(), queue.to_value()),
+            ("workunits".to_string(), Value::Seq(wus)),
+            ("assignments".to_string(), Value::Seq(assignments)),
+            (
+                "next_assignment".to_string(),
+                self.next_assignment.to_value(),
+            ),
+            (
+                "wasted_cpu_seconds".to_string(),
+                self.wasted_cpu_seconds.to_value(),
+            ),
+            ("useful_by_wu".to_string(), useful.to_value()),
+            (
+                "corruption_rate".to_string(),
+                self.corruption_rate.to_value(),
+            ),
+            ("corrupt_caught".to_string(), self.corrupt_caught.to_value()),
+            (
+                "corrupt_accepted".to_string(),
+                self.corrupt_accepted.to_value(),
+            ),
+            ("erroneous_rate".to_string(), self.erroneous_rate.to_value()),
+            ("malicious".to_string(), self.malicious.to_value()),
+            ("validation".to_string(), self.validation.to_value()),
+            ("rng".to_string(), self.rng.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for BoincSim {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for BoincSim"))?;
+        let queue: Vec<JobId> = serde::field(fields, "queue")?;
+        let wus: Vec<(JobId, Workunit)> = serde::field(fields, "workunits")?;
+        let assignments: Vec<(u64, Assignment)> = serde::field(fields, "assignments")?;
+        let useful: Vec<(JobId, f64)> = serde::field(fields, "useful_by_wu")?;
+        Ok(BoincSim {
+            config: serde::field(fields, "config")?,
+            clients: serde::field(fields, "clients")?,
+            queue: queue.into_iter().collect(),
+            workunits: wus.into_iter().collect(),
+            assignments: assignments.into_iter().collect(),
+            next_assignment: serde::field(fields, "next_assignment")?,
+            wasted_cpu_seconds: serde::field(fields, "wasted_cpu_seconds")?,
+            useful_by_wu: useful.into_iter().collect(),
+            corruption_rate: serde::field(fields, "corruption_rate")?,
+            corrupt_caught: serde::field(fields, "corrupt_caught")?,
+            corrupt_accepted: serde::field(fields, "corrupt_accepted")?,
+            erroneous_rate: serde::field(fields, "erroneous_rate")?,
+            malicious: serde::field(fields, "malicious")?,
+            validation: serde::field(fields, "validation")?,
+            rng: serde::field(fields, "rng")?,
+        })
     }
 }
 

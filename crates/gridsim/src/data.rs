@@ -199,7 +199,7 @@ const BOINC_KEY: &str = "boinc";
 /// unattributed resources get a private `res:<name>` pair on the default
 /// link spec. The BOINC pool resource maps to the shared volunteer link and
 /// per-client caches instead.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DataGridState {
     config: DataConfig,
     /// Resource index → link/cache key (`site:…`, `res:…`, or `boinc`).

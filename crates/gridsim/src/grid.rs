@@ -21,12 +21,12 @@ use crate::scheduler::{choose_resource, choose_resource_explained, ResourceView,
 use crate::speed::{benchmark_machines, speed_from_benchmarks};
 use crate::stability::{ResourceHealth, StabilityTracker};
 use crate::telemetry::{GridTelemetry, TelemetryConfig, TelemetrySnapshot};
-use serde::Serialize;
+use serde::{Deserialize, Serialize, Value};
 use simkit::{Calendar, FaultScript, SimDuration, SimRng, SimTime, Simulation, World};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// Events circulating through the grid simulation.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 pub enum GridEvent {
     /// A job arrives at the meta-scheduler.
     Submit(Box<JobSpec>),
@@ -98,7 +98,7 @@ pub enum GridEvent {
 }
 
 /// Grid-wide configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GridConfig {
     /// The service-grid resources (Condor/PBS/SGE). A `BoincPool` spec here
     /// is ignored — configure the pool via `boinc` instead.
@@ -210,6 +210,11 @@ impl GridWorld {
     /// Jobs completed so far.
     pub fn completed(&self) -> usize {
         self.completed
+    }
+
+    /// Jobs whose `Submit` event has been delivered so far.
+    pub fn jobs_submitted(&self) -> usize {
+        self.records.len()
     }
 
     /// Jobs permanently failed (dead-lettered) so far.
@@ -707,6 +712,106 @@ impl GridWorld {
     }
 }
 
+// Snapshot encoding: hash-keyed maps flatten to id-sorted `[key, value]`
+// pairs so snapshot → restore → snapshot is byte-stable; `pending` keeps its
+// live FIFO order because queue position is semantic.
+impl Serialize for GridWorld {
+    fn to_value(&self) -> Value {
+        let mut records: Vec<(JobId, &JobRecord)> =
+            self.records.iter().map(|(&id, r)| (id, r)).collect();
+        records.sort_by_key(|(id, _)| *id);
+        let records: Vec<Value> = records
+            .into_iter()
+            .map(|(id, r)| Value::Seq(vec![id.to_value(), r.to_value()]))
+            .collect();
+        let mut failed_on: Vec<(JobId, Vec<usize>)> = self
+            .failed_on
+            .iter()
+            .map(|(&id, set)| {
+                let mut v: Vec<usize> = set.iter().copied().collect();
+                v.sort_unstable();
+                (id, v)
+            })
+            .collect();
+        failed_on.sort_by_key(|(id, _)| *id);
+        let mut carry: Vec<(JobId, (f64, usize))> =
+            self.carry.iter().map(|(&id, &c)| (id, c)).collect();
+        carry.sort_by_key(|(id, _)| *id);
+        let mut grid_retries: Vec<(JobId, u32)> =
+            self.grid_retries.iter().map(|(&id, &n)| (id, n)).collect();
+        grid_retries.sort_by_key(|(id, _)| *id);
+        let pending: Vec<JobId> = self.pending.iter().copied().collect();
+        Value::Map(vec![
+            ("config".to_string(), self.config.to_value()),
+            ("resources".to_string(), self.resources.to_value()),
+            ("lrms".to_string(), self.lrms.to_value()),
+            ("boinc".to_string(), self.boinc.to_value()),
+            ("boinc_index".to_string(), self.boinc_index.to_value()),
+            (
+                "measured_speeds".to_string(),
+                self.measured_speeds.to_value(),
+            ),
+            ("mds".to_string(), self.mds.to_value()),
+            ("pending".to_string(), pending.to_value()),
+            ("records".to_string(), Value::Seq(records)),
+            ("failed_on".to_string(), failed_on.to_value()),
+            ("partitioned".to_string(), self.partitioned.to_value()),
+            ("stability".to_string(), self.stability.to_value()),
+            ("carry".to_string(), carry.to_value()),
+            ("grid_retries".to_string(), grid_retries.to_value()),
+            ("dead_lettered".to_string(), self.dead_lettered.to_value()),
+            ("completed".to_string(), self.completed.to_value()),
+            ("dispatches".to_string(), self.dispatches.to_value()),
+            (
+                "submissions_rendered".to_string(),
+                self.submissions_rendered.to_value(),
+            ),
+            ("telemetry".to_string(), self.telemetry.to_value()),
+            ("data".to_string(), self.data.to_value()),
+            ("rng".to_string(), self.rng.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for GridWorld {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for GridWorld"))?;
+        let records: Vec<(JobId, JobRecord)> = serde::field(fields, "records")?;
+        let failed_on: Vec<(JobId, Vec<usize>)> = serde::field(fields, "failed_on")?;
+        let carry: Vec<(JobId, (f64, usize))> = serde::field(fields, "carry")?;
+        let grid_retries: Vec<(JobId, u32)> = serde::field(fields, "grid_retries")?;
+        let pending: Vec<JobId> = serde::field(fields, "pending")?;
+        Ok(GridWorld {
+            config: serde::field(fields, "config")?,
+            resources: serde::field(fields, "resources")?,
+            lrms: serde::field(fields, "lrms")?,
+            boinc: serde::field(fields, "boinc")?,
+            boinc_index: serde::field(fields, "boinc_index")?,
+            measured_speeds: serde::field(fields, "measured_speeds")?,
+            mds: serde::field(fields, "mds")?,
+            pending: pending.into(),
+            records: records.into_iter().collect(),
+            failed_on: failed_on
+                .into_iter()
+                .map(|(id, v)| (id, v.into_iter().collect()))
+                .collect(),
+            partitioned: serde::field(fields, "partitioned")?,
+            stability: serde::field(fields, "stability")?,
+            carry: carry.into_iter().collect(),
+            grid_retries: grid_retries.into_iter().collect(),
+            dead_lettered: serde::field(fields, "dead_lettered")?,
+            completed: serde::field(fields, "completed")?,
+            dispatches: serde::field(fields, "dispatches")?,
+            submissions_rendered: serde::field(fields, "submissions_rendered")?,
+            telemetry: serde::field(fields, "telemetry")?,
+            data: serde::field(fields, "data")?,
+            rng: serde::field(fields, "rng")?,
+        })
+    }
+}
+
 impl World for GridWorld {
     type Event = GridEvent;
 
@@ -1074,6 +1179,36 @@ impl Grid {
         }
     }
 
+    /// Jobs promised via [`Grid::submit`]/[`Grid::submit_at`] (including
+    /// submissions whose `Submit` event has not yet been delivered).
+    pub fn submissions_expected(&self) -> usize {
+        self.submissions_expected
+    }
+
+    /// Process exactly one pending event. Returns `false` when the calendar
+    /// is empty. This is the finest-grained stepping primitive — the crash
+    /// harness uses it to checkpoint between two specific events.
+    pub fn step(&mut self) -> bool {
+        self.sim.step()
+    }
+
+    /// Advance the clock, processing every event with timestamp ≤ `until`
+    /// and nothing after. Unlike [`Grid::run_until_done`] this never stops
+    /// early when the workload drains, which makes it the stepping
+    /// primitive for service mode (periodic auto-snapshots) and the
+    /// checkpoint harness. Returns the number of events processed.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(t) = self.sim.calendar_mut().peek_time() {
+            if t > until {
+                break;
+            }
+            self.sim.step();
+            n += 1;
+        }
+        n
+    }
+
     /// Run until every submitted job completes or the clock passes
     /// `deadline`. Returns the final report.
     pub fn run_until_done(&mut self, deadline: SimTime) -> GridReport {
@@ -1153,6 +1288,46 @@ impl Grid {
         }
     }
 }
+
+// Whole-grid checkpoint: everything `run_until_done` depends on rides along —
+// the clock, the processed-event count, every pending calendar entry, the
+// full world (queues, RNG streams, caches, reputations), and the submission
+// ledger — so a restored grid replays bit-identically to an uninterrupted
+// run from the same seed.
+impl Serialize for Grid {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("now".to_string(), self.sim.now().to_value()),
+            ("processed".to_string(), self.sim.processed().to_value()),
+            ("calendar".to_string(), self.sim.calendar().to_value()),
+            ("world".to_string(), self.sim.world().to_value()),
+            (
+                "submissions_expected".to_string(),
+                self.submissions_expected.to_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Grid {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for Grid"))?;
+        let world: GridWorld = serde::field(fields, "world")?;
+        let calendar: Calendar<GridEvent> = serde::field(fields, "calendar")?;
+        let now: SimTime = serde::field(fields, "now")?;
+        let processed: u64 = serde::field(fields, "processed")?;
+        Ok(Grid {
+            sim: Simulation::from_parts(world, calendar, now, processed),
+            submissions_expected: serde::field(fields, "submissions_expected")?,
+        })
+    }
+}
+
+/// Grids checkpoint through the versioned [`simkit::Snapshot`] envelope
+/// (atomic writes, checksum verification, forward-compat version guard).
+impl simkit::Snapshot for Grid {}
 
 #[cfg(test)]
 mod tests {
@@ -1791,5 +1966,123 @@ mod tests {
         assert_eq!(dsnap.store.dedup_hits, 7);
         assert!(dsnap.links.iter().any(|l| l.name == "site:umd"));
         assert!(dsnap.caches.iter().any(|c| c.name == "site:umd"));
+    }
+
+    /// A kitchen-sink grid: service clusters + flaky Condor + volunteer
+    /// pool, recovery, telemetry, data plane, validation quorum, and a
+    /// scripted fault storm — every snapshot-bearing subsystem is live.
+    fn chaos_grid(seed: u64) -> Grid {
+        let alignment = datagrid::ObjectRef::named("alignment.phy", 48 << 20);
+        let config = GridConfig {
+            resources: vec![
+                ResourceSpec::condor_pool("condor", 12, 1.5, 2.0).with_site("umd"),
+                ResourceSpec::cluster("cluster", ResourceKind::PbsCluster, 6, 1.0)
+                    .with_site("bowie"),
+            ],
+            boinc: Some(BoincConfig {
+                num_clients: 25,
+                ..Default::default()
+            }),
+            recovery: Some(RecoveryPolicy::default()),
+            telemetry: Some(TelemetryConfig::default()),
+            data: Some(DataConfig::default()),
+            validation: Some(quorum::ValidationConfig::default()),
+            seed,
+            ..Default::default()
+        };
+        let mut grid = Grid::new(config);
+        let mut rng = SimRng::new(seed ^ 0xC0FFEE);
+        grid.inject_faults(crate::fault::random_faults(
+            &mut rng,
+            &[0, 1],
+            SimDuration::from_hours(36),
+            8,
+        ));
+        grid.submit((0..18).map(|i| {
+            let mut j = JobSpec::simple(i, 3.0 * 3600.0).with_estimate(3.2 * 3600.0);
+            j.checkpointable = i % 2 == 0;
+            if i % 3 == 0 {
+                j = j.with_input(alignment);
+            }
+            j
+        }));
+        grid
+    }
+
+    fn fingerprint(r: &GridReport) -> (usize, usize, u32, u32, Option<u64>, u64, u64, u64) {
+        (
+            r.completed,
+            r.dead_lettered,
+            r.total_reissues,
+            r.total_attempts,
+            r.makespan_seconds.map(f64::to_bits),
+            r.mean_turnaround_seconds.to_bits(),
+            r.useful_cpu_seconds.to_bits(),
+            r.wasted_cpu_seconds.to_bits(),
+        )
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_byte_stable() {
+        use simkit::Snapshot;
+        let mut grid = chaos_grid(51);
+        grid.run_until(SimTime::from_hours(5));
+        let first = grid.to_snapshot();
+        let restored = Grid::from_snapshot(&first).expect("snapshot restores");
+        assert_eq!(
+            restored.to_snapshot(),
+            first,
+            "snapshot→restore→snapshot drifted"
+        );
+    }
+
+    #[test]
+    fn restore_resumes_bit_identically() {
+        use simkit::Snapshot;
+        // Uninterrupted reference run.
+        let mut baseline = chaos_grid(52);
+        let reference = baseline.run_until_done(SimTime::from_days(30));
+        // Interrupted run: checkpoint mid-flight, drop the grid, restore
+        // from the serialized bytes, and finish.
+        let mut grid = chaos_grid(52);
+        grid.run_until(SimTime::from_hours(4));
+        let bytes = grid.to_snapshot();
+        drop(grid);
+        let mut resumed = Grid::from_snapshot(&bytes).expect("snapshot restores");
+        let report = resumed.run_until_done(SimTime::from_days(30));
+        assert!(reference.completed + reference.dead_lettered == reference.total_jobs);
+        assert_eq!(fingerprint(&report), fingerprint(&reference));
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&reference).unwrap(),
+            "resumed report is not byte-identical to the uninterrupted run"
+        );
+    }
+
+    #[test]
+    fn restore_at_every_event_boundary_is_consistent() {
+        use simkit::Snapshot;
+        // Checkpoint at a handful of event boundaries (the DES analogue of
+        // killing the process at adversarial instants) and check each
+        // restored run converges to the same final report.
+        let mut baseline = chaos_grid(53);
+        let reference = baseline.run_until_done(SimTime::from_days(30));
+        for steps in [1u64, 37, 203, 1009] {
+            let mut grid = chaos_grid(53);
+            for _ in 0..steps {
+                if !grid.step() {
+                    break;
+                }
+            }
+            let bytes = grid.to_snapshot();
+            drop(grid);
+            let mut resumed = Grid::from_snapshot(&bytes).expect("snapshot restores");
+            let report = resumed.run_until_done(SimTime::from_days(30));
+            assert_eq!(
+                fingerprint(&report),
+                fingerprint(&reference),
+                "divergence after restoring at event #{steps}"
+            );
+        }
     }
 }

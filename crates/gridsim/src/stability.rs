@@ -17,6 +17,7 @@
 //! Thresholds and cooldown come from [`RecoveryPolicy`].
 
 use crate::recovery::RecoveryPolicy;
+use serde::{Deserialize, Serialize};
 use simkit::SimTime;
 
 /// The scheduler-facing health classification of one resource.
@@ -30,7 +31,7 @@ pub enum ResourceHealth {
     Blacklisted,
 }
 
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 struct HealthRecord {
     successes: u32,
     failures: u32,
@@ -38,7 +39,7 @@ struct HealthRecord {
 }
 
 /// Per-resource success/failure tallies with blacklist state.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StabilityTracker {
     policy: RecoveryPolicy,
     records: Vec<HealthRecord>,

@@ -30,7 +30,7 @@ use crate::job::JobId;
 use crate::mds::{Mds, MdsSnapshot};
 use crate::resource::ResourceSpec;
 use crate::scheduler::ScheduleDecision;
-use serde::Serialize;
+use serde::{Deserialize, Serialize, Value};
 use simkit::stats::TimeWeighted;
 use simkit::telemetry::{
     latency_buckets_seconds, EventBus, EventBusSnapshot, FieldValue, MetricsRegistry,
@@ -40,7 +40,7 @@ use std::collections::BTreeMap;
 
 /// Telemetry knobs on [`crate::grid::GridConfig`]. The grid runs with
 /// telemetry *off* unless a config carries `Some(TelemetryConfig)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TelemetryConfig {
     /// Ring-buffer capacity of the structured event bus (evicted events
     /// still count toward per-kind totals).
@@ -61,7 +61,7 @@ impl Default for TelemetryConfig {
 const STAGE_IN_BUCKETS: [f64; 7] = [1.0, 5.0, 15.0, 60.0, 300.0, 900.0, 3600.0];
 
 /// Lifecycle span of one in-flight job.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct JobSpan {
     submitted: SimTime,
     first_dispatch: Option<SimTime>,
@@ -520,6 +520,51 @@ impl GridTelemetry {
             validation,
             events: self.bus.snapshot(),
         }
+    }
+}
+
+// Snapshot serde: job spans are keyed by `JobId`, so they flatten to
+// id-sorted pairs; everything else serializes field-by-field. The
+// utilisation timelines (`TimeWeighted`) carry their own integrals, so a
+// restored telemetry continues the exact same time averages.
+impl Serialize for GridTelemetry {
+    fn to_value(&self) -> Value {
+        let spans: Vec<Value> = self
+            .spans
+            .iter()
+            .map(|(id, span)| Value::Seq(vec![id.to_value(), span.to_value()]))
+            .collect();
+        Value::Map(vec![
+            ("bus".to_string(), self.bus.to_value()),
+            ("metrics".to_string(), self.metrics.to_value()),
+            ("spans".to_string(), Value::Seq(spans)),
+            ("names".to_string(), self.names.to_value()),
+            ("sites".to_string(), self.sites.to_value()),
+            ("slots".to_string(), self.slots.to_value()),
+            ("busy".to_string(), self.busy.to_value()),
+            ("util".to_string(), self.util.to_value()),
+            ("site_util".to_string(), self.site_util.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for GridTelemetry {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for GridTelemetry"))?;
+        let spans: Vec<(JobId, JobSpan)> = serde::field(fields, "spans")?;
+        Ok(GridTelemetry {
+            bus: serde::field(fields, "bus")?,
+            metrics: serde::field(fields, "metrics")?,
+            spans: spans.into_iter().collect(),
+            names: serde::field(fields, "names")?,
+            sites: serde::field(fields, "sites")?,
+            slots: serde::field(fields, "slots")?,
+            busy: serde::field(fields, "busy")?,
+            util: serde::field(fields, "util")?,
+            site_util: serde::field(fields, "site_util")?,
+        })
     }
 }
 

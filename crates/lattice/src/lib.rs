@@ -20,7 +20,10 @@
 //! * [`eta`] — completion-time estimates for researchers (§VI.A, benefit 4);
 //! * [`pipeline`] — submission → validation → estimation → grid →
 //!   post-processing, end to end;
-//! * [`system`] — the facade the examples and experiment harness drive.
+//! * [`system`] — the facade the examples and experiment harness drive;
+//! * [`service`] — long-running service mode: periodic auto-snapshots with
+//!   atomic writes and previous-good fallback, so a crashed service resumes
+//!   bit-identically from its last checkpoint.
 
 #![warn(missing_docs)]
 
@@ -30,9 +33,11 @@ pub mod eta;
 pub mod online;
 pub mod pipeline;
 pub mod predictors;
+pub mod service;
 pub mod system;
 pub mod training;
 
 pub use estimator::RuntimeEstimator;
 pub use predictors::{predictor_schema, JobFeatures};
+pub use service::{GridService, ResumeOutcome, ServiceConfig};
 pub use system::LatticeSystem;

@@ -17,6 +17,17 @@ fn secs(micros: u64) -> f64 {
 /// the snapshot contents, so replaying a seeded scenario reproduces the
 /// page byte for byte.
 pub fn render_text(snap: &TelemetrySnapshot) -> String {
+    render_text_with_snapshot(snap, None)
+}
+
+/// Like [`render_text`], with a checkpoint-age line for grids running in
+/// service mode: `last_snapshot_micros` is the age of the newest on-disk
+/// grid snapshot (operators watch this — a stale checkpoint means a crash
+/// would replay that much work). `None` renders the page without the line.
+pub fn render_text_with_snapshot(
+    snap: &TelemetrySnapshot,
+    last_snapshot_micros: Option<u64>,
+) -> String {
     let mut out = String::new();
     let m = &snap.metrics;
     writeln!(
@@ -25,6 +36,9 @@ pub fn render_text(snap: &TelemetrySnapshot) -> String {
         secs(snap.taken_at_micros)
     )
     .unwrap();
+    if let Some(age) = last_snapshot_micros {
+        writeln!(out, "Checkpoint: last snapshot {:.0}s ago", secs(age)).unwrap();
+    }
     writeln!(
         out,
         "Jobs: submitted {}, completed {} ({} corrupt), dead-lettered {}, in flight {}",
@@ -349,6 +363,23 @@ mod tests {
         let b = observed_run();
         assert_eq!(render_text(&a), render_text(&b));
         assert_eq!(render_json(&a), render_json(&b));
+    }
+
+    #[test]
+    fn snapshot_age_line_is_opt_in() {
+        let snap = observed_run();
+        let plain = render_text(&snap);
+        assert!(!plain.contains("Checkpoint:"));
+        let with_age = render_text_with_snapshot(&snap, Some(90_000_000));
+        assert!(
+            with_age.contains("Checkpoint: last snapshot 90s ago"),
+            "{with_age}"
+        );
+        // The line rides above the body without perturbing it.
+        assert_eq!(
+            with_age.replace("Checkpoint: last snapshot 90s ago\n", ""),
+            plain
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::reputation::ReputationBook;
 use crate::{ReplicationPolicy, ValidationConfig};
-use serde::Serialize;
+use serde::{Deserialize, Serialize, Value};
 use simkit::SimRng;
 use std::collections::HashMap;
 
@@ -25,19 +25,19 @@ pub fn base_score(wu: u64) -> f64 {
     -1000.0 - (h % 99_000) as f64 - ((h >> 32) & 0xFFFF) as f64 / 65_536.0
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct ResultEntry {
     host: usize,
     score: f64,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum Terminal {
     Completed,
     Failed,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 struct WuState {
     results: Vec<ResultEntry>,
     /// Copies ever issued (initial + escalations + timeout replacements).
@@ -103,7 +103,7 @@ pub struct TimeoutDecision {
     pub failed: bool,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 struct Stats {
     workunits: u64,
     completed: u64,
@@ -514,6 +514,46 @@ impl QuorumEngine {
     }
 }
 
+// Checkpoint serde: the workunit table is keyed by `u64`, which JSON maps
+// cannot carry, so it flattens to `[id, state]` pairs sorted by id — the
+// sorted rendering keeps snapshot → restore → snapshot byte-stable. The
+// engine's RNG rides along so post-restore spot-check draws continue the
+// original stream.
+impl Serialize for QuorumEngine {
+    fn to_value(&self) -> Value {
+        let mut wus: Vec<(&u64, &WuState)> = self.wus.iter().collect();
+        wus.sort_by_key(|(&id, _)| id);
+        let wus = Value::Seq(
+            wus.into_iter()
+                .map(|(id, state)| Value::Seq(vec![id.to_value(), state.to_value()]))
+                .collect(),
+        );
+        Value::Map(vec![
+            ("config".to_string(), self.config.to_value()),
+            ("book".to_string(), self.book.to_value()),
+            ("wus".to_string(), wus),
+            ("rng".to_string(), self.rng.to_value()),
+            ("stats".to_string(), self.stats.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for QuorumEngine {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for QuorumEngine"))?;
+        let wus: Vec<(u64, WuState)> = serde::field(fields, "wus")?;
+        Ok(QuorumEngine {
+            config: serde::field(fields, "config")?,
+            book: serde::field(fields, "book")?,
+            wus: wus.into_iter().collect(),
+            rng: serde::field(fields, "rng")?,
+            stats: serde::field(fields, "stats")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -790,6 +830,37 @@ mod tests {
             serde_json::to_string(&e.snapshot()).unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn engine_serde_roundtrip_resumes_mid_quorum() {
+        // Two engines, identical history; one is snapshotted mid-quorum
+        // (first result in, waiting on the second) and restored.
+        let drive = |e: &mut QuorumEngine| {
+            e.ensure_hosts(4);
+            e.register(1);
+            let a = e.score_for(1, true);
+            let _ = e.on_result(1, 0, a);
+        };
+        let mut original = engine(always2());
+        drive(&mut original);
+        let json = serde_json::to_string(&original).unwrap();
+        let mut restored: QuorumEngine = serde_json::from_str(&json).unwrap();
+        // Byte-stable re-serialization.
+        assert_eq!(serde_json::to_string(&restored).unwrap(), json);
+        // Both engines finish the quorum identically, including the
+        // jitter drawn from the (restored) RNG stream.
+        let s1 = original.score_for(1, true);
+        let s2 = restored.score_for(1, true);
+        assert_eq!(s1.to_bits(), s2.to_bits());
+        let v1 = original.on_result(1, 1, s1);
+        let v2 = restored.on_result(1, 1, s2);
+        assert_eq!(v1, v2);
+        assert!(matches!(v1, Verdict::Completed(_)));
+        assert_eq!(
+            serde_json::to_string(&original.snapshot()).unwrap(),
+            serde_json::to_string(&restored.snapshot()).unwrap()
+        );
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //! an error-rate score, with trust and blacklist classification.
 
 use crate::TrustPolicy;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One host's lifetime validation record.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HostStats {
     /// Results that landed in a winning agreement group.
     pub validated: u32,
@@ -35,7 +35,7 @@ impl HostStats {
 }
 
 /// The server's per-host reputation table.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ReputationBook {
     hosts: Vec<HostStats>,
     trust: TrustPolicy,

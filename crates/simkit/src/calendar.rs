@@ -10,12 +10,27 @@
 //! time, so cancel is O(1).
 
 use crate::time::SimTime;
+use serde::{Deserialize, Serialize, Value};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
 /// Token identifying a cancellable scheduled event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventHandle(u64);
+
+// A handle is just the entry's sequence number, so it survives a snapshot as
+// a bare integer and stays valid against the restored calendar.
+impl Serialize for EventHandle {
+    fn to_value(&self) -> Value {
+        Value::U64(self.0)
+    }
+}
+
+impl Deserialize for EventHandle {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        u64::from_value(value).map(EventHandle)
+    }
+}
 
 struct Entry<E> {
     time: SimTime,
@@ -136,6 +151,62 @@ impl<E> Calendar<E> {
     }
 }
 
+// Snapshot form: entries sorted by `(time, seq)` plus the sequence counter
+// and the sorted cancellation set. Sorting makes the rendering independent of
+// the heap's internal array layout, so snapshot → restore → snapshot is
+// byte-stable; replaying `seq` verbatim keeps outstanding [`EventHandle`]s
+// from before the snapshot valid after restore.
+impl<E: Serialize> Serialize for Calendar<E> {
+    fn to_value(&self) -> Value {
+        let mut live: Vec<&Entry<E>> = self.heap.iter().collect();
+        live.sort_by_key(|e| (e.time, e.seq));
+        let entries = Value::Seq(
+            live.iter()
+                .map(|e| {
+                    Value::Map(vec![
+                        ("time".to_string(), e.time.to_value()),
+                        ("seq".to_string(), e.seq.to_value()),
+                        ("event".to_string(), e.event.to_value()),
+                    ])
+                })
+                .collect(),
+        );
+        let mut cancelled: Vec<u64> = self.cancelled.iter().copied().collect();
+        cancelled.sort_unstable();
+        Value::Map(vec![
+            ("entries".to_string(), entries),
+            ("next_seq".to_string(), self.next_seq.to_value()),
+            ("cancelled".to_string(), cancelled.to_value()),
+        ])
+    }
+}
+
+impl<E: Deserialize> Deserialize for Calendar<E> {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for Calendar"))?;
+        let raw_entries: Vec<Value> = serde::field(fields, "entries")?;
+        let mut heap = BinaryHeap::with_capacity(raw_entries.len());
+        for raw in &raw_entries {
+            let entry = raw
+                .as_map()
+                .ok_or_else(|| serde::Error::custom("expected map for calendar entry"))?;
+            heap.push(Entry {
+                time: serde::field(entry, "time")?,
+                seq: serde::field(entry, "seq")?,
+                event: serde::field(entry, "event")?,
+            });
+        }
+        let cancelled: Vec<u64> = serde::field(fields, "cancelled")?;
+        Ok(Calendar {
+            heap,
+            next_seq: serde::field(fields, "next_seq")?,
+            cancelled: cancelled.into_iter().collect(),
+        })
+    }
+}
+
 impl<E> std::fmt::Debug for Calendar<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Calendar")
@@ -195,6 +266,37 @@ mod tests {
         cal.schedule(SimTime::from_secs(2), 2);
         // The stale cancellation must not swallow an unrelated event.
         assert_eq!(cal.pop(), Some((SimTime::from_secs(2), 2)));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_order_handles_and_bytes() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime::from_secs(3), 30u32);
+        cal.schedule(SimTime::from_secs(1), 10);
+        let h = cal.schedule_cancellable(SimTime::from_secs(2), 20);
+        cal.schedule(SimTime::from_secs(1), 11); // FIFO tie with event 10
+        cal.cancel(h);
+
+        let json = serde_json::to_string(&cal).unwrap();
+        let mut back: Calendar<u32> = serde_json::from_str(&json).unwrap();
+        // Snapshot → restore → snapshot is byte-stable.
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+
+        // Restored calendar pops in the original order, honouring both the
+        // FIFO tie-break and the cancellation.
+        assert_eq!(back.pop().unwrap().1, 10);
+        assert_eq!(back.pop().unwrap().1, 11);
+        assert_eq!(back.pop().unwrap().1, 30);
+        assert_eq!(back.pop(), None);
+
+        // New events scheduled after restore continue the sequence counter,
+        // so they sort after (not interleaved with) pre-snapshot ties.
+        let mut cal2: Calendar<u32> =
+            serde_json::from_str(&serde_json::to_string(&cal).unwrap()).unwrap();
+        cal2.schedule(SimTime::from_secs(1), 99);
+        assert_eq!(cal2.pop().unwrap().1, 10);
+        assert_eq!(cal2.pop().unwrap().1, 11);
+        assert_eq!(cal2.pop().unwrap().1, 99);
     }
 
     #[test]

@@ -50,6 +50,7 @@
 pub mod calendar;
 pub mod faults;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
@@ -58,6 +59,7 @@ pub mod trace;
 pub use calendar::Calendar;
 pub use faults::FaultScript;
 pub use rng::SimRng;
+pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use time::{SimDuration, SimTime};
 
 /// A simulation model: owns all mutable state and reacts to events.
@@ -113,9 +115,32 @@ impl<W: World> Simulation<W> {
         &mut self.world
     }
 
+    /// Immutable access to the calendar (e.g. to serialize pending events).
+    pub fn calendar(&self) -> &Calendar<W::Event> {
+        &self.calendar
+    }
+
     /// Mutable access to the calendar (e.g. to seed initial events).
     pub fn calendar_mut(&mut self) -> &mut Calendar<W::Event> {
         &mut self.calendar
+    }
+
+    /// Reassemble a simulation from checkpointed parts: the restored world,
+    /// its pending calendar, and the clock/counter of the original run.
+    /// Unlike [`Simulation::new`], no bootstrap happens — the caller is
+    /// expected to resume exactly where the snapshot left off.
+    pub fn from_parts(
+        world: W,
+        calendar: Calendar<W::Event>,
+        now: SimTime,
+        processed: u64,
+    ) -> Self {
+        Self {
+            world,
+            calendar,
+            now,
+            processed,
+        }
     }
 
     /// Consume the simulation and return the model.

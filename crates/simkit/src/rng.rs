@@ -11,12 +11,40 @@
 
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize, Value};
 
 /// A deterministic random stream.
 #[derive(Debug, Clone)]
 pub struct SimRng {
     inner: ChaCha8Rng,
     seed: u64,
+}
+
+// Snapshot form: the seed plus the ChaCha stream position `(counter, index)`.
+// Restoring re-derives the key from the seed and fast-forwards to the exact
+// word, so the restored stream continues bit-for-bit where it left off.
+impl Serialize for SimRng {
+    fn to_value(&self) -> Value {
+        let (counter, index) = self.inner.stream_position();
+        Value::Map(vec![
+            ("seed".to_string(), self.seed.to_value()),
+            ("counter".to_string(), counter.to_value()),
+            ("index".to_string(), index.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SimRng {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for SimRng"))?;
+        let mut rng = SimRng::new(serde::field(fields, "seed")?);
+        let counter: u64 = serde::field(fields, "counter")?;
+        let index: usize = serde::field(fields, "index")?;
+        rng.inner.set_stream_position(counter, index);
+        Ok(rng)
+    }
 }
 
 impl SimRng {
@@ -313,6 +341,28 @@ mod tests {
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 3.0).abs() < 0.05, "mean = {mean}");
         assert!((var - 4.0).abs() < 0.15, "var = {var}");
+    }
+
+    #[test]
+    fn serde_roundtrip_resumes_stream_mid_buffer() {
+        // Odd draw counts leave the generator mid-block — the interesting
+        // restore case; 0 checks the never-refilled fresh state.
+        for draws in [0usize, 7, 16, 33] {
+            let mut a = SimRng::new(2011);
+            for _ in 0..draws {
+                a.next_u32();
+            }
+            let json = serde_json::to_string(&a).unwrap();
+            let mut b: SimRng = serde_json::from_str(&json).unwrap();
+            assert_eq!(b.seed(), a.seed());
+            // Byte-stable re-serialization.
+            assert_eq!(serde_json::to_string(&b).unwrap(), json);
+            for _ in 0..40 {
+                assert_eq!(a.next_u64(), b.next_u64(), "diverged after {draws} draws");
+            }
+            // Forks from the restored stream match forks from the original.
+            assert_eq!(a.fork("child").next_u64(), b.fork("child").next_u64());
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! * [`Sample`] — stores observations for exact quantiles and summaries.
 
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// A monotone event counter.
 #[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
@@ -38,13 +38,75 @@ impl Counter {
 }
 
 /// Streaming mean/variance/extremes via Welford's algorithm.
-#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy)]
 pub struct Tally {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+// Hand-written serde: an empty tally holds `min = +inf` / `max = -inf`, and
+// JSON has no encoding for non-finite floats (the writer would emit `null`,
+// which does not deserialize back into an `f64`). Finite values keep the
+// plain float encoding; the infinities become the sentinel strings
+// `"inf"` / `"-inf"` so a fresh tally survives a snapshot round-trip.
+fn extreme_to_value(x: f64) -> Value {
+    if x.is_finite() {
+        Value::F64(x)
+    } else if x > 0.0 {
+        Value::Str("inf".to_string())
+    } else {
+        Value::Str("-inf".to_string())
+    }
+}
+
+fn extreme_from_value(value: &Value) -> Result<f64, serde::Error> {
+    match value {
+        Value::Str(s) if s == "inf" => Ok(f64::INFINITY),
+        Value::Str(s) if s == "-inf" => Ok(f64::NEG_INFINITY),
+        other => f64::from_value(other),
+    }
+}
+
+impl Serialize for Tally {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("n".to_string(), self.n.to_value()),
+            ("mean".to_string(), self.mean.to_value()),
+            ("m2".to_string(), self.m2.to_value()),
+            ("min".to_string(), extreme_to_value(self.min)),
+            ("max".to_string(), extreme_to_value(self.max)),
+        ])
+    }
+}
+
+impl Deserialize for Tally {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for Tally"))?;
+        let min = fields
+            .iter()
+            .find(|(k, _)| k == "min")
+            .map(|(_, v)| extreme_from_value(v))
+            .transpose()?
+            .unwrap_or(f64::INFINITY);
+        let max = fields
+            .iter()
+            .find(|(k, _)| k == "max")
+            .map(|(_, v)| extreme_from_value(v))
+            .transpose()?
+            .unwrap_or(f64::NEG_INFINITY);
+        Ok(Tally {
+            n: serde::field(fields, "n")?,
+            mean: serde::field(fields, "mean")?,
+            m2: serde::field(fields, "m2")?,
+            min,
+            max,
+        })
+    }
 }
 
 impl Tally {
@@ -366,6 +428,36 @@ mod tests {
         empty.merge(&a);
         assert_eq!(empty.count(), 2);
         assert_eq!(empty.mean(), a.mean());
+    }
+
+    #[test]
+    fn tally_serde_roundtrip_including_empty() {
+        // Empty tally: the ±inf extremes must survive JSON (as sentinels).
+        let empty = Tally::new();
+        let json = serde_json::to_string(&empty).unwrap();
+        let back: Tally = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.count(), 0);
+        assert_eq!(back.min(), None);
+        assert_eq!(back.max(), None);
+        // A recorded observation still lands as the new min/max.
+        let mut resumed = back;
+        resumed.record(4.0);
+        assert_eq!(resumed.min(), Some(4.0));
+        assert_eq!(resumed.max(), Some(4.0));
+
+        // Non-empty tally: exact bit-level state round-trips.
+        let mut t = Tally::new();
+        for x in [2.0, 4.0, 7.5] {
+            t.record(x);
+        }
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tally = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        assert_eq!(back.count(), t.count());
+        assert_eq!(back.mean().to_bits(), t.mean().to_bits());
+        assert_eq!(back.variance().to_bits(), t.variance().to_bits());
+        assert_eq!(back.min(), t.min());
+        assert_eq!(back.max(), t.max());
     }
 
     #[test]

@@ -26,12 +26,12 @@
 //!   artifacts are comparable across experiments.
 
 use crate::time::SimTime;
-use serde::Serialize;
+use serde::{Deserialize, Serialize, Value};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 /// A typed value attached to an event field.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum FieldValue {
     /// Unsigned integer (counts, ids, microsecond timestamps).
     U64(u64),
@@ -95,7 +95,7 @@ impl From<String> for FieldValue {
 }
 
 /// One structured telemetry event.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Event {
     /// Monotone sequence number (order of emission, stable under replay).
     pub seq: u64,
@@ -205,8 +205,40 @@ impl EventBus {
     }
 }
 
+// Full-state serde for checkpointing (distinct from [`EventBus::snapshot`],
+// which is the *observer* view): capacity and the ring itself are preserved
+// so a restored bus continues evicting exactly where the original would.
+impl Serialize for EventBus {
+    fn to_value(&self) -> Value {
+        let recent: Vec<&Event> = self.recent.iter().collect();
+        Value::Map(vec![
+            ("capacity".to_string(), self.capacity.to_value()),
+            ("next_seq".to_string(), self.next_seq.to_value()),
+            ("dropped".to_string(), self.dropped.to_value()),
+            ("counts".to_string(), self.counts.to_value()),
+            ("recent".to_string(), recent.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for EventBus {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for EventBus"))?;
+        let recent: Vec<Event> = serde::field(fields, "recent")?;
+        Ok(EventBus {
+            recent: recent.into(),
+            capacity: serde::field(fields, "capacity")?,
+            next_seq: serde::field(fields, "next_seq")?,
+            dropped: serde::field(fields, "dropped")?,
+            counts: serde::field(fields, "counts")?,
+        })
+    }
+}
+
 /// Serializable view of an [`EventBus`] at one instant.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EventBusSnapshot {
     /// Total events emitted.
     pub emitted: u64,
@@ -224,7 +256,7 @@ pub struct EventBusSnapshot {
 /// the first bucket whose bound satisfies `x <= bound`, or in the implicit
 /// overflow bucket past the last bound. Bounds are fixed at construction so
 /// two runs (or two resources) always bucket identically.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Histogram {
     bounds: Vec<f64>,
     counts: Vec<u64>,
@@ -340,7 +372,7 @@ pub fn staleness_buckets_seconds() -> Vec<f64> {
 ///
 /// All maps are ordered, so serializing a registry yields byte-stable JSON
 /// under replay.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
@@ -524,6 +556,41 @@ mod tests {
         assert_eq!(FieldValue::from(1.5f64), FieldValue::F64(1.5));
         assert_eq!(FieldValue::from(true), FieldValue::Bool(true));
         assert_eq!(FieldValue::from("x"), FieldValue::Str("x".into()));
+    }
+
+    #[test]
+    fn bus_and_registry_serde_roundtrip_byte_stable() {
+        let mut bus = EventBus::new(2);
+        for i in 0..4u64 {
+            bus.emit(
+                SimTime::from_secs(i),
+                "job.dispatch",
+                &[
+                    ("job", i.into()),
+                    ("ok", true.into()),
+                    ("who", "lrm".into()),
+                ],
+            );
+        }
+        let json = serde_json::to_string(&bus).unwrap();
+        let mut back: EventBus = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        assert_eq!(back.emitted(), bus.emitted());
+        assert_eq!(back.dropped(), bus.dropped());
+        // The restored ring keeps evicting at the original capacity.
+        back.emit(SimTime::from_secs(9), "x", &[]);
+        assert_eq!(back.recent().count(), 2);
+        assert_eq!(back.emitted(), 5);
+
+        let mut m = MetricsRegistry::new();
+        m.incr("a");
+        m.set_gauge("g", 2.5);
+        m.observe("h", &latency_buckets_seconds(), 120.0);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: MetricsRegistry = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        assert_eq!(back.counter("a"), 1);
+        assert_eq!(back.histogram("h").unwrap().count(), 1);
     }
 
     #[test]

@@ -265,6 +265,101 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Whole-grid snapshot/restore
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For arbitrary seeded grid states — random fault storms, mixed
+    /// checkpointable workloads, killed at an arbitrary mid-flight instant —
+    /// snapshot → restore → snapshot is byte-stable, and restoring never
+    /// resurrects a completed or dead-lettered job (nor loses or invents
+    /// one).
+    #[test]
+    fn snapshot_restore_is_byte_stable_and_conserves_jobs(
+        seed in 0u64..5_000,
+        fault_events in 1usize..10,
+        n_jobs in 5usize..25,
+        kill_after_mins in 10u64..720,
+    ) {
+        use gridsim::grid::{Grid, GridConfig};
+        use gridsim::job::{JobOutcome, JobSpec};
+        use gridsim::resource::{ResourceKind, ResourceSpec};
+        use simkit::{SimDuration, SimRng, SimTime, Snapshot};
+        use std::collections::BTreeMap;
+
+        let config = GridConfig {
+            resources: vec![
+                ResourceSpec::cluster("safe", ResourceKind::PbsCluster, 6, 1.0),
+                ResourceSpec::condor_pool("chaotic", 16, 1.2, 10.0),
+            ],
+            max_local_retries: 1,
+            recovery: Some(gridsim::RecoveryPolicy::default()),
+            seed,
+            ..Default::default()
+        };
+        let mut grid = Grid::new(config);
+        let mut frng = SimRng::new(seed ^ 0xFA11);
+        grid.inject_faults(gridsim::fault::random_faults(
+            &mut frng,
+            &[1],
+            SimDuration::from_hours(12),
+            fault_events,
+        ));
+        let mut wrng = SimRng::new(seed ^ 0x90B5);
+        grid.submit((0..n_jobs as u64).map(|id| {
+            let secs = wrng.range_f64(0.25, 3.0) * 3600.0;
+            let mut job = JobSpec::simple(id, secs).with_estimate(secs);
+            job.checkpointable = id % 2 == 0;
+            job
+        }));
+        grid.run_until(SimTime::from_secs(kill_after_mins * 60));
+
+        let terminal = |g: &Grid| -> BTreeMap<u64, JobOutcome> {
+            g.report()
+                .records
+                .iter()
+                .filter(|r| r.outcome != JobOutcome::Unfinished)
+                .map(|r| (r.spec.id.0, r.outcome))
+                .collect()
+        };
+        let ledger = terminal(&grid);
+        let jobs_known = grid.world().jobs_submitted();
+
+        // Byte-stability: the restored grid re-snapshots identically.
+        let first = grid.to_snapshot();
+        drop(grid);
+        let restored = Grid::from_snapshot(&first).expect("snapshot restores");
+        prop_assert_eq!(&restored.to_snapshot(), &first, "snapshot drifted on restore");
+
+        // Conservation: the restored grid knows exactly the same jobs, and
+        // every terminal outcome is frozen — completed stays completed,
+        // dead-lettered stays dead-lettered, nothing resurrected.
+        prop_assert_eq!(restored.world().jobs_submitted(), jobs_known);
+        prop_assert_eq!(terminal(&restored), ledger.clone());
+
+        // And resuming can only extend the terminal set, never revert it.
+        let mut resumed = restored;
+        let fin = resumed.run_until_done(SimTime::from_days(60));
+        let final_ledger: BTreeMap<u64, JobOutcome> = fin
+            .records
+            .iter()
+            .filter(|r| r.outcome != JobOutcome::Unfinished)
+            .map(|r| (r.spec.id.0, r.outcome))
+            .collect();
+        for (job, outcome) in &ledger {
+            prop_assert_eq!(
+                final_ledger.get(job),
+                Some(outcome),
+                "job {} changed terminal outcome after resume", job
+            );
+        }
+        prop_assert_eq!(fin.completed + fin.dead_lettered, n_jobs);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Speed calibration
 // ---------------------------------------------------------------------------
 

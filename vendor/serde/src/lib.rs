@@ -367,6 +367,21 @@ impl_tuple!(0: A, 1: B);
 impl_tuple!(0: A, 1: B, 2: C);
 impl_tuple!(0: A, 1: B, 2: C, 3: D);
 
+// `Value` passes through both traits unchanged, so callers can parse JSON
+// into a tree, inspect it (e.g. read an envelope's version field before
+// committing to a schema), and re-render it canonically.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Value, Error> {
+        Ok(value.clone())
+    }
+}
+
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_value(&self) -> Value {
         Value::Map(
