@@ -188,6 +188,7 @@ fn observed_run(sc: &Scenario, baseline: &GridReport, n_jobs: usize, seed: u64) 
     let mut config = base_config(seed, true, 2, sc.with_boinc);
     config.telemetry = Some(TelemetryConfig::default());
     let mut grid = Grid::new(config);
+    grid.enable_profiling();
     grid.inject_faults(sc.script.clone());
     let mut wrng = SimRng::new(seed ^ 0xE12);
     grid.submit(workload(n_jobs, &mut wrng));
@@ -200,6 +201,9 @@ fn observed_run(sc: &Scenario, baseline: &GridReport, n_jobs: usize, seed: u64) 
     );
     let snapshot = grid.telemetry_snapshot().expect("telemetry enabled");
     write_metrics("e12_fault_tolerance", &snapshot);
+    if let Some(p) = grid.profile_report() {
+        eprintln!("[profile] {}", p.one_line());
+    }
 }
 
 fn main() {

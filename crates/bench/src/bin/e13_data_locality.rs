@@ -125,6 +125,9 @@ fn run_once(jobs: &[JobSpec], data: Option<DataConfig>, telemetry: bool, seed: u
         ..Default::default()
     };
     let mut grid = Grid::new(config);
+    if telemetry {
+        grid.enable_profiling();
+    }
     grid.submit(jobs.to_vec());
     let _ = grid.run_until_done(SimTime::from_days(30));
     grid
@@ -324,6 +327,9 @@ fn main() {
     );
     assert!(snapshot.data.is_some(), "snapshot carries the data plane");
     write_metrics("e13_data_locality", &snapshot);
+    if let Some(p) = observed.profile_report() {
+        eprintln!("[profile] {}", p.one_line());
+    }
     println!("telemetry replay: outcomes identical with telemetry enabled");
 
     write_json("e13_data_locality", &rows);

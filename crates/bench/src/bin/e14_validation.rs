@@ -259,6 +259,7 @@ fn main() {
     let mut config = base_config(seed, clients, policy_config(true, spot));
     config.telemetry = Some(TelemetryConfig::default());
     let mut grid = Grid::new(config);
+    grid.enable_profiling();
     grid.inject_faults(fault::malicious_hosts(0.25, SimTime::ZERO));
     let mut wrng = SimRng::new(seed ^ 0xE14);
     grid.submit(workload(n_jobs, &mut wrng));
@@ -271,6 +272,9 @@ fn main() {
     let snapshot = grid.telemetry_snapshot().expect("telemetry enabled");
     assert!(snapshot.metrics.counter("validation.completed") > 0);
     write_metrics("e14_validation", &snapshot);
+    if let Some(p) = grid.profile_report() {
+        eprintln!("[profile] {}", p.one_line());
+    }
     println!("telemetry replay: outcomes identical with telemetry enabled");
 
     write_json("e14_validation", &rows);

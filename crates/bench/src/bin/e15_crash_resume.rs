@@ -385,11 +385,18 @@ fn main() {
         grid.run_until(SimTime::from_hours(6));
         let text = grid.to_snapshot();
         let mut restored = Grid::from_snapshot(&text).expect("observed snapshot restores");
+        // The profiler is host-side and observer-only: it is NOT part of
+        // the snapshot, so enabling it on the restored grid exercises the
+        // documented re-arm-after-restore path.
+        restored.enable_profiling();
         let _ = restored.run_until_done(DEADLINE);
         let snapshot = restored
             .telemetry_snapshot()
             .expect("telemetry enabled — and it survived the snapshot round-trip");
         write_metrics("e15_crash_resume", &snapshot);
+        if let Some(p) = restored.profile_report() {
+            eprintln!("[profile] {}", p.one_line());
+        }
     }
 
     let kills = rows.len();

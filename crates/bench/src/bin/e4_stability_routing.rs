@@ -119,11 +119,17 @@ fn run(
         config.telemetry = Some(TelemetryConfig::default());
     }
     let mut grid = Grid::new(config);
+    if telemetry {
+        grid.enable_profiling();
+    }
     grid.submit(jobs);
     let report = grid.run_until_done(SimTime::from_days(45));
     if telemetry {
         let snapshot = grid.telemetry_snapshot().expect("telemetry enabled");
         write_metrics("e4_stability_routing", &snapshot);
+        if let Some(p) = grid.profile_report() {
+            eprintln!("[profile] {}", p.one_line());
+        }
     }
     Row {
         policy: label.to_string(),

@@ -78,11 +78,17 @@ fn run_observed(
         ..Default::default()
     };
     let mut grid = Grid::new(config);
+    if telemetry {
+        grid.enable_profiling();
+    }
     grid.submit(jobs);
     let report = grid.run_until_done(SimTime::from_days(90));
     if telemetry {
         let snapshot = grid.telemetry_snapshot().expect("telemetry enabled");
         write_metrics("e5_boinc_deadlines", &snapshot);
+        if let Some(p) = grid.profile_report() {
+            eprintln!("[profile] {}", p.one_line());
+        }
     }
     Row {
         policy: label.to_string(),

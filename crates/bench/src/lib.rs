@@ -73,11 +73,34 @@ pub fn write_json(name: &str, value: &impl serde::Serialize) {
     eprintln!("[out] {}", path.display());
 }
 
+/// Schema version stamped into every `<exp>_metrics.json` artifact.
+/// Bump when the envelope layout or the embedded telemetry snapshot's
+/// field contract changes incompatibly, so downstream tooling comparing
+/// metrics across commits can refuse mixed-schema reads.
+///
+/// History: v1 — `{schema_version, snapshot}` envelope introduced with the
+/// observability layer (time series, SLO alerts, trace summaries inside
+/// the snapshot).
+pub const METRICS_SCHEMA_VERSION: u64 = 1;
+
 /// Write an experiment's telemetry/metrics artifact as
 /// `bench_results/<name>_metrics.json` (the observability twin of the
-/// experiment's result file).
+/// experiment's result file). The value is wrapped in a versioned
+/// envelope: `{"schema_version": N, "snapshot": {...}}`.
 pub fn write_metrics(name: &str, value: &impl serde::Serialize) {
-    write_json(&format!("{name}_metrics"), value);
+    write_json(&format!("{name}_metrics"), &metrics_envelope(value))
+}
+
+/// The `{schema_version, snapshot}` envelope [`write_metrics`] persists
+/// (exposed so tests can pin its shape).
+pub fn metrics_envelope(value: &impl serde::Serialize) -> serde::Value {
+    serde::Value::Map(vec![
+        (
+            "schema_version".to_string(),
+            serde::Value::U64(METRICS_SCHEMA_VERSION),
+        ),
+        ("snapshot".to_string(), value.to_value()),
+    ])
 }
 
 /// Print a section header.
@@ -106,6 +129,18 @@ mod tests {
     fn env_knobs_default() {
         assert_eq!(env_usize("LATTICE_NO_SUCH_VAR", 7), 7);
         assert_eq!(env_f64("LATTICE_NO_SUCH_VAR", 2.5), 2.5);
+    }
+
+    /// Pins the metrics-artifact schema: the envelope keys, their order,
+    /// and the version value. If this test fails you changed the artifact
+    /// contract — bump [`METRICS_SCHEMA_VERSION`] and say so in its doc.
+    #[test]
+    fn metrics_envelope_schema_is_pinned() {
+        let inner: std::collections::BTreeMap<String, u64> =
+            [("jobs".to_string(), 3u64)].into_iter().collect();
+        let json = serde_json::to_string(&metrics_envelope(&inner)).unwrap();
+        assert_eq!(json, r#"{"schema_version":1,"snapshot":{"jobs":3}}"#);
+        assert_eq!(METRICS_SCHEMA_VERSION, 1);
     }
 
     #[test]

@@ -425,6 +425,13 @@ impl BoincSim {
         self.workunits.values().map(|w| w.reissues).sum()
     }
 
+    /// The grid job behind a workunit assignment, if the assignment is
+    /// still known (telemetry links deadline reissues into the job's
+    /// causal trace).
+    pub fn assignment_job(&self, assignment: u64) -> Option<JobId> {
+        self.assignments.get(&assignment).map(|a| a.wu)
+    }
+
     /// Reissues attributable to workunits that have *not* completed yet.
     /// Completed workunits' reissues are already folded into their grid-level
     /// job records, so a report summing per-record reissues must add only

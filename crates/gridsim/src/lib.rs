@@ -35,6 +35,9 @@
 //! * [`telemetry`] — deterministic grid-wide observability: structured
 //!   lifecycle events, a metrics registry, per-job latency decomposition,
 //!   utilisation timelines, and an MDS-backed monitoring snapshot;
+//! * [`slo`] — a declarative, deterministic alert-rule engine evaluated at
+//!   time-series window boundaries in sim time, with hysteresis (fire
+//!   once, resolve on recovery) over the standard observability pack;
 //! * [`data`] — the optional data plane: a content-addressed object store,
 //!   bandwidth-modeled links, per-site and per-volunteer LRU caches, and
 //!   the stage-in estimates that make scheduling data-aware;
@@ -57,6 +60,7 @@ pub mod platform;
 pub mod recovery;
 pub mod resource;
 pub mod scheduler;
+pub mod slo;
 pub mod speed;
 pub mod stability;
 pub mod telemetry;
@@ -70,6 +74,7 @@ pub use platform::{Arch, Os, Platform};
 pub use recovery::RecoveryPolicy;
 pub use resource::{ResourceId, ResourceKind, ResourceSpec};
 pub use scheduler::SchedulerPolicy;
+pub use slo::{Alert, AlertTransition, SloConfig, SloEngine, SloRule, SloSnapshot};
 pub use stability::{ResourceHealth, StabilityTracker};
 pub use telemetry::{GridTelemetry, TelemetryConfig, TelemetrySnapshot};
 

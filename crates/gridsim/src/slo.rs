@@ -1,0 +1,486 @@
+//! Declarative, deterministic SLO alert rules over the grid's time series.
+//!
+//! The paper's operators babysat multi-month campaigns; what they needed
+//! from monitoring was not another counter but a *judgement* — "the queue
+//! is backing up", "the volunteer pool is missing deadlines", "nobody has
+//! checkpointed in an hour" — raised while there is still time to act.
+//! This module provides that judgement layer:
+//!
+//! * an [`SloRule`] compares one named series (see
+//!   [`simkit::timeseries::SeriesSet`]) against a threshold at every window
+//!   boundary, entirely in simulation time;
+//! * rules have **hysteresis**: a rule must breach for
+//!   [`SloRule::for_windows`] consecutive windows before it fires, fires
+//!   *once* per episode (not once per breaching window), and resolves on
+//!   the first non-breaching window;
+//! * a fired or resolved [`Alert`] is recorded in the engine (bounded,
+//!   exactly counted) and surfaced as `slo.alert` / `slo.resolve` events on
+//!   the telemetry bus, on the portal status page, and — in service mode —
+//!   as typed `portal::notify`-style notifications.
+//!
+//! Like every observability layer in this workspace the engine is a pure
+//! observer: evaluated only at deterministic sim-time boundaries, no wall
+//! clock, no randomness, no calendar events, fully snapshot-serializable.
+
+use serde::{Deserialize, Serialize};
+use simkit::timeseries::{SeriesKind, SeriesSet, SeriesSetConfig, SeriesSpec};
+use simkit::{SimDuration, SimTime};
+
+/// Comparison direction of a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Breach when the series value is strictly above the threshold.
+    Above,
+    /// Breach when the series value is strictly below the threshold.
+    Below,
+}
+
+/// One declarative alert rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloRule {
+    /// Rule name (rendered on the status page and in notifications).
+    pub name: String,
+    /// The series the rule watches (by [`SeriesSpec::name`]).
+    pub series: String,
+    /// Comparison direction.
+    pub op: Op,
+    /// Threshold value.
+    pub threshold: f64,
+    /// Consecutive breaching windows required before the rule fires
+    /// (>= 1). Windows with no point for the series count as healthy.
+    pub for_windows: u32,
+}
+
+impl SloRule {
+    /// A rule breaching when `series` rises strictly above `threshold`.
+    pub fn above(name: &str, series: &str, threshold: f64, for_windows: u32) -> SloRule {
+        SloRule {
+            name: name.into(),
+            series: series.into(),
+            op: Op::Above,
+            threshold,
+            for_windows: for_windows.max(1),
+        }
+    }
+
+    /// A rule breaching when `series` falls strictly below `threshold`.
+    pub fn below(name: &str, series: &str, threshold: f64, for_windows: u32) -> SloRule {
+        SloRule {
+            name: name.into(),
+            series: series.into(),
+            op: Op::Below,
+            threshold,
+            for_windows: for_windows.max(1),
+        }
+    }
+
+    fn breaches(&self, value: f64) -> bool {
+        match self.op {
+            Op::Above => value > self.threshold,
+            Op::Below => value < self.threshold,
+        }
+    }
+}
+
+/// Alert-engine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloConfig {
+    /// The rules, evaluated in order at every window boundary.
+    pub rules: Vec<SloRule>,
+    /// Alerts retained in the engine's log (older evicted, counted).
+    pub alert_capacity: usize,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            rules: Vec::new(),
+            alert_capacity: 256,
+        }
+    }
+}
+
+/// One alert episode: fired when its rule's hysteresis tripped, resolved
+/// when the rule first evaluated healthy again (still open if `resolved_at`
+/// is `None`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Rule that fired.
+    pub rule: String,
+    /// Series the rule watches.
+    pub series: String,
+    /// Boundary (µs of sim time) at which the rule fired.
+    pub fired_at_micros: u64,
+    /// Series value at the firing boundary.
+    pub value: f64,
+    /// The rule's threshold.
+    pub threshold: f64,
+    /// `true` for [`Op::Above`] rules.
+    pub above: bool,
+    /// Boundary at which the episode resolved, if it has.
+    pub resolved_at_micros: Option<u64>,
+}
+
+/// Per-rule hysteresis state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum RuleState {
+    /// Healthy (or not yet evaluated).
+    Ok,
+    /// Breaching for `n` consecutive windows, not yet fired.
+    Breaching(u32),
+    /// Fired; waiting for a healthy window to resolve.
+    Firing,
+}
+
+/// What one boundary evaluation produced (for bus emission).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlertTransition {
+    /// A rule's hysteresis tripped: a new alert episode opened.
+    Fired(Alert),
+    /// A firing rule evaluated healthy: its episode closed.
+    Resolved(Alert),
+}
+
+/// The deterministic alert engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SloEngine {
+    rules: Vec<SloRule>,
+    states: Vec<RuleState>,
+    alerts: Vec<Alert>,
+    alerts_dropped: u64,
+    alert_capacity: usize,
+    fired_total: u64,
+    resolved_total: u64,
+}
+
+impl SloEngine {
+    /// Build the engine; all rules start healthy.
+    pub fn new(config: SloConfig) -> SloEngine {
+        let states = vec![RuleState::Ok; config.rules.len()];
+        SloEngine {
+            rules: config.rules,
+            states,
+            alerts: Vec::new(),
+            alerts_dropped: 0,
+            alert_capacity: config.alert_capacity,
+            fired_total: 0,
+            resolved_total: 0,
+        }
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &[SloRule] {
+        &self.rules
+    }
+
+    /// Retained alert episodes, oldest first.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Alert episodes ever fired.
+    pub fn fired_total(&self) -> u64 {
+        self.fired_total
+    }
+
+    /// Evaluate every rule at the window boundary `boundary`, reading the
+    /// newest point of each watched series from `series`. Returns the
+    /// transitions (fired/resolved) this boundary produced, in rule order.
+    pub fn on_window(&mut self, boundary: SimTime, series: &SeriesSet) -> Vec<AlertTransition> {
+        let mut out = Vec::new();
+        let window_index = series.windows_closed().saturating_sub(1);
+        for (i, rule) in self.rules.iter().enumerate() {
+            // Only a point produced by the window that just closed counts:
+            // a stale latest point (e.g. a gauge that stopped being set)
+            // must not keep an alert alive forever.
+            let value = series
+                .latest(&rule.series)
+                .filter(|p| p.window == window_index)
+                .map(|p| p.value);
+            let breaching = value.is_some_and(|v| rule.breaches(v));
+            let state = &mut self.states[i];
+            match (*state, breaching) {
+                (RuleState::Ok, true) | (RuleState::Breaching(_), true)
+                    if matches!(*state, RuleState::Breaching(n) if n + 1 >= rule.for_windows)
+                        || (matches!(*state, RuleState::Ok) && rule.for_windows <= 1) =>
+                {
+                    *state = RuleState::Firing;
+                    let alert = Alert {
+                        rule: rule.name.clone(),
+                        series: rule.series.clone(),
+                        fired_at_micros: boundary.as_micros(),
+                        value: value.expect("breaching implies a value"),
+                        threshold: rule.threshold,
+                        above: rule.op == Op::Above,
+                        resolved_at_micros: None,
+                    };
+                    self.fired_total += 1;
+                    if self.alert_capacity == 0 {
+                        self.alerts_dropped += 1;
+                    } else {
+                        if self.alerts.len() == self.alert_capacity {
+                            self.alerts.remove(0);
+                            self.alerts_dropped += 1;
+                        }
+                        self.alerts.push(alert.clone());
+                    }
+                    out.push(AlertTransition::Fired(alert));
+                }
+                (RuleState::Ok, true) => *state = RuleState::Breaching(1),
+                (RuleState::Breaching(n), true) => *state = RuleState::Breaching(n + 1),
+                (RuleState::Firing, false) => {
+                    *state = RuleState::Ok;
+                    self.resolved_total += 1;
+                    // Close the newest still-open episode of this rule.
+                    if let Some(a) = self
+                        .alerts
+                        .iter_mut()
+                        .rev()
+                        .find(|a| a.rule == rule.name && a.resolved_at_micros.is_none())
+                    {
+                        a.resolved_at_micros = Some(boundary.as_micros());
+                        out.push(AlertTransition::Resolved(a.clone()));
+                    }
+                }
+                (RuleState::Firing, true) => {} // still firing: no re-fire
+                (_, false) => *state = RuleState::Ok,
+            }
+        }
+        out
+    }
+
+    /// Observer view for snapshots and the status page.
+    pub fn snapshot(&self) -> SloSnapshot {
+        SloSnapshot {
+            rules: self.rules.len(),
+            fired_total: self.fired_total,
+            resolved_total: self.resolved_total,
+            firing_now: self
+                .states
+                .iter()
+                .filter(|s| matches!(s, RuleState::Firing))
+                .count(),
+            alerts_dropped: self.alerts_dropped,
+            alerts: self.alerts.clone(),
+        }
+    }
+}
+
+/// Serializable view of an [`SloEngine`] at one instant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SloSnapshot {
+    /// Configured rules.
+    pub rules: usize,
+    /// Episodes ever fired.
+    pub fired_total: u64,
+    /// Episodes ever resolved.
+    pub resolved_total: u64,
+    /// Rules currently firing.
+    pub firing_now: usize,
+    /// Episodes evicted from the bounded log.
+    pub alerts_dropped: u64,
+    /// Retained episodes, oldest first.
+    pub alerts: Vec<Alert>,
+}
+
+/// The standard observability pack: the six series the grid's default SLO
+/// rules watch, over `window`-long windows. Used by
+/// [`crate::TelemetryConfig::observability`] so every experiment watches
+/// the same signals (artifacts stay comparable).
+pub fn default_series(window: SimDuration) -> SeriesSetConfig {
+    SeriesSetConfig {
+        window,
+        capacity: 512,
+        specs: vec![
+            SeriesSpec {
+                name: "deadline_miss_rate".into(),
+                kind: SeriesKind::CounterRate {
+                    counter: "boinc.deadlines".into(),
+                },
+            },
+            SeriesSpec {
+                name: "queue_depth".into(),
+                kind: SeriesKind::Gauge {
+                    gauge: "grid.queue_depth".into(),
+                },
+            },
+            SeriesSpec {
+                name: "cache_hit_rate".into(),
+                kind: SeriesKind::Ratio {
+                    num: "data.cache_hits".into(),
+                    den: vec!["data.cache_hits".into(), "data.cache_misses".into()],
+                    windows: 6,
+                },
+            },
+            SeriesSpec {
+                name: "blacklists".into(),
+                kind: SeriesKind::CounterTotal {
+                    counter: "recovery.blacklists".into(),
+                },
+            },
+            SeriesSpec {
+                name: "snapshot_age".into(),
+                kind: SeriesKind::Gauge {
+                    gauge: "service.snapshot_age_seconds".into(),
+                },
+            },
+            SeriesSpec {
+                name: "quorum_p95".into(),
+                kind: SeriesKind::HistogramQuantile {
+                    histogram: "validation.quorum_seconds".into(),
+                    q: 0.95,
+                },
+            },
+        ],
+    }
+}
+
+/// Default alert rules over [`default_series`]. Thresholds follow the
+/// paper's operational shape (a queue that stops draining, a volunteer pool
+/// whose deadlines slip, a cache gone cold after an outage, a service that
+/// stopped checkpointing); series the run never produces (e.g.
+/// `cache_hit_rate` without a data plane) simply never breach.
+pub fn default_rules() -> Vec<SloRule> {
+    vec![
+        // Deadline misses are normal volunteer churn at a trickle; a
+        // sustained rate above ~1/minute means the pool is melting down.
+        SloRule::above("deadline-miss-rate", "deadline_miss_rate", 1.0 / 60.0, 2),
+        // The grid queue should drain every scheduling pass; depth > 25
+        // for two windows means capacity is gone (outage or blacklist).
+        SloRule::above("queue-backlog", "queue_depth", 25.0, 2),
+        // A warm site cache sits near 1.0; sustained < 0.5 means the
+        // working set no longer fits (or an outage colded it).
+        SloRule::below("cache-hit-rate-floor", "cache_hit_rate", 0.5, 3),
+        // Any blacklisting deserves eyes (fires once per window run while
+        // the count stays > 0 — i.e. once, since the count never goes down).
+        SloRule::above("resource-blacklisted", "blacklists", 0.5, 1),
+        // Service mode: a snapshot older than 2 h would replay that much
+        // work after a crash.
+        SloRule::above("snapshot-stale", "snapshot_age", 2.0 * 3600.0, 1),
+        // Quorum p95 beyond 2 days means results rot waiting for partners.
+        SloRule::above("quorum-latency-p95", "quorum_p95", 2.0 * 86_400.0, 2),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::telemetry::MetricsRegistry;
+
+    fn series_and_engine(rule: SloRule) -> (SeriesSet, SloEngine, MetricsRegistry) {
+        let set = SeriesSet::new(SeriesSetConfig {
+            window: SimDuration::from_secs(60),
+            capacity: 32,
+            specs: vec![SeriesSpec {
+                name: "depth".into(),
+                kind: SeriesKind::Gauge { gauge: "g".into() },
+            }],
+        });
+        let engine = SloEngine::new(SloConfig {
+            rules: vec![rule],
+            alert_capacity: 16,
+        });
+        (set, engine, MetricsRegistry::new())
+    }
+
+    fn close(
+        set: &mut SeriesSet,
+        engine: &mut SloEngine,
+        m: &MetricsRegistry,
+        secs: u64,
+    ) -> Vec<AlertTransition> {
+        let b = set
+            .advance_one(SimTime::from_secs(secs), m)
+            .expect("boundary due");
+        engine.on_window(b, set)
+    }
+
+    #[test]
+    fn hysteresis_fires_once_not_every_window() {
+        let (mut set, mut engine, mut m) = series_and_engine(SloRule::above("r", "depth", 10.0, 2));
+        m.set_gauge("g", 50.0);
+        // Window 1: first breach — armed, not fired.
+        assert!(close(&mut set, &mut engine, &m, 60).is_empty());
+        // Window 2: second consecutive breach — fires exactly once.
+        let t = close(&mut set, &mut engine, &m, 120);
+        assert_eq!(t.len(), 1);
+        let AlertTransition::Fired(a) = &t[0] else {
+            panic!("expected fire, got {t:?}");
+        };
+        assert_eq!(a.fired_at_micros, 120_000_000);
+        assert_eq!(a.value, 50.0);
+        // Windows 3–5: still breaching — silent (no alert spam).
+        for w in 3..=5u64 {
+            assert!(close(&mut set, &mut engine, &m, w * 60).is_empty());
+        }
+        assert_eq!(engine.fired_total(), 1);
+        // Recovery: resolves once, then a fresh breach is a new episode.
+        m.set_gauge("g", 0.0);
+        let t = close(&mut set, &mut engine, &m, 360);
+        assert!(matches!(t[0], AlertTransition::Resolved(_)), "{t:?}");
+        m.set_gauge("g", 99.0);
+        assert!(close(&mut set, &mut engine, &m, 420).is_empty()); // re-arming
+        let t = close(&mut set, &mut engine, &m, 480);
+        assert_eq!(engine.fired_total(), 2);
+        assert!(matches!(t[0], AlertTransition::Fired(_)));
+        let snap = engine.snapshot();
+        assert_eq!(snap.alerts.len(), 2);
+        assert_eq!(snap.resolved_total, 1);
+        assert_eq!(snap.firing_now, 1);
+        assert!(snap.alerts[0].resolved_at_micros.is_some());
+        assert!(snap.alerts[1].resolved_at_micros.is_none());
+    }
+
+    #[test]
+    fn below_rule_and_missing_points_are_healthy() {
+        let (mut set, mut engine, mut m) = series_and_engine(SloRule::below("r", "depth", 5.0, 1));
+        // No gauge set: no point, no breach.
+        assert!(close(&mut set, &mut engine, &m, 60).is_empty());
+        m.set_gauge("g", 1.0);
+        let t = close(&mut set, &mut engine, &m, 120);
+        assert_eq!(t.len(), 1);
+        assert!(matches!(t[0], AlertTransition::Fired(_)));
+        // A rule watching a series that stops producing points resolves.
+        let (mut set2, mut engine2, mut m2) =
+            series_and_engine(SloRule::above("r", "depth", 0.5, 1));
+        m2.set_gauge("g", 9.0);
+        assert_eq!(close(&mut set2, &mut engine2, &m2, 60).len(), 1);
+        // Gauge still 9.0 — the point for window 1 exists (gauges persist),
+        // still firing silently.
+        assert!(close(&mut set2, &mut engine2, &m2, 120).is_empty());
+        assert_eq!(engine2.snapshot().firing_now, 1);
+    }
+
+    #[test]
+    fn for_windows_one_fires_immediately() {
+        let (mut set, mut engine, mut m) = series_and_engine(SloRule::above("r", "depth", 1.0, 1));
+        m.set_gauge("g", 2.0);
+        let t = close(&mut set, &mut engine, &m, 60);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn engine_serde_roundtrip_byte_stable() {
+        let (mut set, mut engine, mut m) = series_and_engine(SloRule::above("r", "depth", 1.0, 1));
+        m.set_gauge("g", 2.0);
+        let _ = close(&mut set, &mut engine, &m, 60);
+        let json = serde_json::to_string(&engine).unwrap();
+        let back: SloEngine = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        assert_eq!(back.fired_total(), 1);
+    }
+
+    #[test]
+    fn default_pack_names_line_up() {
+        let series = default_series(SimDuration::from_mins(5));
+        let names: Vec<&str> = series.specs.iter().map(|s| s.name.as_str()).collect();
+        for rule in default_rules() {
+            assert!(
+                names.contains(&rule.series.as_str()),
+                "rule {} watches unknown series {}",
+                rule.name,
+                rule.series
+            );
+        }
+    }
+}

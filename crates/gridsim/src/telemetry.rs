@@ -30,27 +30,65 @@ use crate::job::JobId;
 use crate::mds::{Mds, MdsSnapshot};
 use crate::resource::ResourceSpec;
 use crate::scheduler::ScheduleDecision;
+use crate::slo::{Alert, AlertTransition, SloConfig, SloEngine, SloSnapshot};
 use serde::{Deserialize, Serialize, Value};
+use simkit::spans::{SpanId, SpanLog, SpanLogSummary};
 use simkit::stats::TimeWeighted;
 use simkit::telemetry::{
     latency_buckets_seconds, EventBus, EventBusSnapshot, FieldValue, MetricsRegistry,
 };
-use simkit::SimTime;
+use simkit::timeseries::{SeriesSet, SeriesSetConfig, TimeSeriesSnapshot};
+use simkit::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
 /// Telemetry knobs on [`crate::grid::GridConfig`]. The grid runs with
-/// telemetry *off* unless a config carries `Some(TelemetryConfig)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// telemetry *off* unless a config carries `Some(TelemetryConfig)`; the
+/// streaming layers (time series, SLO alerts, trace spans) are further
+/// opt-ins inside it, so the base event/metrics telemetry costs the same
+/// as before this layer existed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TelemetryConfig {
     /// Ring-buffer capacity of the structured event bus (evicted events
     /// still count toward per-kind totals).
     pub event_capacity: usize,
+    /// Windowed time-series collection over the metrics registry,
+    /// evaluated at fixed sim-time boundaries. `None` disables it.
+    #[serde(default)]
+    pub timeseries: Option<SeriesSetConfig>,
+    /// Declarative SLO alert rules over the time series (requires
+    /// `timeseries`; rules watching absent series simply never fire).
+    #[serde(default)]
+    pub slo: Option<SloConfig>,
+    /// Causal trace-span log capacity (0 disables tracing). Evicted spans
+    /// stay counted; the Chrome-trace export covers retained spans.
+    #[serde(default)]
+    pub trace_capacity: usize,
 }
 
 impl Default for TelemetryConfig {
     fn default() -> Self {
         TelemetryConfig {
             event_capacity: 1024,
+            timeseries: None,
+            slo: None,
+            trace_capacity: 0,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// The full observability pack: default event bus, the standard
+    /// six-series pack over `window`-long windows, the default SLO rules,
+    /// and trace spans. One call gives an experiment everything E16 plots.
+    pub fn observability(window: SimDuration) -> TelemetryConfig {
+        TelemetryConfig {
+            event_capacity: 1024,
+            timeseries: Some(crate::slo::default_series(window)),
+            slo: Some(SloConfig {
+                rules: crate::slo::default_rules(),
+                alert_capacity: 256,
+            }),
+            trace_capacity: 4096,
         }
     }
 }
@@ -68,6 +106,19 @@ struct JobSpan {
     last_dispatch: Option<SimTime>,
 }
 
+/// Causal-trace bookkeeping for one job: the root span covering the whole
+/// grid lifetime, the currently open attempt span (if the job is on a
+/// resource), and the span the *next* attempt should parent to — the last
+/// attempt or reissue marker, which is how retry lineage chains.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct JobTrace {
+    root: SpanId,
+    #[serde(default)]
+    open_attempt: Option<SpanId>,
+    #[serde(default)]
+    last_attempt: Option<SpanId>,
+}
+
 /// All telemetry state for one grid run.
 #[derive(Debug, Clone)]
 pub struct GridTelemetry {
@@ -80,6 +131,11 @@ pub struct GridTelemetry {
     busy: Vec<f64>,
     util: Vec<TimeWeighted>,
     site_util: BTreeMap<String, TimeWeighted>,
+    series: Option<SeriesSet>,
+    slo: Option<SloEngine>,
+    tracer: Option<SpanLog>,
+    traces: BTreeMap<JobId, JobTrace>,
+    pending_alerts: Vec<Alert>,
 }
 
 impl GridTelemetry {
@@ -107,6 +163,15 @@ impl GridTelemetry {
                 .map(|_| TimeWeighted::new(SimTime::ZERO, 0.0))
                 .collect(),
             site_util,
+            series: config.timeseries.clone().map(SeriesSet::new),
+            slo: config.slo.clone().map(SloEngine::new),
+            tracer: if config.trace_capacity > 0 {
+                Some(SpanLog::new(config.trace_capacity))
+            } else {
+                None
+            },
+            traces: BTreeMap::new(),
+            pending_alerts: Vec::new(),
         }
     }
 
@@ -120,6 +185,82 @@ impl GridTelemetry {
         &self.metrics
     }
 
+    /// The windowed time-series collector, when configured.
+    pub fn series(&self) -> Option<&SeriesSet> {
+        self.series.as_ref()
+    }
+
+    /// The SLO alert engine, when configured.
+    pub fn slo(&self) -> Option<&SloEngine> {
+        self.slo.as_ref()
+    }
+
+    /// The causal span log, when tracing is enabled.
+    pub fn tracer(&self) -> Option<&SpanLog> {
+        self.tracer.as_ref()
+    }
+
+    /// Set an externally owned gauge (e.g. the service loop's
+    /// `service.snapshot_age_seconds`) so series and SLO rules can watch it.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.metrics.set_gauge(name, value);
+    }
+
+    /// Chrome-trace-format (`traceEvents`) export of the span log, or
+    /// `None` when tracing is off. Open spans are clamped to `now`.
+    pub fn chrome_trace(&self, now: SimTime) -> Option<String> {
+        self.tracer.as_ref().map(|t| t.chrome_trace_json(now))
+    }
+
+    /// Alerts fired since the last drain (for notification fan-out; the
+    /// bus and the engine's own log already have them).
+    pub fn drain_fired_alerts(&mut self) -> Vec<Alert> {
+        std::mem::take(&mut self.pending_alerts)
+    }
+
+    /// Close every time-series window boundary due at or before `now` and
+    /// run the SLO rules at each one. Called by the grid *before* an event
+    /// mutates state, so a window only ever sees updates that happened
+    /// strictly inside it. Deterministic: boundaries depend on sim time
+    /// alone, never on host timing.
+    pub fn advance_windows(&mut self, now: SimTime) {
+        let Some(series) = self.series.as_mut() else {
+            return;
+        };
+        while let Some(boundary) = series.advance_one(now, &self.metrics) {
+            let Some(slo) = self.slo.as_mut() else {
+                continue;
+            };
+            for transition in slo.on_window(boundary, series) {
+                match transition {
+                    AlertTransition::Fired(a) => {
+                        self.bus.emit(
+                            boundary,
+                            "slo.alert",
+                            &[
+                                ("rule", a.rule.as_str().into()),
+                                ("series", a.series.as_str().into()),
+                                ("value", a.value.into()),
+                                ("threshold", a.threshold.into()),
+                            ],
+                        );
+                        self.pending_alerts.push(a);
+                    }
+                    AlertTransition::Resolved(a) => {
+                        self.bus.emit(
+                            boundary,
+                            "slo.resolve",
+                            &[
+                                ("rule", a.rule.as_str().into()),
+                                ("series", a.series.as_str().into()),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     /// A job arrived at the meta-scheduler.
     pub fn on_submit(&mut self, now: SimTime, job: JobId) {
         self.spans.insert(
@@ -130,6 +271,17 @@ impl GridTelemetry {
                 last_dispatch: None,
             },
         );
+        if let Some(tracer) = self.tracer.as_mut() {
+            let root = tracer.start(now, "job", "job", job.0, None);
+            self.traces.insert(
+                job,
+                JobTrace {
+                    root,
+                    open_attempt: None,
+                    last_attempt: None,
+                },
+            );
+        }
         self.metrics.incr("job.submitted");
         self.bus
             .emit(now, "job.submit", &[("job", FieldValue::from(job.0))]);
@@ -179,6 +331,22 @@ impl GridTelemetry {
             span.first_dispatch.get_or_insert(now);
             span.last_dispatch = Some(now);
         }
+        if let (Some(tracer), Some(trace)) = (self.tracer.as_mut(), self.traces.get_mut(&job)) {
+            // Each attempt parents to the previous attempt (or reissue
+            // marker) — the causal chain "retry N happened because attempt
+            // N-1 ended" — falling back to the root for the first attempt.
+            let parent = trace.last_attempt.unwrap_or(trace.root);
+            if let Some(open) = trace.open_attempt.take() {
+                tracer.end(open, now);
+            }
+            let attempt = tracer.start(now, "attempt", "attempt", job.0, Some(parent));
+            tracer.annotate(attempt, "resource", self.names[resource].as_str().into());
+            if resumed {
+                tracer.annotate(attempt, "resumed", true.into());
+            }
+            trace.open_attempt = Some(attempt);
+            trace.last_attempt = Some(attempt);
+        }
         self.metrics.incr("job.dispatches");
         if resumed {
             self.metrics.incr("job.dispatches.resumed");
@@ -202,7 +370,36 @@ impl GridTelemetry {
     }
 
     /// A workunit deadline fired; `reissued` copies were queued in response.
-    pub fn on_boinc_deadline(&mut self, now: SimTime, assignment: u64, reissued: u32) {
+    /// `job` is the workunit's grid job (when still known), so the reissue
+    /// joins that job's causal trace.
+    pub fn on_boinc_deadline(
+        &mut self,
+        now: SimTime,
+        assignment: u64,
+        reissued: u32,
+        job: Option<JobId>,
+    ) {
+        if let Some(job) = job {
+            if let (Some(tracer), Some(trace)) = (self.tracer.as_mut(), self.traces.get_mut(&job)) {
+                // Zero-duration marker: the deadline miss is an instant,
+                // but the copies it spawned parent to it, so the trace
+                // reads "reissue because this deadline expired".
+                let parent = trace.last_attempt.unwrap_or(trace.root);
+                let marker = tracer.record(
+                    now,
+                    now,
+                    "reissue",
+                    "boinc",
+                    job.0,
+                    Some(parent),
+                    &[
+                        ("assignment", assignment.into()),
+                        ("reissued", reissued.into()),
+                    ],
+                );
+                trace.last_attempt = Some(marker);
+            }
+        }
         self.metrics.incr("boinc.deadlines");
         self.metrics.add("boinc.reissues", u64::from(reissued));
         self.bus.emit(
@@ -225,6 +422,32 @@ impl GridTelemetry {
         started: Option<SimTime>,
         corrupt: bool,
     ) {
+        if let (Some(tracer), Some(trace)) = (self.tracer.as_mut(), self.traces.get_mut(&job)) {
+            if let Some(st) = started {
+                let parent = trace
+                    .open_attempt
+                    .or(trace.last_attempt)
+                    .unwrap_or(trace.root);
+                tracer.record(
+                    st,
+                    now,
+                    "run",
+                    "run",
+                    job.0,
+                    Some(parent),
+                    &[
+                        ("resource", resource_name.into()),
+                        ("corrupt", corrupt.into()),
+                    ],
+                );
+            }
+            if let Some(open) = trace.open_attempt.take() {
+                tracer.end(open, now);
+            }
+            tracer.end(trace.root, now);
+            // The trace entry stays: validation/quorum spans arriving after
+            // completion still parent to this job's root.
+        }
         if let Some(span) = self.spans.remove(&job) {
             let buckets = latency_buckets_seconds();
             if let Some(fd) = span.first_dispatch {
@@ -271,6 +494,14 @@ impl GridTelemetry {
 
     /// A job bounced back to the grid level after local retries ran out.
     pub fn on_bounce(&mut self, now: SimTime, job: JobId, resource: usize, wasted: f64) {
+        if let (Some(tracer), Some(trace)) = (self.tracer.as_mut(), self.traces.get_mut(&job)) {
+            // End the attempt but keep it as `last_attempt`: the next
+            // dispatch parents to this failed attempt, forming the chain.
+            if let Some(open) = trace.open_attempt.take() {
+                tracer.annotate(open, "bounced", true.into());
+                tracer.end(open, now);
+            }
+        }
         self.metrics.incr("job.bounces");
         self.bus.emit(
             now,
@@ -285,6 +516,18 @@ impl GridTelemetry {
 
     /// The recovery policy delayed a bounced job's requeue.
     pub fn on_backoff(&mut self, now: SimTime, job: JobId, retries: u32, delay_seconds: f64) {
+        if let (Some(tracer), Some(trace)) = (self.tracer.as_mut(), self.traces.get_mut(&job)) {
+            let parent = trace.last_attempt.unwrap_or(trace.root);
+            tracer.record(
+                now,
+                now + SimDuration::from_secs_f64(delay_seconds),
+                "backoff",
+                "recovery",
+                job.0,
+                Some(parent),
+                &[("retries", retries.into())],
+            );
+        }
         self.metrics.incr("recovery.backoffs");
         self.bus.emit(
             now,
@@ -310,6 +553,15 @@ impl GridTelemetry {
     /// A job exhausted its grid-level retry budget (terminal failure).
     pub fn on_dead_letter(&mut self, now: SimTime, job: JobId) {
         self.spans.remove(&job);
+        if let Some(trace) = self.traces.remove(&job) {
+            if let Some(tracer) = self.tracer.as_mut() {
+                if let Some(open) = trace.open_attempt {
+                    tracer.end(open, now);
+                }
+                tracer.annotate(trace.root, "dead_lettered", true.into());
+                tracer.end(trace.root, now);
+            }
+        }
         self.metrics.incr("job.dead_lettered");
         self.bus
             .emit(now, "recovery.dead_letter", &[("job", job.0.into())]);
@@ -337,6 +589,25 @@ impl GridTelemetry {
     /// A job's inputs were staged to a resource (service-site dispatch or a
     /// BOINC volunteer download).
     pub fn on_stage_in(&mut self, now: SimTime, job: JobId, resource: usize, stage: &StageIn) {
+        if let (Some(tracer), Some(trace)) = (self.tracer.as_mut(), self.traces.get_mut(&job)) {
+            let parent = trace
+                .open_attempt
+                .or(trace.last_attempt)
+                .unwrap_or(trace.root);
+            tracer.record(
+                now,
+                now + SimDuration::from_secs_f64(stage.seconds),
+                "stage-in",
+                "data",
+                job.0,
+                Some(parent),
+                &[
+                    ("bytes", stage.bytes_moved.into()),
+                    ("hits", stage.hits.into()),
+                    ("misses", stage.misses.into()),
+                ],
+            );
+        }
         self.metrics.incr("data.stage_ins");
         self.metrics.add("data.bytes_moved", stage.bytes_moved);
         self.metrics.add("data.cache_hits", stage.hits);
@@ -366,6 +637,23 @@ impl GridTelemetry {
         completion: &quorum::Completion,
         quorum_seconds: f64,
     ) {
+        if let Some(trace) = self.traces.remove(&job) {
+            if let Some(tracer) = self.tracer.as_mut() {
+                let waited = SimDuration::from_secs_f64(quorum_seconds).as_micros();
+                tracer.record(
+                    SimTime::from_micros(now.as_micros().saturating_sub(waited)),
+                    now,
+                    "quorum",
+                    "validation",
+                    job.0,
+                    Some(trace.root),
+                    &[
+                        ("results", (completion.results as u64).into()),
+                        ("canonical_bad", completion.canonical_bad.into()),
+                    ],
+                );
+            }
+        }
         self.metrics.incr("validation.completed");
         self.metrics
             .add("validation.results", completion.results as u64);
@@ -519,6 +807,9 @@ impl GridTelemetry {
             data: data.map(|d| d.snapshot(now.as_secs_f64())),
             validation,
             events: self.bus.snapshot(),
+            timeseries: self.series.as_ref().map(|s| s.snapshot()),
+            slo: self.slo.as_ref().map(|s| s.snapshot()),
+            trace: self.tracer.as_ref().map(|t| t.summary()),
         }
     }
 }
@@ -534,6 +825,11 @@ impl Serialize for GridTelemetry {
             .iter()
             .map(|(id, span)| Value::Seq(vec![id.to_value(), span.to_value()]))
             .collect();
+        let traces: Vec<Value> = self
+            .traces
+            .iter()
+            .map(|(id, trace)| Value::Seq(vec![id.to_value(), trace.to_value()]))
+            .collect();
         Value::Map(vec![
             ("bus".to_string(), self.bus.to_value()),
             ("metrics".to_string(), self.metrics.to_value()),
@@ -544,6 +840,11 @@ impl Serialize for GridTelemetry {
             ("busy".to_string(), self.busy.to_value()),
             ("util".to_string(), self.util.to_value()),
             ("site_util".to_string(), self.site_util.to_value()),
+            ("series".to_string(), self.series.to_value()),
+            ("slo".to_string(), self.slo.to_value()),
+            ("tracer".to_string(), self.tracer.to_value()),
+            ("traces".to_string(), Value::Seq(traces)),
+            ("pending_alerts".to_string(), self.pending_alerts.to_value()),
         ])
     }
 }
@@ -554,6 +855,7 @@ impl Deserialize for GridTelemetry {
             .as_map()
             .ok_or_else(|| serde::Error::custom("expected map for GridTelemetry"))?;
         let spans: Vec<(JobId, JobSpan)> = serde::field(fields, "spans")?;
+        let traces: Vec<(JobId, JobTrace)> = serde::field_or(fields, "traces", Vec::new)?;
         Ok(GridTelemetry {
             bus: serde::field(fields, "bus")?,
             metrics: serde::field(fields, "metrics")?,
@@ -564,6 +866,11 @@ impl Deserialize for GridTelemetry {
             busy: serde::field(fields, "busy")?,
             util: serde::field(fields, "util")?,
             site_util: serde::field(fields, "site_util")?,
+            series: serde::field_or(fields, "series", || None)?,
+            slo: serde::field_or(fields, "slo", || None)?,
+            tracer: serde::field_or(fields, "tracer", || None)?,
+            traces: traces.into_iter().collect(),
+            pending_alerts: serde::field_or(fields, "pending_alerts", Vec::new)?,
         })
     }
 }
@@ -627,6 +934,12 @@ pub struct TelemetrySnapshot {
     pub validation: Option<quorum::ValidationSnapshot>,
     /// Event totals and the recent-event ring.
     pub events: EventBusSnapshot,
+    /// Windowed time series; `None` when streaming collection is off.
+    pub timeseries: Option<TimeSeriesSnapshot>,
+    /// SLO engine state (rules firing, alert log); `None` when off.
+    pub slo: Option<SloSnapshot>,
+    /// Span-log accounting; `None` when tracing is off.
+    pub trace: Option<SpanLogSummary>,
 }
 
 #[cfg(test)]
@@ -716,7 +1029,13 @@ mod tests {
     #[test]
     fn snapshot_serialization_is_replay_stable() {
         let run = || {
-            let mut t = GridTelemetry::new(TelemetryConfig { event_capacity: 4 }, &specs());
+            let mut t = GridTelemetry::new(
+                TelemetryConfig {
+                    event_capacity: 4,
+                    ..TelemetryConfig::default()
+                },
+                &specs(),
+            );
             let mut mds = Mds::new(SimDuration::from_mins(5));
             for i in 0..6u64 {
                 let at = SimTime::from_secs(i * 30);

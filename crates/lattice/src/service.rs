@@ -17,6 +17,7 @@
 //! uninterrupted run would have.
 
 use gridsim::grid::Grid;
+use portal::notify::{Outbox, SloAlert};
 use simkit::snapshot::SnapshotError;
 use simkit::{SimDuration, SimTime, Snapshot};
 use std::path::{Path, PathBuf};
@@ -29,6 +30,10 @@ pub struct ServiceConfig {
     pub snapshot_path: PathBuf,
     /// Simulated time between auto-snapshots.
     pub snapshot_interval: SimDuration,
+    /// Operator address paged (via [`portal::notify::Outbox`]) when the
+    /// grid's SLO engine fires an alert. `None` leaves alerts on the bus
+    /// and status page only.
+    pub operator: Option<String>,
 }
 
 impl ServiceConfig {
@@ -37,12 +42,19 @@ impl ServiceConfig {
         ServiceConfig {
             snapshot_path: path.into(),
             snapshot_interval: SimDuration::from_hours(1),
+            operator: None,
         }
     }
 
     /// Override the auto-snapshot interval.
     pub fn with_interval(mut self, interval: SimDuration) -> ServiceConfig {
         self.snapshot_interval = interval;
+        self
+    }
+
+    /// Page `operator` when SLO alerts fire.
+    pub fn with_operator(mut self, operator: impl Into<String>) -> ServiceConfig {
+        self.operator = Some(operator.into());
         self
     }
 
@@ -76,6 +88,7 @@ pub struct GridService {
     outcome: ResumeOutcome,
     last_snapshot_at: Option<SimTime>,
     snapshots_written: u64,
+    outbox: Outbox,
 }
 
 impl GridService {
@@ -104,6 +117,7 @@ impl GridService {
             outcome,
             last_snapshot_at,
             snapshots_written: 0,
+            outbox: Outbox::new(),
         })
     }
 
@@ -166,6 +180,43 @@ impl GridService {
         Ok(())
     }
 
+    /// Operator pages queued by the SLO alert fan-out (see
+    /// [`ServiceConfig::operator`]).
+    pub fn outbox(&self) -> &Outbox {
+        &self.outbox
+    }
+
+    /// Drain queued operator pages (what a mail transport would do).
+    pub fn drain_notifications(&mut self) -> Vec<portal::notify::Email> {
+        self.outbox.drain()
+    }
+
+    /// Fan newly fired SLO alerts out to the operator's outbox and refresh
+    /// the `service.snapshot_age_seconds` gauge the `snapshot-stale` rule
+    /// watches.
+    fn pump_observability(&mut self) {
+        if let Some(age) = self.snapshot_age_micros() {
+            self.grid
+                .set_telemetry_gauge("service.snapshot_age_seconds", age as f64 / 1e6);
+        }
+        let fired = self.grid.drain_fired_alerts();
+        if let Some(op) = &self.config.operator {
+            for a in &fired {
+                self.outbox.page(
+                    op,
+                    &SloAlert {
+                        rule: a.rule.clone(),
+                        series: a.series.clone(),
+                        value: a.value,
+                        threshold: a.threshold,
+                        above: a.above,
+                        fired_at_seconds: a.fired_at_micros as f64 / 1e6,
+                    },
+                );
+            }
+        }
+    }
+
     /// Advance the grid to `deadline` (or until every submitted job reaches
     /// a terminal state), cutting an auto-snapshot every
     /// [`ServiceConfig::snapshot_interval`] of simulated time and once more
@@ -179,6 +230,11 @@ impl GridService {
             self.grid.run_until(next_cut);
             let done = self.grid.world().jobs_submitted() == self.grid.submissions_expected()
                 && self.grid.world().all_done();
+            // Record the pre-snapshot age (the worst this cycle saw), then
+            // checkpoint. The gauge persists into the next segment's
+            // series windows, so a service checkpointing too rarely trips
+            // the `snapshot-stale` rule deterministically.
+            self.pump_observability();
             self.snapshot_now()?;
             if done || self.grid.now() >= deadline || next_cut >= deadline {
                 break;
@@ -262,6 +318,66 @@ mod tests {
         svc.run_until(SimTime::from_days(10)).unwrap();
         assert!(svc.grid().world().all_done());
         assert_eq!(report_json(svc.grid()), report_json(&reference));
+    }
+
+    #[test]
+    fn slo_alerts_page_the_operator_through_the_outbox() {
+        use gridsim::telemetry::TelemetryConfig;
+        use gridsim::{SloConfig, SloRule};
+        use simkit::timeseries::{SeriesKind, SeriesSetConfig, SeriesSpec};
+
+        let dir = test_dir("alerts");
+        // A rule the run is guaranteed to breach: queue depth above -1.
+        let telemetry = TelemetryConfig {
+            timeseries: Some(SeriesSetConfig {
+                window: SimDuration::from_mins(30),
+                capacity: 64,
+                specs: vec![SeriesSpec {
+                    name: "queue_depth".into(),
+                    kind: SeriesKind::Gauge {
+                        gauge: "grid.queue_depth".into(),
+                    },
+                }],
+            }),
+            slo: Some(SloConfig {
+                rules: vec![SloRule::above("always-on", "queue_depth", -1.0, 1)],
+                alert_capacity: 8,
+            }),
+            ..TelemetryConfig::default()
+        };
+        let cfg = ServiceConfig::new(dir.join("grid.snap.json"))
+            .with_interval(SimDuration::from_hours(1))
+            .with_operator("ops@lattice.umd.edu");
+        let mut svc = GridService::start(cfg, move || {
+            let config = GridConfig {
+                resources: vec![ResourceSpec::cluster(
+                    "cluster",
+                    ResourceKind::PbsCluster,
+                    4,
+                    1.0,
+                )],
+                telemetry: Some(telemetry),
+                seed: 61,
+                ..Default::default()
+            };
+            let mut grid = Grid::new(config);
+            grid.submit((0..6).map(|i| JobSpec::simple(i, 3600.0)));
+            grid
+        })
+        .unwrap();
+        svc.run_until(SimTime::from_hours(4)).unwrap();
+        let emails = svc.outbox().emails();
+        assert_eq!(emails.len(), 1, "fires once, not per window: {emails:#?}");
+        assert_eq!(emails[0].to, "ops@lattice.umd.edu");
+        assert!(emails[0].subject.contains("ALERT: always-on"));
+        assert!(matches!(
+            emails[0].kind,
+            portal::notify::EventKind::SloBreach { .. }
+        ));
+        // The snapshot-age gauge was published for the stale-checkpoint rule.
+        let snap = svc.grid().telemetry_snapshot().unwrap();
+        assert!(snap.metrics.gauge("service.snapshot_age_seconds").is_some());
+        assert!(svc.drain_notifications().len() == 1 && svc.outbox().emails().is_empty());
     }
 
     #[test]

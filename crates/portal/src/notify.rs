@@ -23,6 +23,30 @@ pub enum EventKind {
     /// A replicate exhausted the grid's retry budget and was dead-lettered:
     /// it will not be retried again without user action.
     DeadLettered,
+    /// An SLO alert rule fired (an operator page rather than a submission
+    /// lifecycle event); carries the rule name.
+    SloBreach {
+        /// The alert rule that fired.
+        rule: String,
+    },
+}
+
+/// An operator page raised by the grid's SLO engine (see `gridsim::slo`):
+/// a declarative alert rule breached its threshold for long enough to fire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloAlert {
+    /// Rule name (e.g. `queue-backlog`).
+    pub rule: String,
+    /// The series the rule watches.
+    pub series: String,
+    /// Series value at the firing boundary.
+    pub value: f64,
+    /// The rule's threshold.
+    pub threshold: f64,
+    /// `true` for above-threshold rules, `false` for below-threshold.
+    pub above: bool,
+    /// Firing boundary, seconds of sim time.
+    pub fired_at_seconds: f64,
 }
 
 /// One outgoing email.
@@ -80,12 +104,37 @@ impl Outbox {
                  or contact the administrators."
                     .to_string(),
             ),
+            EventKind::SloBreach { rule } => (
+                format!("[Lattice] ALERT: {rule}"),
+                "An SLO alert rule fired; see the grid status page.".to_string(),
+            ),
         };
         self.emails.push(Email {
             to: to.to_string(),
             subject,
             body,
             kind,
+        });
+    }
+
+    /// Page an operator about a fired SLO alert. Unlike [`Outbox::notify`],
+    /// this is grid-level, not tied to a submission.
+    pub fn page(&mut self, to: &str, alert: &SloAlert) {
+        let cmp = if alert.above { ">" } else { "<" };
+        self.emails.push(Email {
+            to: to.to_string(),
+            subject: format!(
+                "[Lattice] ALERT: {} at t={:.0}s",
+                alert.rule, alert.fired_at_seconds
+            ),
+            body: format!(
+                "SLO rule `{}` fired: series `{}` = {} (threshold {cmp} {}). \
+                 See the grid status page for the alert timeline.",
+                alert.rule, alert.series, alert.value, alert.threshold
+            ),
+            kind: EventKind::SloBreach {
+                rule: alert.rule.clone(),
+            },
         });
     }
 
@@ -122,6 +171,33 @@ mod tests {
         out.notify("u@x.org", 7, EventKind::DeadLettered);
         assert!(out.emails()[0].subject.contains("dead-lettered"));
         assert!(out.emails()[0].body.contains("retry budget"));
+    }
+
+    #[test]
+    fn slo_page_carries_rule_and_threshold() {
+        let mut out = Outbox::new();
+        out.page(
+            "ops@lattice.umd.edu",
+            &SloAlert {
+                rule: "queue-backlog".into(),
+                series: "queue_depth".into(),
+                value: 41.0,
+                threshold: 25.0,
+                above: true,
+                fired_at_seconds: 14_400.0,
+            },
+        );
+        let email = &out.emails()[0];
+        assert!(email.subject.contains("ALERT: queue-backlog"));
+        assert!(email.subject.contains("t=14400s"));
+        assert!(email.body.contains("queue_depth"));
+        assert!(email.body.contains("> 25"));
+        assert_eq!(
+            email.kind,
+            EventKind::SloBreach {
+                rule: "queue-backlog".into()
+            }
+        );
     }
 
     #[test]

@@ -36,6 +36,17 @@ pub fn render_text_with_snapshot(
         secs(snap.taken_at_micros)
     )
     .unwrap();
+    if snap.events.dropped > 0 {
+        // Loud by design: operators reading totals below must know the
+        // recent-event ring no longer holds everything it counted.
+        writeln!(
+            out,
+            "!!! TELEMETRY LOSSY: {} event(s) evicted from the ring; raise \
+             event_capacity to keep full recent history !!!",
+            snap.events.dropped
+        )
+        .unwrap();
+    }
     if let Some(age) = last_snapshot_micros {
         writeln!(out, "Checkpoint: last snapshot {:.0}s ago", secs(age)).unwrap();
     }
@@ -242,6 +253,61 @@ pub fn render_text_with_snapshot(
         }
     }
 
+    if let Some(slo) = &snap.slo {
+        writeln!(
+            out,
+            "\nAlerts: {} fired, {} resolved, {} firing now ({} rules)",
+            slo.fired_total, slo.resolved_total, slo.firing_now, slo.rules
+        )
+        .unwrap();
+        for a in &slo.alerts {
+            let cmp = if a.above { ">" } else { "<" };
+            match a.resolved_at_micros {
+                Some(r) => writeln!(
+                    out,
+                    "  resolved {:<22} {} {cmp} {} (value {}) fired {:.0}s, resolved {:.0}s",
+                    a.rule,
+                    a.series,
+                    a.threshold,
+                    a.value,
+                    secs(a.fired_at_micros),
+                    secs(r)
+                )
+                .unwrap(),
+                None => writeln!(
+                    out,
+                    "  FIRING   {:<22} {} {cmp} {} (value {}) since {:.0}s",
+                    a.rule,
+                    a.series,
+                    a.threshold,
+                    a.value,
+                    secs(a.fired_at_micros)
+                )
+                .unwrap(),
+            }
+        }
+        if slo.alerts_dropped > 0 {
+            writeln!(out, "  ({} older alert(s) evicted)", slo.alerts_dropped).unwrap();
+        }
+    }
+
+    if let Some(ts) = &snap.timeseries {
+        writeln!(
+            out,
+            "\nSeries (window {:.0}s, {} closed):",
+            secs(ts.window_micros),
+            ts.windows_closed
+        )
+        .unwrap();
+        for s in &ts.series {
+            let line = sparkline(&s.points.iter().map(|p| p.value).collect::<Vec<_>>());
+            match s.points.last() {
+                Some(p) => writeln!(out, "  {:<22} {:<32} last {}", s.name, line, p.value).unwrap(),
+                None => writeln!(out, "  {:<22} (no points)", s.name).unwrap(),
+            }
+        }
+    }
+
     writeln!(
         out,
         "\nEvents: {} emitted ({} evicted from the ring)",
@@ -252,6 +318,32 @@ pub fn render_text_with_snapshot(
         writeln!(out, "  {kind:<22} x {count}").unwrap();
     }
     out
+}
+
+/// Render the last (up to) 32 values as a unicode sparkline, scaled to the
+/// min..max of the rendered slice. Deterministic: depends only on the
+/// values (degenerate all-equal slices render mid-height).
+fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let tail = &values[values.len().saturating_sub(32)..];
+    if tail.is_empty() {
+        return String::new();
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in tail {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    tail.iter()
+        .map(|&v| {
+            if hi > lo {
+                let idx = ((v - lo) / (hi - lo) * 7.0).round() as usize;
+                BARS[idx.min(7)]
+            } else {
+                BARS[3]
+            }
+        })
+        .collect()
 }
 
 /// Render the snapshot as pretty-printed JSON (the machine-readable twin of
@@ -380,6 +472,77 @@ mod tests {
             with_age.replace("Checkpoint: last snapshot 90s ago\n", ""),
             plain
         );
+    }
+
+    fn alerting_run() -> TelemetrySnapshot {
+        use gridsim::{SloConfig, SloRule};
+        use simkit::timeseries::{SeriesKind, SeriesSetConfig, SeriesSpec};
+        use simkit::SimDuration;
+        let config = GridConfig {
+            resources: vec![ResourceSpec::cluster(
+                "alpha",
+                ResourceKind::PbsCluster,
+                4,
+                1.0,
+            )],
+            telemetry: Some(TelemetryConfig {
+                // A tiny ring: long runs overflow it, proving the lossy
+                // warning renders.
+                event_capacity: 4,
+                timeseries: Some(SeriesSetConfig {
+                    window: SimDuration::from_mins(30),
+                    capacity: 64,
+                    specs: vec![SeriesSpec {
+                        name: "queue_depth".into(),
+                        kind: SeriesKind::Gauge {
+                            gauge: "grid.queue_depth".into(),
+                        },
+                    }],
+                }),
+                slo: Some(SloConfig {
+                    rules: vec![SloRule::above("always-on", "queue_depth", -1.0, 1)],
+                    alert_capacity: 8,
+                }),
+                trace_capacity: 128,
+            }),
+            seed: 5,
+            ..Default::default()
+        };
+        let mut grid = Grid::new(config);
+        grid.submit((0..6).map(|i| JobSpec::simple(i, 3600.0)));
+        let _ = grid.run_until_done(SimTime::from_hours(12));
+        grid.telemetry_snapshot().expect("telemetry enabled")
+    }
+
+    #[test]
+    fn alerts_section_and_sparklines_render_deterministically() {
+        let snap = alerting_run();
+        let page = render_text(&snap);
+        // The queue-depth gauge always exceeds -1, so the rule fired at the
+        // first window boundary and never resolved.
+        assert!(
+            page.contains("Alerts: 1 fired, 0 resolved, 1 firing now (1 rules)"),
+            "{page}"
+        );
+        assert!(page.contains("FIRING   always-on"), "{page}");
+        assert!(page.contains("since 1800s"), "{page}");
+        // Sparkline section: one row per series, bars plus the last value.
+        assert!(page.contains("Series (window 1800s"), "{page}");
+        let spark = page
+            .lines()
+            .find(|l| l.trim_start().starts_with("queue_depth"))
+            .expect("series row");
+        assert!(spark.contains("last "), "{spark}");
+        assert!(spark.chars().any(|c| ('▁'..='█').contains(&c)), "{spark}");
+        // The 4-slot ring overflowed long ago: the warning is up top.
+        assert!(page.contains("!!! TELEMETRY LOSSY:"), "{page}");
+        // Deterministic: a replay renders byte-identically.
+        assert_eq!(page, render_text(&alerting_run()));
+        // And the sections are opt-in: the base run renders none of them.
+        let plain = render_text(&observed_run());
+        assert!(!plain.contains("\nAlerts:"));
+        assert!(!plain.contains("\nSeries ("));
+        assert!(!plain.contains("TELEMETRY LOSSY"));
     }
 
     #[test]

@@ -20,6 +20,13 @@
 //! * [`telemetry`] — deterministic structured telemetry: a sim-time-stamped
 //!   event bus and a metrics registry (counters, gauges, fixed-bucket
 //!   histograms) whose serialized snapshots are byte-stable under replay.
+//! * [`timeseries`] — fixed-interval windowed series (counter rates, gauge
+//!   samples, sliding-window ratios, histogram quantiles) derived from a
+//!   metrics registry at deterministic sim-time boundaries.
+//! * [`spans`] — causal trace spans (bounded, parent-linked intervals per
+//!   track) with Chrome-trace-format export.
+//! * [`profile`] — a self-profiler attributing *host* wall-clock to
+//!   per-event-kind buckets (events/sec reporting for benches).
 //! * [`trace`] — a bounded event trace for debugging simulations.
 //!
 //! # Example
@@ -49,11 +56,14 @@
 
 pub mod calendar;
 pub mod faults;
+pub mod profile;
 pub mod rng;
 pub mod snapshot;
+pub mod spans;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
+pub mod timeseries;
 pub mod trace;
 
 pub use calendar::Calendar;

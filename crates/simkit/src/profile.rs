@@ -1,0 +1,173 @@
+//! Self-profiling: attribute *host* wall-clock to per-event-kind buckets.
+//!
+//! The simulation replays months of grid time in milliseconds; knowing
+//! *which* event kinds those milliseconds go to is what keeps the kernel
+//! fast as subsystems accrete (ROADMAP: "events-per-second trajectory").
+//! The profiler is the one deliberate exception to the no-wall-clock rule:
+//! it reads [`std::time::Instant`] — and therefore its *output* varies
+//! between hosts and runs — but it only ever observes, so enabling it
+//! cannot perturb simulation outcomes, and it is excluded from snapshots
+//! (a restored world starts with a fresh, disabled profiler).
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Per-kind accumulation.
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    events: u64,
+    nanos: u128,
+}
+
+/// Wall-clock profiler over labelled event handling.
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    started: Instant,
+    buckets: BTreeMap<&'static str, Bucket>,
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Profiler::new()
+    }
+}
+
+impl Profiler {
+    /// Start profiling now.
+    pub fn new() -> Profiler {
+        Profiler {
+            started: Instant::now(),
+            buckets: BTreeMap::new(),
+        }
+    }
+
+    /// Charge `elapsed` of handling time to event kind `kind`.
+    pub fn record(&mut self, kind: &'static str, elapsed: Duration) {
+        let b = self.buckets.entry(kind).or_default();
+        b.events += 1;
+        b.nanos += elapsed.as_nanos();
+    }
+
+    /// Events recorded so far.
+    pub fn events(&self) -> u64 {
+        self.buckets.values().map(|b| b.events).sum()
+    }
+
+    /// Summarize: total throughput plus the per-kind cost breakdown,
+    /// ordered by descending time share (ties by kind name, so the report
+    /// layout is stable for a given timing profile).
+    pub fn report(&self) -> ProfileReport {
+        let wall_seconds = self.started.elapsed().as_secs_f64();
+        let events = self.events();
+        let handling_nanos: u128 = self.buckets.values().map(|b| b.nanos).sum();
+        let mut kinds: Vec<KindProfile> = self
+            .buckets
+            .iter()
+            .map(|(kind, b)| KindProfile {
+                kind: (*kind).to_string(),
+                events: b.events,
+                seconds: b.nanos as f64 / 1e9,
+                share: if handling_nanos == 0 {
+                    0.0
+                } else {
+                    b.nanos as f64 / handling_nanos as f64
+                },
+            })
+            .collect();
+        kinds.sort_by(|a, b| {
+            b.seconds
+                .partial_cmp(&a.seconds)
+                .expect("finite")
+                .then_with(|| a.kind.cmp(&b.kind))
+        });
+        ProfileReport {
+            wall_seconds,
+            handling_seconds: handling_nanos as f64 / 1e9,
+            events,
+            events_per_sec: if wall_seconds > 0.0 {
+                events as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            kinds,
+        }
+    }
+}
+
+/// Summary of a [`Profiler`]: throughput plus per-kind attribution.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProfileReport {
+    /// Wall-clock seconds since the profiler started.
+    pub wall_seconds: f64,
+    /// Wall-clock seconds spent inside event handlers.
+    pub handling_seconds: f64,
+    /// Events recorded.
+    pub events: u64,
+    /// `events / wall_seconds`.
+    pub events_per_sec: f64,
+    /// Per-kind buckets, heaviest first.
+    pub kinds: Vec<KindProfile>,
+}
+
+impl ProfileReport {
+    /// One-line summary for bench logs.
+    pub fn one_line(&self) -> String {
+        let top = self
+            .kinds
+            .iter()
+            .take(3)
+            .map(|k| format!("{} {:.0}%", k.kind, k.share * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{} events in {:.2}s wall = {:.0} events/s (top: {top})",
+            self.events, self.wall_seconds, self.events_per_sec
+        )
+    }
+}
+
+/// One event kind's share of handling time.
+#[derive(Debug, Clone, Serialize)]
+pub struct KindProfile {
+    /// Event kind label.
+    pub kind: String,
+    /// Events of this kind.
+    pub events: u64,
+    /// Wall-clock seconds spent handling them.
+    pub seconds: f64,
+    /// Fraction of all handling time (0..1).
+    pub share: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_accumulate_and_report_orders_by_cost() {
+        let mut p = Profiler::new();
+        p.record("tick", Duration::from_micros(10));
+        p.record("tick", Duration::from_micros(10));
+        p.record("dispatch", Duration::from_millis(2));
+        let r = p.report();
+        assert_eq!(r.events, 3);
+        assert_eq!(r.kinds[0].kind, "dispatch");
+        assert_eq!(r.kinds[1].kind, "tick");
+        assert_eq!(r.kinds[1].events, 2);
+        assert!(r.kinds[0].share > 0.9);
+        let total: f64 = r.kinds.iter().map(|k| k.share).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(r.events_per_sec > 0.0);
+        assert!(r.one_line().contains("events/s"));
+    }
+
+    #[test]
+    fn empty_profiler_is_safe() {
+        let p = Profiler::new();
+        let r = p.report();
+        assert_eq!(r.events, 0);
+        assert!(r.kinds.is_empty());
+        assert_eq!(r.handling_seconds, 0.0);
+    }
+}

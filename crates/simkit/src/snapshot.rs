@@ -31,7 +31,12 @@ use std::path::Path;
 
 /// Current snapshot schema version. Bump when the envelope layout or the
 /// determinism contract of embedded state changes incompatibly.
-pub const SNAPSHOT_VERSION: u64 = 1;
+///
+/// History: v1 — original whole-grid checkpoint schema; v2 — observability
+/// layer (time-series collector, span log, SLO engine state inside grid
+/// telemetry; clamp counters on time-weighted stats). Old files decode as
+/// [`SnapshotError::UnknownVersion`] rather than mis-restoring.
+pub const SNAPSHOT_VERSION: u64 = 2;
 
 /// Why a snapshot could not be decoded or persisted.
 #[derive(Debug)]

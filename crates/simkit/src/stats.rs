@@ -209,7 +209,10 @@ impl Tally {
 ///   internal clock never moves backwards. In a correctly ordered
 ///   discrete-event simulation this cannot happen; clamping means a stray
 ///   caller can at worst lose the (non-causal) interval, never corrupt the
-///   integral with a negative contribution.
+///   integral with a negative contribution. Each clamp is *counted*
+///   ([`TimeWeighted::clamped`], serialized with the collector), so a
+///   misbehaving caller shows up in snapshots instead of silently losing
+///   intervals.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct TimeWeighted {
     value: f64,
@@ -217,6 +220,9 @@ pub struct TimeWeighted {
     start: SimTime,
     integral: f64,
     max: f64,
+    /// Out-of-order updates clamped to zero elapsed time.
+    #[serde(default)]
+    clamped: u64,
 }
 
 impl TimeWeighted {
@@ -228,6 +234,7 @@ impl TimeWeighted {
             start,
             integral: 0.0,
             max: initial,
+            clamped: 0,
         }
     }
 
@@ -254,6 +261,13 @@ impl TimeWeighted {
         self.max
     }
 
+    /// How many updates arrived with an out-of-order timestamp and were
+    /// clamped to zero elapsed time. Always 0 for a correctly ordered
+    /// caller; anything else marks the collector's integral as lossy.
+    pub fn clamped(&self) -> u64 {
+        self.clamped
+    }
+
     /// Time-averaged value over `[start, now]`.
     pub fn time_average(&self, now: SimTime) -> f64 {
         let total = now.saturating_since(self.start).as_secs_f64();
@@ -268,6 +282,9 @@ impl TimeWeighted {
         // Out-of-order `now` is clamped: saturating elapsed time (zero for
         // non-causal updates) and a monotone last_update. See the type-level
         // docs for the full timestamp semantics.
+        if now < self.last_update {
+            self.clamped += 1;
+        }
         let dt = now.saturating_since(self.last_update).as_secs_f64();
         self.integral += dt * self.value;
         self.last_update = now.max(self.last_update);
@@ -491,6 +508,16 @@ mod tests {
         // [0,10): 0.0; [10,20): 7.0 — the out-of-order 5.0→7.0 switch
         // happened "at" t=10 as far as the integral is concerned.
         assert!((tw.time_average(now) - (10.0 * 7.0) / 20.0).abs() < 1e-12);
+        // The misbehaviour is counted, not silent; a same-instant update is
+        // legal (zero duration) and does not count as a clamp.
+        assert_eq!(tw.clamped(), 1);
+        tw.set(t0 + SimDuration::from_secs(10), 1.0);
+        assert_eq!(tw.clamped(), 1);
+        // The count rides serde so snapshots expose it.
+        let json = serde_json::to_string(&tw).unwrap();
+        assert!(json.contains("\"clamped\":1"), "{json}");
+        let back: TimeWeighted = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.clamped(), 1);
     }
 
     #[test]

@@ -339,6 +339,40 @@ impl Histogram {
         &self.bounds
     }
 
+    /// Estimate the `q`-quantile (`q` clamped to `[0, 1]`) by linear
+    /// interpolation within the bucket holding the target rank. Returns
+    /// `None` if empty. The estimate is deterministic and monotone in `q`;
+    /// observations in the overflow bucket interpolate between the last
+    /// bound and the recorded maximum (the histogram keeps exact min/max,
+    /// so the extremes are never invented).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cumulative + c;
+            if (next as f64) >= target && c > 0 {
+                let frac = ((target - cumulative as f64) / c as f64).clamp(0.0, 1.0);
+                let lo = if i == 0 {
+                    self.min.expect("non-empty")
+                } else {
+                    self.bounds[i - 1]
+                };
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i].min(self.max.expect("non-empty")).max(lo)
+                } else {
+                    self.max.expect("non-empty").max(lo)
+                };
+                return Some(lo + (hi - lo) * frac);
+            }
+            cumulative = next;
+        }
+        self.max
+    }
+
     /// Per-bucket counts; the final entry is the overflow bucket.
     pub fn bucket_counts(&self) -> &[u64] {
         &self.counts
@@ -508,6 +542,31 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.min(), None);
         assert_eq!(h.max(), None);
+        assert_eq!(h.quantile(0.95), None);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let mut h = Histogram::new(&[10.0, 100.0, 1000.0]);
+        for _ in 0..90 {
+            h.observe(5.0);
+        }
+        for _ in 0..10 {
+            h.observe(500.0);
+        }
+        // p50 lands in the first bucket, p95 in the third.
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 <= 10.0, "{p50}");
+        let p95 = h.quantile(0.95).unwrap();
+        assert!((100.0..=500.0).contains(&p95), "{p95}");
+        // Monotone in q; extremes come from the exact min/max.
+        assert!(h.quantile(0.1).unwrap() <= h.quantile(0.9).unwrap());
+        assert_eq!(h.quantile(1.0), Some(500.0));
+        // One observation: every quantile is that observation's bucket.
+        let mut single = Histogram::new(&[10.0]);
+        single.observe(3.0);
+        let q = single.quantile(0.95).unwrap();
+        assert!((3.0..=10.0).contains(&q), "{q}");
     }
 
     #[test]

@@ -1,0 +1,522 @@
+//! Deterministic fixed-interval time series over a [`MetricsRegistry`].
+//!
+//! End-of-run aggregates answer "how did the campaign go?"; operators of a
+//! months-long grid campaign need "how is it going *right now*, and how was
+//! it an hour ago?". This module derives streaming series from the metrics
+//! the telemetry layer already maintains, without introducing any new
+//! observation path:
+//!
+//! * the caller picks a fixed **window** (simulation time); every series
+//!   produces at most one point per window, at the window's closing
+//!   boundary;
+//! * a [`SeriesKind::CounterRate`] point is the counter's per-second rate
+//!   over the closed window, a [`SeriesKind::CounterTotal`] point is the
+//!   counter's running total at the boundary, a [`SeriesKind::Gauge`] point
+//!   samples the gauge at the boundary, a [`SeriesKind::Ratio`] point is a
+//!   sliding-window ratio of counter deltas, and a
+//!   [`SeriesKind::HistogramQuantile`] point interpolates a quantile from a
+//!   fixed-bucket histogram;
+//! * points ride a bounded buffer per series (oldest evicted first, with an
+//!   exact dropped count), so memory stays constant over an arbitrarily
+//!   long run.
+//!
+//! Everything follows the telemetry determinism rules: windows close in
+//! simulation time only, no wall clock, no randomness, no event
+//! scheduling — and the whole collector state is snapshot-serializable, so
+//! a restored grid continues the exact same series.
+
+use crate::telemetry::MetricsRegistry;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What one series measures, in terms of [`MetricsRegistry`] entries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SeriesKind {
+    /// Per-second rate of a counter over each closed window.
+    CounterRate {
+        /// Counter name in the registry.
+        counter: String,
+    },
+    /// Running total of a counter, sampled at each boundary.
+    CounterTotal {
+        /// Counter name in the registry.
+        counter: String,
+    },
+    /// Gauge value sampled at each boundary. Windows where the gauge was
+    /// never set produce no point.
+    Gauge {
+        /// Gauge name in the registry.
+        gauge: String,
+    },
+    /// `num-delta / den-delta` over the last `windows` windows (a sliding
+    /// window, so a short lull does not zero the ratio). The denominator is
+    /// the *sum* of the named counters' deltas — e.g. a cache hit rate is
+    /// `hits / (hits + misses)`. Windows whose denominator delta is zero
+    /// produce no point.
+    Ratio {
+        /// Numerator counter.
+        num: String,
+        /// Denominator counters (summed).
+        den: Vec<String>,
+        /// Sliding-window width, in windows (>= 1).
+        windows: usize,
+    },
+    /// A quantile of a fixed-bucket histogram, sampled at each boundary
+    /// (see [`crate::telemetry::Histogram::quantile`]). Empty histograms
+    /// produce no point.
+    HistogramQuantile {
+        /// Histogram name in the registry.
+        histogram: String,
+        /// Quantile in `[0, 1]`.
+        q: f64,
+    },
+}
+
+impl SeriesKind {
+    /// Counters this kind needs boundary snapshots of.
+    fn counters(&self) -> Vec<&str> {
+        match self {
+            SeriesKind::CounterRate { counter } | SeriesKind::CounterTotal { counter } => {
+                vec![counter]
+            }
+            SeriesKind::Ratio { num, den, .. } => {
+                let mut v: Vec<&str> = vec![num];
+                v.extend(den.iter().map(String::as_str));
+                v
+            }
+            SeriesKind::Gauge { .. } | SeriesKind::HistogramQuantile { .. } => vec![],
+        }
+    }
+}
+
+/// One named series definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSpec {
+    /// Series name (unique within a set; referenced by alert rules).
+    pub name: String,
+    /// What the series measures.
+    pub kind: SeriesKind,
+}
+
+/// Configuration of a [`SeriesSet`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSetConfig {
+    /// Window length; boundaries fall at exact multiples of it.
+    pub window: SimDuration,
+    /// Points retained per series (older points evicted, exactly counted).
+    pub capacity: usize,
+    /// The series to derive.
+    pub specs: Vec<SeriesSpec>,
+}
+
+impl Default for SeriesSetConfig {
+    fn default() -> Self {
+        SeriesSetConfig {
+            window: SimDuration::from_mins(5),
+            capacity: 512,
+            specs: Vec::new(),
+        }
+    }
+}
+
+/// One point of one series: the (0-based) window index it closed and the
+/// derived value. The point's simulation time is
+/// `(window + 1) × window-length`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Index of the closed window.
+    pub window: u64,
+    /// Derived value.
+    pub value: f64,
+}
+
+/// Live state of one series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SeriesState {
+    spec: SeriesSpec,
+    points: Vec<SeriesPoint>,
+    dropped: u64,
+    /// Recent per-window `(num_delta, den_delta)` pairs (ratio series only),
+    /// newest last, bounded by the kind's `windows`.
+    deltas: Vec<(f64, f64)>,
+}
+
+impl SeriesState {
+    fn push(&mut self, capacity: usize, point: SeriesPoint) {
+        if capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.points.len() == capacity {
+            self.points.remove(0);
+            self.dropped += 1;
+        }
+        self.points.push(point);
+    }
+}
+
+/// A set of windowed series derived from one [`MetricsRegistry`].
+///
+/// Drive it with [`SeriesSet::advance_one`] (typically once per simulation
+/// event, *before* the event mutates the registry): every boundary at or
+/// before `now` closes in order, each producing at most one point per
+/// series from the registry state carried across the boundary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeriesSet {
+    window: SimDuration,
+    capacity: usize,
+    /// Index of the next window to close (window `i` spans
+    /// `[i*window, (i+1)*window)` and closes at `(i+1)*window`).
+    next_window: u64,
+    /// Counter values at the last closed boundary, for delta/rate series.
+    last_counters: BTreeMap<String, u64>,
+    series: Vec<SeriesState>,
+}
+
+impl SeriesSet {
+    /// Build the set; all series start at window 0 with no history.
+    pub fn new(config: SeriesSetConfig) -> SeriesSet {
+        SeriesSet {
+            window: config.window,
+            capacity: config.capacity,
+            next_window: 0,
+            last_counters: BTreeMap::new(),
+            series: config
+                .specs
+                .into_iter()
+                .map(|spec| SeriesState {
+                    spec,
+                    points: Vec::new(),
+                    dropped: 0,
+                    deltas: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The window length.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Windows closed so far.
+    pub fn windows_closed(&self) -> u64 {
+        self.next_window
+    }
+
+    /// Simulation time of the next boundary.
+    pub fn next_boundary(&self) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(self.window.as_micros() * (self.next_window + 1))
+    }
+
+    /// Close the next window if its boundary is at or before `now`,
+    /// deriving one point per series from `metrics`. Returns the closed
+    /// boundary's time (call in a loop until `None` to catch up after a
+    /// long gap between events; each intermediate window closes separately
+    /// so rates stay per-window).
+    pub fn advance_one(&mut self, now: SimTime, metrics: &MetricsRegistry) -> Option<SimTime> {
+        let boundary = self.next_boundary();
+        if boundary > now {
+            return None;
+        }
+        let window = self.next_window;
+        let window_seconds = self.window.as_secs_f64();
+        for s in &mut self.series {
+            let value = match &s.spec.kind {
+                SeriesKind::CounterRate { counter } => {
+                    let total = metrics.counter(counter);
+                    let prev = self.last_counters.get(counter).copied().unwrap_or(0);
+                    Some((total - prev) as f64 / window_seconds)
+                }
+                SeriesKind::CounterTotal { counter } => Some(metrics.counter(counter) as f64),
+                SeriesKind::Gauge { gauge } => metrics.gauge(gauge),
+                SeriesKind::Ratio { num, den, windows } => {
+                    let nd = {
+                        let total = metrics.counter(num);
+                        let prev = self.last_counters.get(num).copied().unwrap_or(0);
+                        (total - prev) as f64
+                    };
+                    let dd: f64 = den
+                        .iter()
+                        .map(|d| {
+                            let total = metrics.counter(d);
+                            let prev = self.last_counters.get(d).copied().unwrap_or(0);
+                            (total - prev) as f64
+                        })
+                        .sum();
+                    s.deltas.push((nd, dd));
+                    let w = (*windows).max(1);
+                    if s.deltas.len() > w {
+                        s.deltas.remove(0);
+                    }
+                    let (num_sum, den_sum) = s
+                        .deltas
+                        .iter()
+                        .fold((0.0, 0.0), |(a, b), (n, d)| (a + n, b + d));
+                    (den_sum > 0.0).then_some(num_sum / den_sum)
+                }
+                SeriesKind::HistogramQuantile { histogram, q } => {
+                    metrics.histogram(histogram).and_then(|h| h.quantile(*q))
+                }
+            };
+            if let Some(value) = value {
+                s.push(self.capacity, SeriesPoint { window, value });
+            }
+        }
+        // Snapshot every referenced counter at this boundary for the next
+        // window's deltas.
+        for s in &self.series {
+            for c in s.spec.kind.counters() {
+                self.last_counters.insert(c.to_string(), metrics.counter(c));
+            }
+        }
+        self.next_window += 1;
+        Some(boundary)
+    }
+
+    /// The newest point of series `name`, if any.
+    pub fn latest(&self, name: &str) -> Option<SeriesPoint> {
+        self.series
+            .iter()
+            .find(|s| s.spec.name == name)
+            .and_then(|s| s.points.last().copied())
+    }
+
+    /// The retained points of series `name` (oldest first).
+    pub fn points(&self, name: &str) -> Option<&[SeriesPoint]> {
+        self.series
+            .iter()
+            .find(|s| s.spec.name == name)
+            .map(|s| s.points.as_slice())
+    }
+
+    /// Observer view of every series (for status pages and artifacts).
+    pub fn snapshot(&self) -> TimeSeriesSnapshot {
+        TimeSeriesSnapshot {
+            window_micros: self.window.as_micros(),
+            windows_closed: self.next_window,
+            series: self
+                .series
+                .iter()
+                .map(|s| SeriesSnapshot {
+                    name: s.spec.name.clone(),
+                    points_dropped: s.dropped,
+                    points: s.points.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Serializable view of a [`SeriesSet`] at one instant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeriesSnapshot {
+    /// Window length in microseconds.
+    pub window_micros: u64,
+    /// Windows closed so far.
+    pub windows_closed: u64,
+    /// Per-series points, in definition order.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// One series inside a [`TimeSeriesSnapshot`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeriesSnapshot {
+    /// Series name.
+    pub name: String,
+    /// Points evicted from the bounded buffer.
+    pub points_dropped: u64,
+    /// Retained points, oldest first.
+    pub points: Vec<SeriesPoint>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::latency_buckets_seconds;
+
+    fn set(specs: Vec<SeriesSpec>) -> SeriesSet {
+        SeriesSet::new(SeriesSetConfig {
+            window: SimDuration::from_secs(60),
+            capacity: 8,
+            specs,
+        })
+    }
+
+    fn rate(name: &str, counter: &str) -> SeriesSpec {
+        SeriesSpec {
+            name: name.into(),
+            kind: SeriesKind::CounterRate {
+                counter: counter.into(),
+            },
+        }
+    }
+
+    #[test]
+    fn counter_rate_per_window() {
+        let mut m = MetricsRegistry::new();
+        let mut s = set(vec![rate("submits", "job.submitted")]);
+        m.add("job.submitted", 30);
+        assert_eq!(
+            s.advance_one(SimTime::from_secs(60), &m),
+            Some(SimTime::from_secs(60))
+        );
+        m.add("job.submitted", 6);
+        assert_eq!(
+            s.advance_one(SimTime::from_secs(121), &m),
+            Some(SimTime::from_secs(120))
+        );
+        assert!(s.advance_one(SimTime::from_secs(121), &m).is_none());
+        let pts = s.points("submits").unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(
+            pts[0],
+            SeriesPoint {
+                window: 0,
+                value: 0.5
+            }
+        );
+        assert_eq!(
+            pts[1],
+            SeriesPoint {
+                window: 1,
+                value: 0.1
+            }
+        );
+    }
+
+    #[test]
+    fn empty_window_yields_zero_rate_but_no_gauge_point() {
+        let mut m = MetricsRegistry::new();
+        let mut s = set(vec![
+            rate("r", "c"),
+            SeriesSpec {
+                name: "g".into(),
+                kind: SeriesKind::Gauge {
+                    gauge: "depth".into(),
+                },
+            },
+        ]);
+        // Nothing ever observed: the rate is an honest 0, the gauge point
+        // is absent (sampling an unset gauge would invent a value).
+        assert!(s.advance_one(SimTime::from_secs(60), &m).is_some());
+        assert_eq!(s.latest("r").unwrap().value, 0.0);
+        assert!(s.latest("g").is_none());
+        m.set_gauge("depth", 4.0);
+        assert!(s.advance_one(SimTime::from_secs(120), &m).is_some());
+        assert_eq!(
+            s.latest("g").unwrap(),
+            SeriesPoint {
+                window: 1,
+                value: 4.0
+            }
+        );
+    }
+
+    #[test]
+    fn exact_boundary_event_closes_the_window() {
+        let mut m = MetricsRegistry::new();
+        let mut s = set(vec![rate("r", "c")]);
+        m.incr("c");
+        // `now` exactly at the boundary: the window closes (boundaries are
+        // inclusive), and a second call at the same instant does nothing.
+        assert_eq!(
+            s.advance_one(SimTime::from_secs(60), &m),
+            Some(SimTime::from_secs(60))
+        );
+        assert!(s.advance_one(SimTime::from_secs(60), &m).is_none());
+        assert_eq!(s.windows_closed(), 1);
+    }
+
+    #[test]
+    fn single_sample_quantile_and_total() {
+        let mut m = MetricsRegistry::new();
+        let mut s = set(vec![
+            SeriesSpec {
+                name: "p95".into(),
+                kind: SeriesKind::HistogramQuantile {
+                    histogram: "lat".into(),
+                    q: 0.95,
+                },
+            },
+            SeriesSpec {
+                name: "total".into(),
+                kind: SeriesKind::CounterTotal {
+                    counter: "c".into(),
+                },
+            },
+        ]);
+        // Empty histogram: no point.
+        assert!(s.advance_one(SimTime::from_secs(60), &m).is_some());
+        assert!(s.latest("p95").is_none());
+        assert_eq!(s.latest("total").unwrap().value, 0.0);
+        m.observe("lat", &latency_buckets_seconds(), 100.0);
+        m.add("c", 3);
+        assert!(s.advance_one(SimTime::from_secs(120), &m).is_some());
+        let p = s.latest("p95").unwrap().value;
+        assert!(p > 0.0 && p <= 300.0, "{p}");
+        assert_eq!(s.latest("total").unwrap().value, 3.0);
+    }
+
+    #[test]
+    fn sliding_ratio_smooths_over_windows() {
+        let mut m = MetricsRegistry::new();
+        let mut s = set(vec![SeriesSpec {
+            name: "hit_rate".into(),
+            kind: SeriesKind::Ratio {
+                num: "hits".into(),
+                den: vec!["hits".into(), "misses".into()],
+                windows: 2,
+            },
+        }]);
+        m.add("hits", 8);
+        m.add("misses", 2);
+        assert!(s.advance_one(SimTime::from_secs(60), &m).is_some());
+        assert_eq!(s.latest("hit_rate").unwrap().value, 0.8);
+        // A window with no traffic: the 2-window slide still sees the
+        // previous deltas, so the ratio holds instead of vanishing.
+        assert!(s.advance_one(SimTime::from_secs(120), &m).is_some());
+        assert_eq!(s.latest("hit_rate").unwrap().window, 1);
+        assert_eq!(s.latest("hit_rate").unwrap().value, 0.8);
+        // Two idle windows in a row: the slide is all-zero -> no point.
+        assert!(s.advance_one(SimTime::from_secs(180), &m).is_some());
+        assert_eq!(s.latest("hit_rate").unwrap().window, 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_with_exact_drop_count() {
+        let mut m = MetricsRegistry::new();
+        let mut s = SeriesSet::new(SeriesSetConfig {
+            window: SimDuration::from_secs(60),
+            capacity: 3,
+            specs: vec![rate("r", "c")],
+        });
+        for i in 1..=10u64 {
+            m.incr("c");
+            assert!(s.advance_one(SimTime::from_secs(60 * i), &m).is_some());
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.series[0].points.len(), 3);
+        assert_eq!(snap.series[0].points_dropped, 7);
+        assert_eq!(snap.series[0].points[2].window, 9);
+        assert_eq!(snap.windows_closed, 10);
+    }
+
+    #[test]
+    fn serde_roundtrip_is_byte_stable_and_resumes() {
+        let mut m = MetricsRegistry::new();
+        let mut s = set(vec![rate("r", "c")]);
+        m.add("c", 5);
+        s.advance_one(SimTime::from_secs(60), &m);
+        let json = serde_json::to_string(&s).unwrap();
+        let mut back: SeriesSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        // The restored set continues deltas from the same boundary values.
+        m.add("c", 7);
+        back.advance_one(SimTime::from_secs(120), &m);
+        s.advance_one(SimTime::from_secs(120), &m);
+        assert_eq!(back.latest("r"), s.latest("r"));
+        assert_eq!(back.latest("r").unwrap().value, 7.0 / 60.0);
+    }
+}

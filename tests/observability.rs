@@ -95,6 +95,58 @@ fn portal_status_page_renders_the_standard_grid_deterministically() {
     );
 }
 
+/// The full observability pack (windowed series, SLO engine, trace spans)
+/// on the standard grid: replays are byte-identical down to the Chrome
+/// trace export, the pack is still a pure observer, and the status page
+/// renders the Alerts and Series sections.
+#[test]
+fn observability_pack_is_deterministic_inert_and_renderable() {
+    use gridsim::telemetry::TelemetryConfig;
+    use simkit::SimDuration;
+
+    let seed = 19;
+    let pack = || GridConfig {
+        telemetry: Some(TelemetryConfig::observability(SimDuration::from_mins(30))),
+        ..standard_grid(seed)
+    };
+    let run_pack = || {
+        let mut grid = Grid::new(pack());
+        grid.submit(workload(50, seed ^ 0x0B5));
+        let report = grid.run_until_done(SimTime::from_days(14));
+        let trace = grid.chrome_trace().expect("tracing enabled");
+        let snap = grid.telemetry_snapshot().expect("telemetry enabled");
+        let page = portal::status::render_text(&snap);
+        let snap_json = serde_json::to_string(&snap).expect("snapshot serializes");
+        (report, trace, snap_json, page)
+    };
+
+    let (report_a, trace_a, snap_a, page_a) = run_pack();
+    let (_, trace_b, snap_b, page_b) = run_pack();
+    assert_eq!(
+        trace_a, trace_b,
+        "chrome trace must replay byte-identically"
+    );
+    assert_eq!(snap_a, snap_b, "snapshot must replay byte-identically");
+    assert_eq!(page_a, page_b, "status page must replay byte-identically");
+
+    // Pure observer: outcomes match the bare standard grid.
+    let (plain, _) = run(standard_grid(seed), 50, seed);
+    assert_eq!(
+        outcome_fingerprint(&report_a),
+        outcome_fingerprint(&plain),
+        "the full pack must still be a pure observer"
+    );
+
+    // The pack's sections render (alert counters appear even at 0 fired),
+    // and the series actually accumulated windows.
+    assert!(page_a.contains("Alerts:"), "status page missing Alerts");
+    assert!(
+        page_a.contains("Series (window"),
+        "status page missing Series"
+    );
+    assert!(trace_a.contains("traceEvents"));
+}
+
 #[test]
 fn campaign_pipeline_surfaces_the_snapshot() {
     use garli::config::GarliConfig;
