@@ -17,8 +17,8 @@ use crate::mds::ResourceState;
 use quorum::{Completion, QuorumEngine, ValidationConfig, ValidationSnapshot, Verdict};
 use serde::{Deserialize, Serialize, Value};
 use simkit::calendar::EventHandle;
-use simkit::{Calendar, SimDuration, SimRng, SimTime};
-use std::collections::{HashMap, VecDeque};
+use simkit::{Calendar, IdMap, SimDuration, SimRng, SimTime};
+use std::collections::{BTreeSet, VecDeque};
 
 /// How workunit deadlines are chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -163,23 +163,17 @@ struct Assignment {
 #[derive(Debug)]
 struct ValidationState {
     engine: QuorumEngine,
-    cpu_by_result: HashMap<JobId, Vec<f64>>,
+    cpu_by_result: IdMap<Vec<f64>>,
 }
 
-// Snapshot serde: the CPU ledger is keyed by `JobId`, so it flattens to
-// id-sorted `[id, cpus]` pairs for a byte-stable encoding.
+// Snapshot serde: the CPU ledger is keyed by `JobId` (dense, so an
+// [`IdMap`]), which encodes as id-sorted `[id, cpus]` pairs — the same
+// byte-stable shape the previous sorted-`HashMap` rendering produced.
 impl Serialize for ValidationState {
     fn to_value(&self) -> Value {
-        let mut cpus: Vec<(JobId, &Vec<f64>)> =
-            self.cpu_by_result.iter().map(|(&id, v)| (id, v)).collect();
-        cpus.sort_by_key(|(id, _)| *id);
-        let cpus: Vec<Value> = cpus
-            .into_iter()
-            .map(|(id, v)| Value::Seq(vec![id.to_value(), v.to_value()]))
-            .collect();
         Value::Map(vec![
             ("engine".to_string(), self.engine.to_value()),
-            ("cpu_by_result".to_string(), Value::Seq(cpus)),
+            ("cpu_by_result".to_string(), self.cpu_by_result.to_value()),
         ])
     }
 }
@@ -189,10 +183,9 @@ impl Deserialize for ValidationState {
         let fields = value
             .as_map()
             .ok_or_else(|| serde::Error::custom("expected map for ValidationState"))?;
-        let cpus: Vec<(JobId, Vec<f64>)> = serde::field(fields, "cpu_by_result")?;
         Ok(ValidationState {
             engine: serde::field(fields, "engine")?,
-            cpu_by_result: cpus.into_iter().collect(),
+            cpu_by_result: serde::field(fields, "cpu_by_result")?,
         })
     }
 }
@@ -233,13 +226,13 @@ pub struct BoincSim {
     config: BoincConfig,
     clients: Vec<Client>,
     queue: VecDeque<JobId>,
-    workunits: HashMap<JobId, Workunit>,
-    assignments: HashMap<u64, Assignment>,
+    workunits: IdMap<Workunit>,
+    assignments: IdMap<Assignment>,
     next_assignment: u64,
     /// CPU-seconds wasted on late, redundant, or abandoned results.
     pub wasted_cpu_seconds: f64,
     /// Useful CPU-seconds banked per completed workunit.
-    useful_by_wu: HashMap<JobId, f64>,
+    useful_by_wu: IdMap<f64>,
     /// Probability that a returned result is garbage (a scripted fault;
     /// 0.0 in normal operation).
     corruption_rate: f64,
@@ -255,6 +248,34 @@ pub struct BoincSim {
     /// The result-validation subsystem (`GridConfig::validation`).
     validation: Option<ValidationState>,
     rng: SimRng,
+    // --- Feeder index: derived state, never serialized (rebuilt on restore
+    // and therefore invisible to snapshot byte-identity comparisons). ---
+    /// Clients that are available, untasked, and not mid-RPC — exactly the
+    /// set the matchmaker hands work to. Ordered ascending so the indexed
+    /// path visits candidates in the same low-index-first order the legacy
+    /// full scan did.
+    idle: BTreeSet<usize>,
+    /// Clients with `available && task.is_none()` (the MDS "free slots"
+    /// signal; unlike `idle` it includes clients mid-RPC).
+    free_clients: usize,
+    /// Clients currently holding a task.
+    active: usize,
+    /// Workunits not yet completed.
+    unfinished: usize,
+    /// Sum of `reissues` across all workunits.
+    reissues_total: u32,
+    /// Sum of `reissues` across completed workunits (reissue counts never
+    /// change after completion, so `total - completed` is the pending sum).
+    reissues_completed: u32,
+    /// Client speed factors, ascending (median/mean cache; updated
+    /// incrementally on speed change rather than rebuilt per query).
+    sorted_speeds: Vec<f64>,
+    /// Sum of client speed factors.
+    speed_sum: f64,
+    /// Route `assign_work` through the legacy full client scan instead of
+    /// the idle index (perf-comparison escape hatch; not serialized, both
+    /// paths are decision-identical).
+    legacy_scan: bool,
 }
 
 impl BoincSim {
@@ -281,15 +302,15 @@ impl BoincSim {
                 fetching: false,
             });
         }
-        BoincSim {
+        let mut sim = BoincSim {
             config,
             clients,
             queue: VecDeque::new(),
-            workunits: HashMap::new(),
-            assignments: HashMap::new(),
+            workunits: IdMap::new(),
+            assignments: IdMap::new(),
             next_assignment: 0,
             wasted_cpu_seconds: 0.0,
-            useful_by_wu: HashMap::new(),
+            useful_by_wu: IdMap::new(),
             corruption_rate: 0.0,
             corrupt_caught: 0,
             corrupt_accepted: 0,
@@ -297,7 +318,82 @@ impl BoincSim {
             malicious: Vec::new(),
             validation: None,
             rng,
+            idle: BTreeSet::new(),
+            free_clients: 0,
+            active: 0,
+            unfinished: 0,
+            reissues_total: 0,
+            reissues_completed: 0,
+            sorted_speeds: Vec::new(),
+            speed_sum: 0.0,
+            legacy_scan: false,
+        };
+        sim.rebuild_derived();
+        sim
+    }
+
+    /// Recompute every derived structure (idle index, counters, speed-stat
+    /// cache) from the authoritative client/workunit state. Called after
+    /// construction and after snapshot restore — derived state is never
+    /// serialized, so the encoding is identical to the pre-index format.
+    fn rebuild_derived(&mut self) {
+        self.idle.clear();
+        self.free_clients = 0;
+        self.active = 0;
+        for (i, c) in self.clients.iter().enumerate() {
+            if c.available && c.task.is_none() {
+                self.free_clients += 1;
+                if !c.fetching {
+                    self.idle.insert(i);
+                }
+            }
+            if c.task.is_some() {
+                self.active += 1;
+            }
         }
+        self.unfinished = self.workunits.values().filter(|w| !w.completed).count();
+        self.reissues_total = self.workunits.values().map(|w| w.reissues).sum();
+        self.reissues_completed = self
+            .workunits
+            .values()
+            .filter(|w| w.completed)
+            .map(|w| w.reissues)
+            .sum();
+        self.sorted_speeds = self.clients.iter().map(|c| c.speed).collect();
+        self.sorted_speeds
+            .sort_by(|a, b| a.partial_cmp(b).expect("speeds are finite"));
+        self.speed_sum = self.sorted_speeds.iter().sum();
+    }
+
+    /// Re-derive one client's membership in the idle index and the
+    /// free/active counters after its state changed. `was` is
+    /// [`BoincSim::client_probe`] taken before the mutation.
+    fn sync_client(&mut self, i: usize, was: (bool, bool)) {
+        let c = &self.clients[i];
+        let now_free = c.available && c.task.is_none();
+        let now_active = c.task.is_some();
+        match (was.0, now_free) {
+            (false, true) => self.free_clients += 1,
+            (true, false) => self.free_clients -= 1,
+            _ => {}
+        }
+        match (was.1, now_active) {
+            (false, true) => self.active += 1,
+            (true, false) => self.active -= 1,
+            _ => {}
+        }
+        if now_free && !c.fetching {
+            self.idle.insert(i);
+        } else {
+            self.idle.remove(&i);
+        }
+    }
+
+    /// `(available && untasked, tasked)` for a client — the inputs the
+    /// derived counters are keyed on.
+    fn client_probe(&self, i: usize) -> (bool, bool) {
+        let c = &self.clients[i];
+        (c.available && c.task.is_none(), c.task.is_some())
     }
 
     /// Turn on result validation. `rng` must be a dedicated fork (the
@@ -308,7 +404,7 @@ impl BoincSim {
         engine.ensure_hosts(self.config.num_clients);
         self.validation = Some(ValidationState {
             engine,
-            cpu_by_result: HashMap::new(),
+            cpu_by_result: IdMap::new(),
         });
     }
 
@@ -386,23 +482,42 @@ impl BoincSim {
         &self.config
     }
 
-    /// Median client speed (used for calibration/reporting).
+    /// Median client speed (used for calibration/reporting). Served from
+    /// the incrementally maintained sorted-speed cache — O(1) per query
+    /// instead of re-sorting the whole pool.
     pub fn median_speed(&self) -> f64 {
-        let mut speeds: Vec<f64> = self.clients.iter().map(|c| c.speed).collect();
-        speeds.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        speeds[speeds.len() / 2]
+        self.sorted_speeds[self.sorted_speeds.len() / 2]
+    }
+
+    /// Mean client speed, from the same cache.
+    pub fn mean_speed(&self) -> f64 {
+        self.speed_sum / self.sorted_speeds.len() as f64
+    }
+
+    /// Change one client's speed factor (hardware upgrade / recalibration
+    /// hook), keeping the speed-stat cache consistent incrementally: the old
+    /// value is removed from and the new one inserted into the sorted cache
+    /// by binary search, no full rebuild.
+    pub fn set_client_speed(&mut self, client: usize, speed: f64) {
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "invalid client speed: {speed}"
+        );
+        let old = self.clients[client].speed;
+        self.clients[client].speed = speed;
+        let at = self.sorted_speeds.partition_point(|&s| s < old);
+        debug_assert_eq!(self.sorted_speeds[at].to_bits(), old.to_bits());
+        self.sorted_speeds.remove(at);
+        let at = self.sorted_speeds.partition_point(|&s| s < speed);
+        self.sorted_speeds.insert(at, speed);
+        self.speed_sum += speed - old;
     }
 
     /// Dynamic state for the MDS provider: available idle hosts are "free
-    /// slots".
+    /// slots". O(1) — served from the feeder counters.
     pub fn state(&self) -> ResourceState {
-        let free = self
-            .clients
-            .iter()
-            .filter(|c| c.available && c.task.is_none())
-            .count();
         ResourceState {
-            free_slots: free,
+            free_slots: self.free_clients,
             total_slots: self.clients.len(),
             queued_jobs: self.queue.len(),
         }
@@ -410,26 +525,36 @@ impl BoincSim {
 
     /// Workunits not yet completed.
     pub fn unfinished_workunits(&self) -> usize {
-        self.workunits.values().filter(|w| !w.completed).count()
+        self.unfinished
     }
 
     /// Clients currently holding an assigned task (actively computing).
     /// Unlike `state().free_slots`, this does not conflate offline hosts
     /// with busy ones — it is the utilisation signal telemetry wants.
     pub fn active_clients(&self) -> usize {
-        self.clients.iter().filter(|c| c.task.is_some()).count()
+        self.active
     }
 
     /// Total reissues across all workunits so far.
     pub fn total_reissues(&self) -> u32 {
-        self.workunits.values().map(|w| w.reissues).sum()
+        self.reissues_total
+    }
+
+    /// Route matchmaking through the legacy full client scan (`true`) or
+    /// the idle-set index (`false`, the default). The two are
+    /// decision-identical — same assignments, same event stream — so this
+    /// only exists to measure the index's speedup and to differential-test
+    /// it. The flag is not serialized: a restored sim always starts on the
+    /// default path.
+    pub fn set_legacy_scan(&mut self, legacy: bool) {
+        self.legacy_scan = legacy;
     }
 
     /// The grid job behind a workunit assignment, if the assignment is
     /// still known (telemetry links deadline reissues into the job's
     /// causal trace).
     pub fn assignment_job(&self, assignment: u64) -> Option<JobId> {
-        self.assignments.get(&assignment).map(|a| a.wu)
+        self.assignments.get(assignment).map(|a| a.wu)
     }
 
     /// Reissues attributable to workunits that have *not* completed yet.
@@ -438,11 +563,7 @@ impl BoincSim {
     /// this remainder (not [`BoincSim::total_reissues`]) to avoid counting
     /// them twice.
     pub fn pending_reissues(&self) -> u32 {
-        self.workunits
-            .values()
-            .filter(|w| !w.completed)
-            .map(|w| w.reissues)
-            .sum()
+        self.reissues_total - self.reissues_completed
     }
 
     /// Accept a job from the grid: create the workunit and queue the
@@ -450,8 +571,8 @@ impl BoincSim {
     /// many the validation engine's replication policy dictates.
     pub fn enqueue(&mut self, job: JobSpec, now: SimTime, cal: &mut Calendar<GridEvent>) {
         let id = job.id;
-        self.workunits.insert(
-            id,
+        let prev = self.workunits.insert(
+            id.0,
             Workunit {
                 spec: job,
                 results_received: 0,
@@ -460,6 +581,8 @@ impl BoincSim {
                 first_started: None,
             },
         );
+        debug_assert!(prev.is_none(), "duplicate workunit id");
+        self.unfinished += 1;
         let copies = match &mut self.validation {
             Some(v) => v.engine.register(id.0),
             None => self.config.quorum,
@@ -472,16 +595,50 @@ impl BoincSim {
 
     /// Hand queued copies to available idle clients (after the scheduler
     /// RPC delay).
+    ///
+    /// The default path walks the feeder's idle index — cost proportional to
+    /// the number of idle hosts, not the pool size. The index iterates
+    /// ascending and holds exactly the clients the legacy full scan would
+    /// have picked (available, untasked, not mid-RPC), so both paths
+    /// schedule identical `BoincAssign` events in identical order;
+    /// reputation-blacklisted hosts stay in the index (their status is
+    /// threshold-derived and can change) and are skipped per call, exactly
+    /// like the legacy `continue`.
     fn assign_work(&mut self, now: SimTime, cal: &mut Calendar<GridEvent>) {
         if self.queue.is_empty() {
             return;
         }
-        for i in 0..self.clients.len() {
-            if self.queue.is_empty() {
-                break;
+        if self.legacy_scan {
+            for i in 0..self.clients.len() {
+                if self.queue.is_empty() {
+                    break;
+                }
+                // Reputation blacklist: hosts whose record crossed the error
+                // threshold stop receiving work entirely.
+                if self
+                    .validation
+                    .as_ref()
+                    .is_some_and(|v| v.engine.is_blacklisted(i))
+                {
+                    continue;
+                }
+                let c = &mut self.clients[i];
+                if c.available && c.task.is_none() && !c.fetching {
+                    c.fetching = true;
+                    self.idle.remove(&i);
+                    cal.schedule(
+                        now + self.config.work_fetch_delay,
+                        GridEvent::BoincAssign { client: i },
+                    );
+                }
             }
-            // Reputation blacklist: hosts whose record crossed the error
-            // threshold stop receiving work entirely.
+            return;
+        }
+        if self.idle.is_empty() {
+            return;
+        }
+        let candidates: Vec<usize> = self.idle.iter().copied().collect();
+        for i in candidates {
             if self
                 .validation
                 .as_ref()
@@ -489,14 +646,19 @@ impl BoincSim {
             {
                 continue;
             }
-            let c = &mut self.clients[i];
-            if c.available && c.task.is_none() && !c.fetching {
-                c.fetching = true;
-                cal.schedule(
-                    now + self.config.work_fetch_delay,
-                    GridEvent::BoincAssign { client: i },
-                );
-            }
+            debug_assert!(
+                {
+                    let c = &self.clients[i];
+                    c.available && c.task.is_none() && !c.fetching
+                },
+                "idle index out of sync for client {i}"
+            );
+            self.clients[i].fetching = true;
+            self.idle.remove(&i);
+            cal.schedule(
+                now + self.config.work_fetch_delay,
+                GridEvent::BoincAssign { client: i },
+            );
         }
     }
 
@@ -516,24 +678,31 @@ impl BoincSim {
         now: SimTime,
         cal: &mut Calendar<GridEvent>,
     ) -> Option<(JobId, StageIn)> {
+        let was = self.client_probe(client);
         self.clients[client].fetching = false;
         if !self.clients[client].available || self.clients[client].task.is_some() {
+            self.sync_client(client, was);
             return None; // went away or got work meanwhile
         }
         if self.host_blacklisted(client) {
+            self.sync_client(client, was); // back to idle (skipped per call)
             return None; // blacklisted between RPC and delivery
         }
         // Pop queue copies until one belongs to a live workunit (copies of
         // already-completed workunits are moot).
         let wu_id = loop {
-            let id = self.queue.pop_front()?;
-            if !self.workunits[&id].completed {
+            let Some(id) = self.queue.pop_front() else {
+                self.sync_client(client, was); // back to idle: no work left
+                return None;
+            };
+            let live = self.workunits.get(id.0).is_some_and(|w| !w.completed);
+            if live {
                 break id;
             }
         };
         let wu = self
             .workunits
-            .get_mut(&wu_id)
+            .get_mut(wu_id.0)
             .expect("queued workunit exists");
         let assignment = self.next_assignment;
         self.next_assignment += 1;
@@ -568,7 +737,7 @@ impl BoincSim {
         }
         let wu = self
             .workunits
-            .get_mut(&wu_id)
+            .get_mut(wu_id.0)
             .expect("queued workunit exists");
         let deadline = self.config.deadline.deadline_for(&wu.spec);
         let stage = data.map(|d| d.boinc_stage_in(client, &wu.spec, now.as_secs_f64()));
@@ -593,6 +762,7 @@ impl BoincSim {
             done: Some(done),
             cpu_spent: 0.0,
         });
+        self.sync_client(client, was);
         if escalated {
             // Hand the freshly-queued quorum copies to other idle hosts.
             self.assign_work(now, cal);
@@ -608,6 +778,7 @@ impl BoincSim {
         now: SimTime,
         cal: &mut Calendar<GridEvent>,
     ) -> BoincOutcome {
+        let was = self.client_probe(client);
         let Some(task) = self.clients[client].task.take() else {
             return BoincOutcome::None;
         };
@@ -615,10 +786,11 @@ impl BoincSim {
             self.clients[client].task = Some(task);
             return BoincOutcome::None; // stale
         }
+        self.sync_client(client, was); // now idle: back in the feeder index
         let cpu = task.cpu_spent + now.saturating_since(task.resumed_at).as_secs_f64();
         let a = self
             .assignments
-            .get_mut(&assignment)
+            .get_mut(assignment)
             .expect("assignment exists");
         a.status = AssignmentStatus::Returned;
         // Drawn only under an active corruption fault, so runs without one
@@ -629,7 +801,7 @@ impl BoincSim {
             self.assign_work(now, cal);
             return outcome;
         }
-        let wu = self.workunits.get_mut(&task.wu).expect("workunit exists");
+        let wu = self.workunits.get_mut(task.wu.0).expect("workunit exists");
         let outcome = if wu.completed {
             // Late or redundant beyond quorum: wasted volunteer time.
             self.wasted_cpu_seconds += cpu;
@@ -641,6 +813,7 @@ impl BoincSim {
             self.corrupt_caught += 1;
             self.wasted_cpu_seconds += cpu;
             wu.reissues += 1;
+            self.reissues_total += 1;
             self.queue.push_back(task.wu);
             BoincOutcome::None
         } else {
@@ -650,12 +823,22 @@ impl BoincSim {
                 self.corrupt_accepted += 1;
             }
             wu.results_received += 1;
-            *self.useful_by_wu.entry(task.wu).or_default() += cpu;
+            match self.useful_by_wu.get_mut(task.wu.0) {
+                Some(v) => *v += cpu,
+                None => {
+                    self.useful_by_wu.insert(task.wu.0, cpu);
+                }
+            }
             if wu.results_received >= self.config.quorum {
                 wu.completed = true;
+                self.unfinished -= 1;
+                self.reissues_completed += wu.reissues;
                 BoincOutcome::Completed {
                     job: task.wu,
-                    useful_cpu_seconds: self.useful_by_wu[&task.wu],
+                    useful_cpu_seconds: *self
+                        .useful_by_wu
+                        .get(task.wu.0)
+                        .expect("cpu banked above"),
                     started: wu.first_started.expect("started before completing"),
                     reissues: wu.reissues,
                     corrupt,
@@ -684,19 +867,25 @@ impl BoincSim {
             || self.malicious.get(client).copied().unwrap_or(false)
             || (self.erroneous_rate > 0.0 && self.rng.chance(self.erroneous_rate));
         let v = self.validation.as_mut().expect("validation enabled");
-        let wu = self.workunits.get_mut(&wu_id).expect("workunit exists");
+        let wu = self.workunits.get_mut(wu_id.0).expect("workunit exists");
         if wu.completed {
             // Late or redundant beyond the decided quorum: wasted time.
             self.wasted_cpu_seconds += cpu;
             return BoincOutcome::None;
         }
         wu.results_received += 1;
-        v.cpu_by_result.entry(wu_id).or_default().push(cpu);
+        match v.cpu_by_result.get_mut(wu_id.0) {
+            Some(cpus) => cpus.push(cpu),
+            None => {
+                v.cpu_by_result.insert(wu_id.0, vec![cpu]);
+            }
+        }
         let score = v.engine.score_for(wu_id.0, !bad);
         match v.engine.on_result(wu_id.0, client, score) {
             Verdict::Pending { issue } => {
                 if issue > 0 {
                     wu.reissues += issue as u32;
+                    self.reissues_total += issue as u32;
                     // Tiebreaker copies jump the queue like escalation
                     // copies do: the workunit already has results waiting
                     // on them.
@@ -708,7 +897,9 @@ impl BoincSim {
             }
             Verdict::Completed(c) => {
                 wu.completed = true;
-                let cpus = v.cpu_by_result.remove(&wu_id).unwrap_or_default();
+                self.unfinished -= 1;
+                self.reissues_completed += wu.reissues;
+                let cpus = v.cpu_by_result.remove(wu_id.0).unwrap_or_default();
                 let useful: f64 = c
                     .valid
                     .iter()
@@ -739,7 +930,9 @@ impl BoincSim {
                 // Unvalidatable: every result's CPU was wasted and the job
                 // is handed back to the grid as a dead letter.
                 wu.completed = true;
-                let cpus = v.cpu_by_result.remove(&wu_id).unwrap_or_default();
+                self.unfinished -= 1;
+                self.reissues_completed += wu.reissues;
+                let cpus = v.cpu_by_result.remove(wu_id.0).unwrap_or_default();
                 self.wasted_cpu_seconds += cpus.iter().sum::<f64>();
                 BoincOutcome::ValidationFailed { job: wu_id }
             }
@@ -757,7 +950,7 @@ impl BoincSim {
         now: SimTime,
         cal: &mut Calendar<GridEvent>,
     ) -> BoincOutcome {
-        let Some(a) = self.assignments.get(&assignment) else {
+        let Some(a) = self.assignments.get(assignment) else {
             return BoincOutcome::None;
         };
         if a.status == AssignmentStatus::Returned {
@@ -765,7 +958,7 @@ impl BoincSim {
         }
         let wu_id = a.wu;
         let host = a.client;
-        let wu = self.workunits.get_mut(&wu_id).expect("workunit exists");
+        let wu = self.workunits.get_mut(wu_id.0).expect("workunit exists");
         if wu.completed {
             return BoincOutcome::None;
         }
@@ -773,17 +966,21 @@ impl BoincSim {
             let decision = v.engine.on_timeout(wu_id.0, host);
             if decision.reissue {
                 wu.reissues += 1;
+                self.reissues_total += 1;
                 self.queue.push_back(wu_id);
                 self.assign_work(now, cal);
             } else if decision.failed {
                 wu.completed = true;
-                let cpus = v.cpu_by_result.remove(&wu_id).unwrap_or_default();
+                self.unfinished -= 1;
+                self.reissues_completed += wu.reissues;
+                let cpus = v.cpu_by_result.remove(wu_id.0).unwrap_or_default();
                 self.wasted_cpu_seconds += cpus.iter().sum::<f64>();
                 return BoincOutcome::ValidationFailed { job: wu_id };
             }
             return BoincOutcome::None;
         }
         wu.reissues += 1;
+        self.reissues_total += 1;
         self.queue.push_back(wu_id);
         self.assign_work(now, cal);
         BoincOutcome::None
@@ -791,6 +988,7 @@ impl BoincSim {
 
     /// A client's availability flips.
     pub fn on_flip(&mut self, client: usize, now: SimTime, cal: &mut Calendar<GridEvent>) {
+        let was = self.client_probe(client);
         let going_off = self.clients[client].available;
         if going_off {
             // Suspend (or abandon) the running task.
@@ -808,13 +1006,14 @@ impl BoincSim {
             if abandon {
                 if let Some(task) = self.clients[client].task.take() {
                     self.wasted_cpu_seconds += task.cpu_spent;
-                    if let Some(a) = self.assignments.get_mut(&task.assignment) {
+                    if let Some(a) = self.assignments.get_mut(task.assignment) {
                         a.status = AssignmentStatus::Abandoned;
                         // The deadline event will reissue the workunit.
                     }
                 }
             }
             self.clients[client].available = false;
+            self.sync_client(client, was);
         } else {
             self.clients[client].available = true;
             // Resume a suspended task or fetch work.
@@ -833,6 +1032,7 @@ impl BoincSim {
                 task.done = Some(h);
                 resumed = true;
             }
+            self.sync_client(client, was);
             if !resumed {
                 self.assign_work(now, cal);
             }
@@ -850,35 +1050,22 @@ impl BoincSim {
 
 // Snapshot serde: the work queue keeps its FIFO order (escalation copies
 // push_front, so order is semantic), while the workunit, assignment, and
-// useful-CPU maps flatten to key-sorted pairs for byte-stable encodings.
+// useful-CPU maps are [`IdMap`]s whose encoding is already id-sorted pairs
+// — byte-identical to the sorted-`HashMap` renderings they replaced.
 // Client task records carry their `done` [`EventHandle`]s verbatim; they
 // stay valid because the grid calendar snapshots its handle space intact.
+// Feeder-index state (idle set, counters, speed cache, the legacy-scan
+// flag) is derived, so it is *not* serialized: snapshots from the indexed
+// and legacy paths stay byte-comparable, and restore rebuilds it.
 impl Serialize for BoincSim {
     fn to_value(&self) -> Value {
         let queue: Vec<JobId> = self.queue.iter().copied().collect();
-        let mut wus: Vec<(JobId, &Workunit)> =
-            self.workunits.iter().map(|(&id, w)| (id, w)).collect();
-        wus.sort_by_key(|(id, _)| *id);
-        let wus: Vec<Value> = wus
-            .into_iter()
-            .map(|(id, w)| Value::Seq(vec![id.to_value(), w.to_value()]))
-            .collect();
-        let mut assignments: Vec<(u64, &Assignment)> =
-            self.assignments.iter().map(|(&id, a)| (id, a)).collect();
-        assignments.sort_by_key(|(id, _)| *id);
-        let assignments: Vec<Value> = assignments
-            .into_iter()
-            .map(|(id, a)| Value::Seq(vec![id.to_value(), a.to_value()]))
-            .collect();
-        let mut useful: Vec<(JobId, f64)> =
-            self.useful_by_wu.iter().map(|(&id, &c)| (id, c)).collect();
-        useful.sort_by_key(|(id, _)| *id);
         Value::Map(vec![
             ("config".to_string(), self.config.to_value()),
             ("clients".to_string(), self.clients.to_value()),
             ("queue".to_string(), queue.to_value()),
-            ("workunits".to_string(), Value::Seq(wus)),
-            ("assignments".to_string(), Value::Seq(assignments)),
+            ("workunits".to_string(), self.workunits.to_value()),
+            ("assignments".to_string(), self.assignments.to_value()),
             (
                 "next_assignment".to_string(),
                 self.next_assignment.to_value(),
@@ -887,7 +1074,7 @@ impl Serialize for BoincSim {
                 "wasted_cpu_seconds".to_string(),
                 self.wasted_cpu_seconds.to_value(),
             ),
-            ("useful_by_wu".to_string(), useful.to_value()),
+            ("useful_by_wu".to_string(), self.useful_by_wu.to_value()),
             (
                 "corruption_rate".to_string(),
                 self.corruption_rate.to_value(),
@@ -911,18 +1098,15 @@ impl Deserialize for BoincSim {
             .as_map()
             .ok_or_else(|| serde::Error::custom("expected map for BoincSim"))?;
         let queue: Vec<JobId> = serde::field(fields, "queue")?;
-        let wus: Vec<(JobId, Workunit)> = serde::field(fields, "workunits")?;
-        let assignments: Vec<(u64, Assignment)> = serde::field(fields, "assignments")?;
-        let useful: Vec<(JobId, f64)> = serde::field(fields, "useful_by_wu")?;
-        Ok(BoincSim {
+        let mut sim = BoincSim {
             config: serde::field(fields, "config")?,
             clients: serde::field(fields, "clients")?,
             queue: queue.into_iter().collect(),
-            workunits: wus.into_iter().collect(),
-            assignments: assignments.into_iter().collect(),
+            workunits: serde::field(fields, "workunits")?,
+            assignments: serde::field(fields, "assignments")?,
             next_assignment: serde::field(fields, "next_assignment")?,
             wasted_cpu_seconds: serde::field(fields, "wasted_cpu_seconds")?,
-            useful_by_wu: useful.into_iter().collect(),
+            useful_by_wu: serde::field(fields, "useful_by_wu")?,
             corruption_rate: serde::field(fields, "corruption_rate")?,
             corrupt_caught: serde::field(fields, "corrupt_caught")?,
             corrupt_accepted: serde::field(fields, "corrupt_accepted")?,
@@ -930,7 +1114,18 @@ impl Deserialize for BoincSim {
             malicious: serde::field(fields, "malicious")?,
             validation: serde::field(fields, "validation")?,
             rng: serde::field(fields, "rng")?,
-        })
+            idle: BTreeSet::new(),
+            free_clients: 0,
+            active: 0,
+            unfinished: 0,
+            reissues_total: 0,
+            reissues_completed: 0,
+            sorted_speeds: Vec::new(),
+            speed_sum: 0.0,
+            legacy_scan: false,
+        };
+        sim.rebuild_derived();
+        Ok(sim)
     }
 }
 

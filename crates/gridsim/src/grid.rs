@@ -12,12 +12,15 @@ use crate::adapter;
 use crate::boinc::{BoincConfig, BoincOutcome, BoincSim};
 use crate::data::{DataConfig, DataGridState, DataReport};
 use crate::fault::FaultAction;
+use crate::index::DispatchIndex;
 use crate::job::{JobId, JobOutcome, JobRecord, JobSpec};
 use crate::lrm::{LrmOutcome, LrmSim};
 use crate::mds::Mds;
 use crate::recovery::RecoveryPolicy;
 use crate::resource::{ResourceId, ResourceKind, ResourceSpec};
-use crate::scheduler::{choose_resource, choose_resource_explained, ResourceView, SchedulerPolicy};
+use crate::scheduler::{
+    choose_resource, choose_resource_explained, matches, score, ResourceView, SchedulerPolicy,
+};
 use crate::speed::{benchmark_machines, speed_from_benchmarks};
 use crate::stability::{ResourceHealth, StabilityTracker};
 use crate::telemetry::{GridTelemetry, TelemetryConfig, TelemetrySnapshot};
@@ -223,6 +226,13 @@ pub struct GridWorld {
     /// excluded from snapshots and never consulted by the simulation, so a
     /// restored grid simply restarts profiling from zero.
     profiler: Option<simkit::profile::Profiler>,
+    /// Feeder-style capability-class index over the (fixed) resource list.
+    /// Derived state: never serialized, rebuilt from `resources` on restore,
+    /// so legacy-scan and indexed grids snapshot to identical bytes.
+    index: DispatchIndex,
+    /// Route matchmaking through the pre-index full scan. Not serialized;
+    /// exists so differential tests and the E17 bench can run both paths.
+    legacy_matchmaker: bool,
 }
 
 impl GridWorld {
@@ -294,60 +304,120 @@ impl GridWorld {
         // Snapshot views of everything MDS currently considers online,
         // dropping blacklisted resources and downgrading suspect ones to
         // unstable (the §V stability score fed online instead of from
-        // static configuration).
-        let mut views = Vec::new();
+        // static configuration). The table is indexed by resource id with
+        // `None` for offline/blacklisted entries, so outage and blacklist
+        // dynamics cost the indexed path an O(1) skip per class member and
+        // the post-dispatch load update is a direct array access.
+        let mut views: Vec<Option<ResourceView>> = Vec::with_capacity(self.resources.len());
         for (i, spec) in self.resources.iter().enumerate() {
+            let mut entry = None;
             if let Some(state) = self.mds.get(ResourceId(i), now) {
                 let mut view =
                     ResourceView::new(ResourceId(i), spec, state, self.measured_speeds[i]);
-                if let Some(tracker) = &self.stability {
-                    match tracker.health(i, now) {
-                        ResourceHealth::Blacklisted => continue,
-                        ResourceHealth::Suspect => view.stable = false,
-                        ResourceHealth::Healthy => {}
+                let blacklisted = match self.stability.as_ref().map(|t| t.health(i, now)) {
+                    Some(ResourceHealth::Blacklisted) => true,
+                    Some(ResourceHealth::Suspect) => {
+                        view.stable = false;
+                        false
                     }
+                    _ => false,
+                };
+                if !blacklisted {
+                    entry = Some(view);
                 }
-                views.push(view);
             }
+            views.push(entry);
         }
+        // The explained (telemetry) path must enumerate *every* candidate to
+        // record per-resource reject reasons, so it keeps the full scan; the
+        // indexed fast path is the default otherwise. Both paths rank the
+        // same eligible set with the same score and tie-break, so decisions
+        // and event streams are bit-identical (see `crate::index` docs and
+        // the differential tests).
+        let use_legacy = self.legacy_matchmaker || self.telemetry.is_some();
+        let aware = self.data.as_ref().is_some_and(|d| d.aware());
+        let now_s = now.as_secs_f64();
+        let policy = self.config.policy;
         let mut still_pending = VecDeque::new();
         while let Some(job_id) = self.pending.pop_front() {
-            let spec = self.records[&job_id].spec.clone();
-            let excluded = self.failed_on.get(&job_id);
-            let mut eligible: Vec<ResourceView> = views
-                .iter()
-                .filter(|v| excluded.is_none_or(|ex| !ex.contains(&v.id.0)))
-                .cloned()
-                .collect();
-            // Data-aware scheduling: fill the stage-in estimate on every
-            // candidate *before* choosing, so the plain and explained paths
-            // rank identical inputs. Blind mode leaves the field `None` and
-            // the ranking is exactly the paper's original.
-            if let Some(d) = self.data.as_ref() {
-                if d.aware() {
-                    let now_s = now.as_secs_f64();
+            let chosen: Option<usize> = if use_legacy {
+                let spec = self.records[&job_id].spec.clone();
+                let excluded = self.failed_on.get(&job_id);
+                let mut eligible: Vec<ResourceView> = views
+                    .iter()
+                    .flatten()
+                    .filter(|v| excluded.is_none_or(|ex| !ex.contains(&v.id.0)))
+                    .cloned()
+                    .collect();
+                // Data-aware scheduling: fill the stage-in estimate on every
+                // candidate *before* choosing, so the plain and explained
+                // paths rank identical inputs. Blind mode leaves the field
+                // `None` and the ranking is exactly the paper's original.
+                if aware {
+                    let d = self.data.as_ref().expect("data plane present");
                     for v in &mut eligible {
                         v.stage_in_seconds = Some(d.estimate_stage_in(v.id.0, &spec, now_s));
                     }
                 }
-            }
-            // The explained path runs the identical filter/score/tie-break
-            // (asserted in scheduler tests), so enabling telemetry cannot
-            // change placement.
-            let chosen = match self.telemetry.as_mut() {
-                Some(t) => {
-                    let decision = choose_resource_explained(&spec, &eligible, &self.config.policy);
-                    t.on_decision(now, job_id, &decision);
-                    decision.chosen
+                // The explained path runs the identical filter/score/
+                // tie-break (asserted in scheduler tests), so enabling
+                // telemetry cannot change placement.
+                let chosen = match self.telemetry.as_mut() {
+                    Some(t) => {
+                        let decision = choose_resource_explained(&spec, &eligible, &policy);
+                        t.on_decision(now, job_id, &decision);
+                        decision.chosen
+                    }
+                    None => choose_resource(&spec, &eligible, &policy),
+                };
+                chosen.map(|ResourceId(r)| r)
+            } else {
+                // Indexed fast path: walk only the statically-eligible
+                // capability class, re-running the full `matches` filter on
+                // each member (dynamic checks: slots, stability, stage-in),
+                // then rank with the same (score, speed desc, id asc) order
+                // `choose_resource` uses. Ids are unique, so the order is
+                // total and the minimum matches `min_by` bit-for-bit.
+                let spec = &self.records[&job_id].spec;
+                let excluded = self.failed_on.get(&job_id);
+                let mut best: Option<(f64, f64, usize)> = None;
+                for &r in self.index.eligible(spec) {
+                    if excluded.is_some_and(|ex| ex.contains(&r)) {
+                        continue;
+                    }
+                    let Some(v) = views[r].as_mut() else {
+                        continue;
+                    };
+                    if aware {
+                        let d = self.data.as_ref().expect("data plane present");
+                        v.stage_in_seconds = Some(d.estimate_stage_in(r, spec, now_s));
+                    }
+                    if matches(spec, v, &policy).is_err() {
+                        continue;
+                    }
+                    let s = score(v, &policy);
+                    let better = match best {
+                        None => true,
+                        Some((bs, bspeed, bid)) => {
+                            s < bs
+                                || (s == bs
+                                    && (v.measured_speed > bspeed
+                                        || (v.measured_speed == bspeed && r < bid)))
+                        }
+                    };
+                    if better {
+                        best = Some((s, v.measured_speed, r));
+                    }
                 }
-                None => choose_resource(&spec, &eligible, &self.config.policy),
+                best.map(|(_, _, r)| r)
             };
             match chosen {
-                Some(ResourceId(r)) => {
+                Some(r) => {
+                    let spec = self.records[&job_id].spec.clone();
                     self.dispatch(spec, r, now, cal);
                     // Update the view's load so one pass doesn't dump every
                     // job on the same resource.
-                    if let Some(v) = views.iter_mut().find(|v| v.id.0 == r) {
+                    if let Some(v) = views[r].as_mut() {
                         if v.state.free_slots > 0 {
                             v.state.free_slots -= 1;
                         } else {
@@ -808,9 +878,14 @@ impl Deserialize for GridWorld {
         let carry: Vec<(JobId, (f64, usize))> = serde::field(fields, "carry")?;
         let grid_retries: Vec<(JobId, u32)> = serde::field(fields, "grid_retries")?;
         let pending: Vec<JobId> = serde::field(fields, "pending")?;
+        let resources: Vec<ResourceSpec> = serde::field(fields, "resources")?;
         Ok(GridWorld {
             config: serde::field(fields, "config")?,
-            resources: serde::field(fields, "resources")?,
+            // Derived matchmaking state: rebuilt from the restored resource
+            // list, never part of the snapshot bytes.
+            index: DispatchIndex::new(&resources),
+            legacy_matchmaker: false,
+            resources,
             lrms: serde::field(fields, "lrms")?,
             boinc: serde::field(fields, "boinc")?,
             boinc_index: serde::field(fields, "boinc_index")?,
@@ -1123,6 +1198,8 @@ impl Grid {
             stability: config
                 .recovery
                 .map(|policy| StabilityTracker::new(resources.len(), policy)),
+            index: DispatchIndex::new(&resources),
+            legacy_matchmaker: false,
             resources,
             lrms,
             boinc,
@@ -1241,6 +1318,20 @@ impl Grid {
         }
     }
 
+    /// Route matchmaking through the pre-index full scan (both the grid
+    /// matchmaker and the BOINC pool's host scan). The flag is derived
+    /// state — never serialized, reset to the indexed default on restore —
+    /// and both paths are decision-identical, so flipping it cannot change
+    /// any simulation outcome; it exists for differential tests and the E17
+    /// before/after throughput comparison.
+    pub fn set_legacy_scan_path(&mut self, legacy: bool) {
+        let world = self.sim.world_mut();
+        world.legacy_matchmaker = legacy;
+        if let Some(b) = world.boinc.as_mut() {
+            b.set_legacy_scan(legacy);
+        }
+    }
+
     /// Submit jobs at the current simulation time.
     pub fn submit(&mut self, jobs: impl IntoIterator<Item = JobSpec>) {
         let now = self.sim.now();
@@ -1281,6 +1372,14 @@ impl Grid {
     /// harness uses it to checkpoint between two specific events.
     pub fn step(&mut self) -> bool {
         self.sim.step()
+    }
+
+    /// Total events processed since construction (or since the checkpoint
+    /// this grid was restored from, which carries the counter forward).
+    /// Unlike [`Grid::enable_profiling`] this costs nothing per event, so
+    /// throughput benches can derive events/sec without observer overhead.
+    pub fn events_processed(&self) -> u64 {
+        self.sim.processed()
     }
 
     /// Advance the clock, processing every event with timestamp ≤ `until`

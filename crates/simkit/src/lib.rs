@@ -9,8 +9,11 @@
 //! The pieces:
 //!
 //! * [`SimTime`] / [`SimDuration`] — microsecond-resolution simulation time.
-//! * [`Calendar`] — the pending-event queue (a binary heap with a monotonic
-//!   sequence number for stable ordering of simultaneous events).
+//! * [`Calendar`] — the pending-event queue (a bucketed calendar queue with a
+//!   monotonic sequence number for stable ordering of simultaneous events and
+//!   O(1) amortized schedule/pop).
+//! * [`IdMap`] — dense id-keyed storage for hot host/job state (array-indexed
+//!   lookups, ascending iteration, id-sorted-pairs snapshot encoding).
 //! * [`Simulation`] and the [`World`] trait — the driver loop.
 //! * [`SimRng`] — deterministic, forkable randomness.
 //! * [`FaultScript`] — pre-computed fault timelines for deterministic
@@ -58,6 +61,7 @@ pub mod calendar;
 pub mod faults;
 pub mod profile;
 pub mod rng;
+pub mod slab;
 pub mod snapshot;
 pub mod spans;
 pub mod stats;
@@ -69,6 +73,7 @@ pub mod trace;
 pub use calendar::Calendar;
 pub use faults::FaultScript;
 pub use rng::SimRng;
+pub use slab::IdMap;
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use time::{SimDuration, SimTime};
 

@@ -1,0 +1,231 @@
+//! Differential tests: the feeder-indexed dispatch path must be *decision-
+//! and byte-identical* to the legacy full scan. Two grids built from the
+//! same config and workload — one forced onto the pre-index scan path via
+//! [`Grid::set_legacy_scan_path`] — are stepped in lockstep and compared by
+//! their full snapshot encodings (world + calendar + clock + event counter),
+//! so equality proves identical choices *and* bit-identical event streams,
+//! not just similar aggregates. Covered: plain mixed workloads, data-aware
+//! stage-in ranking, E12-style random fault timelines, and snapshot/restore
+//! at an event boundary (the index is derived state, rebuilt on restore).
+
+use gridsim::boinc::BoincConfig;
+use gridsim::data::{DataConfig, ObjectRef};
+use gridsim::fault::random_faults;
+use gridsim::grid::{Grid, GridConfig};
+use gridsim::job::JobSpec;
+use gridsim::platform::Platform;
+use gridsim::recovery::RecoveryPolicy;
+use gridsim::resource::{ResourceKind, ResourceSpec};
+use proptest::prelude::*;
+use rand::RngCore;
+use simkit::{SimDuration, SimRng, Snapshot};
+
+/// A grid with every resource flavour: stable clusters (MPI, software),
+/// a preemptable Condor pool, and a BOINC volunteer pool.
+fn mixed_config(seed: u64) -> GridConfig {
+    let mut sge = ResourceSpec::cluster("sge", ResourceKind::SgeCluster, 6, 0.9);
+    sge.software = vec!["java".into(), "mpi".into(), "gromacs".into()];
+    GridConfig {
+        resources: vec![
+            ResourceSpec::cluster("pbs", ResourceKind::PbsCluster, 8, 1.2),
+            sge,
+            ResourceSpec::condor_pool("condor", 16, 1.1, 6.0),
+        ],
+        boinc: Some(BoincConfig {
+            num_clients: 25,
+            ..Default::default()
+        }),
+        seed,
+        ..Default::default()
+    }
+}
+
+/// A requirement-diverse workload: serial jobs, MPI gangs, software
+/// dependencies (including one no resource advertises), restrictive
+/// platform lists, and large-memory jobs.
+fn mixed_workload(seed: u64, n: u64) -> Vec<JobSpec> {
+    let mut rng = SimRng::new(seed ^ 0xD15B);
+    (0..n)
+        .map(|id| {
+            let secs = rng.range_f64(0.2, 4.0) * 3600.0;
+            let mut job = JobSpec::simple(id, secs).with_estimate(secs * rng.range_f64(0.8, 1.2));
+            match id % 7 {
+                1 => job = job.mpi(4),
+                2 => job.software_deps = vec!["gromacs".into()],
+                3 => job.platforms = vec![Platform::LINUX_X64],
+                4 => job.min_memory_bytes = 3 << 30,
+                5 => job.software_deps = vec!["no-such-package".into()],
+                6 => job.checkpointable = true,
+                _ => {}
+            }
+            job
+        })
+        .collect()
+}
+
+/// Step `a` (indexed) and `b` (legacy) in lockstep, comparing full snapshot
+/// bytes every `stride` events and at the end.
+fn assert_lockstep_identical(a: &mut Grid, b: &mut Grid, stride: usize, max_events: usize) {
+    for step in 0..max_events {
+        let pa = a.step();
+        let pb = b.step();
+        assert_eq!(pa, pb, "calendars drained at different event counts");
+        if !pa {
+            break;
+        }
+        if step % stride == 0 {
+            assert_eq!(a.now(), b.now(), "clocks diverged at step {step}");
+            assert_eq!(
+                a.to_snapshot(),
+                b.to_snapshot(),
+                "snapshot bytes diverged at step {step} (t = {:?})",
+                a.now()
+            );
+        }
+    }
+    assert_eq!(a.to_snapshot(), b.to_snapshot(), "final snapshots diverged");
+}
+
+#[test]
+fn indexed_and_legacy_grids_are_byte_identical_in_lockstep() {
+    let mut indexed = Grid::new(mixed_config(11));
+    let mut legacy = Grid::new(mixed_config(11));
+    legacy.set_legacy_scan_path(true);
+    let jobs = mixed_workload(11, 35);
+    indexed.submit(jobs.clone());
+    legacy.submit(jobs);
+    assert_lockstep_identical(&mut indexed, &mut legacy, 250, 50_000);
+}
+
+#[test]
+fn paths_agree_with_data_aware_stage_in_ranking() {
+    let config = |seed| GridConfig {
+        data: Some(DataConfig::default()),
+        ..mixed_config(seed)
+    };
+    let jobs: Vec<JobSpec> = mixed_workload(23, 30)
+        .into_iter()
+        .map(|j| {
+            let name = format!("aln-{}", j.id.0 % 5);
+            j.with_input(ObjectRef::named(&name, 40 << 20))
+        })
+        .collect();
+    let mut indexed = Grid::new(config(23));
+    let mut legacy = Grid::new(config(23));
+    legacy.set_legacy_scan_path(true);
+    indexed.submit(jobs.clone());
+    legacy.submit(jobs);
+    assert_lockstep_identical(&mut indexed, &mut legacy, 250, 50_000);
+}
+
+#[test]
+fn paths_agree_under_fault_timelines_with_recovery() {
+    let config = |seed| GridConfig {
+        recovery: Some(RecoveryPolicy::default()),
+        max_local_retries: 2,
+        ..mixed_config(seed)
+    };
+    for seed in [3u64, 91, 4242] {
+        let mut indexed = Grid::new(config(seed));
+        let mut legacy = Grid::new(config(seed));
+        legacy.set_legacy_scan_path(true);
+        // E12-style chaos: outages, silent MDS partitions, stragglers, …
+        // against the service resources; identical scripts on both grids.
+        let faults = |s: u64| {
+            let mut frng = SimRng::new(s ^ 0xFA17);
+            random_faults(&mut frng, &[0, 1, 2], SimDuration::from_hours(48), 12)
+        };
+        indexed.inject_faults(faults(seed));
+        legacy.inject_faults(faults(seed));
+        let jobs = mixed_workload(seed, 30);
+        indexed.submit(jobs.clone());
+        legacy.submit(jobs);
+        assert_lockstep_identical(&mut indexed, &mut legacy, 500, 200_000);
+    }
+}
+
+#[test]
+fn restored_snapshot_resumes_identically_on_either_path() {
+    // Run the indexed grid to an event boundary mid-flight, checkpoint, and
+    // restore. The restored grid (index rebuilt from the snapshot's resource
+    // list) is forced onto the legacy path; both must replay bit-identical
+    // histories to the end.
+    let mut indexed = Grid::new(mixed_config(47));
+    indexed.submit(mixed_workload(47, 35));
+    for _ in 0..2_000 {
+        assert!(indexed.step(), "workload drained before the checkpoint");
+    }
+    let snap = indexed.to_snapshot();
+    let mut legacy = Grid::from_snapshot(&snap).expect("snapshot restores");
+    legacy.set_legacy_scan_path(true);
+    // The derived index must not leak into snapshot bytes.
+    assert_eq!(legacy.to_snapshot(), snap, "restore must be byte-stable");
+    assert_lockstep_identical(&mut indexed, &mut legacy, 500, 200_000);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// Random resource mixes, requirement-diverse workloads, and random
+    /// fault timelines: both matchmaker paths must produce identical
+    /// decisions and bit-identical grid event streams (proved via full
+    /// snapshot bytes, which embed the calendar and every per-job record,
+    /// including telemetry-free reject outcomes reflected in `failed_on`).
+    #[test]
+    fn random_mixes_and_faults_keep_paths_identical(
+        seed in 0u64..10_000,
+        n_jobs in 8u64..28,
+        n_faults in 0usize..10,
+        flags in 0u64..4,
+    ) {
+        let (with_boinc, with_recovery) = (flags & 1 != 0, flags & 2 != 0);
+        let mut rng = SimRng::new(seed);
+        let n_clusters = 1 + (rng.next_u64() % 3) as usize;
+        let mut resources = Vec::new();
+        for i in 0..n_clusters {
+            let kind = if i % 2 == 0 { ResourceKind::PbsCluster } else { ResourceKind::SgeCluster };
+            let mut spec = ResourceSpec::cluster(
+                &format!("c{i}"),
+                kind,
+                2 + (rng.next_u64() % 12) as usize,
+                rng.range_f64(0.6, 1.8),
+            );
+            if rng.next_u64() % 2 == 0 {
+                spec.software.push("gromacs".into());
+            }
+            resources.push(spec);
+        }
+        resources.push(ResourceSpec::condor_pool(
+            "pool",
+            4 + (rng.next_u64() % 16) as usize,
+            rng.range_f64(0.7, 1.5),
+            rng.range_f64(3.0, 12.0),
+        ));
+        let fault_targets: Vec<usize> = (0..resources.len()).collect();
+        let config = GridConfig {
+            resources,
+            boinc: with_boinc.then(|| BoincConfig {
+                num_clients: 5 + (seed % 20) as usize,
+                ..Default::default()
+            }),
+            recovery: with_recovery.then(RecoveryPolicy::default),
+            seed,
+            ..Default::default()
+        };
+        let mut indexed = Grid::new(config.clone());
+        let mut legacy = Grid::new(config);
+        legacy.set_legacy_scan_path(true);
+        if n_faults > 0 {
+            let faults = |s: u64| {
+                let mut frng = SimRng::new(s ^ 0xFA17);
+                random_faults(&mut frng, &fault_targets, SimDuration::from_hours(36), n_faults)
+            };
+            indexed.inject_faults(faults(seed));
+            legacy.inject_faults(faults(seed));
+        }
+        let jobs = mixed_workload(seed, n_jobs);
+        indexed.submit(jobs.clone());
+        legacy.submit(jobs);
+        assert_lockstep_identical(&mut indexed, &mut legacy, 400, 150_000);
+    }
+}
