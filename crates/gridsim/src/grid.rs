@@ -98,6 +98,15 @@ pub enum GridEvent {
         /// The job to requeue.
         job: JobId,
     },
+    /// A tenant-attributed submission arriving at the multi-tenant
+    /// submission layer (tenancy only). Runs admission control before any
+    /// grid state is created; rejected jobs never become records.
+    TenantSubmit {
+        /// The submitting tenant's id ([`tenancy::TenantId`] raw value).
+        tenant: u64,
+        /// The job being submitted.
+        job: Box<JobSpec>,
+    },
 }
 
 impl GridEvent {
@@ -117,6 +126,7 @@ impl GridEvent {
             GridEvent::BoincDeadline { .. } => "boinc_deadline",
             GridEvent::Fault(_) => "fault",
             GridEvent::RetryRelease { .. } => "retry_release",
+            GridEvent::TenantSubmit { .. } => "tenant_submit",
         }
     }
 }
@@ -165,6 +175,14 @@ pub struct GridConfig {
     /// quorum matching `BoincConfig::quorum`, no blacklist) replays the
     /// exact event sequence of a validation-free run.
     pub validation: Option<quorum::ValidationConfig>,
+    /// Multi-tenant submission layer (accounts, quotas, fair-share
+    /// arbitration, credit — see the `tenancy` crate). `None` (the
+    /// default) keeps the single-tenant path: plain submissions bypass
+    /// the tenant book entirely, and the book itself consumes no
+    /// randomness and schedules no events, so a tenancy-free grid is
+    /// byte-identical to one built before the crate existed.
+    #[serde(default)]
+    pub tenancy: Option<tenancy::TenancyConfig>,
     /// Master seed.
     pub seed: u64,
 }
@@ -184,6 +202,7 @@ impl Default for GridConfig {
             telemetry: None,
             data: None,
             validation: None,
+            tenancy: None,
             seed: 0,
         }
     }
@@ -217,6 +236,9 @@ pub struct GridWorld {
     completed: usize,
     dispatches: u64,
     submissions_rendered: u64,
+    /// Tenant book (admission, fair-share, credit); present iff
+    /// `config.tenancy` is.
+    tenancy: Option<tenancy::TenantBook>,
     /// Telemetry sink; present iff `config.telemetry` is.
     telemetry: Option<GridTelemetry>,
     /// Data plane; present iff `config.data` is.
@@ -255,6 +277,12 @@ impl GridWorld {
     /// Jobs permanently failed (dead-lettered) so far.
     pub fn dead_lettered(&self) -> usize {
         self.dead_lettered
+    }
+
+    /// The tenant book, when the grid runs with [`GridConfig::tenancy`]
+    /// (for inspection: quotas, usage, credit).
+    pub fn tenant_book(&self) -> Option<&tenancy::TenantBook> {
+        self.tenancy.as_ref()
     }
 
     /// Measured (calibrated) speed of each resource.
@@ -493,6 +521,89 @@ impl GridWorld {
         }
     }
 
+    /// Handle a tenant-attributed submission: run admission control and,
+    /// if the book accepts (admitted or queued), create grid state. A
+    /// rejected job never becomes a record — [`Grid::run_until_done`]
+    /// accounts for it via the book's rejection total instead.
+    fn tenant_submit(&mut self, tenant: u64, job: Box<JobSpec>, now: SimTime) {
+        let id = job.id;
+        assert!(
+            !self.records.contains_key(&id),
+            "duplicate job id {id:?} submitted"
+        );
+        let book = self
+            .tenancy
+            .as_mut()
+            .expect("TenantSubmit events require GridConfig::tenancy");
+        let cost = job
+            .estimated_reference_seconds
+            .unwrap_or(job.true_reference_seconds);
+        match book.submit(tenancy::TenantId(tenant), id.0, cost, now) {
+            tenancy::AdmissionOutcome::Rejected { reason } => {
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.on_tenant_rejected(now, id, tenant, reason.label());
+                }
+                return;
+            }
+            tenancy::AdmissionOutcome::Admitted => {
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.on_tenant_admitted(now, id, tenant);
+                }
+            }
+            tenancy::AdmissionOutcome::Queued { reason } => {
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.on_tenant_queued(now, id, tenant, reason.label());
+                }
+            }
+        }
+        if let Some(d) = self.data.as_mut() {
+            d.register_job(&job);
+        }
+        self.records.insert(id, JobRecord::new(*job, now));
+        if let Some(t) = self.telemetry.as_mut() {
+            t.on_submit(now, id);
+        }
+    }
+
+    /// Fair-share arbitration point, run at the top of every scheduling
+    /// tick: move released jobs from the tenant book into the pending
+    /// queue, refilling only up to `total_slots × backlog_factor` so
+    /// over-quota work keeps competing in the book rather than in FIFO
+    /// order. A no-op without tenancy.
+    fn tenancy_release(&mut self, now: SimTime) {
+        let Some(book) = self.tenancy.as_mut() else {
+            return;
+        };
+        let total_slots: usize = self.resources.iter().map(|r| r.slots).sum();
+        let target = ((total_slots as f64) * book.backlog_factor()).ceil() as usize;
+        let budget = target.saturating_sub(self.pending.len());
+        if budget == 0 {
+            return;
+        }
+        let released = book.release(now, budget);
+        for r in released {
+            self.pending.push_back(JobId(r.job));
+            if let Some(t) = self.telemetry.as_mut() {
+                t.on_tenant_release(now, JobId(r.job), r.tenant.0, r.waited.as_secs_f64());
+            }
+        }
+    }
+
+    /// Settle a terminal result with the tenant book: charge the CPU time
+    /// to the owning tenant's fair-share usage and grant credit when the
+    /// result validated. A no-op without tenancy or for jobs that entered
+    /// through the single-tenant path.
+    fn tenancy_on_terminal(&mut self, job: JobId, cpu_seconds: f64, credited: bool, now: SimTime) {
+        let Some(book) = self.tenancy.as_mut() else {
+            return;
+        };
+        if let Some((tenant, credit)) = book.on_terminal(job.0, cpu_seconds, credited, now) {
+            if let Some(t) = self.telemetry.as_mut() {
+                t.on_tenant_credit(now, job, tenant.0, credit, credited);
+            }
+        }
+    }
+
     fn apply_lrm_outcome(
         &mut self,
         resource: usize,
@@ -537,6 +648,7 @@ impl GridWorld {
                         false,
                     );
                 }
+                self.tenancy_on_terminal(job, cpu_seconds, true, now);
             }
             LrmOutcome::BouncedToGrid {
                 job,
@@ -607,6 +719,10 @@ impl GridWorld {
                             if let Some(t) = self.telemetry.as_mut() {
                                 t.on_dead_letter(now, job);
                             }
+                            // Dead-lettered work still burned CPU: charge
+                            // the waste to the tenant, grant no credit.
+                            let wasted = self.records[&job].wasted_cpu_seconds;
+                            self.tenancy_on_terminal(job, wasted, false, now);
                         } else {
                             // Give the failed resource another chance after
                             // the backoff: blacklisting handles genuinely
@@ -672,6 +788,9 @@ impl GridWorld {
                         t.on_validation_complete(now, job, c, quorum_seconds);
                     }
                 }
+                // BOINC-style credit: CPU charged at result time, credit
+                // granted only when the result validated clean.
+                self.tenancy_on_terminal(job, useful_cpu_seconds, !corrupt, now);
             }
             BoincOutcome::ValidationFailed { job } => {
                 // The quorum engine gave up: surface the job as a dead
@@ -691,6 +810,8 @@ impl GridWorld {
                     t.on_validation_failed(now, job);
                     t.on_dead_letter(now, job);
                 }
+                let wasted = self.records[&job].wasted_cpu_seconds;
+                self.tenancy_on_terminal(job, wasted, false, now);
             }
         }
     }
@@ -836,7 +957,7 @@ impl Serialize for GridWorld {
             self.grid_retries.iter().map(|(&id, &n)| (id, n)).collect();
         grid_retries.sort_by_key(|(id, _)| *id);
         let pending: Vec<JobId> = self.pending.iter().copied().collect();
-        Value::Map(vec![
+        let mut fields = vec![
             ("config".to_string(), self.config.to_value()),
             ("resources".to_string(), self.resources.to_value()),
             ("lrms".to_string(), self.lrms.to_value()),
@@ -864,7 +985,15 @@ impl Serialize for GridWorld {
             ("telemetry".to_string(), self.telemetry.to_value()),
             ("data".to_string(), self.data.to_value()),
             ("rng".to_string(), self.rng.to_value()),
-        ])
+        ];
+        // Key emitted only when tenancy is on: a tenancy-free world
+        // snapshots to bytes identical to those written before the
+        // subsystem existed — and restores from them (see `field_or` on
+        // the read side, the forward-compat half of the same contract).
+        if let Some(book) = &self.tenancy {
+            fields.push(("tenancy".to_string(), book.to_value()));
+        }
+        Value::Map(fields)
     }
 }
 
@@ -908,6 +1037,10 @@ impl Deserialize for GridWorld {
             telemetry: serde::field(fields, "telemetry")?,
             data: serde::field(fields, "data")?,
             rng: serde::field(fields, "rng")?,
+            // Absent in pre-tenancy (and tenancy-off) snapshots: restore
+            // as "no tenant state" and let `Grid::enable_tenancy` start
+            // fresh books on top if the service wants them.
+            tenancy: serde::field_or(fields, "tenancy", || None)?,
             // Host-side observer, meaningless across processes: a restored
             // grid starts profiling from zero if re-enabled.
             profiler: None,
@@ -945,7 +1078,11 @@ impl World for GridWorld {
                     t.on_submit(now, id);
                 }
             }
+            GridEvent::TenantSubmit { tenant, job } => {
+                self.tenant_submit(tenant, job, now);
+            }
             GridEvent::ScheduleTick => {
+                self.tenancy_release(now);
                 self.schedule_pass(now, cal);
                 cal.schedule(now + self.config.schedule_interval, GridEvent::ScheduleTick);
             }
@@ -1072,6 +1209,11 @@ impl World for GridWorld {
     }
 }
 
+/// Per-tenant rows carried in reports and telemetry snapshots: top
+/// spenders only, totals always cover every tenant (the bound keeps a
+/// million-account book from bloating every status page and checkpoint).
+const TENANT_TOP_ROWS: usize = 10;
+
 /// Aggregate results of a grid run.
 #[derive(Debug, Clone, Serialize)]
 pub struct GridReport {
@@ -1110,6 +1252,9 @@ pub struct GridReport {
     /// Result-validation accounting (`None` when the grid runs without
     /// [`GridConfig::validation`]).
     pub validation: Option<quorum::ValidationSnapshot>,
+    /// Tenant accounting (`None` when the grid runs without
+    /// [`GridConfig::tenancy`]).
+    pub tenancy: Option<tenancy::TenancySnapshot>,
     /// Per-job records, sorted by job id.
     pub records: Vec<JobRecord>,
 }
@@ -1198,6 +1343,10 @@ impl Grid {
             stability: config
                 .recovery
                 .map(|policy| StabilityTracker::new(resources.len(), policy)),
+            tenancy: config
+                .tenancy
+                .clone()
+                .map(|tc| tenancy::TenantBook::new(&tc)),
             index: DispatchIndex::new(&resources),
             legacy_matchmaker: false,
             resources,
@@ -1273,6 +1422,7 @@ impl Grid {
                 &world.mds,
                 world.data.as_ref(),
                 world.boinc.as_ref().and_then(|b| b.validation_snapshot()),
+                world.tenancy.as_ref().map(|b| b.snapshot(TENANT_TOP_ROWS)),
             )
         })
     }
@@ -1351,6 +1501,70 @@ impl Grid {
             .schedule(at, GridEvent::Submit(Box::new(job)));
     }
 
+    /// Register a tenant with the multi-tenant submission layer. Panics
+    /// when the grid runs without [`GridConfig::tenancy`].
+    pub fn register_tenant(&mut self, spec: tenancy::TenantSpec) -> tenancy::TenantId {
+        self.sim
+            .world_mut()
+            .tenancy
+            .as_mut()
+            .expect("register_tenant requires GridConfig::tenancy")
+            .register(spec)
+    }
+
+    /// Turn tenancy on for a grid that runs without it — typically one
+    /// restored from a snapshot written before the subsystem existed.
+    /// Tenant books start fresh (no retroactive accounting for work
+    /// already in the grid). No-op when tenancy is already on: live
+    /// ledgers are never clobbered by a reconfiguration.
+    pub fn enable_tenancy(&mut self, config: tenancy::TenancyConfig) {
+        let world = self.sim.world_mut();
+        if world.tenancy.is_some() {
+            return;
+        }
+        world.tenancy = Some(tenancy::TenantBook::new(&config));
+        world.config.tenancy = Some(config);
+    }
+
+    /// Submit jobs on behalf of a tenant at the current simulation time.
+    /// Admission control decides whether each is admitted, queued, or
+    /// rejected; rejected jobs count toward the submission ledger but
+    /// never become grid state.
+    pub fn submit_for(
+        &mut self,
+        tenant: tenancy::TenantId,
+        jobs: impl IntoIterator<Item = JobSpec>,
+    ) {
+        let now = self.sim.now();
+        for job in jobs {
+            self.submit_for_at(tenant, job, now);
+        }
+    }
+
+    /// Submit one job on behalf of a tenant at a future time.
+    pub fn submit_for_at(&mut self, tenant: tenancy::TenantId, job: JobSpec, at: SimTime) {
+        self.submissions_expected += 1;
+        self.sim.calendar_mut().schedule(
+            at,
+            GridEvent::TenantSubmit {
+                tenant: tenant.0,
+                job: Box::new(job),
+            },
+        );
+    }
+
+    /// Tenant accounting at the current instant (`None` when the grid
+    /// runs without [`GridConfig::tenancy`]). `max_rows` bounds the
+    /// per-tenant rows (top spenders first); the totals always cover
+    /// every tenant.
+    pub fn tenancy_snapshot(&self, max_rows: usize) -> Option<tenancy::TenancySnapshot> {
+        self.sim
+            .world()
+            .tenancy
+            .as_ref()
+            .map(|b| b.snapshot(max_rows))
+    }
+
     /// Inject a scripted fault timeline (see [`crate::fault`]). Call before
     /// running: entries scheduled in the past panic when stepped.
     pub fn inject_faults(&mut self, script: FaultScript<FaultAction>) {
@@ -1412,8 +1626,14 @@ impl Grid {
             }
             // Done only once every expected submission has been delivered
             // AND completed (records fill in as Submit events arrive).
+            // Rejected tenant submissions never become records, so they
+            // count against the expectation through the book instead.
             let world = self.sim.world();
-            if world.records.len() == self.submissions_expected && world.all_done() {
+            let rejected = world
+                .tenancy
+                .as_ref()
+                .map_or(0, |b| b.rejected_total() as usize);
+            if world.records.len() + rejected == self.submissions_expected && world.all_done() {
                 break;
             }
         }
@@ -1474,6 +1694,7 @@ impl Grid {
             completed_by,
             data: world.data.as_ref().map(DataGridState::report),
             validation: world.boinc.as_ref().and_then(|b| b.validation_snapshot()),
+            tenancy: world.tenancy.as_ref().map(|b| b.snapshot(TENANT_TOP_ROWS)),
             records,
         }
     }
@@ -1534,6 +1755,57 @@ mod tests {
             seed: 7,
             ..Default::default()
         }
+    }
+
+    #[test]
+    fn tenant_submissions_complete_and_credit() {
+        let mut config = one_cluster_config(4, 1.0);
+        config.tenancy = Some(tenancy::TenancyConfig::default());
+        let mut grid = Grid::new(config);
+        let alice = grid.register_tenant(tenancy::TenantSpec::registered("alice", 1.0));
+        let guest = grid.register_tenant(tenancy::TenantSpec::guest("g@example.org"));
+        grid.submit_for(alice, (1..=4).map(|i| JobSpec::simple(i, 1800.0)));
+        grid.submit_for(guest, [JobSpec::simple(100, 1800.0)]);
+        let report = grid.run_until_done(SimTime::from_hours(24));
+        assert_eq!(report.completed, 5);
+        let snap = report.tenancy.expect("tenancy on");
+        assert_eq!(snap.completed, 5);
+        assert_eq!(snap.rejected, 0);
+        assert!(snap.credit > 0.0, "validated results must earn credit");
+        let book = grid.world().tenant_book().unwrap();
+        let (cpu, credit) = book.usage_of(alice).unwrap();
+        assert!(cpu >= 4.0 * 1800.0, "alice's CPU charge missing: {cpu}");
+        assert!(credit > 0.0);
+    }
+
+    #[test]
+    fn rejected_tenant_jobs_do_not_block_run_until_done() {
+        let mut config = one_cluster_config(2, 1.0);
+        config.tenancy = Some(tenancy::TenancyConfig::default());
+        let mut grid = Grid::new(config);
+        let blocked = grid.register_tenant(
+            tenancy::TenantSpec::registered("blocked", 1.0).with_quota(tenancy::Quota {
+                max_in_flight: 0,
+                max_queued: 0,
+                max_cpu_hours: None,
+            }),
+        );
+        let ok = grid.register_tenant(tenancy::TenantSpec::registered("ok", 1.0));
+        grid.submit_for(blocked, (1..=3).map(|i| JobSpec::simple(i, 600.0)));
+        grid.submit_for(ok, [JobSpec::simple(10, 600.0)]);
+        // The run must terminate as soon as the admitted job finishes:
+        // zero-quota rejections count toward the submission ledger even
+        // though they never become records.
+        let report = grid.run_until_done(SimTime::from_days(30));
+        assert!(
+            grid.now() < SimTime::from_hours(2),
+            "run did not stop early"
+        );
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.total_jobs, 1);
+        let snap = report.tenancy.expect("tenancy on");
+        assert_eq!(snap.rejected, 3);
+        assert_eq!(snap.rejections.zero_quota, 3);
     }
 
     #[test]

@@ -47,7 +47,11 @@
 //! * result validation (the `quorum` crate, wired through
 //!   [`grid::GridConfig::validation`]): a workunit replication state
 //!   machine with tolerance-based fuzzy comparison of likelihood scores,
-//!   per-host reputation, and adaptive replication with spot checks.
+//!   per-host reputation, and adaptive replication with spot checks;
+//! * the multi-tenant submission layer (the `tenancy` crate, wired
+//!   through [`grid::GridConfig::tenancy`]): per-tenant quotas with typed
+//!   admission control, deterministic fair-share arbitration ahead of the
+//!   feeder, and BOINC-style credit granted at result validation.
 
 #![warn(missing_docs)]
 
@@ -84,3 +88,8 @@ pub use stability::{ResourceHealth, StabilityTracker};
 pub use telemetry::{GridTelemetry, TelemetryConfig, TelemetrySnapshot};
 
 pub use quorum::{ReplicationPolicy, TrustPolicy, ValidationConfig, ValidationSnapshot};
+
+pub use tenancy::{
+    AdmissionOutcome, Quota, TenancyConfig, TenancySnapshot, TenantBook, TenantClass, TenantId,
+    TenantSpec,
+};

@@ -283,8 +283,8 @@ pub struct SloSnapshot {
     pub alerts: Vec<Alert>,
 }
 
-/// The standard observability pack: the six series the grid's default SLO
-/// rules watch, over `window`-long windows. Used by
+/// The standard observability pack: the seven series the grid's default
+/// SLO rules watch, over `window`-long windows. Used by
 /// [`crate::TelemetryConfig::observability`] so every experiment watches
 /// the same signals (artifacts stay comparable).
 pub fn default_series(window: SimDuration) -> SeriesSetConfig {
@@ -331,6 +331,14 @@ pub fn default_series(window: SimDuration) -> SeriesSetConfig {
                     q: 0.95,
                 },
             },
+            SeriesSpec {
+                name: "tenant_reject_rate".into(),
+                kind: SeriesKind::Ratio {
+                    num: "tenancy.rejected".into(),
+                    den: vec!["tenancy.submitted".into()],
+                    windows: 6,
+                },
+            },
         ],
     }
 }
@@ -359,6 +367,10 @@ pub fn default_rules() -> Vec<SloRule> {
         SloRule::above("snapshot-stale", "snapshot_age", 2.0 * 3600.0, 1),
         // Quorum p95 beyond 2 days means results rot waiting for partners.
         SloRule::above("quorum-latency-p95", "quorum_p95", 2.0 * 86_400.0, 2),
+        // Bouncing more than a quarter of tenant submissions for a
+        // sustained stretch means quotas are sized wrong for the offered
+        // load (or a flash crowd is overrunning the guest tier).
+        SloRule::above("tenant-reject-rate", "tenant_reject_rate", 0.25, 2),
     ]
 }
 

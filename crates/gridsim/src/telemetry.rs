@@ -15,7 +15,9 @@
 //!   `job.bounce`, `scheduler.decision`, `boinc.workunit`, `boinc.deadline`,
 //!   `recovery.backoff`, `recovery.blacklist`, `recovery.dead_letter`,
 //!   `resource.down`, `resource.up`, `mds.partition`, `data.stage_in`,
-//!   `data.cache_invalidate`. Recent events sit in a
+//!   `data.cache_invalidate`, plus the tenancy layer's `tenancy.admit`,
+//!   `tenancy.queue`, `tenancy.reject`, `tenancy.release`, and
+//!   `tenancy.credit`. Recent events sit in a
 //!   bounded ring ([`simkit::telemetry::EventBus`]); totals per kind are
 //!   exact even after eviction.
 //! * **Lifecycle spans** — per live job: submit → first/last dispatch →
@@ -40,6 +42,7 @@ use simkit::telemetry::{
 use simkit::timeseries::{SeriesSet, SeriesSetConfig, TimeSeriesSnapshot};
 use simkit::{SimDuration, SimTime};
 use std::collections::BTreeMap;
+use tenancy::TenancySnapshot;
 
 /// Telemetry knobs on [`crate::grid::GridConfig`]. The grid runs with
 /// telemetry *off* unless a config carries `Some(TelemetryConfig)`; the
@@ -97,6 +100,10 @@ impl TelemetryConfig {
 /// minutes — far below the job-latency buckets, which start at one minute —
 /// so the data plane gets its own, finer scale.
 const STAGE_IN_BUCKETS: [f64; 7] = [1.0, 5.0, 15.0, 60.0, 300.0, 900.0, 3600.0];
+
+/// Histogram bounds for per-job credit grants (cobblestone scale: 100 per
+/// CPU-hour, so jobs span a few credits to tens of thousands).
+const CREDIT_BUCKETS: [f64; 7] = [1.0, 10.0, 50.0, 100.0, 500.0, 2000.0, 10_000.0];
 
 /// Lifecycle span of one in-flight job.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -699,6 +706,100 @@ impl GridTelemetry {
             .emit(now, "validation.failed", &[("job", job.0.into())]);
     }
 
+    /// A tenant submission was admitted with release capacity to spare.
+    pub fn on_tenant_admitted(&mut self, now: SimTime, job: JobId, tenant: u64) {
+        self.metrics.incr("tenancy.submitted");
+        self.metrics.incr("tenancy.admitted");
+        self.bus.emit(
+            now,
+            "tenancy.admit",
+            &[("job", job.0.into()), ("tenant", tenant.into())],
+        );
+    }
+
+    /// A tenant submission was accepted but parked (over the in-flight
+    /// quota, or behind older queued work).
+    pub fn on_tenant_queued(&mut self, now: SimTime, job: JobId, tenant: u64, reason: &str) {
+        self.metrics.incr("tenancy.submitted");
+        self.metrics.incr("tenancy.queued");
+        self.bus.emit(
+            now,
+            "tenancy.queue",
+            &[
+                ("job", job.0.into()),
+                ("tenant", tenant.into()),
+                ("reason", reason.into()),
+            ],
+        );
+    }
+
+    /// A tenant submission was refused by admission control (`reason` is
+    /// the stable [`tenancy::RejectReason::label`]).
+    pub fn on_tenant_rejected(&mut self, now: SimTime, job: JobId, tenant: u64, reason: &str) {
+        self.metrics.incr("tenancy.submitted");
+        self.metrics.incr("tenancy.rejected");
+        self.metrics.incr(&format!("tenancy.rejected.{reason}"));
+        self.bus.emit(
+            now,
+            "tenancy.reject",
+            &[
+                ("job", job.0.into()),
+                ("tenant", tenant.into()),
+                ("reason", reason.into()),
+            ],
+        );
+    }
+
+    /// Fair-share released a queued tenant job into the grid backlog after
+    /// `waited_seconds` in the admission queue.
+    pub fn on_tenant_release(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        tenant: u64,
+        waited_seconds: f64,
+    ) {
+        self.metrics.incr("tenancy.released");
+        self.metrics.observe(
+            "tenancy.queue_wait_seconds",
+            &latency_buckets_seconds(),
+            waited_seconds,
+        );
+        self.bus.emit(
+            now,
+            "tenancy.release",
+            &[("job", job.0.into()), ("tenant", tenant.into())],
+        );
+    }
+
+    /// A tenant job reached a terminal result: `credit` granted when the
+    /// result validated (`credited`), zero otherwise.
+    pub fn on_tenant_credit(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        tenant: u64,
+        credit: f64,
+        credited: bool,
+    ) {
+        if credited {
+            self.metrics.incr("tenancy.credited");
+            self.metrics
+                .observe("tenancy.credit_per_job", &CREDIT_BUCKETS, credit);
+        } else {
+            self.metrics.incr("tenancy.uncredited");
+        }
+        self.bus.emit(
+            now,
+            "tenancy.credit",
+            &[
+                ("job", job.0.into()),
+                ("tenant", tenant.into()),
+                ("credit", credit.into()),
+            ],
+        );
+    }
+
     /// An outage colded a site cache, dropping `dropped_bytes` of staged
     /// inputs.
     pub fn on_cache_invalidate(&mut self, now: SimTime, resource: usize, dropped_bytes: u64) {
@@ -754,13 +855,15 @@ impl GridTelemetry {
     }
 
     /// Export everything, joined with the MDS monitoring view and (when the
-    /// grid runs one) the data plane, at `now`.
+    /// grid runs them) the data plane, validation, and tenancy layers, at
+    /// `now`.
     pub fn snapshot(
         &self,
         now: SimTime,
         mds: &Mds,
         data: Option<&DataGridState>,
         validation: Option<quorum::ValidationSnapshot>,
+        tenancy: Option<TenancySnapshot>,
     ) -> TelemetrySnapshot {
         let resources: Vec<ResourceUtilisation> = (0..self.names.len())
             .map(|i| {
@@ -806,6 +909,7 @@ impl GridTelemetry {
             mds: mds.snapshot(now),
             data: data.map(|d| d.snapshot(now.as_secs_f64())),
             validation,
+            tenancy,
             events: self.bus.snapshot(),
             timeseries: self.series.as_ref().map(|s| s.snapshot()),
             slo: self.slo.as_ref().map(|s| s.snapshot()),
@@ -932,6 +1036,9 @@ pub struct TelemetrySnapshot {
     /// Result-validation view (quorum accounting, host reputation totals);
     /// `None` when the grid runs without [`crate::GridConfig::validation`].
     pub validation: Option<quorum::ValidationSnapshot>,
+    /// Multi-tenant view (accounts, quotas, credit, fairness); `None` when
+    /// the grid runs without [`crate::GridConfig::tenancy`].
+    pub tenancy: Option<TenancySnapshot>,
     /// Event totals and the recent-event ring.
     pub events: EventBusSnapshot,
     /// Windowed time series; `None` when streaming collection is off.
@@ -998,6 +1105,7 @@ mod tests {
             &Mds::with_default_lifetime(),
             None,
             None,
+            None,
         );
         let a = &snap.resources[0];
         assert!((a.mean_busy_slots - 2.0).abs() < 1e-9);
@@ -1052,7 +1160,8 @@ mod tests {
                 );
             }
             t.on_completed(SimTime::from_secs(500), JobId(0), "a", None, false);
-            serde_json::to_string(&t.snapshot(SimTime::from_secs(600), &mds, None, None)).unwrap()
+            serde_json::to_string(&t.snapshot(SimTime::from_secs(600), &mds, None, None, None))
+                .unwrap()
         };
         let a = run();
         assert_eq!(a, run());

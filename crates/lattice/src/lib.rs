@@ -20,6 +20,9 @@
 //! * [`eta`] — completion-time estimates for researchers (§VI.A, benefit 4);
 //! * [`pipeline`] — submission → validation → estimation → grid →
 //!   post-processing, end to end;
+//! * [`multitenant`] — concurrent campaigns from many portal identities,
+//!   arbitrated by the `tenancy` crate's quotas and fair-share scheduler,
+//!   with per-tenant makespan/slowdown and fairness reporting;
 //! * [`system`] — the facade the examples and experiment harness drive;
 //! * [`service`] — long-running service mode: periodic auto-snapshots with
 //!   atomic writes and previous-good fallback, so a crashed service resumes
@@ -30,6 +33,7 @@
 pub mod bundling;
 pub mod estimator;
 pub mod eta;
+pub mod multitenant;
 pub mod online;
 pub mod pipeline;
 pub mod predictors;
@@ -38,6 +42,7 @@ pub mod system;
 pub mod training;
 
 pub use estimator::RuntimeEstimator;
+pub use multitenant::{run_multi_tenant, CampaignSpec, MultiTenantReport, TenantOutcome};
 pub use predictors::{predictor_schema, JobFeatures};
 pub use service::{GridService, ResumeOutcome, ServiceConfig};
 pub use system::LatticeSystem;

@@ -81,6 +81,19 @@ pub fn validated_grid(seed: u64) -> GridConfig {
     }
 }
 
+/// The [`standard_grid`] with the multi-tenant submission layer enabled:
+/// per-tenant quotas with typed admission control, deterministic
+/// fair-share arbitration ahead of the feeder, and BOINC-style credit
+/// (see the `tenancy` crate). Tenants are registered on the built
+/// [`gridsim::Grid`] (`register_tenant`); plain `submit` calls still take
+/// the single-tenant path unchanged.
+pub fn multi_tenant_grid(seed: u64) -> GridConfig {
+    GridConfig {
+        tenancy: Some(gridsim::TenancyConfig::default()),
+        ..standard_grid(seed)
+    }
+}
+
 /// The [`standard_grid`] hardened with the default grid-level recovery
 /// policy: exponential backoff with jitter, failure-rate blacklisting,
 /// bounded retries with a dead-letter outcome, and checkpoint carry-over
@@ -273,6 +286,18 @@ mod tests {
         assert_eq!(validated.resources.len(), plain.resources.len());
         assert_eq!(validated.boinc, plain.boinc);
         assert_eq!(validated.seed, plain.seed);
+    }
+
+    #[test]
+    fn multi_tenant_grid_adds_tenancy_only() {
+        let plain = standard_grid(9);
+        let mt = multi_tenant_grid(9);
+        assert!(plain.tenancy.is_none());
+        assert!(mt.tenancy.is_some());
+        assert_eq!(mt.resources.len(), plain.resources.len());
+        assert_eq!(mt.boinc, plain.boinc);
+        assert_eq!(mt.seed, plain.seed);
+        assert!(mt.telemetry.is_none() && mt.recovery.is_none());
     }
 
     #[test]

@@ -39,4 +39,4 @@ pub mod users;
 
 pub use appspec::AppSpec;
 pub use submission::{Submission, SubmissionStatus};
-pub use users::User;
+pub use users::{User, UserDirectory, UserId};

@@ -253,6 +253,59 @@ pub fn render_text_with_snapshot(
         }
     }
 
+    if let Some(t) = &snap.tenancy {
+        writeln!(
+            out,
+            "\nTenants: {} accounts, {} in flight, {} queued, {} rejected (weighted Jain {:.3})",
+            t.tenants, t.in_flight, t.queued, t.rejected, t.jain_weighted
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  submissions: {} total, {} released, {} completed, {} dead-lettered; \
+             {:.1} CPU-hours, {:.0} credit",
+            t.submitted, t.released, t.completed, t.dead_lettered, t.cpu_hours, t.credit
+        )
+        .unwrap();
+        if t.rejections.total() > 0 {
+            writeln!(
+                out,
+                "  rejects: zero-quota {}, queue-full {}, cpu-budget {}, unknown {}",
+                t.rejections.zero_quota,
+                t.rejections.queue_full,
+                t.rejections.cpu_budget,
+                t.rejections.unknown_tenant
+            )
+            .unwrap();
+        }
+        writeln!(
+            out,
+            "  {:<22} {:<10} {:>6} {:>9} {:>7} {:>10} {:>10}",
+            "tenant", "class", "weight", "in-flight", "queued", "cpu-hours", "credit"
+        )
+        .unwrap();
+        // The snapshot's row list is already bounded (top spenders first):
+        // a million-account book renders the same small page as a lab of
+        // three.
+        for row in &t.top {
+            writeln!(
+                out,
+                "  {:<22} {:<10} {:>6.1} {:>9} {:>7} {:>10.2} {:>10.0}",
+                row.name,
+                row.class,
+                row.weight,
+                row.in_flight,
+                row.queued,
+                row.cpu_hours,
+                row.credit
+            )
+            .unwrap();
+        }
+        if t.more > 0 {
+            writeln!(out, "  ... and {} more tenant(s)", t.more).unwrap();
+        }
+    }
+
     if let Some(slo) = &snap.slo {
         writeln!(
             out,
@@ -447,6 +500,65 @@ mod tests {
         assert_eq!(render_json(&snap), render_json(&validated_run()));
         // The section is tied to the subsystem, not always-on noise.
         assert!(!render_text(&observed_run()).contains("\nValidation:"));
+    }
+
+    fn tenant_run() -> TelemetrySnapshot {
+        use gridsim::{TenancyConfig, TenantSpec};
+        let config = GridConfig {
+            resources: vec![ResourceSpec::cluster(
+                "alpha",
+                ResourceKind::PbsCluster,
+                8,
+                1.0,
+            )],
+            telemetry: Some(TelemetryConfig::default()),
+            tenancy: Some(TenancyConfig::default()),
+            seed: 17,
+            ..Default::default()
+        };
+        let mut grid = Grid::new(config);
+        // More tenants than the page's bounded row list: the overflow must
+        // render as an explicit truncation line, never as endless rows.
+        let mut job = 0u64;
+        for i in 0..13 {
+            let t = grid.register_tenant(TenantSpec::registered(&format!("lab{i:02}"), 1.0));
+            grid.submit_for(
+                t,
+                (0..2).map(|_| {
+                    job += 1;
+                    JobSpec::simple(job, 900.0)
+                }),
+            );
+        }
+        let _ = grid.run_until_done(SimTime::from_hours(12));
+        grid.telemetry_snapshot().expect("telemetry enabled")
+    }
+
+    #[test]
+    fn tenants_section_is_bounded_and_deterministic() {
+        let snap = tenant_run();
+        let page = render_text(&snap);
+        let t = snap.tenancy.as_ref().expect("tenancy enabled");
+        assert_eq!(t.tenants, 13);
+        assert_eq!(t.top.len(), 10, "row list must stay bounded");
+        for needle in [
+            "Tenants: 13 accounts",
+            "weighted Jain",
+            "submissions: 26 total",
+            "... and 3 more tenant(s)",
+        ] {
+            assert!(page.contains(needle), "missing {needle:?} in:\n{page}");
+        }
+        // Exactly the bounded top-K rows render.
+        let rows = page
+            .lines()
+            .filter(|l| l.trim_start().starts_with("lab"))
+            .count();
+        assert_eq!(rows, 10, "{page}");
+        // Replaying the seeded scenario reproduces the page byte for byte.
+        assert_eq!(page, render_text(&tenant_run()));
+        // The section is opt-in: tenancy-free runs never render it.
+        assert!(!render_text(&observed_run()).contains("\nTenants:"));
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! registered user which allows for more sophisticated job tracking
 //! features" (paper §III.A).
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
+use simkit::IdMap;
+use std::collections::HashMap;
 
 /// A portal identity.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -110,6 +112,110 @@ impl User {
     pub fn can_track_history(&self) -> bool {
         matches!(self, User::Registered { .. })
     }
+
+    /// The interning key: registered accounts are unique by username,
+    /// guests by email (the only identifier they ever provide).
+    fn intern_key(&self) -> String {
+        match self {
+            User::Guest { email } => format!("guest:{email}"),
+            User::Registered { username, .. } => format!("user:{username}"),
+        }
+    }
+}
+
+/// A stable dense user id, assigned by a [`UserDirectory`] at interning
+/// time. Hot paths (per-user ledgers, tenant books, credit tables) key on
+/// this instead of cloning `String` emails per lookup.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct UserId(pub u64);
+
+/// Interns [`User`] identities into stable dense [`UserId`]s.
+///
+/// Ids are assigned in first-seen order and never reused. Interning the
+/// same identity again returns the existing id (registered accounts are
+/// keyed by username, guests by email; the first registration under a key
+/// wins). The reverse map is derived state rebuilt on restore, so a
+/// snapshot carries only the id-ordered user list.
+#[derive(Debug, Default)]
+pub struct UserDirectory {
+    users: IdMap<User>,
+    next: u64,
+    /// Derived: intern key → id. Never serialized.
+    by_key: HashMap<String, u64>,
+}
+
+impl UserDirectory {
+    /// An empty directory.
+    pub fn new() -> UserDirectory {
+        UserDirectory::default()
+    }
+
+    /// Intern an identity: returns the existing id when the key is known,
+    /// otherwise assigns the next dense id.
+    pub fn intern(&mut self, user: User) -> UserId {
+        let key = user.intern_key();
+        if let Some(&id) = self.by_key.get(&key) {
+            return UserId(id);
+        }
+        let id = self.next;
+        self.next += 1;
+        self.users.insert(id, user);
+        self.by_key.insert(key, id);
+        UserId(id)
+    }
+
+    /// The identity behind an id.
+    pub fn get(&self, id: UserId) -> Option<&User> {
+        self.users.get(id.0)
+    }
+
+    /// The id an identity was interned under, if any.
+    pub fn id_of(&self, user: &User) -> Option<UserId> {
+        self.by_key.get(&user.intern_key()).copied().map(UserId)
+    }
+
+    /// Interned identities so far.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// True iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Iterate `(id, identity)` in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (UserId, &User)> {
+        self.users.iter().map(|(id, u)| (UserId(id), u))
+    }
+}
+
+impl Serialize for UserDirectory {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("users".to_string(), self.users.to_value()),
+            ("next".to_string(), self.next.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for UserDirectory {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for UserDirectory"))?;
+        let users: IdMap<User> = serde::field(fields, "users")?;
+        // The reverse map is derived — rebuild it from the user list so
+        // snapshot bytes stay free of redundant state.
+        let by_key = users.iter().map(|(id, u)| (u.intern_key(), id)).collect();
+        Ok(UserDirectory {
+            users,
+            next: serde::field(fields, "next")?,
+            by_key,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +237,49 @@ mod tests {
         assert!(User::registered("alice_1", "a@b.org").is_ok());
         assert!(User::registered("", "a@b.org").is_err());
         assert!(User::registered("bad name", "a@b.org").is_err());
+    }
+
+    #[test]
+    fn interning_is_stable_and_round_trips() {
+        let mut dir = UserDirectory::new();
+        let alice = dir.intern(User::registered("alice", "a@x.org").unwrap());
+        let guest = dir.intern(User::guest("g@x.org").unwrap());
+        let bob = dir.intern(User::registered("bob", "b@x.org").unwrap());
+        assert_eq!((alice, guest, bob), (UserId(0), UserId(1), UserId(2)));
+        // Re-interning the same key returns the same id — even when the
+        // registered account shows up with a new notification address.
+        assert_eq!(dir.intern(User::guest("g@x.org").unwrap()), guest);
+        assert_eq!(
+            dir.intern(User::registered("alice", "new@x.org").unwrap()),
+            alice
+        );
+        // Guest and registered namespaces never collide.
+        let guest_alice = dir.intern(User::guest("alice@x.org").unwrap());
+        assert_ne!(guest_alice, alice);
+        assert_eq!(dir.len(), 4);
+
+        // Snapshot → restore: same ids resolve to the same identities and
+        // interning picks up where it left off (no id reuse).
+        let restored = UserDirectory::from_value(&dir.to_value()).unwrap();
+        assert_eq!(restored.len(), dir.len());
+        for (id, user) in dir.iter() {
+            assert_eq!(restored.get(id), Some(user));
+            assert_eq!(restored.id_of(user), Some(id));
+        }
+        let mut restored = restored;
+        let carol = restored.intern(User::registered("carol", "c@x.org").unwrap());
+        assert_eq!(carol, UserId(4));
+        // Byte-stable snapshots: re-interning the same identities in the
+        // same order produces identical bytes (the derived reverse map
+        // stays out of them).
+        let mut rebuilt = UserDirectory::new();
+        for (_, u) in dir.iter() {
+            rebuilt.intern(u.clone());
+        }
+        assert_eq!(
+            serde_json::to_string(&dir.to_value()).unwrap(),
+            serde_json::to_string(&rebuilt.to_value()).unwrap()
+        );
     }
 
     #[test]

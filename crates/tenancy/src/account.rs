@@ -1,0 +1,172 @@
+//! Tenant identities, classes, and quotas.
+//!
+//! The paper's portal distinguished guests ("provide their email address
+//! for identification") from registered users ("more sophisticated job
+//! tracking features", §III.A). The tenancy layer inherits that split as
+//! two quota tiers: guests get a small sandbox, registered investigators
+//! get campaign-sized budgets. The portal crate owns the identity strings;
+//! this crate only sees a [`TenantSpec`] (name + class + weight + quota),
+//! so no `String` email ever keys a hot-path ledger.
+
+use serde::{Deserialize, Serialize};
+
+/// Stable tenant handle. Ids are handed out by the
+/// [`TenantBook`](crate::TenantBook) in registration order and never reused,
+/// so they stay valid across snapshots and index like job ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TenantId(pub u64);
+
+/// The portal-account class a tenant maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TenantClass {
+    /// Email-only guest: one-shot submissions, sandbox quota.
+    Guest,
+    /// Registered investigator: campaign-sized quota, job tracking.
+    Registered,
+}
+
+impl TenantClass {
+    /// Stable label for telemetry and status pages.
+    pub fn label(self) -> &'static str {
+        match self {
+            TenantClass::Guest => "guest",
+            TenantClass::Registered => "registered",
+        }
+    }
+}
+
+/// Per-tenant resource limits, enforced by admission control (queue depth,
+/// CPU budget) and by the fair-share release loop (in-flight cap).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quota {
+    /// Maximum workunits released into the grid and not yet terminal. The
+    /// release loop never exceeds this, so a tenant's in-flight count is
+    /// *provably* bounded (asserted in E18). Zero means the tenant may
+    /// never run anything: submissions are rejected outright.
+    pub max_in_flight: u64,
+    /// Maximum submissions parked in the tenant's admission queue (waiting
+    /// for fair-share release) before further submissions are rejected.
+    pub max_queued: u64,
+    /// Lifetime CPU-hour budget (charged at result time, useful + corrupt
+    /// alike). `None` is unmetered. Enforced at admission: once the budget
+    /// is spent, new submissions are rejected; work already admitted is
+    /// allowed to finish (grace), so a run can always drain.
+    pub max_cpu_hours: Option<f64>,
+}
+
+impl Quota {
+    /// The guest tier: a sandbox sized for one-off explorations.
+    pub fn guest_default() -> Quota {
+        Quota {
+            max_in_flight: 20,
+            max_queued: 100,
+            max_cpu_hours: Some(200.0),
+        }
+    }
+
+    /// The registered tier: sized for the paper's 2000-replicate campaigns.
+    pub fn registered_default() -> Quota {
+        Quota {
+            max_in_flight: 2_000,
+            max_queued: 20_000,
+            max_cpu_hours: None,
+        }
+    }
+
+    /// No limits at all (benchmarks and single-tenant equivalence tests).
+    pub fn unlimited() -> Quota {
+        Quota {
+            max_in_flight: u64::MAX,
+            max_queued: u64::MAX,
+            max_cpu_hours: None,
+        }
+    }
+
+    /// The default quota for a class (used when a [`TenantSpec`] carries
+    /// `quota: None`).
+    pub fn default_for(class: TenantClass) -> Quota {
+        match class {
+            TenantClass::Guest => Quota::guest_default(),
+            TenantClass::Registered => Quota::registered_default(),
+        }
+    }
+}
+
+/// Everything the tenancy layer needs to open an account.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Display name (portal username or guest email); also the stable
+    /// tie-break key in status-page rows.
+    pub name: String,
+    /// Guest or registered (selects the default quota tier).
+    pub class: TenantClass,
+    /// Fair-share weight (> 0): a weight-2 tenant converges to twice the
+    /// CPU share of a weight-1 tenant under saturating load.
+    pub weight: f64,
+    /// Explicit quota; `None` takes the class default.
+    #[serde(default)]
+    pub quota: Option<Quota>,
+}
+
+impl TenantSpec {
+    /// A registered tenant with the class-default quota.
+    pub fn registered(name: &str, weight: f64) -> TenantSpec {
+        TenantSpec {
+            name: name.to_string(),
+            class: TenantClass::Registered,
+            weight,
+            quota: None,
+        }
+    }
+
+    /// A guest tenant (weight 1, class-default quota).
+    pub fn guest(name: &str) -> TenantSpec {
+        TenantSpec {
+            name: name.to_string(),
+            class: TenantClass::Guest,
+            weight: 1.0,
+            quota: None,
+        }
+    }
+
+    /// Builder: override the quota.
+    pub fn with_quota(mut self, quota: Quota) -> TenantSpec {
+        self.quota = Some(quota);
+        self
+    }
+
+    /// The effective quota: the explicit one, else the class default.
+    pub fn effective_quota(&self) -> Quota {
+        self.quota.unwrap_or_else(|| Quota::default_for(self.class))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_defaults_differ_by_tier() {
+        let g = Quota::default_for(TenantClass::Guest);
+        let r = Quota::default_for(TenantClass::Registered);
+        assert!(g.max_in_flight < r.max_in_flight);
+        assert!(g.max_queued < r.max_queued);
+        assert!(g.max_cpu_hours.is_some() && r.max_cpu_hours.is_none());
+    }
+
+    #[test]
+    fn effective_quota_prefers_explicit() {
+        let spec = TenantSpec::guest("g@x.org").with_quota(Quota::unlimited());
+        assert_eq!(spec.effective_quota(), Quota::unlimited());
+        let spec = TenantSpec::registered("alice", 2.0);
+        assert_eq!(spec.effective_quota(), Quota::registered_default());
+    }
+
+    #[test]
+    fn specs_round_trip_through_serde() {
+        let spec = TenantSpec::registered("bob", 1.5).with_quota(Quota::guest_default());
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: TenantSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

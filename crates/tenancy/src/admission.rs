@@ -1,0 +1,152 @@
+//! Typed admission-control outcomes.
+//!
+//! Every submission through the tenancy layer gets one of three verdicts:
+//! admitted (eligible for release as soon as fair-share picks the tenant),
+//! queued (over the in-flight quota but parked within the queue bound), or
+//! rejected with a typed reason the portal can render verbatim. Rejected
+//! submissions never become grid jobs, so they cost O(1) and cannot occupy
+//! feeder state — that is the point of admission control under flash-crowd
+//! load.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a submission was parked instead of being immediately releasable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueueReason {
+    /// The tenant's released-but-unfinished workunits already fill
+    /// [`Quota::max_in_flight`](crate::Quota::max_in_flight); the job waits
+    /// for a completion to free a slot.
+    InFlightQuotaReached,
+    /// Capacity exists, but older queued work from the same tenant is
+    /// ahead of this job (FIFO within a tenant).
+    BehindOlderWork,
+}
+
+impl QueueReason {
+    /// Stable label for telemetry counters.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueueReason::InFlightQuotaReached => "in_flight_quota",
+            QueueReason::BehindOlderWork => "behind_older_work",
+        }
+    }
+}
+
+/// Why a submission was refused outright.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The tenant id was never registered.
+    UnknownTenant,
+    /// The tenant's quota allows zero in-flight workunits: nothing it
+    /// submits could ever run, so the submission is refused instead of
+    /// queueing forever.
+    ZeroQuota,
+    /// The tenant's admission queue is at `max_queued`.
+    QueueFull {
+        /// The configured queue bound that was hit.
+        limit: u64,
+    },
+    /// The lifetime CPU-hour budget is spent.
+    CpuBudgetExhausted {
+        /// The configured budget, hours.
+        limit_hours: f64,
+        /// Hours charged so far.
+        used_hours: f64,
+    },
+}
+
+impl RejectReason {
+    /// Stable label for telemetry counters (`tenancy.rejected.<label>`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RejectReason::UnknownTenant => "unknown_tenant",
+            RejectReason::ZeroQuota => "zero_quota",
+            RejectReason::QueueFull { .. } => "queue_full",
+            RejectReason::CpuBudgetExhausted { .. } => "cpu_budget",
+        }
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::UnknownTenant => write!(f, "unknown tenant"),
+            RejectReason::ZeroQuota => write!(f, "quota allows zero in-flight workunits"),
+            RejectReason::QueueFull { limit } => {
+                write!(f, "admission queue full ({limit} queued)")
+            }
+            RejectReason::CpuBudgetExhausted {
+                limit_hours,
+                used_hours,
+            } => write!(
+                f,
+                "CPU budget exhausted ({used_hours:.1}h used of {limit_hours:.1}h)"
+            ),
+        }
+    }
+}
+
+/// The admission verdict for one submission.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AdmissionOutcome {
+    /// In the tenant queue with in-flight capacity to spare: the next
+    /// fair-share pass that picks this tenant can release it.
+    Admitted,
+    /// In the tenant queue, but held back for the given reason.
+    Queued {
+        /// Why the job cannot be released yet.
+        reason: QueueReason,
+    },
+    /// Refused: the job never enters the grid.
+    Rejected {
+        /// The typed refusal the portal surfaces to the user.
+        reason: RejectReason,
+    },
+}
+
+impl AdmissionOutcome {
+    /// True unless the submission was rejected.
+    pub fn accepted(&self) -> bool {
+        !matches!(self, AdmissionOutcome::Rejected { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(RejectReason::UnknownTenant.label(), "unknown_tenant");
+        assert_eq!(RejectReason::ZeroQuota.label(), "zero_quota");
+        assert_eq!(RejectReason::QueueFull { limit: 3 }.label(), "queue_full");
+        assert_eq!(
+            RejectReason::CpuBudgetExhausted {
+                limit_hours: 1.0,
+                used_hours: 2.0
+            }
+            .label(),
+            "cpu_budget"
+        );
+        assert_eq!(QueueReason::InFlightQuotaReached.label(), "in_flight_quota");
+    }
+
+    #[test]
+    fn accepted_covers_admitted_and_queued() {
+        assert!(AdmissionOutcome::Admitted.accepted());
+        assert!(AdmissionOutcome::Queued {
+            reason: QueueReason::InFlightQuotaReached
+        }
+        .accepted());
+        assert!(!AdmissionOutcome::Rejected {
+            reason: RejectReason::ZeroQuota
+        }
+        .accepted());
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let msg = RejectReason::QueueFull { limit: 8 }.to_string();
+        assert!(msg.contains("8"), "{msg}");
+    }
+}
