@@ -1,0 +1,444 @@
+//! DAG campaign specifications and critical-path analysis.
+//!
+//! A [`DagSpec`] describes one portal campaign as typed stages (alignment →
+//! ML search → bootstrap replicates → consensus, or any acyclic shape) with
+//! per-stage fan-out and dependency edges. [`DagSpec::analyze`] validates
+//! the graph and runs classic critical-path-method (CPM) analysis: earliest
+//! and latest start per stage against the campaign deadline (or, without
+//! one, against the critical path itself), whose difference is the *slack*
+//! the scheduler exploits — a stage with zero slack delays the whole
+//! campaign, a stage with hours of slack can wait behind urgent work.
+
+use serde::{Deserialize, Serialize};
+
+/// What a pipeline stage computes. Purely descriptive: the grid treats all
+/// stages as CPU-seconds, but telemetry, the portal page, and experiment
+/// reports group by kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StageKind {
+    /// Multiple sequence alignment (one job, feeds everything downstream).
+    Alignment,
+    /// Maximum-likelihood tree search replicates.
+    MlSearch,
+    /// Bootstrap replicates (the paper's 2000-replicate campaigns).
+    Bootstrap,
+    /// Consensus/post-processing over upstream results.
+    Consensus,
+    /// Anything else.
+    Custom,
+}
+
+impl StageKind {
+    /// Stable lowercase label for events and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StageKind::Alignment => "alignment",
+            StageKind::MlSearch => "ml_search",
+            StageKind::Bootstrap => "bootstrap",
+            StageKind::Consensus => "consensus",
+            StageKind::Custom => "custom",
+        }
+    }
+}
+
+/// One stage of a DAG campaign: `fanout` independent jobs of
+/// `job_seconds` reference CPU each, runnable only after every stage in
+/// `deps` has fully completed (a per-stage completion barrier).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSpec {
+    /// Stage name (unique within the campaign by convention, not enforced).
+    pub name: String,
+    /// Stage type, for grouping and display.
+    pub kind: StageKind,
+    /// Number of independent jobs the stage fans out into.
+    pub fanout: u64,
+    /// Reference CPU seconds per job.
+    pub job_seconds: f64,
+    /// A-priori runtime estimate per job handed to the grid scheduler
+    /// (`None` submits without an estimate).
+    #[serde(default)]
+    pub estimate_seconds: Option<f64>,
+    /// Indexes of stages that must complete before this one releases.
+    pub deps: Vec<usize>,
+}
+
+impl StageSpec {
+    /// A stage with no dependencies.
+    pub fn root(name: &str, kind: StageKind, fanout: u64, job_seconds: f64) -> StageSpec {
+        StageSpec {
+            name: name.to_string(),
+            kind,
+            fanout,
+            job_seconds,
+            estimate_seconds: None,
+            deps: Vec::new(),
+        }
+    }
+
+    /// A stage depending on the given earlier stages.
+    pub fn after(
+        name: &str,
+        kind: StageKind,
+        fanout: u64,
+        job_seconds: f64,
+        deps: &[usize],
+    ) -> StageSpec {
+        StageSpec {
+            name: name.to_string(),
+            kind,
+            fanout,
+            job_seconds,
+            estimate_seconds: None,
+            deps: deps.to_vec(),
+        }
+    }
+
+    /// Attach a per-job runtime estimate.
+    pub fn with_estimate(mut self, seconds: f64) -> StageSpec {
+        self.estimate_seconds = Some(seconds);
+        self
+    }
+}
+
+/// One DAG campaign: a named set of stages plus an optional completion
+/// deadline (relative to submission).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagSpec {
+    /// Campaign name (rendered on the portal and in reports).
+    pub name: String,
+    /// Deadline in hours after submission; `None` means best-effort.
+    #[serde(default)]
+    pub deadline_hours: Option<f64>,
+    /// The stages, referenced by index from `deps` edges.
+    pub stages: Vec<StageSpec>,
+}
+
+impl DagSpec {
+    /// A best-effort campaign over the given stages.
+    pub fn new(name: &str, stages: Vec<StageSpec>) -> DagSpec {
+        DagSpec {
+            name: name.to_string(),
+            deadline_hours: None,
+            stages,
+        }
+    }
+
+    /// Set the completion deadline (hours after submission).
+    pub fn with_deadline_hours(mut self, hours: f64) -> DagSpec {
+        self.deadline_hours = Some(hours);
+        self
+    }
+
+    /// The paper's phylogenetic pipeline shape: one alignment job feeding
+    /// `searches` ML tree searches and `replicates` bootstrap replicates,
+    /// joined by a consensus stage.
+    pub fn phylo_pipeline(
+        name: &str,
+        searches: u64,
+        replicates: u64,
+        align_seconds: f64,
+        search_seconds: f64,
+        replicate_seconds: f64,
+        consensus_seconds: f64,
+    ) -> DagSpec {
+        DagSpec::new(
+            name,
+            vec![
+                StageSpec::root("align", StageKind::Alignment, 1, align_seconds),
+                StageSpec::after(
+                    "search",
+                    StageKind::MlSearch,
+                    searches,
+                    search_seconds,
+                    &[0],
+                ),
+                StageSpec::after(
+                    "bootstrap",
+                    StageKind::Bootstrap,
+                    replicates,
+                    replicate_seconds,
+                    &[0],
+                ),
+                StageSpec::after(
+                    "consensus",
+                    StageKind::Consensus,
+                    1,
+                    consensus_seconds,
+                    &[1, 2],
+                ),
+            ],
+        )
+    }
+
+    /// Total jobs across all stages.
+    pub fn total_jobs(&self) -> u64 {
+        self.stages.iter().map(|s| s.fanout).sum()
+    }
+
+    /// Validate the DAG and compute its critical-path schedule.
+    pub fn analyze(&self) -> Result<DagAnalysis, FlowError> {
+        let n = self.stages.len();
+        if n == 0 {
+            return Err(FlowError::EmptyDag);
+        }
+        if let Some(d) = self.deadline_hours {
+            if !d.is_finite() || d <= 0.0 {
+                return Err(FlowError::BadDeadline { hours: d });
+            }
+        }
+        for (i, s) in self.stages.iter().enumerate() {
+            if s.fanout == 0 {
+                return Err(FlowError::ZeroFanout { stage: i });
+            }
+            if !s.job_seconds.is_finite() || s.job_seconds <= 0.0 {
+                return Err(FlowError::BadJobSeconds {
+                    stage: i,
+                    seconds: s.job_seconds,
+                });
+            }
+            if let Some(e) = s.estimate_seconds {
+                if !e.is_finite() || e <= 0.0 {
+                    return Err(FlowError::BadJobSeconds {
+                        stage: i,
+                        seconds: e,
+                    });
+                }
+            }
+            for &d in &s.deps {
+                if d >= n || d == i {
+                    return Err(FlowError::BadDependency { stage: i, dep: d });
+                }
+            }
+        }
+        // Kahn's algorithm: the topological order doubles as the cycle
+        // check (fewer than n drained stages means a cycle remains).
+        let mut indegree = vec![0usize; n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, s) in self.stages.iter().enumerate() {
+            for &d in &s.deps {
+                indegree[i] += 1;
+                dependents[d].push(i);
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        let mut cursor = 0;
+        while cursor < ready.len() {
+            let s = ready[cursor];
+            cursor += 1;
+            topo.push(s);
+            for &dep in &dependents[s] {
+                indegree[dep] -= 1;
+                if indegree[dep] == 0 {
+                    ready.push(dep);
+                }
+            }
+        }
+        if topo.len() < n {
+            return Err(FlowError::Cycle);
+        }
+        // CPM forward pass: a stage's `fanout` jobs run in parallel, so its
+        // duration is one job's reference seconds. Earliest start = the
+        // latest earliest-finish among its dependencies.
+        let mut earliest_start = vec![0.0f64; n];
+        for &s in &topo {
+            let es = self.stages[s]
+                .deps
+                .iter()
+                .map(|&d| earliest_start[d] + self.stages[d].job_seconds)
+                .fold(0.0f64, f64::max);
+            earliest_start[s] = es;
+        }
+        let critical_path_seconds = (0..n)
+            .map(|s| earliest_start[s] + self.stages[s].job_seconds)
+            .fold(0.0f64, f64::max);
+        // Backward pass against the horizon: the deadline when one is set
+        // (slack goes negative when the deadline is tighter than the
+        // critical path — maximally urgent), else the critical path itself
+        // (critical stages get slack 0).
+        let horizon = self
+            .deadline_hours
+            .map_or(critical_path_seconds, |h| h * 3600.0);
+        let mut latest_finish = vec![horizon; n];
+        for &s in topo.iter().rev() {
+            let lf = dependents[s]
+                .iter()
+                .map(|&d| latest_finish[d] - self.stages[d].job_seconds)
+                .fold(horizon, f64::min);
+            latest_finish[s] = lf;
+        }
+        let slack = (0..n)
+            .map(|s| latest_finish[s] - self.stages[s].job_seconds - earliest_start[s])
+            .collect();
+        Ok(DagAnalysis {
+            topo,
+            earliest_start,
+            slack,
+            critical_path_seconds,
+            total_jobs: self.total_jobs(),
+        })
+    }
+}
+
+/// Why a [`DagSpec`] was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// The campaign has no stages.
+    EmptyDag,
+    /// A stage fans out into zero jobs.
+    ZeroFanout {
+        /// Offending stage index.
+        stage: usize,
+    },
+    /// A stage's per-job seconds (or estimate) is zero, negative, or
+    /// non-finite.
+    BadJobSeconds {
+        /// Offending stage index.
+        stage: usize,
+        /// The rejected value.
+        seconds: f64,
+    },
+    /// A dependency edge points at a missing stage or at the stage itself.
+    BadDependency {
+        /// Offending stage index.
+        stage: usize,
+        /// The rejected dependency index.
+        dep: usize,
+    },
+    /// The dependency edges contain a cycle.
+    Cycle,
+    /// The campaign deadline is zero, negative, or non-finite.
+    BadDeadline {
+        /// The rejected value (hours).
+        hours: f64,
+    },
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::EmptyDag => write!(f, "DAG has no stages"),
+            FlowError::ZeroFanout { stage } => write!(f, "stage {stage} has zero fanout"),
+            FlowError::BadJobSeconds { stage, seconds } => {
+                write!(f, "stage {stage} has invalid job seconds {seconds}")
+            }
+            FlowError::BadDependency { stage, dep } => {
+                write!(f, "stage {stage} has invalid dependency {dep}")
+            }
+            FlowError::Cycle => write!(f, "dependency edges contain a cycle"),
+            FlowError::BadDeadline { hours } => {
+                write!(f, "invalid campaign deadline {hours} hours")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// The validated schedule of one DAG: topological order, critical path,
+/// and per-stage slack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagAnalysis {
+    /// A topological order of the stage indexes.
+    pub topo: Vec<usize>,
+    /// Earliest possible start per stage (seconds after submission,
+    /// assuming unbounded resources).
+    pub earliest_start: Vec<f64>,
+    /// Per-stage slack: how long the stage can wait past its earliest
+    /// start without pushing the campaign past its horizon. Zero on the
+    /// critical path; negative when the deadline is already impossible.
+    pub slack: Vec<f64>,
+    /// Length of the critical path (seconds of dependent reference CPU).
+    pub critical_path_seconds: f64,
+    /// Total jobs across all stages.
+    pub total_jobs: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phylo_pipeline_analyzes_with_zero_slack_spine() {
+        let dag = DagSpec::phylo_pipeline("t", 5, 20, 600.0, 3600.0, 1800.0, 300.0);
+        let a = dag.analyze().expect("valid");
+        assert_eq!(a.total_jobs, 27);
+        // align → search → consensus is the critical path: 600+3600+300.
+        assert_eq!(a.critical_path_seconds, 4500.0);
+        assert_eq!(a.slack[0], 0.0, "alignment is critical");
+        assert_eq!(a.slack[1], 0.0, "search is critical");
+        assert_eq!(a.slack[2], 1800.0, "bootstrap has search-bootstrap slack");
+        assert_eq!(a.slack[3], 0.0, "consensus is critical");
+        assert_eq!(a.earliest_start, vec![0.0, 600.0, 600.0, 4200.0]);
+    }
+
+    #[test]
+    fn deadline_widens_or_collapses_slack() {
+        let dag = DagSpec::phylo_pipeline("t", 5, 20, 600.0, 3600.0, 1800.0, 300.0);
+        let loose = dag.clone().with_deadline_hours(2.0); // 7200s > 4500s path
+        let a = loose.analyze().unwrap();
+        assert_eq!(a.slack[0], 2700.0);
+        let tight = dag.with_deadline_hours(0.5); // 1800s < 4500s path
+        let b = tight.analyze().unwrap();
+        assert!(b.slack[0] < 0.0, "impossible deadline → negative slack");
+    }
+
+    #[test]
+    fn validation_rejects_malformed_dags() {
+        assert_eq!(
+            DagSpec::new("e", vec![]).analyze(),
+            Err(FlowError::EmptyDag)
+        );
+        let zero = DagSpec::new("z", vec![StageSpec::root("a", StageKind::Custom, 0, 1.0)]);
+        assert_eq!(zero.analyze(), Err(FlowError::ZeroFanout { stage: 0 }));
+        let nan = DagSpec::new(
+            "n",
+            vec![StageSpec::root("a", StageKind::Custom, 1, f64::NAN)],
+        );
+        assert!(matches!(
+            nan.analyze(),
+            Err(FlowError::BadJobSeconds { stage: 0, .. })
+        ));
+        let dangling = DagSpec::new(
+            "d",
+            vec![StageSpec::after("a", StageKind::Custom, 1, 1.0, &[7])],
+        );
+        assert_eq!(
+            dangling.analyze(),
+            Err(FlowError::BadDependency { stage: 0, dep: 7 })
+        );
+        let self_dep = DagSpec::new(
+            "s",
+            vec![StageSpec::after("a", StageKind::Custom, 1, 1.0, &[0])],
+        );
+        assert_eq!(
+            self_dep.analyze(),
+            Err(FlowError::BadDependency { stage: 0, dep: 0 })
+        );
+        let cycle = DagSpec::new(
+            "c",
+            vec![
+                StageSpec::after("a", StageKind::Custom, 1, 1.0, &[1]),
+                StageSpec::after("b", StageKind::Custom, 1, 1.0, &[0]),
+            ],
+        );
+        assert_eq!(cycle.analyze(), Err(FlowError::Cycle));
+        let bad_deadline =
+            DagSpec::new("bd", vec![StageSpec::root("a", StageKind::Custom, 1, 1.0)])
+                .with_deadline_hours(-1.0);
+        assert_eq!(
+            bad_deadline.analyze(),
+            Err(FlowError::BadDeadline { hours: -1.0 })
+        );
+    }
+
+    #[test]
+    fn spec_serde_round_trips() {
+        let dag =
+            DagSpec::phylo_pipeline("rt", 3, 7, 60.0, 120.0, 90.0, 30.0).with_deadline_hours(6.0);
+        let json = serde_json::to_string(&dag).unwrap();
+        let back: DagSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, dag);
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+}

@@ -1,0 +1,31 @@
+//! DAG-structured campaigns for the desktop/service-grid simulator.
+//!
+//! The portal in the source paper does not submit flat job batches: a
+//! phylogenetic analysis flows through dependent stages — align the
+//! sequences, run the maximum-likelihood searches, fan out bootstrap
+//! replicates, then draw the consensus tree. This crate models that shape
+//! so the grid can schedule it well:
+//!
+//! - [`DagSpec`] / [`StageSpec`] — typed stages with fan-out and
+//!   dependency edges, plus the [`DagSpec::phylo_pipeline`] convenience
+//!   constructor matching the paper's pipeline.
+//! - [`DagSpec::analyze`] — validation (cycles, bad edges, bad durations)
+//!   and critical-path-method timing: earliest starts, per-stage slack,
+//!   and the critical-path length, optionally squeezed by a deadline.
+//! - [`FlowBook`] — the grid-side runtime: per-stage completion barriers,
+//!   release cascades, deadline accounting, and the job → slack lookup
+//!   the dispatch path uses as its DAG-aware priority hint.
+//!
+//! The crate is simulation-agnostic: it never touches the event calendar.
+//! `gridsim` owns turning [`ReleasedStage`]s into jobs and reporting
+//! terminal results back via [`FlowBook::on_terminal`].
+
+#![warn(missing_docs)]
+
+mod book;
+mod dag;
+
+pub use book::{
+    CampaignCompleted, CampaignRow, FlowBook, FlowConfig, FlowProgress, FlowSnapshot, ReleasedStage,
+};
+pub use dag::{DagAnalysis, DagSpec, FlowError, StageKind, StageSpec};

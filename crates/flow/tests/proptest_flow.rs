@@ -1,0 +1,158 @@
+//! Property tests over the DAG runtime: whatever shape the DAG takes and
+//! whatever order (and failure mix) its jobs come back in, stages only
+//! ever release after every dependency stage completed, and the observed
+//! completion order is a valid topological linearization.
+
+use flow::{DagSpec, FlowBook, FlowConfig, StageKind, StageSpec};
+use proptest::prelude::*;
+use simkit::SimTime;
+
+/// Build an arbitrary acyclic DAG: stage `i` may only depend on earlier
+/// stages, so any generated edge set is a DAG by construction.
+fn arbitrary_dag(fanouts: &[u64], edge_picks: &[u64]) -> DagSpec {
+    let stages: Vec<StageSpec> = fanouts
+        .iter()
+        .enumerate()
+        .map(|(i, &fanout)| {
+            let mut deps = Vec::new();
+            if i > 0 {
+                // Decode a dependency subset of 0..i from the pick bits.
+                let bits = edge_picks[i % edge_picks.len()] >> (i % 17);
+                for d in 0..i {
+                    if bits & (1 << (d % 60)) != 0 {
+                        deps.push(d);
+                    }
+                }
+            }
+            StageSpec {
+                name: format!("s{i}"),
+                kind: StageKind::Custom,
+                fanout,
+                job_seconds: 60.0 + i as f64,
+                estimate_seconds: None,
+                deps,
+            }
+        })
+        .collect();
+    DagSpec::new("arb", stages)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Submit an arbitrary DAG, then feed terminal results back in an
+    /// arbitrary order with arbitrary per-job failures. Invariants:
+    /// * a stage's jobs are only ever released once every dependency
+    ///   stage has fully completed (barrier safety);
+    /// * the stage-completion sequence is a topological linearization of
+    ///   the dependency edges;
+    /// * after every job is terminal the campaign completes with all
+    ///   stages released and completed, failures counted exactly.
+    #[test]
+    fn releases_respect_barriers_under_arbitrary_timelines(
+        fanouts in prop::collection::vec(1u64..4, 1..7),
+        edge_picks in prop::collection::vec(0u64..u64::MAX, 1..4),
+        order_seed in 0u64..1_000_000,
+        fail_mask in 0u64..u64::MAX,
+    ) {
+        let dag = arbitrary_dag(&fanouts, &edge_picks);
+        let deps: Vec<Vec<usize>> = dag.stages.iter().map(|s| s.deps.clone()).collect();
+        let n = dag.stages.len();
+        let total_jobs = dag.total_jobs();
+        let mut book = FlowBook::new(FlowConfig::default());
+        let first_job = 1000u64;
+        let released0 = book.submit(dag, first_job, SimTime::ZERO).unwrap();
+
+        // Track which jobs are live (released, not yet terminal) and which
+        // stages have completed, mirroring what the grid would see.
+        let mut live: Vec<u64> = Vec::new();
+        let mut stage_done = vec![false; n];
+        let mut completion_order: Vec<usize> = Vec::new();
+        let mut released_stage = vec![false; n];
+        let mut expected_failures = 0u64;
+        for r in &released0 {
+            prop_assert!(r.fanout > 0);
+            released_stage[r.stage] = true;
+            prop_assert!(
+                deps[r.stage].is_empty(),
+                "root release must be dependency-free"
+            );
+            live.extend(r.first_job..r.first_job + r.fanout);
+        }
+        prop_assert!(!live.is_empty(), "a valid DAG always has a root stage");
+
+        let mut clock = 0u64;
+        let mut pick = order_seed;
+        let mut done = 0u64;
+        while !live.is_empty() {
+            clock += 1;
+            // Deterministic pseudo-arbitrary pick of the next terminal job.
+            pick = pick.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let job = live.swap_remove((pick % live.len() as u64) as usize);
+            let failed = fail_mask & (1 << (job % 61)) != 0;
+            if failed {
+                expected_failures += 1;
+            }
+            done += 1;
+            let progress = book.on_terminal(job, failed, SimTime::from_secs(clock));
+            prop_assert_eq!(progress.campaign, Some(0));
+            if let Some(s) = progress.stage_completed {
+                prop_assert!(!stage_done[s], "stage {} completed twice", s);
+                stage_done[s] = true;
+                completion_order.push(s);
+            }
+            for r in &progress.released {
+                prop_assert!(
+                    !released_stage[r.stage],
+                    "stage {} released twice", r.stage
+                );
+                released_stage[r.stage] = true;
+                // Barrier safety: every dependency completed first.
+                for &d in &deps[r.stage] {
+                    prop_assert!(
+                        stage_done[d],
+                        "stage {} released before dependency {} completed",
+                        r.stage, d
+                    );
+                }
+                live.extend(r.first_job..r.first_job + r.fanout);
+            }
+        }
+
+        prop_assert_eq!(done, total_jobs, "every job must eventually run");
+        prop_assert!(stage_done.iter().all(|&d| d), "all stages complete");
+        // Completion order is a topological linearization.
+        let mut seen = vec![false; n];
+        for &s in &completion_order {
+            for &d in &deps[s] {
+                prop_assert!(seen[d], "completion order violates edge {} -> {}", d, s);
+            }
+            seen[s] = true;
+        }
+        let snap = book.snapshot(SimTime::from_secs(clock), usize::MAX);
+        prop_assert_eq!(snap.campaigns_completed, 1);
+        prop_assert_eq!(snap.stages_completed, n as u64);
+        prop_assert_eq!(snap.stages_released, n as u64);
+        prop_assert_eq!(snap.jobs_done, total_jobs);
+        prop_assert_eq!(snap.failures, expected_failures);
+    }
+
+    /// Slack analysis is stable: serializing and restoring the book mid-run
+    /// yields identical slack hints for every job id in range.
+    #[test]
+    fn slack_survives_round_trip(
+        fanouts in prop::collection::vec(1u64..4, 1..6),
+        edge_picks in prop::collection::vec(0u64..u64::MAX, 1..3),
+    ) {
+        let dag = arbitrary_dag(&fanouts, &edge_picks);
+        let total = dag.total_jobs();
+        let mut book = FlowBook::new(FlowConfig::default());
+        book.submit(dag, 0, SimTime::ZERO).unwrap();
+        let restored: FlowBook =
+            serde_json::from_str(&serde_json::to_string(&book).unwrap()).unwrap();
+        for job in 0..total {
+            prop_assert_eq!(book.slack_of(job), restored.slack_of(job));
+            prop_assert!(book.slack_of(job).unwrap() >= 0.0);
+        }
+    }
+}

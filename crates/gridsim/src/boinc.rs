@@ -10,6 +10,7 @@
 //! received in a timely manner" (paper §VI.A). Runtime estimates let those
 //! deadlines be set programmatically instead of by hand.
 
+use crate::churn::ChurnModel;
 use crate::data::{DataGridState, StageIn};
 use crate::grid::GridEvent;
 use crate::job::{JobId, JobSpec};
@@ -109,6 +110,47 @@ impl Default for BoincConfig {
             quorum: 1,
             work_fetch_delay: SimDuration::from_secs(60),
         }
+    }
+}
+
+/// A [`BoincConfig`] availability parameter failed validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoincConfigError {
+    /// `mean_on_hours` must be finite and positive.
+    NonPositiveOnHours(f64),
+    /// `mean_off_hours` must be finite and positive.
+    NonPositiveOffHours(f64),
+}
+
+impl std::fmt::Display for BoincConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            BoincConfigError::NonPositiveOnHours(v) => {
+                write!(f, "mean_on_hours must be finite and > 0, got {v}")
+            }
+            BoincConfigError::NonPositiveOffHours(v) => {
+                write!(f, "mean_off_hours must be finite and > 0, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BoincConfigError {}
+
+impl BoincConfig {
+    /// Reject zero, negative, or non-finite availability burst/gap means.
+    /// Left unchecked, a poisoned mean reaches `SimRng::exponential`
+    /// (which asserts) only at the first flip — deep inside the event
+    /// loop instead of at configuration time (the same failure mode the
+    /// [`DeadlinePolicy::EstimateScaled`] guard closes for estimates).
+    pub fn validate(&self) -> Result<(), BoincConfigError> {
+        if !self.mean_on_hours.is_finite() || self.mean_on_hours <= 0.0 {
+            return Err(BoincConfigError::NonPositiveOnHours(self.mean_on_hours));
+        }
+        if !self.mean_off_hours.is_finite() || self.mean_off_hours <= 0.0 {
+            return Err(BoincConfigError::NonPositiveOffHours(self.mean_off_hours));
+        }
+        Ok(())
     }
 }
 
@@ -248,6 +290,9 @@ pub struct BoincSim {
     /// The result-validation subsystem (`GridConfig::validation`).
     validation: Option<ValidationState>,
     rng: SimRng,
+    /// Realistic availability (`GridConfig::churn`); `None` keeps the flat
+    /// exponential flips.
+    churn: Option<ChurnModel>,
     // --- Feeder index: derived state, never serialized (rebuilt on restore
     // and therefore invisible to snapshot byte-identity comparisons). ---
     /// Clients that are available, untasked, and not mid-RPC — exactly the
@@ -281,19 +326,42 @@ pub struct BoincSim {
 impl BoincSim {
     /// Build the pool and schedule every client's first availability flip
     /// and (for initially-available clients) first work request.
-    pub fn new(config: BoincConfig, mut rng: SimRng, cal: &mut Calendar<GridEvent>) -> BoincSim {
+    pub fn new(config: BoincConfig, rng: SimRng, cal: &mut Calendar<GridEvent>) -> BoincSim {
+        BoincSim::with_churn(config, rng, None, cal)
+    }
+
+    /// [`BoincSim::new`], with availability optionally driven by a realistic
+    /// [`ChurnModel`] instead of the flat exponential flips. Speed factors
+    /// are drawn from the pool RNG either way (same draw order), so the two
+    /// modes share host speed distributions for a given seed.
+    pub fn with_churn(
+        config: BoincConfig,
+        mut rng: SimRng,
+        mut churn: Option<ChurnModel>,
+        cal: &mut Calendar<GridEvent>,
+    ) -> BoincSim {
+        if let Err(e) = config.validate() {
+            panic!("invalid BoincConfig: {e}");
+        }
         let mut clients = Vec::with_capacity(config.num_clients);
         for i in 0..config.num_clients {
             let speed = rng.lognormal(config.speed_mu_sigma.0, config.speed_mu_sigma.1);
-            // Stationary start: available with probability on/(on+off).
-            let p_on = config.mean_on_hours / (config.mean_on_hours + config.mean_off_hours);
-            let available = rng.chance(p_on);
-            let flip_mean = if available {
-                config.mean_on_hours
-            } else {
-                config.mean_off_hours
+            let (available, wait) = match &mut churn {
+                Some(model) => model.initial_state(i),
+                None => {
+                    // Stationary start: available with probability on/(on+off).
+                    let p_on =
+                        config.mean_on_hours / (config.mean_on_hours + config.mean_off_hours);
+                    let available = rng.chance(p_on);
+                    let flip_mean = if available {
+                        config.mean_on_hours
+                    } else {
+                        config.mean_off_hours
+                    };
+                    let wait = SimDuration::from_secs_f64(rng.exponential(flip_mean * 3600.0));
+                    (available, wait)
+                }
             };
-            let wait = SimDuration::from_secs_f64(rng.exponential(flip_mean * 3600.0));
             cal.schedule(SimTime::ZERO + wait, GridEvent::BoincFlip { client: i });
             clients.push(Client {
                 speed,
@@ -318,6 +386,7 @@ impl BoincSim {
             malicious: Vec::new(),
             validation: None,
             rng,
+            churn,
             idle: BTreeSet::new(),
             free_clients: 0,
             active: 0,
@@ -986,8 +1055,14 @@ impl BoincSim {
         BoincOutcome::None
     }
 
-    /// A client's availability flips.
-    pub fn on_flip(&mut self, client: usize, now: SimTime, cal: &mut Calendar<GridEvent>) {
+    /// A client's availability flips. Returns what the flip did, for
+    /// churn telemetry.
+    pub fn on_flip(
+        &mut self,
+        client: usize,
+        now: SimTime,
+        cal: &mut Calendar<GridEvent>,
+    ) -> FlipInfo {
         let was = self.client_probe(client);
         let going_off = self.clients[client].available;
         if going_off {
@@ -1038,14 +1113,50 @@ impl BoincSim {
             }
         }
         // Schedule the next flip.
-        let mean = if self.clients[client].available {
-            self.config.mean_on_hours
-        } else {
-            self.config.mean_off_hours
-        };
-        let wait = SimDuration::from_secs_f64(self.rng.exponential(mean * 3600.0));
-        cal.schedule(now + wait, GridEvent::BoincFlip { client });
+        let available = self.clients[client].available;
+        let mut died = false;
+        match &mut self.churn {
+            Some(model) => match model.next_wait(client, now, available) {
+                Some(wait) => cal.schedule(now + wait, GridEvent::BoincFlip { client }),
+                // Permanent detach: the host never flips again. Any task it
+                // holds is already suspended/abandoned above; the workunit
+                // deadline will reissue it.
+                None => died = true,
+            },
+            None => {
+                let mean = if available {
+                    self.config.mean_on_hours
+                } else {
+                    self.config.mean_off_hours
+                };
+                let wait = SimDuration::from_secs_f64(self.rng.exponential(mean * 3600.0));
+                cal.schedule(now + wait, GridEvent::BoincFlip { client });
+            }
+        }
+        FlipInfo { available, died }
     }
+
+    /// True iff the realistic churn model drives this pool's availability.
+    pub fn churn_enabled(&self) -> bool {
+        self.churn.is_some()
+    }
+
+    /// The churn model's counters, when enabled:
+    /// `(flips, deaths, outage_truncations)`.
+    pub fn churn_counters(&self) -> Option<(u64, u64, u64)> {
+        self.churn
+            .as_ref()
+            .map(|m| (m.flips, m.deaths, m.outage_truncations))
+    }
+}
+
+/// What one availability flip did (consumed by churn telemetry).
+#[derive(Debug, Clone, Copy)]
+pub struct FlipInfo {
+    /// The client's availability after the flip.
+    pub available: bool,
+    /// The client permanently detached (no further flips scheduled).
+    pub died: bool,
 }
 
 // Snapshot serde: the work queue keeps its FIFO order (escalation copies
@@ -1060,7 +1171,7 @@ impl BoincSim {
 impl Serialize for BoincSim {
     fn to_value(&self) -> Value {
         let queue: Vec<JobId> = self.queue.iter().copied().collect();
-        Value::Map(vec![
+        let mut fields = vec![
             ("config".to_string(), self.config.to_value()),
             ("clients".to_string(), self.clients.to_value()),
             ("queue".to_string(), queue.to_value()),
@@ -1088,7 +1199,13 @@ impl Serialize for BoincSim {
             ("malicious".to_string(), self.malicious.to_value()),
             ("validation".to_string(), self.validation.to_value()),
             ("rng".to_string(), self.rng.to_value()),
-        ])
+        ];
+        // The churn key exists only when the model is enabled, keeping
+        // churn-off snapshots byte-identical to the pre-churn format.
+        if let Some(churn) = &self.churn {
+            fields.push(("churn".to_string(), churn.to_value()));
+        }
+        Value::Map(fields)
     }
 }
 
@@ -1114,6 +1231,8 @@ impl Deserialize for BoincSim {
             malicious: serde::field(fields, "malicious")?,
             validation: serde::field(fields, "validation")?,
             rng: serde::field(fields, "rng")?,
+            // Absent in pre-churn (and churn-off) snapshots.
+            churn: serde::field_or(fields, "churn", || None)?,
             idle: BTreeSet::new(),
             free_clients: 0,
             active: 0,
@@ -1146,6 +1265,48 @@ mod tests {
         }
     }
 
+    /// Poisoned availability means are rejected at configuration time
+    /// with a typed error, not deep inside the event loop when the first
+    /// flip reaches `SimRng::exponential` (the `EstimateScaled` deadline
+    /// guard pattern).
+    #[test]
+    fn config_validate_rejects_bad_availability_means() {
+        assert_eq!(BoincConfig::default().validate(), Ok(()));
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let on = BoincConfig {
+                mean_on_hours: bad,
+                ..BoincConfig::default()
+            };
+            match on.validate() {
+                Err(BoincConfigError::NonPositiveOnHours(v)) => {
+                    assert!(v.is_nan() == bad.is_nan() && (v.is_nan() || v == bad));
+                }
+                other => panic!("mean_on_hours={bad} gave {other:?}"),
+            }
+            let off = BoincConfig {
+                mean_off_hours: bad,
+                ..BoincConfig::default()
+            };
+            match off.validate() {
+                Err(BoincConfigError::NonPositiveOffHours(v)) => {
+                    assert!(v.is_nan() == bad.is_nan() && (v.is_nan() || v == bad));
+                }
+                other => panic!("mean_off_hours={bad} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid BoincConfig")]
+    fn constructing_a_pool_with_bad_means_panics() {
+        let config = BoincConfig {
+            mean_off_hours: 0.0,
+            ..BoincConfig::default()
+        };
+        let mut cal = Calendar::new();
+        let _ = BoincSim::new(config, SimRng::new(1), &mut cal);
+    }
+
     /// Drive the pool's own events until quiet or `max` steps.
     fn drain(boinc: &mut BoincSim, cal: &mut Calendar<GridEvent>, max: usize) -> Vec<BoincOutcome> {
         let mut outcomes = Vec::new();
@@ -1167,7 +1328,9 @@ mod tests {
                         outcomes.push(o);
                     }
                 }
-                GridEvent::BoincFlip { client } => boinc.on_flip(client, t, cal),
+                GridEvent::BoincFlip { client } => {
+                    boinc.on_flip(client, t, cal);
+                }
                 _ => {}
             }
         }
@@ -1425,7 +1588,9 @@ mod tests {
                         outcomes.push(o);
                     }
                 }
-                GridEvent::BoincFlip { client } => boinc.on_flip(client, t, &mut cal),
+                GridEvent::BoincFlip { client } => {
+                    boinc.on_flip(client, t, &mut cal);
+                }
                 _ => {}
             }
         }

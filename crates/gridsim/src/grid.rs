@@ -132,7 +132,7 @@ impl GridEvent {
 }
 
 /// Grid-wide configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GridConfig {
     /// The service-grid resources (Condor/PBS/SGE). A `BoincPool` spec here
     /// is ignored — configure the pool via `boinc` instead.
@@ -181,10 +181,94 @@ pub struct GridConfig {
     /// the tenant book entirely, and the book itself consumes no
     /// randomness and schedules no events, so a tenancy-free grid is
     /// byte-identical to one built before the crate existed.
-    #[serde(default)]
     pub tenancy: Option<tenancy::TenancyConfig>,
+    /// DAG-structured campaigns (stage barriers, critical-path slack fed
+    /// into dispatch priority — see the `flow` crate). `None` (the
+    /// default) keeps the flat-batch path: the workflow book consumes no
+    /// randomness, schedules no events, and its snapshot key is only
+    /// written when it exists, so a flow-free grid is byte-identical to
+    /// one built before the crate existed.
+    pub flow: Option<flow::FlowConfig>,
+    /// Realistic volunteer availability (lifetime decay, diurnal/weekly
+    /// rhythms, correlated site outages, trace replay — see
+    /// [`crate::churn`]). Requires `boinc`. `None` (the default) keeps
+    /// the flat exponential on/off flips, byte-identical to before.
+    pub churn: Option<crate::churn::ChurnConfig>,
     /// Master seed.
     pub seed: u64,
+}
+
+// Manual encoding: the pre-flow fields keep their derive-style always-emit
+// layout (`tenancy` included — its `null` is part of the pinned format),
+// while the `flow`/`churn` keys exist only when those subsystems are on.
+// A flow-free, churn-free config therefore renders byte-identically to the
+// format every earlier snapshot used, and those snapshots restore here.
+impl Serialize for GridConfig {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("resources".to_string(), self.resources.to_value()),
+            ("boinc".to_string(), self.boinc.to_value()),
+            ("policy".to_string(), self.policy.to_value()),
+            (
+                "schedule_interval".to_string(),
+                self.schedule_interval.to_value(),
+            ),
+            (
+                "mds_report_interval".to_string(),
+                self.mds_report_interval.to_value(),
+            ),
+            ("mds_lifetime".to_string(), self.mds_lifetime.to_value()),
+            (
+                "dispatch_overhead".to_string(),
+                self.dispatch_overhead.to_value(),
+            ),
+            (
+                "max_local_retries".to_string(),
+                self.max_local_retries.to_value(),
+            ),
+            ("recovery".to_string(), self.recovery.to_value()),
+            ("telemetry".to_string(), self.telemetry.to_value()),
+            ("data".to_string(), self.data.to_value()),
+            ("validation".to_string(), self.validation.to_value()),
+            ("tenancy".to_string(), self.tenancy.to_value()),
+        ];
+        if let Some(fc) = &self.flow {
+            fields.push(("flow".to_string(), fc.to_value()));
+        }
+        if let Some(cc) = &self.churn {
+            fields.push(("churn".to_string(), cc.to_value()));
+        }
+        fields.push(("seed".to_string(), self.seed.to_value()));
+        Value::Map(fields)
+    }
+}
+
+impl Deserialize for GridConfig {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for GridConfig"))?;
+        Ok(GridConfig {
+            resources: serde::field(fields, "resources")?,
+            boinc: serde::field(fields, "boinc")?,
+            policy: serde::field(fields, "policy")?,
+            schedule_interval: serde::field(fields, "schedule_interval")?,
+            mds_report_interval: serde::field(fields, "mds_report_interval")?,
+            mds_lifetime: serde::field(fields, "mds_lifetime")?,
+            dispatch_overhead: serde::field(fields, "dispatch_overhead")?,
+            max_local_retries: serde::field(fields, "max_local_retries")?,
+            recovery: serde::field(fields, "recovery")?,
+            telemetry: serde::field(fields, "telemetry")?,
+            data: serde::field(fields, "data")?,
+            validation: serde::field(fields, "validation")?,
+            // Absent in pre-tenancy snapshots.
+            tenancy: serde::field_or(fields, "tenancy", || None)?,
+            // Absent in pre-flow (and flow/churn-off) snapshots.
+            flow: serde::field_or(fields, "flow", || None)?,
+            churn: serde::field_or(fields, "churn", || None)?,
+            seed: serde::field(fields, "seed")?,
+        })
+    }
 }
 
 impl Default for GridConfig {
@@ -203,6 +287,8 @@ impl Default for GridConfig {
             data: None,
             validation: None,
             tenancy: None,
+            flow: None,
+            churn: None,
             seed: 0,
         }
     }
@@ -239,6 +325,9 @@ pub struct GridWorld {
     /// Tenant book (admission, fair-share, credit); present iff
     /// `config.tenancy` is.
     tenancy: Option<tenancy::TenantBook>,
+    /// Workflow book (DAG campaigns, stage barriers, slack hints); present
+    /// iff `config.flow` is.
+    flow: Option<flow::FlowBook>,
     /// Telemetry sink; present iff `config.telemetry` is.
     telemetry: Option<GridTelemetry>,
     /// Data plane; present iff `config.data` is.
@@ -283,6 +372,11 @@ impl GridWorld {
     /// (for inspection: quotas, usage, credit).
     pub fn tenant_book(&self) -> Option<&tenancy::TenantBook> {
         self.tenancy.as_ref()
+    }
+
+    /// The workflow book, when flow is on.
+    pub fn flow_book(&self) -> Option<&flow::FlowBook> {
+        self.flow.as_ref()
     }
 
     /// Measured (calibrated) speed of each resource.
@@ -363,6 +457,22 @@ impl GridWorld {
         // and event streams are bit-identical (see `crate::index` docs and
         // the differential tests).
         let use_legacy = self.legacy_matchmaker || self.telemetry.is_some();
+        // DAG-aware hint layer: reorder the backlog by stage slack so
+        // critical-path stages dispatch first. The sort is stable, so FIFO
+        // order still breaks ties, and jobs outside any campaign sort last
+        // (infinite slack). Blind mode (`dag_aware: false`) and flow-free
+        // grids skip this entirely — the queue is untouched.
+        if let Some(book) = &self.flow {
+            if book.dag_aware() {
+                let mut jobs: Vec<JobId> = self.pending.drain(..).collect();
+                jobs.sort_by(|a, b| {
+                    let sa = book.slack_of(a.0).unwrap_or(f64::INFINITY);
+                    let sb = book.slack_of(b.0).unwrap_or(f64::INFINITY);
+                    sa.total_cmp(&sb)
+                });
+                self.pending = jobs.into();
+            }
+        }
         let aware = self.data.as_ref().is_some_and(|d| d.aware());
         let now_s = now.as_secs_f64();
         let policy = self.config.policy;
@@ -604,6 +714,68 @@ impl GridWorld {
         }
     }
 
+    /// Settle a terminal result with the workflow book: decrement the
+    /// stage barrier and materialize whatever stages the result released.
+    /// Failed terminals (dead letters, validation failures, corrupt
+    /// acceptances) still satisfy barriers — a lost bootstrap replicate
+    /// degrades the consensus rather than hanging the campaign — but are
+    /// counted as stage failures. A no-op without flow or for jobs outside
+    /// any campaign.
+    fn flow_on_terminal(&mut self, job: JobId, failed: bool, now: SimTime) {
+        let Some(book) = self.flow.as_mut() else {
+            return;
+        };
+        let progress = book.on_terminal(job.0, failed, now);
+        let Some(campaign) = progress.campaign else {
+            return;
+        };
+        if let (Some(stage), Some(t)) = (progress.stage_completed, self.telemetry.as_mut()) {
+            t.on_flow_stage_completed(now, campaign, stage);
+        }
+        for r in &progress.released {
+            self.materialize_stage(campaign, r, now);
+        }
+        if let Some(done) = progress.campaign_completed {
+            if let Some(t) = self.telemetry.as_mut() {
+                t.on_flow_campaign_completed(
+                    now,
+                    done.campaign,
+                    done.makespan_seconds,
+                    done.deadline_missed,
+                );
+            }
+        }
+    }
+
+    /// Turn one released stage into grid state: a record and a pending
+    /// entry per fan-out job. Stage jobs carry the spec's reference
+    /// seconds and (when present) the scheduler estimate, so deadline
+    /// policies and data-aware ranking see them like any other job.
+    fn materialize_stage(&mut self, campaign: usize, r: &flow::ReleasedStage, now: SimTime) {
+        for k in 0..r.fanout {
+            let id = JobId(r.first_job + k);
+            assert!(
+                !self.records.contains_key(&id),
+                "flow stage job id {id:?} collides with an existing job"
+            );
+            let mut spec = JobSpec::simple(id.0, r.job_seconds);
+            if let Some(est) = r.estimate_seconds {
+                spec = spec.with_estimate(est);
+            }
+            if let Some(d) = self.data.as_mut() {
+                d.register_job(&spec);
+            }
+            self.records.insert(id, JobRecord::new(spec, now));
+            self.pending.push_back(id);
+            if let Some(t) = self.telemetry.as_mut() {
+                t.on_submit(now, id);
+            }
+        }
+        if let Some(t) = self.telemetry.as_mut() {
+            t.on_flow_stage_released(now, campaign, r);
+        }
+    }
+
     fn apply_lrm_outcome(
         &mut self,
         resource: usize,
@@ -649,6 +821,7 @@ impl GridWorld {
                     );
                 }
                 self.tenancy_on_terminal(job, cpu_seconds, true, now);
+                self.flow_on_terminal(job, false, now);
             }
             LrmOutcome::BouncedToGrid {
                 job,
@@ -723,6 +896,7 @@ impl GridWorld {
                             // the waste to the tenant, grant no credit.
                             let wasted = self.records[&job].wasted_cpu_seconds;
                             self.tenancy_on_terminal(job, wasted, false, now);
+                            self.flow_on_terminal(job, true, now);
                         } else {
                             // Give the failed resource another chance after
                             // the backoff: blacklisting handles genuinely
@@ -791,6 +965,7 @@ impl GridWorld {
                 // BOINC-style credit: CPU charged at result time, credit
                 // granted only when the result validated clean.
                 self.tenancy_on_terminal(job, useful_cpu_seconds, !corrupt, now);
+                self.flow_on_terminal(job, corrupt, now);
             }
             BoincOutcome::ValidationFailed { job } => {
                 // The quorum engine gave up: surface the job as a dead
@@ -812,6 +987,7 @@ impl GridWorld {
                 }
                 let wasted = self.records[&job].wasted_cpu_seconds;
                 self.tenancy_on_terminal(job, wasted, false, now);
+                self.flow_on_terminal(job, true, now);
             }
         }
     }
@@ -993,6 +1169,10 @@ impl Serialize for GridWorld {
         if let Some(book) = &self.tenancy {
             fields.push(("tenancy".to_string(), book.to_value()));
         }
+        // Same contract for the workflow book (snapshot v3's only new key).
+        if let Some(book) = &self.flow {
+            fields.push(("flow".to_string(), book.to_value()));
+        }
         Value::Map(fields)
     }
 }
@@ -1041,6 +1221,9 @@ impl Deserialize for GridWorld {
             // as "no tenant state" and let `Grid::enable_tenancy` start
             // fresh books on top if the service wants them.
             tenancy: serde::field_or(fields, "tenancy", || None)?,
+            // Absent in pre-flow (and flow-off) snapshots; the book's own
+            // deserializer rebuilds slack tables and job-range lookups.
+            flow: serde::field_or(fields, "flow", || None)?,
             // Host-side observer, meaningless across processes: a restored
             // grid starts profiling from zero if re-enabled.
             profiler: None,
@@ -1146,7 +1329,12 @@ impl World for GridWorld {
             }
             GridEvent::BoincFlip { client } => {
                 if let Some(b) = self.boinc.as_mut() {
-                    b.on_flip(client, now, cal);
+                    let info = b.on_flip(client, now, cal);
+                    if b.churn_enabled() {
+                        if let Some(t) = self.telemetry.as_mut() {
+                            t.on_churn_flip(now, client, info.available, info.died);
+                        }
+                    }
                 }
             }
             GridEvent::BoincAssign { client } => {
@@ -1214,8 +1402,12 @@ impl World for GridWorld {
 /// million-account book from bloating every status page and checkpoint).
 const TENANT_TOP_ROWS: usize = 10;
 
+/// Per-campaign rows carried in reports and telemetry snapshots (same
+/// bound and rationale as [`TENANT_TOP_ROWS`]).
+const FLOW_TOP_ROWS: usize = 10;
+
 /// Aggregate results of a grid run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct GridReport {
     /// Jobs submitted.
     pub total_jobs: usize,
@@ -1255,8 +1447,61 @@ pub struct GridReport {
     /// Tenant accounting (`None` when the grid runs without
     /// [`GridConfig::tenancy`]).
     pub tenancy: Option<tenancy::TenancySnapshot>,
+    /// Workflow accounting (`None` when the grid runs without
+    /// [`GridConfig::flow`]).
+    pub flow: Option<flow::FlowSnapshot>,
     /// Per-job records, sorted by job id.
     pub records: Vec<JobRecord>,
+}
+
+// Manual encoding for the same reason as [`GridConfig`]: the `flow` key is
+// emitted only when the subsystem is on, so flow-free report JSON stays
+// byte-identical to the pre-flow format (E12-style pins assert this).
+impl Serialize for GridReport {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("total_jobs".to_string(), self.total_jobs.to_value()),
+            ("completed".to_string(), self.completed.to_value()),
+            ("dead_lettered".to_string(), self.dead_lettered.to_value()),
+            ("unfinished".to_string(), self.unfinished.to_value()),
+            (
+                "corrupt_completions".to_string(),
+                self.corrupt_completions.to_value(),
+            ),
+            (
+                "blacklist_events".to_string(),
+                self.blacklist_events.to_value(),
+            ),
+            (
+                "makespan_seconds".to_string(),
+                self.makespan_seconds.to_value(),
+            ),
+            (
+                "mean_turnaround_seconds".to_string(),
+                self.mean_turnaround_seconds.to_value(),
+            ),
+            (
+                "useful_cpu_seconds".to_string(),
+                self.useful_cpu_seconds.to_value(),
+            ),
+            (
+                "wasted_cpu_seconds".to_string(),
+                self.wasted_cpu_seconds.to_value(),
+            ),
+            ("total_reissues".to_string(), self.total_reissues.to_value()),
+            ("total_attempts".to_string(), self.total_attempts.to_value()),
+            ("dispatches".to_string(), self.dispatches.to_value()),
+            ("completed_by".to_string(), self.completed_by.to_value()),
+            ("data".to_string(), self.data.to_value()),
+            ("validation".to_string(), self.validation.to_value()),
+            ("tenancy".to_string(), self.tenancy.to_value()),
+        ];
+        if let Some(fl) = &self.flow {
+            fields.push(("flow".to_string(), fl.to_value()));
+        }
+        fields.push(("records".to_string(), self.records.to_value()));
+        Value::Map(fields)
+    }
 }
 
 /// The public driver around the simulation.
@@ -1297,11 +1542,26 @@ impl Grid {
         }
 
         // BOINC pool.
+        assert!(
+            config.churn.is_none() || config.boinc.is_some(),
+            "GridConfig::churn requires a BOINC volunteer pool"
+        );
         let mut boinc = None;
         let mut boinc_index = None;
         if let Some(bc) = config.boinc {
             let idx = resources.len();
-            let mut pool = BoincSim::new(bc, rng.fork("boinc"), &mut cal_seed);
+            // The churn model gets its own fork (like validation): enabling
+            // realistic availability must not perturb any other stream.
+            let churn = config.churn.clone().map(|cc| {
+                crate::churn::ChurnModel::new(
+                    cc,
+                    bc.mean_on_hours,
+                    bc.mean_off_hours,
+                    bc.num_clients,
+                    rng.fork("churn"),
+                )
+            });
+            let mut pool = BoincSim::with_churn(bc, rng.fork("boinc"), churn, &mut cal_seed);
             // The engine gets its own fork: enabling validation must not
             // perturb the pool's (or anything else's) RNG stream.
             if let Some(vc) = config.validation {
@@ -1347,6 +1607,7 @@ impl Grid {
                 .tenancy
                 .clone()
                 .map(|tc| tenancy::TenantBook::new(&tc)),
+            flow: config.flow.map(flow::FlowBook::new),
             index: DispatchIndex::new(&resources),
             legacy_matchmaker: false,
             resources,
@@ -1423,6 +1684,10 @@ impl Grid {
                 world.data.as_ref(),
                 world.boinc.as_ref().and_then(|b| b.validation_snapshot()),
                 world.tenancy.as_ref().map(|b| b.snapshot(TENANT_TOP_ROWS)),
+                world
+                    .flow
+                    .as_ref()
+                    .map(|b| b.snapshot(self.sim.now(), FLOW_TOP_ROWS)),
             )
         })
     }
@@ -1695,8 +1960,57 @@ impl Grid {
             data: world.data.as_ref().map(DataGridState::report),
             validation: world.boinc.as_ref().and_then(|b| b.validation_snapshot()),
             tenancy: world.tenancy.as_ref().map(|b| b.snapshot(TENANT_TOP_ROWS)),
+            flow: world
+                .flow
+                .as_ref()
+                .map(|b| b.snapshot(self.sim.now(), FLOW_TOP_ROWS)),
             records,
         }
+    }
+
+    /// Submit a DAG campaign at the current simulation time. The
+    /// campaign's jobs occupy the contiguous id range starting at
+    /// `first_job` (one id per fan-out job, stages in declaration order);
+    /// the caller allocates disjoint ranges across campaigns and plain
+    /// submissions. Root stages release immediately; every later stage
+    /// releases when its dependency barriers drain. All of the campaign's
+    /// jobs (released or not) count toward [`Grid::run_until_done`]'s
+    /// submission ledger, so a run ends only when the whole DAG settled
+    /// or the deadline passed.
+    ///
+    /// # Panics
+    /// Panics when the grid runs without [`GridConfig::flow`] or the job
+    /// range overlaps an existing campaign.
+    pub fn submit_dag(
+        &mut self,
+        first_job: u64,
+        spec: flow::DagSpec,
+    ) -> Result<(), flow::FlowError> {
+        let now = self.sim.now();
+        let total = spec.total_jobs();
+        let world = self.sim.world_mut();
+        let book = world
+            .flow
+            .as_mut()
+            .expect("submit_dag requires GridConfig::flow");
+        let released = book.submit(spec, first_job, now)?;
+        let campaign = book.campaigns() - 1;
+        self.submissions_expected += total as usize;
+        for r in &released {
+            self.sim.world_mut().materialize_stage(campaign, r, now);
+        }
+        Ok(())
+    }
+
+    /// Workflow accounting at the current instant (`None` when the grid
+    /// runs without [`GridConfig::flow`]). `max_rows` bounds the
+    /// per-campaign rows.
+    pub fn flow_snapshot(&self, max_rows: usize) -> Option<flow::FlowSnapshot> {
+        self.sim
+            .world()
+            .flow
+            .as_ref()
+            .map(|b| b.snapshot(self.sim.now(), max_rows))
     }
 }
 

@@ -51,12 +51,20 @@
 //! * the multi-tenant submission layer (the `tenancy` crate, wired
 //!   through [`grid::GridConfig::tenancy`]): per-tenant quotas with typed
 //!   admission control, deterministic fair-share arbitration ahead of the
-//!   feeder, and BOINC-style credit granted at result validation.
+//!   feeder, and BOINC-style credit granted at result validation;
+//! * [`churn`] — realistic volunteer availability (host-lifetime decay,
+//!   diurnal/weekly rhythms, correlated site-wide outages, deterministic
+//!   trace replay), replacing the flat exponential flips when
+//!   [`grid::GridConfig::churn`] is set;
+//! * DAG-structured campaigns (the `flow` crate, wired through
+//!   [`grid::GridConfig::flow`]): typed pipeline stages with dependency
+//!   barriers whose critical-path slack feeds the dispatch priority path.
 
 #![warn(missing_docs)]
 
 pub mod adapter;
 pub mod boinc;
+pub mod churn;
 pub mod data;
 pub mod fault;
 pub mod grid;
@@ -73,6 +81,7 @@ pub mod speed;
 pub mod stability;
 pub mod telemetry;
 
+pub use churn::{ChurnConfig, ChurnConfigError, ChurnModel, ChurnTrace, SiteOutageConfig};
 pub use data::{DataConfig, DataGridState, DataPolicy, DataReport, DataSnapshot, StageIn};
 pub use fault::FaultAction;
 pub use grid::{Grid, GridConfig, GridReport};
@@ -92,4 +101,8 @@ pub use quorum::{ReplicationPolicy, TrustPolicy, ValidationConfig, ValidationSna
 pub use tenancy::{
     AdmissionOutcome, Quota, TenancyConfig, TenancySnapshot, TenantBook, TenantClass, TenantId,
     TenantSpec,
+};
+
+pub use flow::{
+    CampaignRow, DagSpec, FlowBook, FlowConfig, FlowError, FlowSnapshot, StageKind, StageSpec,
 };

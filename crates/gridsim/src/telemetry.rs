@@ -800,6 +800,87 @@ impl GridTelemetry {
         );
     }
 
+    /// A workflow stage's dependency barriers cleared and its jobs entered
+    /// the grid (root stages release at campaign submission).
+    pub fn on_flow_stage_released(
+        &mut self,
+        now: SimTime,
+        campaign: usize,
+        stage: &flow::ReleasedStage,
+    ) {
+        self.metrics.incr("flow.stages_released");
+        self.metrics.add("flow.jobs_released", stage.fanout);
+        self.bus.emit(
+            now,
+            "flow.stage_release",
+            &[
+                ("campaign", (campaign as u64).into()),
+                ("stage", stage.stage_name.as_str().into()),
+                ("kind", stage.kind_label.into()),
+                ("fanout", stage.fanout.into()),
+                ("slack_seconds", stage.slack_seconds.into()),
+            ],
+        );
+    }
+
+    /// Every job of a workflow stage reached a terminal state.
+    pub fn on_flow_stage_completed(&mut self, now: SimTime, campaign: usize, stage: usize) {
+        self.metrics.incr("flow.stages_completed");
+        self.bus.emit(
+            now,
+            "flow.stage_complete",
+            &[
+                ("campaign", (campaign as u64).into()),
+                ("stage", (stage as u64).into()),
+            ],
+        );
+    }
+
+    /// A campaign's last stage completed; `missed` when past its deadline.
+    pub fn on_flow_campaign_completed(
+        &mut self,
+        now: SimTime,
+        campaign: usize,
+        makespan_seconds: f64,
+        missed: bool,
+    ) {
+        self.metrics.incr("flow.campaigns_completed");
+        if missed {
+            self.metrics.incr("flow.deadlines_missed");
+        }
+        self.metrics.observe(
+            "flow.campaign_makespan_seconds",
+            &latency_buckets_seconds(),
+            makespan_seconds,
+        );
+        self.bus.emit(
+            now,
+            "flow.campaign_complete",
+            &[
+                ("campaign", (campaign as u64).into()),
+                ("makespan_seconds", makespan_seconds.into()),
+                ("deadline_missed", u64::from(missed).into()),
+            ],
+        );
+    }
+
+    /// A realistic-churn availability flip (only emitted when the churn
+    /// model drives the pool). `died` marks a permanent detach — the
+    /// host-lifetime decay exit, after which the client never returns.
+    pub fn on_churn_flip(&mut self, now: SimTime, client: usize, available: bool, died: bool) {
+        self.metrics.incr("churn.flips");
+        if available {
+            self.metrics.incr("churn.flips_on");
+        } else {
+            self.metrics.incr("churn.flips_off");
+        }
+        if died {
+            self.metrics.incr("churn.deaths");
+            self.bus
+                .emit(now, "churn.death", &[("client", (client as u64).into())]);
+        }
+    }
+
     /// An outage colded a site cache, dropping `dropped_bytes` of staged
     /// inputs.
     pub fn on_cache_invalidate(&mut self, now: SimTime, resource: usize, dropped_bytes: u64) {
@@ -855,8 +936,8 @@ impl GridTelemetry {
     }
 
     /// Export everything, joined with the MDS monitoring view and (when the
-    /// grid runs them) the data plane, validation, and tenancy layers, at
-    /// `now`.
+    /// grid runs them) the data plane, validation, tenancy, and workflow
+    /// layers, at `now`.
     pub fn snapshot(
         &self,
         now: SimTime,
@@ -864,6 +945,7 @@ impl GridTelemetry {
         data: Option<&DataGridState>,
         validation: Option<quorum::ValidationSnapshot>,
         tenancy: Option<TenancySnapshot>,
+        flow: Option<flow::FlowSnapshot>,
     ) -> TelemetrySnapshot {
         let resources: Vec<ResourceUtilisation> = (0..self.names.len())
             .map(|i| {
@@ -910,6 +992,7 @@ impl GridTelemetry {
             data: data.map(|d| d.snapshot(now.as_secs_f64())),
             validation,
             tenancy,
+            flow,
             events: self.bus.snapshot(),
             timeseries: self.series.as_ref().map(|s| s.snapshot()),
             slo: self.slo.as_ref().map(|s| s.snapshot()),
@@ -1039,6 +1122,9 @@ pub struct TelemetrySnapshot {
     /// Multi-tenant view (accounts, quotas, credit, fairness); `None` when
     /// the grid runs without [`crate::GridConfig::tenancy`].
     pub tenancy: Option<TenancySnapshot>,
+    /// Workflow view (campaigns, stage barriers, deadlines); `None` when
+    /// the grid runs without [`crate::GridConfig::flow`].
+    pub flow: Option<flow::FlowSnapshot>,
     /// Event totals and the recent-event ring.
     pub events: EventBusSnapshot,
     /// Windowed time series; `None` when streaming collection is off.
@@ -1106,6 +1192,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         );
         let a = &snap.resources[0];
         assert!((a.mean_busy_slots - 2.0).abs() < 1e-9);
@@ -1160,8 +1247,15 @@ mod tests {
                 );
             }
             t.on_completed(SimTime::from_secs(500), JobId(0), "a", None, false);
-            serde_json::to_string(&t.snapshot(SimTime::from_secs(600), &mds, None, None, None))
-                .unwrap()
+            serde_json::to_string(&t.snapshot(
+                SimTime::from_secs(600),
+                &mds,
+                None,
+                None,
+                None,
+                None,
+            ))
+            .unwrap()
         };
         let a = run();
         assert_eq!(a, run());

@@ -1,0 +1,140 @@
+//! Property tests over the realistic churn generator: whatever the
+//! configuration, flips strictly alternate with positive gaps, dead hosts
+//! stay dead, and trace replay is seed-deterministic.
+
+use gridsim::{ChurnConfig, ChurnModel, ChurnTrace, SiteOutageConfig};
+use proptest::prelude::*;
+use simkit::{SimRng, SimTime};
+
+fn build(
+    seed: u64,
+    hosts: usize,
+    half_life: Option<f64>,
+    amplitude: f64,
+    peak: f64,
+    weekend: f64,
+    outages: bool,
+    trace: Option<Vec<f64>>,
+) -> ChurnModel {
+    let config = ChurnConfig {
+        lifetime_half_life_hours: half_life,
+        diurnal_amplitude: amplitude,
+        peak_hour: peak,
+        weekend_factor: weekend,
+        site_outages: outages.then_some(SiteOutageConfig {
+            sites: 3,
+            mean_interval_hours: 24.0,
+            mean_duration_hours: 2.0,
+        }),
+        trace: trace.map(|gaps_hours| ChurnTrace { gaps_hours }),
+    };
+    config.validate().expect("generated configs are valid");
+    ChurnModel::new(config, 10.0, 14.0, hosts, SimRng::new(seed).fork("churn"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Walk every host's availability timeline for a bounded number of
+    /// flips. Invariants, for any stochastic configuration:
+    /// * every wait is strictly positive and finite (the calendar would
+    ///   otherwise refuse or deadlock);
+    /// * availability strictly alternates (the model is fed alternating
+    ///   states and never produces a flip that keeps the host's state);
+    /// * once a host dies (`next_wait` returns `None`), every later call
+    ///   returns `None` — death is permanent and counted exactly once.
+    #[test]
+    fn flips_alternate_with_positive_gaps(
+        seed in 0u64..10_000,
+        hosts in 1usize..12,
+        half_life_raw in 1e-2f64..200.0,
+        decay in 0u8..2,
+        amplitude in 0.0f64..0.95,
+        peak in 0.0f64..24.0,
+        weekend in 0.05f64..1.5,
+        outages in 0u8..2,
+    ) {
+        let half_life = (decay == 1).then_some(half_life_raw);
+        let mut m = build(seed, hosts, half_life, amplitude, peak, weekend, outages == 1, None);
+        for host in 0..hosts {
+            let (mut available, first) = {
+                let (a, w) = m.initial_state(host);
+                (a, w)
+            };
+            prop_assert!(first.as_secs_f64() > 0.0 && first.as_secs_f64().is_finite());
+            let mut now = SimTime::ZERO + first;
+            let mut dead = false;
+            for _ in 0..300 {
+                // The flip event fires: state strictly alternates.
+                available = !available;
+                match m.next_wait(host, now, available) {
+                    Some(wait) => {
+                        prop_assert!(!dead, "host {} flipped after dying", host);
+                        let secs = wait.as_secs_f64();
+                        prop_assert!(
+                            secs > 0.0 && secs.is_finite(),
+                            "non-positive gap {} for host {}", secs, host
+                        );
+                        now = now + wait;
+                    }
+                    None => {
+                        prop_assert!(
+                            !available,
+                            "host {} died while becoming available", host
+                        );
+                        dead = true;
+                        // Death is absorbing.
+                        prop_assert!(m.next_wait(host, now, false).is_none());
+                    }
+                }
+                if dead {
+                    break;
+                }
+            }
+            if half_life.is_none() {
+                prop_assert!(!dead, "hosts cannot die without lifetime decay");
+            }
+        }
+        prop_assert_eq!(m.deaths as usize, m.dead_hosts());
+    }
+
+    /// Two models built from the same seed replay byte-identical trace
+    /// timelines, and every wait is exactly a trace gap.
+    #[test]
+    fn trace_replay_is_seed_deterministic(
+        seed in 0u64..10_000,
+        hosts in 1usize..10,
+        gaps in prop::collection::vec(0.1f64..48.0, 1..12),
+        steps in 1usize..64,
+    ) {
+        let mut a = build(seed, hosts, None, 0.3, 12.0, 0.8, false, Some(gaps.clone()));
+        let mut b = build(seed, hosts, None, 0.3, 12.0, 0.8, false, Some(gaps.clone()));
+        let mut c = build(seed ^ 0x5DEECE66D, hosts, None, 0.3, 12.0, 0.8, false, Some(gaps.clone()));
+        let mut diverged = false;
+        for host in 0..hosts {
+            let (av_a, w_a) = a.initial_state(host);
+            let (av_b, w_b) = b.initial_state(host);
+            let (av_c, w_c) = c.initial_state(host);
+            prop_assert_eq!(av_a, av_b);
+            prop_assert_eq!(w_a, w_b);
+            diverged |= av_a != av_c || w_a != w_c;
+            let mut now = SimTime::ZERO + w_a;
+            let mut avail = av_a;
+            for _ in 0..steps {
+                avail = !avail;
+                let wa = a.next_wait(host, now, avail).unwrap();
+                let wb = b.next_wait(host, now, avail).unwrap();
+                prop_assert_eq!(wa, wb, "same-seed replay diverged");
+                let hours = wa.as_secs_f64() / 3600.0;
+                prop_assert!(
+                    gaps.iter().any(|g| (g - hours).abs() < 1e-9),
+                    "wait {}h is not a trace gap", hours
+                );
+                now = now + wa;
+            }
+        }
+        // Not an invariant (different seeds can pick the same phases for
+        // tiny traces), but record that divergence is at least possible.
+        let _ = diverged;
+    }
+}

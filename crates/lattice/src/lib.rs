@@ -23,6 +23,9 @@
 //! * [`multitenant`] — concurrent campaigns from many portal identities,
 //!   arbitrated by the `tenancy` crate's quotas and fair-share scheduler,
 //!   with per-tenant makespan/slowdown and fairness reporting;
+//! * [`dagcampaign`] — dependency-structured pipeline campaigns (`flow`
+//!   crate DAGs) run with slack-aware dispatch, reporting per-campaign
+//!   makespan, deadline misses, and wasted replicate CPU (E19);
 //! * [`system`] — the facade the examples and experiment harness drive;
 //! * [`service`] — long-running service mode: periodic auto-snapshots with
 //!   atomic writes and previous-good fallback, so a crashed service resumes
@@ -31,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod bundling;
+pub mod dagcampaign;
 pub mod estimator;
 pub mod eta;
 pub mod multitenant;
@@ -41,6 +45,7 @@ pub mod service;
 pub mod system;
 pub mod training;
 
+pub use dagcampaign::{run_dag_campaign, DagCampaignOutcome, DagCampaignReport};
 pub use estimator::RuntimeEstimator;
 pub use multitenant::{run_multi_tenant, CampaignSpec, MultiTenantReport, TenantOutcome};
 pub use predictors::{predictor_schema, JobFeatures};

@@ -306,6 +306,57 @@ pub fn render_text_with_snapshot(
         }
     }
 
+    if let Some(fl) = &snap.flow {
+        writeln!(
+            out,
+            "\nWorkflows: {} campaigns ({} complete, {} deadline-missed), \
+             stages {}/{} done, jobs {}/{} done, {} failures",
+            fl.campaigns,
+            fl.campaigns_completed,
+            fl.deadlines_missed,
+            fl.stages_completed,
+            fl.stages_released,
+            fl.jobs_done,
+            fl.jobs_total,
+            fl.failures
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  {:<22} {:>7} {:>9} {:>8} {:>10} {:>9} {:>9}",
+            "campaign", "stages", "jobs", "failed", "crit-path", "deadline", "makespan"
+        )
+        .unwrap();
+        for row in &fl.rows {
+            let deadline = match row.deadline_hours {
+                Some(h) if row.deadline_missed => format!("{h:.0}h MISS"),
+                Some(h) => format!("{h:.0}h"),
+                None => "-".to_string(),
+            };
+            let makespan = match row.makespan_seconds {
+                Some(s) => format!("{:.1}h", s / 3600.0),
+                None => "running".to_string(),
+            };
+            writeln!(
+                out,
+                "  {:<22} {:>3}/{:<3} {:>4}/{:<4} {:>8} {:>9.1}h {:>9} {:>9}",
+                row.name,
+                row.stages_completed,
+                row.stages,
+                row.jobs_done,
+                row.jobs,
+                row.failures,
+                row.critical_path_seconds / 3600.0,
+                deadline,
+                makespan
+            )
+            .unwrap();
+        }
+        if fl.more > 0 {
+            writeln!(out, "  ... and {} more campaign(s)", fl.more).unwrap();
+        }
+    }
+
     if let Some(slo) = &snap.slo {
         writeln!(
             out,
@@ -559,6 +610,49 @@ mod tests {
         assert_eq!(page, render_text(&tenant_run()));
         // The section is opt-in: tenancy-free runs never render it.
         assert!(!render_text(&observed_run()).contains("\nTenants:"));
+    }
+
+    fn workflow_run() -> TelemetrySnapshot {
+        use gridsim::{DagSpec, FlowConfig};
+        let config = GridConfig {
+            resources: vec![ResourceSpec::cluster(
+                "alpha",
+                ResourceKind::PbsCluster,
+                8,
+                1.0,
+            )],
+            telemetry: Some(TelemetryConfig::default()),
+            flow: Some(FlowConfig::default()),
+            seed: 23,
+            ..Default::default()
+        };
+        let mut grid = Grid::new(config);
+        let dag = DagSpec::phylo_pipeline("tol-demo", 2, 4, 600.0, 1800.0, 900.0, 300.0)
+            .with_deadline_hours(48.0);
+        grid.submit_dag(0, dag).expect("valid pipeline");
+        let _ = grid.run_until_done(SimTime::from_days(2));
+        grid.telemetry_snapshot().expect("telemetry enabled")
+    }
+
+    #[test]
+    fn workflows_section_renders_campaign_rows() {
+        let snap = workflow_run();
+        let page = render_text(&snap);
+        let fl = snap.flow.as_ref().expect("flow enabled");
+        assert_eq!(fl.campaigns, 1);
+        assert_eq!(fl.campaigns_completed, 1, "{fl:?}");
+        for needle in [
+            "Workflows: 1 campaigns (1 complete, 0 deadline-missed)",
+            "stages 4/4 done, jobs 8/8 done",
+            "tol-demo",
+            "48h",
+        ] {
+            assert!(page.contains(needle), "missing {needle:?} in:\n{page}");
+        }
+        // Replaying the seeded scenario reproduces the page byte for byte.
+        assert_eq!(page, render_text(&workflow_run()));
+        // The section is opt-in: flow-free runs never render it.
+        assert!(!render_text(&observed_run()).contains("\nWorkflows:"));
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub use calendar::Calendar;
 pub use faults::FaultScript;
 pub use rng::SimRng;
 pub use slab::IdMap;
-pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_VERSION};
+pub use snapshot::{Snapshot, SnapshotError, MIN_SNAPSHOT_VERSION, SNAPSHOT_VERSION};
 pub use time::{SimDuration, SimTime};
 
 /// A simulation model: owns all mutable state and reacts to events.

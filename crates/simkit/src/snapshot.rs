@@ -34,9 +34,18 @@ use std::path::Path;
 ///
 /// History: v1 — original whole-grid checkpoint schema; v2 — observability
 /// layer (time-series collector, span log, SLO engine state inside grid
-/// telemetry; clamp counters on time-weighted stats). Old files decode as
-/// [`SnapshotError::UnknownVersion`] rather than mis-restoring.
-pub const SNAPSHOT_VERSION: u64 = 2;
+/// telemetry; clamp counters on time-weighted stats); v3 — workflow/churn
+/// layer (optional `flow` campaign book and `churn` availability model
+/// keys, emitted only when the subsystems are configured). v3 is a strict
+/// superset of v2, so this build still reads v2 files; v1 and unknown
+/// future versions decode as [`SnapshotError::UnknownVersion`] rather than
+/// mis-restoring.
+pub const SNAPSHOT_VERSION: u64 = 3;
+
+/// Oldest schema version this build still restores. Every version in
+/// `MIN_SNAPSHOT_VERSION..=SNAPSHOT_VERSION` only ever *added* optional
+/// keys, so older files within the range decode with the additions absent.
+pub const MIN_SNAPSHOT_VERSION: u64 = 2;
 
 /// Why a snapshot could not be decoded or persisted.
 #[derive(Debug)]
@@ -66,7 +75,8 @@ impl fmt::Display for SnapshotError {
             SnapshotError::UnknownVersion { found } => write!(
                 f,
                 "snapshot version {found} is not supported (this build reads \
-                 version {SNAPSHOT_VERSION}); refusing to guess at the schema"
+                 versions {MIN_SNAPSHOT_VERSION}..={SNAPSHOT_VERSION}); \
+                 refusing to guess at the schema"
             ),
             SnapshotError::ChecksumMismatch { expected, actual } => write!(
                 f,
@@ -123,7 +133,7 @@ pub fn decode_value(text: &str) -> Result<Value, SnapshotError> {
     // confusing missing-field error somewhere inside the state.
     let version: u64 = serde::field(entries, "version")
         .map_err(|e| SnapshotError::Corrupt(format!("bad version field: {e}")))?;
-    if version != SNAPSHOT_VERSION {
+    if !(MIN_SNAPSHOT_VERSION..=SNAPSHOT_VERSION).contains(&version) {
         return Err(SnapshotError::UnknownVersion { found: version });
     }
     let expected: u64 = serde::field(entries, "checksum")
@@ -211,6 +221,24 @@ mod tests {
         let text = r#"{"version":999,"checksum":0,"state":{"surprise":[1,2]}}"#;
         match decode::<BTreeMap<String, u64>>(text) {
             Err(SnapshotError::UnknownVersion { found: 999 }) => {}
+            other => panic!("expected UnknownVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v2_files_still_decode() {
+        // v3 only added optional keys, so a v2 envelope (same body layout,
+        // older version stamp) must restore unchanged.
+        let text = encode(&sample()).replacen("\"version\":3", "\"version\":2", 1);
+        let back: BTreeMap<String, u64> = decode(&text).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn pre_window_version_is_refused() {
+        let text = encode(&sample()).replacen("\"version\":3", "\"version\":1", 1);
+        match decode::<BTreeMap<String, u64>>(&text) {
+            Err(SnapshotError::UnknownVersion { found: 1 }) => {}
             other => panic!("expected UnknownVersion, got {other:?}"),
         }
     }

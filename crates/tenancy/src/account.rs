@@ -9,6 +9,7 @@
 //! so no `String` email ever keys a hot-path ledger.
 
 use serde::{Deserialize, Serialize};
+use simkit::SimTime;
 
 /// Stable tenant handle. Ids are handed out by the
 /// [`TenantBook`](crate::TenantBook) in registration order and never reused,
@@ -106,6 +107,22 @@ pub struct TenantSpec {
     /// Explicit quota; `None` takes the class default.
     #[serde(default)]
     pub quota: Option<Quota>,
+    /// Campaign priority (> 0): scales the fair-share key the same way
+    /// weight does (a priority-3 campaign converges to three times the
+    /// share of a priority-1 peer of equal weight), but is meant to be
+    /// turned per campaign by the submitter rather than set per account by
+    /// the operator.
+    #[serde(default = "default_priority")]
+    pub priority: f64,
+    /// Campaign deadline. Once the deadline falls inside the fair-share
+    /// `urgent_window`, the tenant's queue drains earliest-deadline-first,
+    /// ahead of every share-ordered peer (after the starvation guard).
+    #[serde(default)]
+    pub deadline: Option<SimTime>,
+}
+
+fn default_priority() -> f64 {
+    1.0
 }
 
 impl TenantSpec {
@@ -116,6 +133,8 @@ impl TenantSpec {
             class: TenantClass::Registered,
             weight,
             quota: None,
+            priority: 1.0,
+            deadline: None,
         }
     }
 
@@ -126,12 +145,26 @@ impl TenantSpec {
             class: TenantClass::Guest,
             weight: 1.0,
             quota: None,
+            priority: 1.0,
+            deadline: None,
         }
     }
 
     /// Builder: override the quota.
     pub fn with_quota(mut self, quota: Quota) -> TenantSpec {
         self.quota = Some(quota);
+        self
+    }
+
+    /// Builder: set the campaign priority (> 0; validated at registration).
+    pub fn with_priority(mut self, priority: f64) -> TenantSpec {
+        self.priority = priority;
+        self
+    }
+
+    /// Builder: set the campaign deadline.
+    pub fn with_deadline(mut self, deadline: SimTime) -> TenantSpec {
+        self.deadline = Some(deadline);
         self
     }
 

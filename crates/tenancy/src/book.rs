@@ -125,6 +125,7 @@ struct Account {
     // ---- derived index handles (never serialized) ----
     idx_priority: Option<f64>,
     idx_aging: Option<SimTime>,
+    idx_urgent: Option<SimTime>,
 }
 
 impl Account {
@@ -146,7 +147,14 @@ impl Account {
             credit: 0.0,
             idx_priority: None,
             idx_aging: None,
+            idx_urgent: None,
         }
+    }
+
+    /// The fair-share ordering key: decay-scaled usage normalized by both
+    /// the operator-set weight and the submitter-set campaign priority.
+    fn share_key(&self) -> f64 {
+        self.scaled_usage / (self.spec.weight * self.spec.priority)
     }
 }
 
@@ -290,10 +298,14 @@ pub struct TenantBook {
     total_cpu_seconds: f64,
     total_credit: f64,
     // ---- derived (rebuilt on restore, never serialized) ----
-    /// Eligible tenants by (scaled usage / weight, id) — smallest first.
+    /// Eligible tenants by (scaled usage / (weight × priority), id) —
+    /// smallest first.
     priority: BTreeSet<(OrdF64, u64)>,
     /// Eligible tenants by (oldest queued submission, id) — oldest first.
     aging: BTreeSet<(SimTime, u64)>,
+    /// Eligible tenants that carry a campaign deadline, by (deadline, id)
+    /// — earliest first. Consulted only inside the urgent window.
+    urgent: BTreeSet<(SimTime, u64)>,
 }
 
 impl TenantBook {
@@ -317,6 +329,7 @@ impl TenantBook {
             total_credit: 0.0,
             priority: BTreeSet::new(),
             aging: BTreeSet::new(),
+            urgent: BTreeSet::new(),
         };
         for spec in &config.tenants {
             book.register(spec.clone());
@@ -328,13 +341,20 @@ impl TenantBook {
     /// reused.
     ///
     /// # Panics
-    /// Panics on a non-positive or non-finite fair-share weight.
+    /// Panics on a non-positive or non-finite fair-share weight or
+    /// campaign priority.
     pub fn register(&mut self, spec: TenantSpec) -> TenantId {
         assert!(
             spec.weight.is_finite() && spec.weight > 0.0,
             "tenant {:?} has invalid fair-share weight {}",
             spec.name,
             spec.weight
+        );
+        assert!(
+            spec.priority.is_finite() && spec.priority > 0.0,
+            "tenant {:?} has invalid campaign priority {}",
+            spec.name,
+            spec.priority
         );
         let id = self.next_tenant;
         self.next_tenant += 1;
@@ -493,12 +513,14 @@ impl TenantBook {
     /// Release up to `budget` jobs from tenant queues, in fair-share order.
     ///
     /// Selection per slot: if the globally oldest queued head has waited at
-    /// least `boost_after`, its tenant is served (starvation guard);
-    /// otherwise the eligible tenant with the smallest
-    /// `scaled_usage / weight` is served. Each release charges the job's
-    /// cost estimate to the tenant so a burst cannot over-release between
-    /// completions; [`Self::on_terminal`] later swaps the estimate for the
-    /// real charge.
+    /// least `boost_after`, its tenant is served (starvation guard); else
+    /// if a tenant's campaign deadline falls inside `urgent_window`, the
+    /// earliest-deadline tenant is served (EDF phase); otherwise the
+    /// eligible tenant with the smallest
+    /// `scaled_usage / (weight × priority)` is served. Each release
+    /// charges the job's cost estimate to the tenant so a burst cannot
+    /// over-release between completions; [`Self::on_terminal`] later swaps
+    /// the estimate for the real charge.
     pub fn release(&mut self, now: SimTime, budget: usize) -> Vec<ReleasedJob> {
         let mut out = Vec::with_capacity(budget.min(self.total_queued as usize));
         let mut remaining = budget;
@@ -515,6 +537,26 @@ impl TenantBook {
                 .filter(|(head, _)| now.saturating_since(*head) >= self.fair_share.boost_after)
                 .map(|&(_, id)| id);
             let Some(tid) = boosted else {
+                break;
+            };
+            self.release_one(tid, now, &mut out);
+            self.reindex(tid);
+            remaining -= 1;
+        }
+        // EDF phase: deadlines inside the urgent window drain earliest
+        // first. A deadline never moves and `now` is fixed within a call,
+        // so a tenant stays urgent until its queue empties or its quota
+        // fills — urgent campaigns drain completely before share order
+        // gets a slot.
+        while remaining > 0 {
+            let horizon = now + self.fair_share.urgent_window;
+            let due = self
+                .urgent
+                .iter()
+                .next()
+                .filter(|(deadline, _)| *deadline <= horizon)
+                .map(|&(_, id)| id);
+            let Some(tid) = due else {
                 break;
             };
             self.release_one(tid, now, &mut out);
@@ -540,6 +582,9 @@ impl TenantBook {
                 if let Some(t) = acct.idx_aging.take() {
                     self.aging.remove(&(t, tid));
                 }
+                if let Some(t) = acct.idx_urgent.take() {
+                    self.urgent.remove(&(t, tid));
+                }
             }
             let fence = self.priority.iter().next().copied();
             loop {
@@ -552,7 +597,7 @@ impl TenantBook {
                 if acct.queue.is_empty() || acct.in_flight >= acct.quota.max_in_flight {
                     break;
                 }
-                let key = OrdF64(acct.scaled_usage / acct.spec.weight);
+                let key = OrdF64(acct.share_key());
                 if fence.is_some_and(|f| (key, tid) >= f) {
                     break;
                 }
@@ -685,27 +730,30 @@ impl TenantBook {
     /// Re-derive the tenant's membership in both indexes after any
     /// mutation of its queue, in-flight count, usage, or quota.
     fn reindex(&mut self, tid: u64) {
-        let (old_pri, old_age, fresh) = {
+        let (old_pri, old_age, old_due, fresh) = {
             let Some(acct) = self.accounts.get_mut(tid) else {
                 return;
             };
             let old_pri = acct.idx_priority.take();
             let old_age = acct.idx_aging.take();
+            let old_due = acct.idx_urgent.take();
             let eligible = !acct.queue.is_empty() && acct.in_flight < acct.quota.max_in_flight;
             let fresh = if eligible {
-                let key = acct.scaled_usage / acct.spec.weight;
+                let key = acct.share_key();
                 let head = acct
                     .queue
                     .front()
                     .expect("eligible tenant has queued work")
                     .submitted;
+                let due = acct.spec.deadline;
                 acct.idx_priority = Some(key);
                 acct.idx_aging = Some(head);
-                Some((key, head))
+                acct.idx_urgent = due;
+                Some((key, head, due))
             } else {
                 None
             };
-            (old_pri, old_age, fresh)
+            (old_pri, old_age, old_due, fresh)
         };
         if let Some(k) = old_pri {
             self.priority.remove(&(OrdF64(k), tid));
@@ -713,16 +761,23 @@ impl TenantBook {
         if let Some(t) = old_age {
             self.aging.remove(&(t, tid));
         }
-        if let Some((key, head)) = fresh {
+        if let Some(t) = old_due {
+            self.urgent.remove(&(t, tid));
+        }
+        if let Some((key, head, due)) = fresh {
             self.priority.insert((OrdF64(key), tid));
             self.aging.insert((head, tid));
+            if let Some(t) = due {
+                self.urgent.insert((t, tid));
+            }
         }
     }
 
-    /// Rebuild both derived indexes from scratch (after snapshot restore).
+    /// Rebuild the derived indexes from scratch (after snapshot restore).
     fn rebuild_indexes(&mut self) {
         self.priority.clear();
         self.aging.clear();
+        self.urgent.clear();
         let ids: Vec<u64> = self.accounts.iter().map(|(id, _)| id).collect();
         for id in ids {
             self.reindex(id);
@@ -798,6 +853,7 @@ impl Deserialize for TenantBook {
             total_credit: serde::field(fields, "total_credit")?,
             priority: BTreeSet::new(),
             aging: BTreeSet::new(),
+            urgent: BTreeSet::new(),
         };
         book.rebuild_indexes();
         Ok(book)
@@ -848,6 +904,7 @@ impl Deserialize for Account {
             credit: serde::field(fields, "credit")?,
             idx_priority: None,
             idx_aging: None,
+            idx_urgent: None,
         })
     }
 }
@@ -889,6 +946,81 @@ mod tests {
         // Weight-2 tenant should get ~2/3 of the slots.
         let share = counts[1] as f64 / 150.0;
         assert!((share - 2.0 / 3.0).abs() < 0.05, "share = {share}");
+    }
+
+    #[test]
+    fn deadline_urgent_campaign_drains_ahead_of_equal_share_peers() {
+        // Three equal-weight, equal-usage tenants; two carry deadlines
+        // inside the 24 h urgent window. EDF order: the 6 h campaign
+        // drains completely, then the 20 h one, and only then does the
+        // deadline-free peer get a slot.
+        let mut book = book_with(vec![
+            unlimited("steady", 1.0),
+            unlimited("due-20h", 1.0).with_deadline(SimTime::from_hours(20)),
+            unlimited("due-6h", 1.0).with_deadline(SimTime::from_hours(6)),
+        ]);
+        let t0 = SimTime::ZERO;
+        for j in 0..4u64 {
+            assert!(book.submit(TenantId(0), j, 100.0, t0).accepted());
+            assert!(book.submit(TenantId(1), 10 + j, 100.0, t0).accepted());
+            assert!(book.submit(TenantId(2), 20 + j, 100.0, t0).accepted());
+        }
+        let order: Vec<u64> = book
+            .release(t0, 12)
+            .into_iter()
+            .map(|r| r.tenant.0)
+            .collect();
+        assert_eq!(order, vec![2, 2, 2, 2, 1, 1, 1, 1, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn far_future_deadline_exerts_no_pressure() {
+        // A deadline outside the urgent window changes nothing: with equal
+        // shares the id tie-break picks tenant 0, deadline or not.
+        let mut book = book_with(vec![
+            unlimited("steady", 1.0),
+            unlimited("due-next-month", 1.0).with_deadline(SimTime::from_days(30)),
+        ]);
+        let t0 = SimTime::ZERO;
+        assert!(book.submit(TenantId(0), 0, 100.0, t0).accepted());
+        assert!(book.submit(TenantId(1), 1, 100.0, t0).accepted());
+        let first = book.release(t0, 1);
+        assert_eq!(first[0].tenant, TenantId(0));
+        // Re-ask once the deadline is inside the window: now EDF wins.
+        let later = SimTime::from_days(29) + SimDuration::from_hours(12);
+        assert_eq!(book.release(later, 1)[0].tenant, TenantId(1));
+    }
+
+    #[test]
+    fn campaign_priority_scales_share_like_weight() {
+        // Same shape as `weighted_release_converges_to_share`, but the 2×
+        // share comes from the submitter-set campaign priority instead of
+        // the operator-set weight.
+        let mut book = book_with(vec![
+            unlimited("p1", 1.0),
+            unlimited("p2", 1.0).with_priority(2.0),
+        ]);
+        let (a, b) = (TenantId(0), TenantId(1));
+        let t0 = SimTime::ZERO;
+        for j in 0..300u64 {
+            let tenant = if j % 2 == 0 { a } else { b };
+            assert!(book.submit(tenant, j, 100.0, t0).accepted());
+        }
+        let mut counts = [0u64; 2];
+        for step in 0..150u64 {
+            let now = SimTime::from_secs(step);
+            let r = book.release(now, 1)[0];
+            counts[r.tenant.0 as usize] += 1;
+            book.on_terminal(r.job, 100.0, true, now);
+        }
+        let share = counts[1] as f64 / 150.0;
+        assert!((share - 2.0 / 3.0).abs() < 0.05, "share = {share}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid campaign priority")]
+    fn non_positive_priority_is_refused_at_registration() {
+        book_with(vec![unlimited("bad", 1.0).with_priority(0.0)]);
     }
 
     #[test]

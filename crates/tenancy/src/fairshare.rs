@@ -43,6 +43,17 @@ pub struct FairShareConfig {
     /// job is eventually released no matter how its tenant's share
     /// compares.
     pub boost_after: SimDuration,
+    /// Deadline horizon: a tenant whose campaign deadline is at most this
+    /// far away drains earliest-deadline-first, ahead of share order (but
+    /// behind the starvation guard). Far-future deadlines exert no
+    /// pressure until they enter the window, so a deadline a month out
+    /// does not distort today's shares.
+    #[serde(default = "default_urgent_window")]
+    pub urgent_window: SimDuration,
+}
+
+fn default_urgent_window() -> SimDuration {
+    SimDuration::from_hours(24)
 }
 
 impl Default for FairShareConfig {
@@ -50,6 +61,7 @@ impl Default for FairShareConfig {
         FairShareConfig {
             half_life: SimDuration::from_hours(24),
             boost_after: SimDuration::from_hours(12),
+            urgent_window: default_urgent_window(),
         }
     }
 }
